@@ -1,0 +1,44 @@
+// Ablation: sensitivity to the alpha parameter.
+//
+// Alpha controls both the top-down/bottom-up switch and the
+// graft-vs-rebuild decision (Sec. III-B: "we found that alpha ~= 5
+// performs better for the MS-BFS-Graft algorithm"). This bench sweeps
+// alpha and reports runtime and traversed edges on one instance per
+// class, reproducing the design-choice evidence behind that sentence.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace graftmatch;
+  using namespace graftmatch::bench;
+  print_header("bench_ablation_alpha",
+               "Sec. III-B design choice (alpha ~= 5): runtime and edge "
+               "traversals vs alpha");
+
+  const int runs = run_count(3);
+  const std::vector<double> alphas = {1.5, 2.0, 3.0, 5.0, 8.0, 16.0, 64.0};
+  const std::vector<std::string> graphs = {"hugetrace-like", "copapers-like",
+                                           "wikipedia-like"};
+
+  for (const std::string& name : graphs) {
+    const Workload w = make_workload(name);
+    std::printf("--- %s\n", w.name.c_str());
+    std::printf("%8s %12s %14s %8s\n", "alpha", "time", "edges", "phases");
+    for (const double alpha : alphas) {
+      RunConfig config;
+      config.alpha = alpha;
+      const TimedResult timed = time_matching_runs(
+          w.graph, runs, [&](const BipartiteGraph& g, Matching& m) {
+            return ms_bfs_graft(g, m, config);
+          });
+      std::printf("%8.1f %12s %14lld %8lld\n", alpha,
+                  format_seconds(mean_std(timed.seconds).mean).c_str(),
+                  static_cast<long long>(timed.last.edges_traversed),
+                  static_cast<long long>(timed.last.phases));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation: choice of initializer (Sec. II-B: "we use the Karp-Sipser
+// algorithm to initialize all matching algorithms ... one of the best
+// initializer algorithms").
+//
+// Reports, for one instance per class and each initializer (none /
+// greedy / randomized greedy / Karp-Sipser / parallel Karp-Sipser):
+// initializer time and quality, and the time MS-BFS-Graft then needs to
+// finish the job. This is also the bench that documents the DESIGN.md
+// initializer substitution: on these synthetic families Karp-Sipser is
+// essentially optimal (leaving the maximum-matching phase no work),
+// which is why the figure benches default to randomized greedy.
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace graftmatch;
+  using namespace graftmatch::bench;
+  print_header("bench_ablation_init",
+               "Sec. II-B design choice (initializer quality and its "
+               "effect on the maximum matching phase)");
+
+  struct InitEntry {
+    const char* name;
+    std::function<Matching(const BipartiteGraph&)> make;
+  };
+  const std::vector<InitEntry> inits = {
+      {"none",
+       [](const BipartiteGraph& g) { return Matching(g.num_x(), g.num_y()); }},
+      {"greedy", [](const BipartiteGraph& g) { return greedy_maximal(g); }},
+      {"rgreedy",
+       [](const BipartiteGraph& g) { return randomized_greedy(g, 1); }},
+      {"ks-rule1",
+       [](const BipartiteGraph& g) { return karp_sipser_rule1(g); }},
+      {"karp-sipser", [](const BipartiteGraph& g) { return karp_sipser(g); }},
+      {"parallel-ks",
+       [](const BipartiteGraph& g) { return parallel_karp_sipser(g); }},
+  };
+
+  const std::vector<std::string> graphs = {"kkt_power-like", "rmat-like",
+                                           "wikipedia-like"};
+
+  for (const std::string& name : graphs) {
+    const Workload w = make_workload(name);
+    const std::int64_t maximum = maximum_matching_cardinality(w.graph);
+    std::printf("--- %s (|M*| = %lld)\n", w.name.c_str(),
+                static_cast<long long>(maximum));
+    std::printf("%-14s %12s %10s %12s %10s %12s\n", "initializer",
+                "init time", "quality", "graft time", "paths",
+                "total time");
+    for (const InitEntry& init : inits) {
+      const Timer init_timer;
+      Matching m = init.make(w.graph);
+      const double init_seconds = init_timer.elapsed();
+      const double quality = static_cast<double>(m.cardinality()) /
+                             static_cast<double>(maximum);
+      const RunStats stats = ms_bfs_graft(w.graph, m);
+      std::printf("%-14s %12s %10.4f %12s %10lld %12s\n", init.name,
+                  format_seconds(init_seconds).c_str(), quality,
+                  format_seconds(stats.seconds).c_str(),
+                  static_cast<long long>(stats.augmentations),
+                  format_seconds(init_seconds + stats.seconds).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

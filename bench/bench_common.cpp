@@ -1,0 +1,173 @@
+#include "bench_common.hpp"
+
+#include <sys/stat.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+namespace graftmatch::bench {
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return (end != value && parsed > 0.0) ? parsed : fallback;
+}
+
+}  // namespace
+
+// Default 0.25: the quarter-scale workloads EXPERIMENTS.md records,
+// sized so the full sweep finishes in minutes on a single core. Set
+// GRAFTMATCH_SIZE=1 (or higher) for UF-collection-scale runs.
+double size_factor() { return env_double("GRAFTMATCH_SIZE", 0.25); }
+
+int run_count(int fallback) {
+  return static_cast<int>(env_double("GRAFTMATCH_RUNS",
+                                     static_cast<double>(fallback)));
+}
+
+std::uint64_t seed() {
+  return static_cast<std::uint64_t>(env_double("GRAFTMATCH_SEED", 1.0));
+}
+
+std::string init_name() {
+  const char* value = std::getenv("GRAFTMATCH_INIT");
+  return value != nullptr ? value : "rgreedy";
+}
+
+Matching make_initial_matching(const BipartiteGraph& g) {
+  const std::string name = init_name();
+  if (name == "ks") return karp_sipser(g, seed());
+  if (name == "ksr1") return karp_sipser_rule1(g);
+  if (name == "greedy") return greedy_maximal(g);
+  if (name == "none") return Matching(g.num_x(), g.num_y());
+  return randomized_greedy(g, seed());
+}
+
+void print_header(const std::string& bench_name, const std::string& what) {
+  const SystemInfo info = query_system_info();
+  std::printf("==== %s ====\n", bench_name.c_str());
+  std::printf("reproduces: %s\n", what.c_str());
+  std::printf("substrate : %s, %d logical CPUs, OpenMP max threads %d\n",
+              info.cpu_model.c_str(), info.logical_cpus,
+              info.openmp_max_threads);
+  std::printf("workload  : size factor %.3g, seed %llu, initializer %s\n\n",
+              size_factor(), static_cast<unsigned long long>(seed()),
+              init_name().c_str());
+}
+
+std::vector<Workload> make_suite_workloads(bool with_matching_number) {
+  std::vector<Workload> workloads;
+  const double factor = size_factor();
+  const std::uint64_t s = seed();
+  for (const SuiteInstance& instance : benchmark_suite()) {
+    Workload w;
+    w.name = instance.name;
+    w.paper_name = instance.paper_name;
+    w.graph_class = instance.graph_class;
+    w.graph = instance.factory(factor, s);
+    if (with_matching_number) {
+      const auto maximum = maximum_matching_cardinality(w.graph);
+      const auto n =
+          static_cast<double>(w.graph.num_x() + w.graph.num_y());
+      w.matching_fraction = n > 0 ? 2.0 * static_cast<double>(maximum) / n : 0;
+    }
+    workloads.push_back(std::move(w));
+  }
+  return workloads;
+}
+
+Workload make_workload(const std::string& name) {
+  const SuiteInstance& instance = suite_instance(name);
+  Workload w;
+  w.name = instance.name;
+  w.paper_name = instance.paper_name;
+  w.graph_class = instance.graph_class;
+  w.graph = instance.factory(size_factor(), seed());
+  return w;
+}
+
+struct CsvWriter::Impl {
+  std::string path;
+  std::ofstream out;
+  std::size_t columns = 0;
+};
+
+CsvWriter::CsvWriter(const std::string& bench_name,
+                     const std::vector<std::string>& columns)
+    : impl_(new Impl) {
+  const char* dir_env = std::getenv("GRAFTMATCH_RESULTS_DIR");
+  const std::string dir = dir_env != nullptr ? dir_env : "bench_results";
+  ::mkdir(dir.c_str(), 0755);  // EEXIST is fine
+  impl_->path = dir + "/" + bench_name + ".csv";
+  impl_->out.open(impl_->path);
+  impl_->columns = columns.size();
+  if (impl_->out) {
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      impl_->out << (i ? "," : "") << columns[i];
+    }
+    impl_->out << '\n';
+  }
+}
+
+CsvWriter::~CsvWriter() { delete impl_; }
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (!impl_->out) return;  // unwritable results dir: stdout still works
+  if (fields.size() != impl_->columns) {
+    throw std::logic_error("CsvWriter: column count mismatch in " +
+                           impl_->path);
+  }
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    impl_->out << (i ? "," : "") << fields[i];
+  }
+  impl_->out << '\n';
+}
+
+std::string CsvWriter::cell(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  return buffer;
+}
+
+std::string CsvWriter::cell(std::int64_t value) {
+  return std::to_string(value);
+}
+
+const std::string& CsvWriter::path() const { return impl_->path; }
+
+MeanStd mean_std(const std::vector<double>& samples) {
+  MeanStd result;
+  if (samples.empty()) return result;
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  result.mean = sum / static_cast<double>(samples.size());
+  double sq = 0.0;
+  for (const double s : samples) {
+    sq += (s - result.mean) * (s - result.mean);
+  }
+  result.stddev = std::sqrt(sq / static_cast<double>(samples.size()));
+  return result;
+}
+
+TimedResult time_matching_runs(
+    const BipartiteGraph& g, int runs,
+    const std::function<RunStats(const BipartiteGraph&, Matching&)>& run) {
+  TimedResult result;
+  // Identical start for every run, so timing differences come from the
+  // algorithm, not the initializer.
+  const Matching initial = make_initial_matching(g);
+  for (int r = 0; r < runs; ++r) {
+    Matching matching = initial;
+    result.last = run(g, matching);
+    result.seconds.push_back(result.last.seconds);
+  }
+  return result;
+}
+
+}  // namespace graftmatch::bench

@@ -1,0 +1,114 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Environment knobs (all optional):
+//   GRAFTMATCH_SIZE    -- workload size factor (default 0.25, the scale
+//                         EXPERIMENTS.md records; 1.0 approximates the
+//                         paper's UF-collection sizes)
+//   GRAFTMATCH_RUNS    -- repetitions per timing (default: per-bench)
+//   GRAFTMATCH_SEED    -- generator seed (default 1)
+//   GRAFTMATCH_RESULTS_DIR -- directory for the CSV artifacts every
+//                         figure bench writes next to its stdout
+//                         (default "bench_results/")
+//   GRAFTMATCH_INIT    -- initializer: rgreedy (default) | greedy | ks |
+//                         ksr1 | none. The paper initializes with Karp-Sipser,
+//                         but full-cascade KS is already optimal on the
+//                         synthetic stand-in graphs (see DESIGN.md); the
+//                         randomized-greedy default preserves the
+//                         post-initialization workload the paper's
+//                         figures measure. bench_ablation_init
+//                         quantifies the difference explicitly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graftmatch/graftmatch.hpp"
+
+namespace graftmatch::bench {
+
+/// Workload size factor from GRAFTMATCH_SIZE (default 1.0).
+double size_factor();
+
+/// Repetition count from GRAFTMATCH_RUNS (default `fallback`).
+int run_count(int fallback);
+
+/// Seed from GRAFTMATCH_SEED (default 1).
+std::uint64_t seed();
+
+/// Name of the selected initializer (GRAFTMATCH_INIT).
+std::string init_name();
+
+/// Build the selected initial matching for a graph.
+Matching make_initial_matching(const BipartiteGraph& g);
+
+/// Print the standard bench header (binary name, substrate info,
+/// workload scale) so every output file is self-describing.
+void print_header(const std::string& bench_name, const std::string& what);
+
+/// A generated suite instance, cached with its stats.
+struct Workload {
+  std::string name;
+  std::string paper_name;
+  GraphClass graph_class;
+  BipartiteGraph graph;
+  double matching_fraction = 0.0;  ///< 2|M*|/n, the paper's Table II column
+};
+
+/// Generate every suite instance at the current size factor.
+/// When `with_matching_number` is set, computes the maximum matching
+/// fraction for each graph (Table II's last column).
+std::vector<Workload> make_suite_workloads(bool with_matching_number);
+
+/// Generate a single named instance.
+Workload make_workload(const std::string& name);
+
+/// Mean and standard deviation of a sample.
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+MeanStd mean_std(const std::vector<double>& samples);
+
+/// Plot-ready artifact writer: one CSV per bench under
+/// $GRAFTMATCH_RESULTS_DIR (default "bench_results/", created on
+/// demand). Columns are written with a header row; every figure bench
+/// emits its series here in addition to the human-readable stdout.
+class CsvWriter {
+ public:
+  /// Opens <results_dir>/<name>.csv and writes the header row.
+  CsvWriter(const std::string& bench_name,
+            const std::vector<std::string>& columns);
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Append one row; fields are written verbatim (quote your own
+  /// commas). Must match the header's column count.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience for numeric cells.
+  static std::string cell(double value);
+  static std::string cell(std::int64_t value);
+
+  /// Path of the file being written (for the stdout footer).
+  const std::string& path() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Time `run` (which must return RunStats) `runs` times on fresh
+/// Karp-Sipser-initialized matchings; returns per-run total seconds and
+/// the stats of the last run.
+struct TimedResult {
+  std::vector<double> seconds;
+  RunStats last;
+};
+TimedResult time_matching_runs(
+    const BipartiteGraph& g, int runs,
+    const std::function<RunStats(const BipartiteGraph&, Matching&)>& run);
+
+}  // namespace graftmatch::bench

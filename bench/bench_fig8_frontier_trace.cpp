@@ -1,0 +1,119 @@
+// Fig. 8 reproduction: BFS frontier size per level, with and without
+// tree grafting, on the coPapersDBLP stand-in.
+//
+// The paper plots two mid-run phases and shows that grafting makes each
+// phase START from a large frontier that monotonically shrinks, whereas
+// without grafting each phase starts small (the unmatched vertices),
+// grows, then shrinks -- taller forests, more synchronization points,
+// more traversal work (larger area under the curve). Grafting engages
+// once few augmenting paths are found per phase (early phases rebuild,
+// as Sec. III-B predicts), so the detailed curves below show two
+// late-run phases.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace graftmatch;
+using namespace graftmatch::bench;
+
+using PhaseMap = std::map<std::int64_t, std::vector<FrontierSample>>;
+
+PhaseMap group_phases(const RunStats& stats) {
+  PhaseMap phases;
+  for (const FrontierSample& sample : stats.frontier_trace) {
+    phases[sample.phase].push_back(sample);
+  }
+  return phases;
+}
+
+void print_summary(const RunStats& stats, const PhaseMap& phases) {
+  std::printf("  %-7s %7s %10s %10s %10s\n", "phase", "levels", "start|F|",
+              "peak|F|", "volume");
+  for (const auto& [phase, samples] : phases) {
+    std::int64_t peak = 0;
+    std::int64_t volume = 0;
+    for (const FrontierSample& s : samples) {
+      peak = std::max(peak, s.frontier_size);
+      volume += s.frontier_size;
+    }
+    std::printf("  %-7lld %7zu %10lld %10lld %10lld\n",
+                static_cast<long long>(phase), samples.size(),
+                static_cast<long long>(samples.front().frontier_size),
+                static_cast<long long>(peak),
+                static_cast<long long>(volume));
+  }
+  std::int64_t total_volume = 0;
+  for (const FrontierSample& s : stats.frontier_trace) {
+    total_volume += s.frontier_size;
+  }
+  std::printf("  total: %lld phases, frontier volume %lld, edges traversed "
+              "%lld\n",
+              static_cast<long long>(stats.phases),
+              static_cast<long long>(total_volume),
+              static_cast<long long>(stats.edges_traversed));
+}
+
+void print_curves(const PhaseMap& phases) {
+  // Two representative mid/late phases (where grafting has engaged).
+  if (phases.empty()) return;
+  const std::int64_t last = phases.rbegin()->first;
+  const std::int64_t from = std::max<std::int64_t>(1, (2 * last) / 3);
+  std::int64_t shown = 0;
+  for (const auto& [phase, samples] : phases) {
+    if (phase < from || shown >= 2) continue;
+    ++shown;
+    std::printf("  phase %lld curve: ", static_cast<long long>(phase));
+    for (const FrontierSample& s : samples) {
+      std::printf("%lld%c ", static_cast<long long>(s.frontier_size),
+                  s.bottom_up ? 'b' : 't');
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  print_header("bench_fig8_frontier_trace",
+               "Fig. 8 (frontier size per BFS level, with and without "
+               "grafting, coPapersDBLP stand-in)");
+
+  const Workload w = make_workload("copapers-like");
+  const Matching initial = make_initial_matching(w.graph);
+
+  {
+    RunConfig config;
+    config.tree_grafting = true;
+    config.collect_frontier_trace = true;
+    Matching m = initial;
+    const RunStats stats = ms_bfs_graft(w.graph, m, config);
+    const PhaseMap phases = group_phases(stats);
+    std::printf("WITH tree grafting:\n");
+    print_summary(stats, phases);
+    print_curves(phases);
+  }
+  std::printf("\n");
+  {
+    RunConfig config;
+    config.tree_grafting = false;
+    config.collect_frontier_trace = true;
+    Matching m = initial;
+    const RunStats stats = ms_bfs_graft(w.graph, m, config);
+    const PhaseMap phases = group_phases(stats);
+    std::printf("WITHOUT tree grafting (plain MS-BFS + DirOpt):\n");
+    print_summary(stats, phases);
+    print_curves(phases);
+  }
+
+  std::printf("\nexpected shape: in late phases, grafting starts from a "
+              "large grafted frontier\n(start|F| >> unmatched count) that "
+              "shrinks monotonically; without it each phase\nre-grows "
+              "from the unmatched vertices (small start, taller "
+              "forests).\n");
+  return 0;
+}

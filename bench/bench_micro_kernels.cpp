@@ -1,0 +1,184 @@
+// Micro-kernel benchmarks (google-benchmark): the runtime-substrate
+// primitives the matching kernels are built from, plus small end-to-end
+// algorithm runs for quick regression tracking.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "graftmatch/graftmatch.hpp"
+#include "graftmatch/runtime/alias_table.hpp"
+#include "graftmatch/runtime/atomics.hpp"
+#include "graftmatch/runtime/frontier_queue.hpp"
+
+namespace {
+
+using namespace graftmatch;
+
+void BM_FrontierQueueSerialPush(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  FrontierQueue<vid_t> queue(count);
+  for (auto _ : state) {
+    queue.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+      queue.push(static_cast<vid_t>(i));
+    }
+    benchmark::DoNotOptimize(queue.items().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_FrontierQueueSerialPush)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_FrontierQueueHandlePush(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  FrontierQueue<vid_t> queue(count);
+  for (auto _ : state) {
+    queue.clear();
+    {
+      auto handle = queue.handle();
+      for (std::size_t i = 0; i < count; ++i) {
+        handle.push(static_cast<vid_t>(i));
+      }
+    }
+    benchmark::DoNotOptimize(queue.items().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_FrontierQueueHandlePush)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_ClaimFlag(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> flags(count, 0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::fill(flags.begin(), flags.end(), 0);
+    state.ResumeTiming();
+    for (std::size_t i = 0; i < count; ++i) {
+      benchmark::DoNotOptimize(claim_flag(flags[i]));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_ClaimFlag)->Arg(1 << 16);
+
+void BM_AliasTableSample(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::vector<double> weights(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    weights[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  const AliasTable table{std::span<const double>(weights)};
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AliasTableSample)->Arg(1 << 16);
+
+void BM_Xoshiro(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_CsrConstruction(benchmark::State& state) {
+  ErdosRenyiParams params;
+  params.nx = params.ny = state.range(0);
+  params.edges = 8 * state.range(0);
+  const BipartiteGraph prototype = generate_erdos_renyi(params);
+  const EdgeList edges = prototype.to_edges();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BipartiteGraph::from_edges(edges));
+  }
+  state.SetItemsProcessed(state.iterations() * edges.size());
+}
+BENCHMARK(BM_CsrConstruction)->Arg(1 << 14);
+
+void BM_KarpSipser(benchmark::State& state) {
+  ChungLuParams params;
+  params.nx = params.ny = state.range(0);
+  params.avg_degree = 8.0;
+  const BipartiteGraph g = generate_chung_lu(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(karp_sipser(g).cardinality());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_KarpSipser)->Arg(1 << 14);
+
+void BM_RandomizedGreedy(benchmark::State& state) {
+  ChungLuParams params;
+  params.nx = params.ny = state.range(0);
+  params.avg_degree = 8.0;
+  const BipartiteGraph g = generate_chung_lu(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(randomized_greedy(g, 1).cardinality());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_RandomizedGreedy)->Arg(1 << 14);
+
+// End-to-end algorithm micro-runs on a fixed mid-size web-like graph.
+const BipartiteGraph& micro_graph() {
+  static const BipartiteGraph g = [] {
+    WebCrawlParams params;
+    params.nx = params.ny = 1 << 15;
+    params.seed = 3;
+    return generate_webcrawl(params);
+  }();
+  return g;
+}
+
+void BM_MsBfsGraft(benchmark::State& state) {
+  const BipartiteGraph& g = micro_graph();
+  const Matching initial = randomized_greedy(g, 1);
+  for (auto _ : state) {
+    Matching m = initial;
+    const RunStats stats = ms_bfs_graft(g, m);
+    benchmark::DoNotOptimize(stats.final_cardinality);
+  }
+}
+BENCHMARK(BM_MsBfsGraft)->Unit(benchmark::kMillisecond);
+
+void BM_PothenFan(benchmark::State& state) {
+  const BipartiteGraph& g = micro_graph();
+  const Matching initial = randomized_greedy(g, 1);
+  for (auto _ : state) {
+    Matching m = initial;
+    const RunStats stats = pothen_fan(g, m);
+    benchmark::DoNotOptimize(stats.final_cardinality);
+  }
+}
+BENCHMARK(BM_PothenFan)->Unit(benchmark::kMillisecond);
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  const BipartiteGraph& g = micro_graph();
+  const Matching initial = randomized_greedy(g, 1);
+  for (auto _ : state) {
+    Matching m = initial;
+    const RunStats stats = hopcroft_karp(g, m);
+    benchmark::DoNotOptimize(stats.final_cardinality);
+  }
+}
+BENCHMARK(BM_HopcroftKarp)->Unit(benchmark::kMillisecond);
+
+void BM_KoenigCertificate(benchmark::State& state) {
+  const BipartiteGraph& g = micro_graph();
+  Matching m = randomized_greedy(g, 1);
+  ms_bfs_graft(g, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(is_maximum_matching(g, m));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_KoenigCertificate)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

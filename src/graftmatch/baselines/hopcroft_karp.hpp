@@ -1,0 +1,23 @@
+// Hopcroft-Karp: phase = one BFS computing the level graph up to the
+// shortest augmenting-path length, then DFS extraction of a maximal set
+// of vertex-disjoint shortest augmenting paths. O(m * sqrt(n)) total.
+//
+// Serial, as in the paper's Fig. 1 comparison (implementation lineage:
+// Duff, Kaya, Ucar's MC64-style codes). Also used throughout the test
+// suite as the optimality oracle for every other algorithm.
+#pragma once
+
+#include "graftmatch/core/run_stats.hpp"
+#include "graftmatch/graph/bipartite_graph.hpp"
+#include "graftmatch/graph/matching.hpp"
+
+namespace graftmatch {
+
+RunStats hopcroft_karp(const BipartiteGraph& g, Matching& matching,
+                       const RunConfig& config = {});
+
+/// Convenience oracle: maximum matching cardinality of g, computed with
+/// Karp-Sipser initialization + Hopcroft-Karp.
+std::int64_t maximum_matching_cardinality(const BipartiteGraph& g);
+
+}  // namespace graftmatch

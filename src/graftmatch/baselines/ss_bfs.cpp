@@ -1,0 +1,88 @@
+#include "graftmatch/baselines/ss_bfs.hpp"
+
+#include <vector>
+
+#include "graftmatch/runtime/timer.hpp"
+
+namespace graftmatch {
+
+RunStats ss_bfs(const BipartiteGraph& g, Matching& matching,
+                const RunConfig& config) {
+  const Timer timer;
+  RunStats stats;
+  stats.algorithm = "SS-BFS";
+  stats.initial_cardinality = matching.cardinality();
+
+  const vid_t nx = g.num_x();
+  const vid_t ny = g.num_y();
+
+  std::vector<std::uint8_t> visited(static_cast<std::size_t>(ny), 0);
+  std::vector<vid_t> parent(static_cast<std::size_t>(ny), kInvalidVertex);
+  std::vector<vid_t> frontier;
+  std::vector<vid_t> next;
+  std::vector<vid_t> trail;  // Y vertices visited by the current search
+  frontier.reserve(256);
+  next.reserve(256);
+  trail.reserve(256);
+
+  for (vid_t x0 = 0; x0 < nx; ++x0) {
+    if (matching.is_matched_x(x0)) continue;
+
+    ++stats.phases;
+    trail.clear();
+    frontier.assign(1, x0);
+    vid_t found_leaf = kInvalidVertex;
+
+    while (!frontier.empty() && found_leaf == kInvalidVertex) {
+      next.clear();
+      for (const vid_t x : frontier) {
+        for (const vid_t y : g.neighbors_of_x(x)) {
+          ++stats.edges_traversed;
+          if (visited[static_cast<std::size_t>(y)]) continue;
+          visited[static_cast<std::size_t>(y)] = 1;
+          parent[static_cast<std::size_t>(y)] = x;
+          trail.push_back(y);
+          const vid_t mate = matching.mate_of_y(y);
+          if (mate == kInvalidVertex) {
+            found_leaf = y;  // shortest augmenting path from x0
+            break;
+          }
+          next.push_back(mate);
+        }
+        if (found_leaf != kInvalidVertex) break;
+      }
+      frontier.swap(next);
+    }
+
+    if (found_leaf != kInvalidVertex) {
+      // Flip the path by walking parent/mate pointers back to x0.
+      std::int64_t path_edges = 0;
+      vid_t y = found_leaf;
+      while (y != kInvalidVertex) {
+        const vid_t x = parent[static_cast<std::size_t>(y)];
+        const vid_t next_y = matching.mate_of_x(x);
+        matching.match(x, y);
+        ++path_edges;              // the newly matched edge (x, y)
+        if (next_y != kInvalidVertex) ++path_edges;  // the flipped one
+        y = next_y;
+      }
+      ++stats.augmentations;
+      stats.total_path_edges += path_edges;
+      if (config.collect_path_histogram) {
+        ++stats.path_length_histogram[path_edges];
+      }
+      // Successful searches release their visited vertices; failed
+      // trees stay hidden (their flags are never cleared).
+      for (const vid_t v : trail) {
+        visited[static_cast<std::size_t>(v)] = 0;
+      }
+    }
+  }
+
+  stats.final_cardinality = matching.cardinality();
+  stats.seconds = timer.elapsed();
+  stats.step_seconds.top_down = stats.seconds;
+  return stats;
+}
+
+}  // namespace graftmatch

@@ -1,0 +1,21 @@
+// Single-source BFS matching (Algorithm 1 with a BFS search).
+//
+// Serial by nature: augments one path at a time. Implements the key SS
+// optimization the paper discusses in Sec. II-C: when a search tree
+// T(x0) yields no augmenting path, its visited flags are NOT cleared, so
+// the dead tree is never traversed again (those vertices can never lie
+// on a future augmenting path).
+#pragma once
+
+#include "graftmatch/core/run_stats.hpp"
+#include "graftmatch/graph/bipartite_graph.hpp"
+#include "graftmatch/graph/matching.hpp"
+
+namespace graftmatch {
+
+/// Grow `matching` to maximum cardinality. Returns run statistics
+/// (phases == number of augmenting-path searches).
+RunStats ss_bfs(const BipartiteGraph& g, Matching& matching,
+                const RunConfig& config = {});
+
+}  // namespace graftmatch

@@ -1,0 +1,87 @@
+#include "graftmatch/baselines/ss_dfs.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "graftmatch/runtime/timer.hpp"
+
+namespace graftmatch {
+
+RunStats ss_dfs(const BipartiteGraph& g, Matching& matching,
+                const RunConfig& config) {
+  const Timer timer;
+  RunStats stats;
+  stats.algorithm = "SS-DFS";
+  stats.initial_cardinality = matching.cardinality();
+
+  const vid_t nx = g.num_x();
+  const vid_t ny = g.num_y();
+
+  std::vector<std::uint8_t> visited(static_cast<std::size_t>(ny), 0);
+  std::vector<vid_t> parent(static_cast<std::size_t>(ny), kInvalidVertex);
+  std::vector<vid_t> trail;
+  // DFS stack of (x vertex, offset of the next neighbor to scan).
+  std::vector<std::pair<vid_t, eid_t>> stack;
+  trail.reserve(256);
+  stack.reserve(256);
+
+  const auto x_offsets = g.x_offsets();
+  const auto x_neighbors = g.x_neighbors();
+
+  for (vid_t x0 = 0; x0 < nx; ++x0) {
+    if (matching.is_matched_x(x0)) continue;
+
+    ++stats.phases;
+    trail.clear();
+    stack.assign(1, {x0, x_offsets[static_cast<std::size_t>(x0)]});
+    vid_t found_leaf = kInvalidVertex;
+
+    while (!stack.empty() && found_leaf == kInvalidVertex) {
+      auto& [x, position] = stack.back();
+      if (position == x_offsets[static_cast<std::size_t>(x) + 1]) {
+        stack.pop_back();
+        continue;
+      }
+      const vid_t y = x_neighbors[static_cast<std::size_t>(position++)];
+      ++stats.edges_traversed;
+      if (visited[static_cast<std::size_t>(y)]) continue;
+      visited[static_cast<std::size_t>(y)] = 1;
+      parent[static_cast<std::size_t>(y)] = x;
+      trail.push_back(y);
+      const vid_t mate = matching.mate_of_y(y);
+      if (mate == kInvalidVertex) {
+        found_leaf = y;
+      } else {
+        stack.push_back({mate, x_offsets[static_cast<std::size_t>(mate)]});
+      }
+    }
+
+    if (found_leaf != kInvalidVertex) {
+      std::int64_t path_edges = 0;
+      vid_t y = found_leaf;
+      while (y != kInvalidVertex) {
+        const vid_t x = parent[static_cast<std::size_t>(y)];
+        const vid_t next_y = matching.mate_of_x(x);
+        matching.match(x, y);
+        ++path_edges;
+        if (next_y != kInvalidVertex) ++path_edges;
+        y = next_y;
+      }
+      ++stats.augmentations;
+      stats.total_path_edges += path_edges;
+      if (config.collect_path_histogram) {
+        ++stats.path_length_histogram[path_edges];
+      }
+      for (const vid_t v : trail) {
+        visited[static_cast<std::size_t>(v)] = 0;
+      }
+    }
+  }
+
+  stats.final_cardinality = matching.cardinality();
+  stats.seconds = timer.elapsed();
+  stats.step_seconds.top_down = stats.seconds;
+  return stats;
+}
+
+}  // namespace graftmatch

@@ -1,0 +1,17 @@
+// Single-source DFS matching (Algorithm 1 with a DFS search).
+//
+// Same failed-tree retention as SS-BFS; differs only in search order,
+// which the paper's Fig. 1 uses to show that DFS-based searches find
+// much longer augmenting paths.
+#pragma once
+
+#include "graftmatch/core/run_stats.hpp"
+#include "graftmatch/graph/bipartite_graph.hpp"
+#include "graftmatch/graph/matching.hpp"
+
+namespace graftmatch {
+
+RunStats ss_dfs(const BipartiteGraph& g, Matching& matching,
+                const RunConfig& config = {});
+
+}  // namespace graftmatch

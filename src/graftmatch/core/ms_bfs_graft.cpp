@@ -1,0 +1,560 @@
+#include "graftmatch/core/ms_bfs_graft.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graftmatch/runtime/atomics.hpp"
+#include "graftmatch/runtime/frontier_queue.hpp"
+#include "graftmatch/runtime/parallel.hpp"
+#include "graftmatch/runtime/timer.hpp"
+
+namespace graftmatch {
+namespace {
+
+/// All per-run state of Algorithm 3, bundled so the step functions
+/// (top-down, bottom-up, augment, graft) can share it without long
+/// parameter lists.
+struct GraftState {
+  const BipartiteGraph& g;
+  std::vector<vid_t>& mate_x;
+  std::vector<vid_t>& mate_y;
+
+  std::vector<std::uint8_t> visited;  ///< per Y vertex, one tree each
+  std::vector<vid_t> parent;          ///< tree parent of each Y vertex
+  std::vector<vid_t> root_x;          ///< tree root of each X vertex
+  std::vector<vid_t> root_y;          ///< tree root of each Y vertex
+  std::vector<vid_t> leaf;            ///< per root: augmenting-path end
+  /// Logical timestamp at which each X vertex joined its tree. Bottom-up
+  /// passes attach only to vertices stamped BEFORE the current pass so
+  /// the search stays level-synchronous (a sequential bottom-up scan
+  /// would otherwise cascade within one pass and grow DFS-shaped trees
+  /// with long augmenting paths).
+  std::vector<std::int64_t> x_join_time;
+  std::int64_t now = 0;               ///< current pass timestamp
+
+  FrontierQueue<vid_t> frontier;      ///< current frontier (X vertices)
+  FrontierQueue<vid_t> next;          ///< next frontier being built
+
+  std::int64_t unvisited_y = 0;       ///< for the direction heuristic
+
+  explicit GraftState(const BipartiteGraph& graph, Matching& matching)
+      : g(graph),
+        mate_x(matching.mate_x()),
+        mate_y(matching.mate_y()),
+        visited(static_cast<std::size_t>(graph.num_y()), 0),
+        parent(static_cast<std::size_t>(graph.num_y()), kInvalidVertex),
+        root_x(static_cast<std::size_t>(graph.num_x()), kInvalidVertex),
+        root_y(static_cast<std::size_t>(graph.num_y()), kInvalidVertex),
+        leaf(static_cast<std::size_t>(graph.num_x()), kInvalidVertex),
+        x_join_time(static_cast<std::size_t>(graph.num_x()), -1),
+        frontier(static_cast<std::size_t>(graph.num_x()) + 1),
+        next(static_cast<std::size_t>(graph.num_x()) + 1),
+        unvisited_y(graph.num_y()) {}
+
+  /// x belongs to a tree in which no augmenting path has been found.
+  bool in_active_tree(vid_t x) const noexcept {
+    const vid_t r = relaxed_load(root_x[static_cast<std::size_t>(x)]);
+    return r != kInvalidVertex &&
+           relaxed_load(leaf[static_cast<std::size_t>(r)]) == kInvalidVertex;
+  }
+};
+
+/// Algorithm 5: attach the (already claimed) Y vertex y as a child of x,
+/// and either extend the frontier through y's mate or record an
+/// augmenting path. Returns the number of newly visited vertices (1).
+inline void update_pointers(GraftState& state, vid_t x, vid_t y,
+                            FrontierQueue<vid_t>::Handle& out) {
+  state.parent[static_cast<std::size_t>(y)] = x;
+  const vid_t root = relaxed_load(state.root_x[static_cast<std::size_t>(x)]);
+  relaxed_store(state.root_y[static_cast<std::size_t>(y)], root);
+  const vid_t mate = relaxed_load(state.mate_y[static_cast<std::size_t>(y)]);
+  if (mate != kInvalidVertex) {
+    relaxed_store(state.root_x[static_cast<std::size_t>(mate)], root);
+    relaxed_store(state.x_join_time[static_cast<std::size_t>(mate)],
+                  state.now);
+    out.push(mate);
+  } else {
+    // Augmenting path discovered: root .. y. Benign race (paper
+    // Sec. III-B): concurrent discoveries in one tree overwrite each
+    // other; the last write wins and exactly one path survives.
+    relaxed_store(state.leaf[static_cast<std::size_t>(root)], y);
+  }
+}
+
+/// Algorithm 4: top-down level. Scans the adjacency of every frontier
+/// X vertex; claims unvisited Y vertices atomically.
+void top_down(GraftState& state, std::int64_t& edges,
+              std::int64_t& newly_visited) {
+  const auto items = state.frontier.items();
+  const auto count = static_cast<std::int64_t>(items.size());
+  std::int64_t edge_total = 0;
+  std::int64_t visit_total = 0;
+
+#pragma omp parallel reduction(+ : edge_total, visit_total)
+  {
+    auto out = state.next.handle();
+#pragma omp for schedule(dynamic, 64)
+    for (std::int64_t i = 0; i < count; ++i) {
+      const vid_t x = items[static_cast<std::size_t>(i)];
+      // The tree may have turned renewable after x was enqueued; such
+      // frontier vertices must not keep growing it (Algorithm 4).
+      if (!state.in_active_tree(x)) continue;
+      for (const vid_t y : state.g.neighbors_of_x(x)) {
+        ++edge_total;
+        if (!claim_flag(state.visited[static_cast<std::size_t>(y)])) continue;
+        ++visit_total;
+        update_pointers(state, x, y, out);
+      }
+    }
+  }
+  edges += edge_total;
+  newly_visited += visit_total;
+}
+
+/// Algorithm 6: bottom-up step over the Y vertices in `candidates`
+/// (either the unvisited Y vertices during BFS, or renewableY during
+/// grafting). Each candidate claims itself into the first active tree
+/// found among its neighbors. No atomics needed on visited: each y is
+/// owned by exactly one thread. Candidates that did not attach are
+/// collected into `failed` so the next bottom-up level of the same phase
+/// skips already-attached vertices (callers that do not need the list
+/// pass a scratch queue and ignore it).
+void bottom_up(GraftState& state, std::span<const vid_t> candidates,
+               std::int64_t& edges, std::int64_t& newly_visited,
+               FrontierQueue<vid_t>& failed) {
+  const auto count = static_cast<std::int64_t>(candidates.size());
+  std::int64_t edge_total = 0;
+  std::int64_t visit_total = 0;
+
+#pragma omp parallel reduction(+ : edge_total, visit_total)
+  {
+    auto out = state.next.handle();
+    auto failed_out = failed.handle();
+#pragma omp for schedule(dynamic, 64)
+    for (std::int64_t i = 0; i < count; ++i) {
+      const vid_t y = candidates[static_cast<std::size_t>(i)];
+      if (state.visited[static_cast<std::size_t>(y)]) continue;
+      bool attached = false;
+      for (const vid_t x : state.g.neighbors_of_y(y)) {
+        ++edge_total;
+        // Only vertices that joined a tree before this pass are valid
+        // parents (level-synchronous semantics; see x_join_time).
+        if (relaxed_load(state.x_join_time[static_cast<std::size_t>(x)]) >=
+            state.now) {
+          continue;
+        }
+        if (!state.in_active_tree(x)) continue;
+        relaxed_store(state.visited[static_cast<std::size_t>(y)],
+                      std::uint8_t{1});
+        ++visit_total;
+        update_pointers(state, x, y, out);
+        attached = true;
+        break;  // stop exploring y's neighbors once attached
+      }
+      if (!attached) failed_out.push(y);
+    }
+  }
+  edges += edge_total;
+  newly_visited += visit_total;
+}
+
+// O(n + m) audit of the alternating-forest invariants (RunConfig::
+// check_invariants). Called at the end of Step 1, when the BFS forest is
+// complete and augmentation has not yet modified the matching.
+void assert_forest_invariants(const GraftState& state) {
+  const auto fail = [](const std::string& what) {
+    throw std::logic_error("ms_bfs_graft invariant violated: " + what);
+  };
+  const BipartiteGraph& g = state.g;
+  const vid_t nx = g.num_x();
+  const vid_t ny = g.num_y();
+
+  for (vid_t y = 0; y < ny; ++y) {
+    const auto yi = static_cast<std::size_t>(y);
+    if (!state.visited[yi]) {
+      if (state.root_y[yi] != kInvalidVertex) {
+        fail("unvisited Y vertex carries a root pointer");
+      }
+      continue;
+    }
+    const vid_t x = state.parent[yi];
+    if (x == kInvalidVertex) fail("visited Y vertex without parent");
+    if (!g.has_edge(x, y)) fail("parent pointer is not an edge");
+    const vid_t root = state.root_y[yi];
+    if (root == kInvalidVertex) fail("visited Y vertex without root");
+    if (state.root_x[static_cast<std::size_t>(root)] != root) {
+      fail("root of a visited Y vertex is not self-rooted");
+    }
+    if (state.mate_x[static_cast<std::size_t>(root)] != kInvalidVertex &&
+        state.leaf[static_cast<std::size_t>(root)] == kInvalidVertex) {
+      fail("active tree rooted at a matched vertex");
+    }
+    if (state.root_x[static_cast<std::size_t>(x)] != root) {
+      fail("parent and child disagree on the tree root");
+    }
+    // Alternation: a non-root parent entered the tree through its mate.
+    if (x != root) {
+      const vid_t x_mate = state.mate_x[static_cast<std::size_t>(x)];
+      if (x_mate == kInvalidVertex) {
+        fail("non-root unmatched X vertex inside a tree");
+      }
+      if (!state.visited[static_cast<std::size_t>(x_mate)]) {
+        fail("tree X vertex whose mate is not in the forest");
+      }
+      if (state.root_y[static_cast<std::size_t>(x_mate)] != root) {
+        fail("X vertex and its mate lie in different trees");
+      }
+    }
+    // The matched partner of y (if any) joined the same tree.
+    const vid_t mate = state.mate_y[yi];
+    if (mate != kInvalidVertex &&
+        state.root_x[static_cast<std::size_t>(mate)] != root) {
+      fail("matched pair split across trees");
+    }
+  }
+
+  // Leaf pointers of unmatched roots mark genuine augmenting paths.
+  for (vid_t x = 0; x < nx; ++x) {
+    const auto xi = static_cast<std::size_t>(x);
+    if (state.mate_x[xi] != kInvalidVertex || state.root_x[xi] != x) {
+      continue;  // not an unmatched root this phase
+    }
+    const vid_t leaf = state.leaf[xi];
+    if (leaf == kInvalidVertex) continue;
+    const auto li = static_cast<std::size_t>(leaf);
+    if (!state.visited[li]) fail("leaf pointer to an unvisited Y vertex");
+    if (state.mate_y[li] != kInvalidVertex) fail("leaf Y vertex is matched");
+    if (state.root_y[li] != x) fail("leaf belongs to a different tree");
+    // Walk the augmenting path back to the root; it must alternate and
+    // terminate without cycles.
+    vid_t y = leaf;
+    std::int64_t steps = 0;
+    while (true) {
+      const vid_t px = state.parent[static_cast<std::size_t>(y)];
+      if (px == kInvalidVertex) fail("augmenting path breaks at parent");
+      if (px == x) break;
+      y = state.mate_x[static_cast<std::size_t>(px)];
+      if (y == kInvalidVertex) fail("augmenting path hits unmatched X");
+      if (++steps > state.g.num_y()) fail("augmenting path cycles");
+    }
+  }
+}
+
+}  // namespace
+
+RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
+                      const RunConfig& config) {
+  if (!(config.alpha > 0.0)) {
+    throw std::invalid_argument("ms_bfs_graft: alpha must be positive");
+  }
+  const ThreadCountGuard thread_guard(config.threads);
+  if (config.pin != PinPolicy::kNone) pin_openmp_threads(config.pin);
+
+  const Timer timer;
+  RunStats stats;
+  stats.algorithm = config.tree_grafting
+                        ? (config.direction_optimizing ? "MS-BFS-Graft"
+                                                       : "MS-BFS+Graft")
+                        : (config.direction_optimizing ? "MS-BFS+DirOpt"
+                                                       : "MS-BFS");
+  stats.initial_cardinality = matching.cardinality();
+
+  const vid_t nx = g.num_x();
+  const vid_t ny = g.num_y();
+  GraftState state(g, matching);
+
+  Stopwatch sw_top_down;
+  Stopwatch sw_bottom_up;
+  Stopwatch sw_augment;
+  Stopwatch sw_graft;
+  Stopwatch sw_statistics;
+
+  // Reusable scratch: unvisited-Y candidate lists for bottom-up levels
+  // (double-buffered: failed candidates of one level feed the next),
+  // renewable/active classifications for the graft step.
+  FrontierQueue<vid_t> candidates(static_cast<std::size_t>(ny));
+  FrontierQueue<vid_t> failed_candidates(static_cast<std::size_t>(ny));
+  FrontierQueue<vid_t> renewable_y(static_cast<std::size_t>(ny));
+  FrontierQueue<vid_t> active_y(static_cast<std::size_t>(ny));
+  FrontierQueue<vid_t> renewable_roots(static_cast<std::size_t>(nx));
+
+  // Initial frontier: every unmatched X vertex roots its own tree.
+  for (vid_t x = 0; x < nx; ++x) {
+    if (state.mate_x[static_cast<std::size_t>(x)] == kInvalidVertex) {
+      state.root_x[static_cast<std::size_t>(x)] = x;
+      state.x_join_time[static_cast<std::size_t>(x)] = state.now;
+      state.frontier.push(x);
+    }
+  }
+
+  while (true) {
+    ++stats.phases;
+    PhaseStats phase_row;
+    phase_row.phase = stats.phases;
+    const Timer phase_timer;
+    const std::int64_t phase_edges_before = stats.edges_traversed;
+
+    // ---- Step 1: grow the alternating BFS forest until F is empty.
+    //
+    // Direction choice follows the paper (top-down when |F| <
+    // numUnvisitedY / alpha), with two refinements that bound the cost
+    // of bottom-up on graphs with a large permanently-unreachable Y
+    // mass: (a) within a phase, each bottom-up level rescans only the
+    // candidates that failed to attach at the previous bottom-up level
+    // (visits only shrink the unvisited set, so the failed list stays a
+    // superset of it); (b) once a bottom-up level attaches almost
+    // nothing, the leftover candidates are overwhelmingly unreachable
+    // this phase, so bottom-up is disabled for the rest of the phase.
+    std::int64_t level = 0;
+    bool candidates_fresh = false;
+    bool bottom_up_banned = false;
+    while (!state.frontier.empty()) {
+      const auto frontier_size =
+          static_cast<std::int64_t>(state.frontier.size());
+      const bool use_bottom_up =
+          config.direction_optimizing && !bottom_up_banned &&
+          static_cast<double>(frontier_size) >=
+              static_cast<double>(state.unvisited_y) / config.alpha;
+
+      if (config.collect_frontier_trace) {
+        stats.frontier_trace.push_back(
+            {stats.phases, level, frontier_size, use_bottom_up});
+      }
+
+      std::int64_t newly_visited = 0;
+      state.next.clear();
+      ++state.now;  // vertices joining during this pass get a new stamp
+      phase_row.bottom_up_levels += use_bottom_up;
+      if (use_bottom_up) {
+        const ScopedLap lap(sw_bottom_up);
+        if (!candidates_fresh) {
+          candidates.clear();
+#pragma omp parallel
+          {
+            auto out = candidates.handle();
+#pragma omp for schedule(static)
+            for (vid_t y = 0; y < ny; ++y) {
+              if (!state.visited[static_cast<std::size_t>(y)]) out.push(y);
+            }
+          }
+          candidates_fresh = true;
+        }
+        failed_candidates.clear();
+        bottom_up(state, candidates.items(), stats.edges_traversed,
+                  newly_visited, failed_candidates);
+        // Low yield: the survivors are (almost all) unreachable this
+        // phase; stop paying to rescan them.
+        if (8 * newly_visited < static_cast<std::int64_t>(candidates.size())) {
+          bottom_up_banned = true;
+        }
+        candidates.swap(failed_candidates);
+      } else {
+        const ScopedLap lap(sw_top_down);
+        top_down(state, stats.edges_traversed, newly_visited);
+        // The candidate list stays a (stale but safe) superset of the
+        // unvisited set across top-down levels: visits only shrink it,
+        // and bottom_up() skips visited entries.
+      }
+      state.unvisited_y -= newly_visited;
+      state.frontier.clear();
+      state.frontier.swap(state.next);
+      ++level;
+    }
+    phase_row.levels = level;
+
+    if (config.check_invariants) assert_forest_invariants(state);
+
+    // ---- Step 2: augment along every renewable tree's unique path.
+    sw_statistics.start();
+    renewable_roots.clear();
+#pragma omp parallel
+    {
+      auto out = renewable_roots.handle();
+#pragma omp for schedule(static)
+      for (vid_t x = 0; x < nx; ++x) {
+        // Renewable roots are exactly the still-unmatched roots whose
+        // leaf pointer was set this phase (stale leaves from earlier
+        // phases belong to matched ex-roots).
+        if (state.mate_x[static_cast<std::size_t>(x)] == kInvalidVertex &&
+            state.root_x[static_cast<std::size_t>(x)] == x &&
+            state.leaf[static_cast<std::size_t>(x)] != kInvalidVertex) {
+          out.push(x);
+        }
+      }
+    }
+    sw_statistics.stop();
+
+    sw_augment.start();
+    {
+      const auto roots = renewable_roots.items();
+      const auto count = static_cast<std::int64_t>(roots.size());
+      std::int64_t path_edges_total = 0;
+      std::vector<std::int64_t> path_lengths;
+      if (config.collect_path_histogram) {
+        path_lengths.assign(static_cast<std::size_t>(count), 0);
+      }
+      // Paths live in vertex-disjoint trees: flip them in parallel.
+#pragma omp parallel for schedule(dynamic, 8) reduction(+ : path_edges_total)
+      for (std::int64_t i = 0; i < count; ++i) {
+        const vid_t r = roots[static_cast<std::size_t>(i)];
+        vid_t y = state.leaf[static_cast<std::size_t>(r)];
+        std::int64_t path_edges = 0;
+        while (y != kInvalidVertex) {
+          const vid_t x = state.parent[static_cast<std::size_t>(y)];
+          const vid_t next_y = state.mate_x[static_cast<std::size_t>(x)];
+          state.mate_x[static_cast<std::size_t>(x)] = y;
+          state.mate_y[static_cast<std::size_t>(y)] = x;
+          ++path_edges;
+          if (next_y != kInvalidVertex) ++path_edges;
+          y = next_y;
+        }
+        path_edges_total += path_edges;
+        if (config.collect_path_histogram) {
+          path_lengths[static_cast<std::size_t>(i)] = path_edges;
+        }
+      }
+      stats.augmentations += count;
+      stats.total_path_edges += path_edges_total;
+      phase_row.augmentations = count;
+      for (const std::int64_t length : path_lengths) {
+        ++stats.path_length_histogram[length];
+      }
+      sw_augment.stop();
+
+      if (count == 0) {
+        if (config.collect_phase_stats) {
+          phase_row.edges = stats.edges_traversed - phase_edges_before;
+          phase_row.seconds = phase_timer.elapsed();
+          stats.phase_stats.push_back(phase_row);
+        }
+        break;  // no augmenting path in this phase: maximum
+      }
+    }
+
+    // ---- Step 3: rebuild the frontier (Algorithm 7).
+    // Statistics (lines 2-4): classify Y vertices into renewable
+    // (tree found a path) and active, and count active X vertices.
+    sw_statistics.start();
+    renewable_y.clear();
+    active_y.clear();
+    std::int64_t active_x_count = 0;
+#pragma omp parallel reduction(+ : active_x_count)
+    {
+      auto renewable_out = renewable_y.handle();
+      auto active_out = active_y.handle();
+#pragma omp for schedule(static) nowait
+      for (vid_t y = 0; y < ny; ++y) {
+        const vid_t r = state.root_y[static_cast<std::size_t>(y)];
+        if (r == kInvalidVertex) continue;
+        if (state.leaf[static_cast<std::size_t>(r)] != kInvalidVertex) {
+          renewable_out.push(y);
+        } else {
+          active_out.push(y);
+        }
+      }
+#pragma omp for schedule(static)
+      for (vid_t x = 0; x < nx; ++x) {
+        active_x_count += state.in_active_tree(x);
+      }
+    }
+    sw_statistics.stop();
+
+    sw_graft.start();
+    // Free the renewable Y vertices so they can join other trees
+    // (Algorithm 3 lines 16-17 / Algorithm 7 lines 6-7).
+    {
+      const auto items = renewable_y.items();
+      const auto count = static_cast<std::int64_t>(items.size());
+#pragma omp parallel for schedule(static)
+      for (std::int64_t i = 0; i < count; ++i) {
+        const vid_t y = items[static_cast<std::size_t>(i)];
+        state.visited[static_cast<std::size_t>(y)] = 0;
+        state.root_y[static_cast<std::size_t>(y)] = kInvalidVertex;
+      }
+      state.unvisited_y += count;
+    }
+
+    const bool graft_profitable =
+        config.tree_grafting &&
+        static_cast<double>(active_x_count) >
+            static_cast<double>(renewable_y.size()) / config.alpha;
+    phase_row.active_x = active_x_count;
+    phase_row.renewable_y = static_cast<std::int64_t>(renewable_y.size());
+    phase_row.grafted = graft_profitable;
+
+    state.frontier.clear();
+    state.next.clear();
+    if (graft_profitable) {
+      // Graft: re-attach renewable Y vertices (and their mates) onto
+      // active trees; the attached mates form the next frontier.
+      std::int64_t newly_visited = 0;
+      ++state.now;  // grafted mates must not recursively receive grafts
+      failed_candidates.clear();  // scratch; graft ignores the failed list
+      bottom_up(state, renewable_y.items(), stats.edges_traversed,
+                newly_visited, failed_candidates);
+      state.unvisited_y -= newly_visited;
+      state.frontier.swap(state.next);
+    } else {
+      // Rebuild: destroy all trees and restart from the unmatched
+      // X vertices (Algorithm 7 lines 10-15).
+      {
+        const auto items = active_y.items();
+        const auto count = static_cast<std::int64_t>(items.size());
+#pragma omp parallel for schedule(static)
+        for (std::int64_t i = 0; i < count; ++i) {
+          const vid_t y = items[static_cast<std::size_t>(i)];
+          state.visited[static_cast<std::size_t>(y)] = 0;
+          state.root_y[static_cast<std::size_t>(y)] = kInvalidVertex;
+        }
+        state.unvisited_y += count;
+      }
+#pragma omp parallel for schedule(static)
+      for (vid_t x = 0; x < nx; ++x) {
+        state.root_x[static_cast<std::size_t>(x)] = kInvalidVertex;
+      }
+#pragma omp parallel
+      {
+        auto out = state.frontier.handle();
+#pragma omp for schedule(static)
+        for (vid_t x = 0; x < nx; ++x) {
+          if (state.mate_x[static_cast<std::size_t>(x)] == kInvalidVertex) {
+            state.root_x[static_cast<std::size_t>(x)] = x;
+            state.x_join_time[static_cast<std::size_t>(x)] = state.now;
+            state.leaf[static_cast<std::size_t>(x)] = kInvalidVertex;
+            out.push(x);
+          }
+        }
+      }
+    }
+    sw_graft.stop();
+
+    if (config.collect_phase_stats) {
+      phase_row.edges = stats.edges_traversed - phase_edges_before;
+      phase_row.seconds = phase_timer.elapsed();
+      stats.phase_stats.push_back(phase_row);
+    }
+  }
+
+  stats.final_cardinality = matching.cardinality();
+  stats.seconds = timer.elapsed();
+  stats.step_seconds.top_down = sw_top_down.seconds();
+  stats.step_seconds.bottom_up = sw_bottom_up.seconds();
+  stats.step_seconds.augment = sw_augment.seconds();
+  stats.step_seconds.graft = sw_graft.seconds();
+  stats.step_seconds.statistics = sw_statistics.seconds();
+  stats.step_seconds.other =
+      std::max(0.0, stats.seconds - stats.step_seconds.total());
+  return stats;
+}
+
+RunStats ms_bfs(const BipartiteGraph& g, Matching& matching,
+                RunConfig config) {
+  config.direction_optimizing = false;
+  config.tree_grafting = false;
+  return ms_bfs_graft(g, matching, config);
+}
+
+}  // namespace graftmatch

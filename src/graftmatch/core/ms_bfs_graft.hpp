@@ -1,0 +1,41 @@
+// MS-BFS-Graft: the paper's primary contribution (Algorithm 3).
+//
+// A multi-source, level-synchronous BFS matching algorithm with two
+// accelerators:
+//
+//  * direction-optimizing BFS (Beamer et al.): each level runs top-down
+//    (scan the frontier's adjacency) when the frontier is small, and
+//    bottom-up (scan the unvisited Y vertices' adjacency, stopping at
+//    the first active-tree neighbor) when it is large -- the switch is
+//    |F| < numUnvisitedY / alpha;
+//
+//  * tree grafting: after augmentation, trees that produced an
+//    augmenting path ("renewable") are dismantled, but their Y vertices
+//    are immediately re-attached (grafted) onto the surviving "active"
+//    trees wherever an edge permits, so active trees resume growing from
+//    a large frontier instead of being rebuilt from scratch. Grafting is
+//    only applied when |activeX| > |renewableY| / alpha; otherwise the
+//    whole forest is rebuilt (profitable early on, when most trees are
+//    renewable).
+//
+// Setting direction_optimizing = tree_grafting = false in RunConfig
+// yields the plain MS-BFS baseline of Azad et al. [4], which Fig. 7's
+// ablation measures against.
+#pragma once
+
+#include "graftmatch/core/run_stats.hpp"
+#include "graftmatch/graph/bipartite_graph.hpp"
+#include "graftmatch/graph/matching.hpp"
+
+namespace graftmatch {
+
+/// Grow `matching` to maximum cardinality with MS-BFS-Graft.
+/// Deterministic result cardinality regardless of thread count.
+RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
+                      const RunConfig& config = {});
+
+/// Plain MS-BFS baseline (no grafting, no direction optimization).
+RunStats ms_bfs(const BipartiteGraph& g, Matching& matching,
+                RunConfig config = {});
+
+}  // namespace graftmatch

@@ -1,0 +1,21 @@
+#include "graftmatch/core/run_stats.hpp"
+
+#include <sstream>
+
+#include "graftmatch/runtime/timer.hpp"
+
+namespace graftmatch {
+
+std::string format_run_stats(const RunStats& stats) {
+  std::ostringstream out;
+  out << stats.algorithm << ": |M|=" << stats.final_cardinality << " (+"
+      << (stats.final_cardinality - stats.initial_cardinality) << ")"
+      << " phases=" << stats.phases << " edges=" << stats.edges_traversed
+      << " paths=" << stats.augmentations
+      << " avg_len=" << stats.avg_path_length() << " time="
+      << format_seconds(stats.seconds) << " rate=" << stats.mteps()
+      << " MTEPS";
+  return out.str();
+}
+
+}  // namespace graftmatch

@@ -1,0 +1,147 @@
+// Configuration and instrumentation shared by all matching algorithms.
+//
+// The paper's evaluation is driven by algorithmic metrics (edges
+// traversed, phases, augmenting-path lengths -- Fig. 1), step timing
+// breakdowns (Fig. 6), frontier anatomy (Fig. 8), and search rates
+// (Fig. 4). Every algorithm in this library fills the same RunStats so
+// the benches can print those tables uniformly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graftmatch/runtime/affinity.hpp"
+#include "graftmatch/types.hpp"
+
+namespace graftmatch {
+
+/// Knobs common to all algorithms (each algorithm reads the subset that
+/// applies to it; defaults reproduce the paper's settings).
+struct RunConfig {
+  /// OpenMP thread count; <= 0 keeps the runtime default.
+  int threads = 0;
+
+  /// Direction-optimization and grafting threshold (paper: alpha ~= 5).
+  double alpha = kDefaultAlpha;
+
+  /// MS-BFS-Graft ablation switches (Fig. 7): with both false the
+  /// algorithm degenerates to the plain MS-BFS of Azad et al.
+  bool direction_optimizing = true;
+  bool tree_grafting = true;
+
+  /// Record (phase, level, frontier size, direction) samples (Fig. 8).
+  bool collect_frontier_trace = false;
+
+  /// Record the augmenting-path length distribution (Fig. 1c detail).
+  bool collect_path_histogram = false;
+
+  /// MS-BFS-Graft only: record one PhaseStats row per phase.
+  bool collect_phase_stats = false;
+
+  /// MS-BFS-Graft only: after every BFS phase, run an O(n + m) audit of
+  /// the alternating-forest invariants (tree disjointness, parent edges
+  /// exist, root-pointer consistency, alternation, leaf validity) and
+  /// throw std::logic_error on any violation. For tests and debugging;
+  /// roughly doubles the runtime.
+  bool check_invariants = false;
+
+  /// Pothen-Fan fairness: alternate adjacency scan direction per phase.
+  bool pf_fairness = true;
+
+  /// Push-relabel tuning (paper Sec. V-A follows Langguth et al.:
+  /// queue limit 500; relabel frequency 2 serial, 16 at 40 threads).
+  int pr_queue_limit = 500;
+  int pr_relabel_frequency = 2;
+
+  /// Thread pinning policy (paper: compact via GOMP_CPU_AFFINITY).
+  PinPolicy pin = PinPolicy::kNone;
+
+  /// Seed for any tie-breaking randomness an algorithm may use.
+  std::uint64_t seed = 1;
+};
+
+/// Per-phase summary of an MS-BFS-Graft run (RunConfig::
+/// collect_phase_stats). One row per repeat-until iteration of
+/// Algorithm 3, mirroring the phase-level discussion in Secs. III and V.
+struct PhaseStats {
+  std::int64_t phase = 0;          ///< 1-based phase index
+  std::int64_t levels = 0;         ///< BFS levels run in Step 1
+  std::int64_t bottom_up_levels = 0;
+  std::int64_t edges = 0;          ///< edges traversed in this phase
+  std::int64_t augmentations = 0;  ///< paths found and flipped
+  std::int64_t active_x = 0;       ///< |activeX| at the graft decision
+  std::int64_t renewable_y = 0;    ///< |renewableY| at the graft decision
+  bool grafted = false;            ///< Step 3 chose grafting (not rebuild)
+  double seconds = 0.0;
+};
+
+/// One frontier-size sample from a level-synchronous search.
+struct FrontierSample {
+  std::int64_t phase = 0;
+  std::int64_t level = 0;          ///< BFS level within the phase
+  std::int64_t frontier_size = 0;  ///< |F| entering this level
+  bool bottom_up = false;          ///< direction chosen for this level
+};
+
+/// Wall-clock seconds per algorithm step (Fig. 6's categories).
+struct StepSeconds {
+  double top_down = 0.0;
+  double bottom_up = 0.0;
+  double augment = 0.0;
+  double graft = 0.0;       ///< frontier reconstruction (Step 3)
+  double statistics = 0.0;  ///< active/renewable classification (Alg. 7 l.2-4)
+  double other = 0.0;       ///< init, bookkeeping not in the above
+
+  double total() const noexcept {
+    return top_down + bottom_up + augment + graft + statistics + other;
+  }
+};
+
+/// Everything a single algorithm run reports.
+struct RunStats {
+  std::string algorithm;
+
+  std::int64_t phases = 0;
+  std::int64_t edges_traversed = 0;  ///< adjacency entries examined
+  std::int64_t augmentations = 0;    ///< augmenting paths applied
+  std::int64_t total_path_edges = 0; ///< sum of augmenting path lengths
+
+  std::int64_t initial_cardinality = 0;
+  std::int64_t final_cardinality = 0;
+
+  double seconds = 0.0;  ///< total wall time of the matching run
+  StepSeconds step_seconds;
+
+  /// Filled when RunConfig::collect_frontier_trace is set.
+  std::vector<FrontierSample> frontier_trace;
+
+  /// Augmenting-path length distribution: length (in edges, always odd)
+  /// -> count. Filled by the augmenting-path based algorithms when
+  /// RunConfig::collect_path_histogram is set.
+  std::map<std::int64_t, std::int64_t> path_length_histogram;
+
+  /// Per-phase rows (RunConfig::collect_phase_stats; MS-BFS-Graft only).
+  std::vector<PhaseStats> phase_stats;
+
+  /// Mean augmenting-path length in edges (Fig. 1c), 0 when none found.
+  double avg_path_length() const noexcept {
+    return augmentations > 0 ? static_cast<double>(total_path_edges) /
+                                   static_cast<double>(augmentations)
+                             : 0.0;
+  }
+
+  /// Search rate in millions of traversed edges per second (Fig. 4):
+  /// traversed edges / runtime, with augmentation time included, exactly
+  /// as the paper computes it (Sec. V-C).
+  double mteps() const noexcept {
+    return seconds > 0.0 ? static_cast<double>(edges_traversed) / seconds / 1e6
+                         : 0.0;
+  }
+};
+
+/// Render a one-line summary: algorithm, |M|, phases, edges, time.
+std::string format_run_stats(const RunStats& stats);
+
+}  // namespace graftmatch

@@ -1,0 +1,286 @@
+#include "graftmatch/dm/btf.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "graftmatch/graph/transforms.hpp"
+
+namespace graftmatch {
+namespace {
+
+// Iterative Tarjan SCC over the contracted square-part digraph.
+// Nodes are matched (row, col) pairs, identified by an index into
+// `square_rows`; there is an arc u -> v when A[row_u, col_v] != 0.
+// Returns, per node, a component id numbered in TOPOLOGICAL order
+// (arcs go from lower to higher component ids... from lower-or-equal).
+class SquareSccSolver {
+ public:
+  SquareSccSolver(const BipartiteGraph& g,
+                  const std::vector<vid_t>& square_rows,
+                  const std::vector<vid_t>& col_to_node)
+      : g_(g), square_rows_(square_rows), col_to_node_(col_to_node) {}
+
+  std::vector<std::int64_t> solve(std::int64_t& num_components) {
+    const auto n = static_cast<std::int64_t>(square_rows_.size());
+    index_.assign(static_cast<std::size_t>(n), kUnvisited);
+    lowlink_.assign(static_cast<std::size_t>(n), 0);
+    on_stack_.assign(static_cast<std::size_t>(n), 0);
+    component_.assign(static_cast<std::size_t>(n), -1);
+    next_index_ = 0;
+    component_count_ = 0;
+
+    for (std::int64_t v = 0; v < n; ++v) {
+      if (index_[static_cast<std::size_t>(v)] == kUnvisited) visit(v);
+    }
+
+    // Tarjan emits components in reverse topological order; flip ids so
+    // arcs run from lower ids to higher ids (upper triangular layout).
+    for (auto& c : component_) c = component_count_ - 1 - c;
+    num_components = component_count_;
+    return std::move(component_);
+  }
+
+ private:
+  static constexpr std::int64_t kUnvisited = -1;
+
+  // Arc targets of node u: other square pairs whose column appears in
+  // u's row.
+  template <typename Fn>
+  void for_each_arc(std::int64_t u, Fn&& fn) const {
+    const vid_t row = square_rows_[static_cast<std::size_t>(u)];
+    for (const vid_t y : g_.neighbors_of_x(row)) {
+      const std::int64_t v = col_to_node_[static_cast<std::size_t>(y)];
+      if (v >= 0 && v != u) fn(v);
+    }
+  }
+
+  void visit(std::int64_t start) {
+    struct Frame {
+      std::int64_t node;
+      std::size_t arc_pos;  // progress through the node's arc list
+    };
+    // Materializing arc lists per frame keeps the iterative DFS simple;
+    // square parts are small relative to the full graph.
+    std::vector<Frame> call_stack;
+    std::vector<std::vector<std::int64_t>> arcs_stack;
+
+    const auto push_node = [&](std::int64_t v) {
+      index_[static_cast<std::size_t>(v)] = next_index_;
+      lowlink_[static_cast<std::size_t>(v)] = next_index_;
+      ++next_index_;
+      scc_stack_.push_back(v);
+      on_stack_[static_cast<std::size_t>(v)] = 1;
+      call_stack.push_back({v, 0});
+      std::vector<std::int64_t> arcs;
+      for_each_arc(v, [&arcs](std::int64_t w) { arcs.push_back(w); });
+      arcs_stack.push_back(std::move(arcs));
+    };
+
+    push_node(start);
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const std::int64_t v = frame.node;
+      auto& arcs = arcs_stack.back();
+
+      if (frame.arc_pos < arcs.size()) {
+        const std::int64_t w = arcs[frame.arc_pos++];
+        if (index_[static_cast<std::size_t>(w)] == kUnvisited) {
+          push_node(w);
+        } else if (on_stack_[static_cast<std::size_t>(w)]) {
+          lowlink_[static_cast<std::size_t>(v)] =
+              std::min(lowlink_[static_cast<std::size_t>(v)],
+                       index_[static_cast<std::size_t>(w)]);
+        }
+        continue;
+      }
+
+      // v is finished: close its component if it is a root.
+      if (lowlink_[static_cast<std::size_t>(v)] ==
+          index_[static_cast<std::size_t>(v)]) {
+        for (;;) {
+          const std::int64_t w = scc_stack_.back();
+          scc_stack_.pop_back();
+          on_stack_[static_cast<std::size_t>(w)] = 0;
+          component_[static_cast<std::size_t>(w)] = component_count_;
+          if (w == v) break;
+        }
+        ++component_count_;
+      }
+      call_stack.pop_back();
+      arcs_stack.pop_back();
+      if (!call_stack.empty()) {
+        const std::int64_t parent = call_stack.back().node;
+        lowlink_[static_cast<std::size_t>(parent)] =
+            std::min(lowlink_[static_cast<std::size_t>(parent)],
+                     lowlink_[static_cast<std::size_t>(v)]);
+      }
+    }
+  }
+
+  const BipartiteGraph& g_;
+  const std::vector<vid_t>& square_rows_;
+  const std::vector<vid_t>& col_to_node_;
+
+  std::vector<std::int64_t> index_;
+  std::vector<std::int64_t> lowlink_;
+  std::vector<std::uint8_t> on_stack_;
+  std::vector<std::int64_t> component_;
+  std::vector<std::int64_t> scc_stack_;
+  std::int64_t next_index_ = 0;
+  std::int64_t component_count_ = 0;
+};
+
+int block_rank(DmBlock block) {
+  switch (block) {
+    case DmBlock::kHorizontal: return 0;
+    case DmBlock::kSquare: return 1;
+    case DmBlock::kVertical: return 2;
+  }
+  return 3;
+}
+
+}  // namespace
+
+BlockTriangularForm block_triangular_form(const BipartiteGraph& g) {
+  return block_triangular_form(g, dm_decompose(g));
+}
+
+BlockTriangularForm block_triangular_form(const BipartiteGraph& g,
+                                          DmDecomposition dm) {
+  BlockTriangularForm btf;
+
+  // Collect the square pairs (node list of the contracted digraph).
+  std::vector<vid_t> square_rows;
+  std::vector<vid_t> col_to_node(static_cast<std::size_t>(g.num_y()), -1);
+  for (vid_t x = 0; x < g.num_x(); ++x) {
+    if (dm.row_block[static_cast<std::size_t>(x)] != DmBlock::kSquare)
+      continue;
+    const vid_t y = dm.matching.mate_of_x(x);
+    col_to_node[static_cast<std::size_t>(y)] =
+        static_cast<vid_t>(square_rows.size());
+    square_rows.push_back(x);
+  }
+
+  std::int64_t num_blocks = 0;
+  std::vector<std::int64_t> node_block;
+  if (!square_rows.empty()) {
+    SquareSccSolver solver(g, square_rows, col_to_node);
+    node_block = solver.solve(num_blocks);
+  }
+
+  // Order square nodes by block id (stable, so ties keep node order).
+  std::vector<std::int64_t> node_order(square_rows.size());
+  for (std::size_t i = 0; i < node_order.size(); ++i) {
+    node_order[i] = static_cast<std::int64_t>(i);
+  }
+  std::stable_sort(node_order.begin(), node_order.end(),
+                   [&node_block](std::int64_t a, std::int64_t b) {
+                     return node_block[static_cast<std::size_t>(a)] <
+                            node_block[static_cast<std::size_t>(b)];
+                   });
+
+  // Assemble permutations: horizontal, then square (block order), then
+  // vertical; columns mirror rows so square diagonals carry the
+  // matching.
+  const auto append_rows = [&](DmBlock block) {
+    for (vid_t x = 0; x < g.num_x(); ++x) {
+      if (dm.row_block[static_cast<std::size_t>(x)] == block) {
+        btf.row_perm.push_back(x);
+      }
+    }
+  };
+  const auto append_cols = [&](DmBlock block) {
+    for (vid_t y = 0; y < g.num_y(); ++y) {
+      if (dm.col_block[static_cast<std::size_t>(y)] == block) {
+        btf.col_perm.push_back(y);
+      }
+    }
+  };
+
+  append_rows(DmBlock::kHorizontal);
+  append_cols(DmBlock::kHorizontal);
+  btf.square_row_begin = static_cast<std::int64_t>(btf.row_perm.size());
+  btf.square_col_begin = static_cast<std::int64_t>(btf.col_perm.size());
+
+  btf.block_offsets.push_back(0);
+  std::int64_t previous_block = -1;
+  for (const std::int64_t node : node_order) {
+    const std::int64_t block = node_block[static_cast<std::size_t>(node)];
+    if (block != previous_block && previous_block != -1) {
+      btf.block_offsets.push_back(static_cast<std::int64_t>(
+          btf.row_perm.size()) - btf.square_row_begin);
+    }
+    previous_block = block;
+    const vid_t row = square_rows[static_cast<std::size_t>(node)];
+    btf.row_perm.push_back(row);
+    btf.col_perm.push_back(dm.matching.mate_of_x(row));
+  }
+  btf.block_offsets.push_back(
+      static_cast<std::int64_t>(btf.row_perm.size()) - btf.square_row_begin);
+  if (square_rows.empty()) {
+    btf.block_offsets.assign({0});  // zero blocks
+  }
+
+  btf.square_row_end = static_cast<std::int64_t>(btf.row_perm.size());
+  btf.square_col_end = static_cast<std::int64_t>(btf.col_perm.size());
+  append_rows(DmBlock::kVertical);
+  append_cols(DmBlock::kVertical);
+
+  btf.dm_ = std::move(dm);
+  return btf;
+}
+
+bool verify_btf(const BipartiteGraph& g, const BlockTriangularForm& btf) {
+  if (static_cast<vid_t>(btf.row_perm.size()) != g.num_x() ||
+      static_cast<vid_t>(btf.col_perm.size()) != g.num_y()) {
+    return false;
+  }
+  if (!is_permutation(btf.row_perm) || !is_permutation(btf.col_perm)) {
+    return false;
+  }
+  const DmDecomposition& dm = btf.decomposition();
+
+  // Coarse zero structure: a nonzero (x, y) must satisfy
+  // rank(row block) <= rank(col block) in (H=0, S=1, V=2) order.
+  for (vid_t x = 0; x < g.num_x(); ++x) {
+    const int row_rank = block_rank(dm.row_block[static_cast<std::size_t>(x)]);
+    for (const vid_t y : g.neighbors_of_x(x)) {
+      if (row_rank > block_rank(dm.col_block[static_cast<std::size_t>(y)])) {
+        return false;
+      }
+    }
+  }
+
+  // Square part: diagonal carries the matching, and nonzeros respect
+  // block upper triangularity.
+  std::vector<std::int64_t> row_to_square_block(
+      static_cast<std::size_t>(g.num_x()), -1);
+  std::vector<std::int64_t> col_to_square_block(
+      static_cast<std::size_t>(g.num_y()), -1);
+  for (std::int64_t b = 0; b + 1 < static_cast<std::int64_t>(
+                                       btf.block_offsets.size());
+       ++b) {
+    for (std::int64_t i = btf.block_offsets[static_cast<std::size_t>(b)];
+         i < btf.block_offsets[static_cast<std::size_t>(b) + 1]; ++i) {
+      const auto row_pos = static_cast<std::size_t>(btf.square_row_begin + i);
+      const auto col_pos = static_cast<std::size_t>(btf.square_col_begin + i);
+      const vid_t row = btf.row_perm[row_pos];
+      const vid_t col = btf.col_perm[col_pos];
+      if (!g.has_edge(row, col)) return false;  // diagonal must be nonzero
+      row_to_square_block[static_cast<std::size_t>(row)] = b;
+      col_to_square_block[static_cast<std::size_t>(col)] = b;
+    }
+  }
+  for (vid_t x = 0; x < g.num_x(); ++x) {
+    const std::int64_t rb = row_to_square_block[static_cast<std::size_t>(x)];
+    if (rb < 0) continue;
+    for (const vid_t y : g.neighbors_of_x(x)) {
+      const std::int64_t cb = col_to_square_block[static_cast<std::size_t>(y)];
+      if (cb >= 0 && rb > cb) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace graftmatch

@@ -1,0 +1,61 @@
+// Block triangular form (BTF) via the fine Dulmage-Mendelsohn
+// decomposition: the square part of the coarse decomposition is split
+// into irreducible diagonal blocks -- the strongly connected components
+// of the digraph obtained by contracting each matched (row, column)
+// pair -- and ordered topologically. Permuting rows and columns to
+//
+//      [ H  *  * ]
+//      [ 0  S  * ]      with S itself block upper triangular
+//      [ 0  0  V ]
+//
+// lets sparse solvers factor each irreducible block independently (the
+// circuit-simulation use case the paper cites [2]).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graftmatch/dm/dulmage_mendelsohn.hpp"
+#include "graftmatch/graph/bipartite_graph.hpp"
+
+namespace graftmatch {
+
+struct BlockTriangularForm {
+  /// Row/column permutations: position i of the permuted matrix holds
+  /// original row row_perm[i] / column col_perm[i].
+  std::vector<vid_t> row_perm;
+  std::vector<vid_t> col_perm;
+
+  /// Permuted-row index where the square part starts / ends (the
+  /// horizontal part occupies rows [0, square_row_begin), the vertical
+  /// part rows [square_row_end, nx)). Same convention for columns.
+  std::int64_t square_row_begin = 0;
+  std::int64_t square_row_end = 0;
+  std::int64_t square_col_begin = 0;
+  std::int64_t square_col_end = 0;
+
+  /// Diagonal block boundaries inside the square part: block b spans
+  /// permuted rows/cols [block_offsets[b], block_offsets[b+1]) relative
+  /// to square_*_begin. Blocks appear in topological order, so every
+  /// square-part nonzero lies on or above its diagonal block.
+  std::vector<std::int64_t> block_offsets;
+
+  std::int64_t num_square_blocks() const noexcept {
+    return static_cast<std::int64_t>(block_offsets.size()) - 1;
+  }
+
+  const DmDecomposition& decomposition() const noexcept { return dm_; }
+  DmDecomposition dm_;
+};
+
+/// Compute the BTF of g (rows = X, columns = Y). Uses MS-BFS-Graft for
+/// the maximum matching; pass a decomposition to reuse one.
+BlockTriangularForm block_triangular_form(const BipartiteGraph& g);
+BlockTriangularForm block_triangular_form(const BipartiteGraph& g,
+                                          DmDecomposition dm);
+
+/// Structural checks used by tests and examples: zero blocks of the
+/// coarse form and upper block triangularity of the square part.
+bool verify_btf(const BipartiteGraph& g, const BlockTriangularForm& btf);
+
+}  // namespace graftmatch

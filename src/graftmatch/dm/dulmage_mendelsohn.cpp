@@ -1,0 +1,127 @@
+#include "graftmatch/dm/dulmage_mendelsohn.hpp"
+
+#include <algorithm>
+
+#include "graftmatch/core/ms_bfs_graft.hpp"
+#include "graftmatch/init/karp_sipser.hpp"
+
+namespace graftmatch {
+namespace {
+
+// Alternating BFS over X (rows): from the unmatched rows, rows reach
+// columns over unmatched edges and columns reach their matched row.
+// Marks every reached row and column.
+void alternating_reach_from_rows(const BipartiteGraph& g, const Matching& m,
+                                 std::vector<std::uint8_t>& row_mark,
+                                 std::vector<std::uint8_t>& col_mark) {
+  std::vector<vid_t> frontier;
+  std::vector<vid_t> next;
+  for (vid_t x = 0; x < g.num_x(); ++x) {
+    if (!m.is_matched_x(x)) {
+      row_mark[static_cast<std::size_t>(x)] = 1;
+      frontier.push_back(x);
+    }
+  }
+  while (!frontier.empty()) {
+    next.clear();
+    for (const vid_t x : frontier) {
+      for (const vid_t y : g.neighbors_of_x(x)) {
+        if (col_mark[static_cast<std::size_t>(y)]) continue;
+        if (m.mate_of_x(x) == y) continue;
+        col_mark[static_cast<std::size_t>(y)] = 1;
+        const vid_t mate = m.mate_of_y(y);
+        if (mate != kInvalidVertex &&
+            !row_mark[static_cast<std::size_t>(mate)]) {
+          row_mark[static_cast<std::size_t>(mate)] = 1;
+          next.push_back(mate);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+}
+
+// Mirror image: alternating BFS from the unmatched columns.
+void alternating_reach_from_cols(const BipartiteGraph& g, const Matching& m,
+                                 std::vector<std::uint8_t>& row_mark,
+                                 std::vector<std::uint8_t>& col_mark) {
+  std::vector<vid_t> frontier;
+  std::vector<vid_t> next;
+  for (vid_t y = 0; y < g.num_y(); ++y) {
+    if (!m.is_matched_y(y)) {
+      col_mark[static_cast<std::size_t>(y)] = 1;
+      frontier.push_back(y);
+    }
+  }
+  while (!frontier.empty()) {
+    next.clear();
+    for (const vid_t y : frontier) {
+      for (const vid_t x : g.neighbors_of_y(y)) {
+        if (row_mark[static_cast<std::size_t>(x)]) continue;
+        if (m.mate_of_y(y) == x) continue;
+        row_mark[static_cast<std::size_t>(x)] = 1;
+        const vid_t mate = m.mate_of_x(x);
+        if (mate != kInvalidVertex &&
+            !col_mark[static_cast<std::size_t>(mate)]) {
+          col_mark[static_cast<std::size_t>(mate)] = 1;
+          next.push_back(mate);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+}
+
+}  // namespace
+
+std::int64_t DmDecomposition::rows_in(DmBlock block) const noexcept {
+  return std::count(row_block.begin(), row_block.end(), block);
+}
+
+std::int64_t DmDecomposition::cols_in(DmBlock block) const noexcept {
+  return std::count(col_block.begin(), col_block.end(), block);
+}
+
+DmDecomposition dm_decompose(const BipartiteGraph& g) {
+  Matching matching = karp_sipser(g);
+  ms_bfs_graft(g, matching);
+  return dm_decompose(g, std::move(matching));
+}
+
+DmDecomposition dm_decompose(const BipartiteGraph& g, Matching matching) {
+  DmDecomposition dm;
+  dm.row_block.assign(static_cast<std::size_t>(g.num_x()), DmBlock::kSquare);
+  dm.col_block.assign(static_cast<std::size_t>(g.num_y()), DmBlock::kSquare);
+
+  // Vertical part: reachable from unmatched rows.
+  std::vector<std::uint8_t> v_rows(static_cast<std::size_t>(g.num_x()), 0);
+  std::vector<std::uint8_t> v_cols(static_cast<std::size_t>(g.num_y()), 0);
+  alternating_reach_from_rows(g, matching, v_rows, v_cols);
+
+  // Horizontal part: reachable from unmatched columns.
+  std::vector<std::uint8_t> h_rows(static_cast<std::size_t>(g.num_x()), 0);
+  std::vector<std::uint8_t> h_cols(static_cast<std::size_t>(g.num_y()), 0);
+  alternating_reach_from_cols(g, matching, h_rows, h_cols);
+
+  // With a maximum matching the two reachable sets are disjoint (an
+  // overlap would expose an augmenting path).
+  for (vid_t x = 0; x < g.num_x(); ++x) {
+    if (v_rows[static_cast<std::size_t>(x)]) {
+      dm.row_block[static_cast<std::size_t>(x)] = DmBlock::kVertical;
+    } else if (h_rows[static_cast<std::size_t>(x)]) {
+      dm.row_block[static_cast<std::size_t>(x)] = DmBlock::kHorizontal;
+    }
+  }
+  for (vid_t y = 0; y < g.num_y(); ++y) {
+    if (v_cols[static_cast<std::size_t>(y)]) {
+      dm.col_block[static_cast<std::size_t>(y)] = DmBlock::kVertical;
+    } else if (h_cols[static_cast<std::size_t>(y)]) {
+      dm.col_block[static_cast<std::size_t>(y)] = DmBlock::kHorizontal;
+    }
+  }
+
+  dm.matching = std::move(matching);
+  return dm;
+}
+
+}  // namespace graftmatch

@@ -1,0 +1,56 @@
+// Dulmage-Mendelsohn decomposition -- the paper's motivating application
+// (Sec. I): a maximum matching of the bipartite row/column graph of a
+// sparse matrix induces a canonical partition of rows and columns into
+//
+//   * horizontal part (HR x HC): underdetermined, |HC| > |HR|
+//     (columns reachable by alternating paths from unmatched columns,
+//     plus their matched rows);
+//   * square part (SR x SC): perfectly matched, |SR| == |SC|;
+//   * vertical part (VR x VC): overdetermined, |VR| > |VC|
+//     (rows reachable by alternating paths from unmatched rows, plus
+//     their matched columns).
+//
+// Permuting the matrix to (H, S, V) order exposes a coarse block
+// triangular structure; the fine decomposition (see btf.hpp) further
+// splits the square part by strongly connected components.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graftmatch/graph/bipartite_graph.hpp"
+#include "graftmatch/graph/matching.hpp"
+
+namespace graftmatch {
+
+enum class DmBlock : std::uint8_t {
+  kHorizontal = 0,
+  kSquare = 1,
+  kVertical = 2,
+};
+
+struct DmDecomposition {
+  std::vector<DmBlock> row_block;  ///< size nx
+  std::vector<DmBlock> col_block;  ///< size ny
+  Matching matching;               ///< the maximum matching used
+
+  std::int64_t rows_in(DmBlock block) const noexcept;
+  std::int64_t cols_in(DmBlock block) const noexcept;
+
+  /// The matrix has full structural row (column) rank iff the
+  /// horizontal (vertical) part is empty... structural rank itself is
+  /// the matching cardinality.
+  std::int64_t structural_rank() const noexcept {
+    return matching.cardinality();
+  }
+};
+
+/// Compute the coarse decomposition. Uses MS-BFS-Graft (with Karp-Sipser
+/// initialization) for the maximum matching.
+DmDecomposition dm_decompose(const BipartiteGraph& g);
+
+/// Same, reusing a caller-provided MAXIMUM matching (not verified here;
+/// pass the output of any library algorithm).
+DmDecomposition dm_decompose(const BipartiteGraph& g, Matching matching);
+
+}  // namespace graftmatch

@@ -1,0 +1,77 @@
+#include "graftmatch/gen/chung_lu.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "graftmatch/runtime/alias_table.hpp"
+#include "graftmatch/runtime/prng.hpp"
+
+namespace graftmatch {
+namespace {
+
+// Expected-degree weights w_i ~ (i + i0)^(-1/(gamma-1)), clamped to
+// max_degree, scaled so that the mean equals avg_degree.
+std::vector<double> power_law_weights(vid_t n, double avg_degree,
+                                      double gamma, eid_t max_degree) {
+  const double exponent = -1.0 / (gamma - 1.0);
+  std::vector<double> weights(static_cast<std::size_t>(n));
+  double sum = 0.0;
+  for (vid_t i = 0; i < n; ++i) {
+    const double w = std::pow(static_cast<double>(i) + 1.0, exponent);
+    weights[static_cast<std::size_t>(i)] = w;
+    sum += w;
+  }
+  const double scale = avg_degree * static_cast<double>(n) / sum;
+  for (double& w : weights) {
+    w = std::min(w * scale, static_cast<double>(max_degree));
+  }
+  return weights;
+}
+
+}  // namespace
+
+BipartiteGraph generate_chung_lu(const ChungLuParams& params) {
+  if (params.nx <= 0 || params.ny <= 0) {
+    throw std::invalid_argument("chung_lu: parts must be nonempty");
+  }
+  if (params.gamma <= 1.0) {
+    throw std::invalid_argument("chung_lu: gamma must exceed 1");
+  }
+  if (params.avg_degree <= 0.0) {
+    throw std::invalid_argument("chung_lu: avg_degree must be positive");
+  }
+
+  const auto weights_x = power_law_weights(params.nx, params.avg_degree,
+                                           params.gamma, params.max_degree);
+  const auto weights_y = power_law_weights(params.ny, params.avg_degree,
+                                           params.gamma, params.max_degree);
+  const AliasTable table_x{std::span<const double>(weights_x)};
+  const AliasTable table_y{std::span<const double>(weights_y)};
+
+  const auto target_edges = static_cast<std::int64_t>(
+      params.avg_degree * static_cast<double>(params.nx));
+
+  EdgeList list;
+  list.nx = params.nx;
+  list.ny = params.ny;
+  list.edges.resize(static_cast<std::size_t>(target_edges));
+
+#pragma omp parallel
+  {
+    Xoshiro256 rng = Xoshiro256(params.seed).fork(
+        static_cast<std::uint64_t>(omp_get_thread_num()) + 0xc1u);
+#pragma omp for schedule(static)
+    for (std::int64_t k = 0; k < target_edges; ++k) {
+      const auto x = static_cast<vid_t>(table_x.sample(rng));
+      const auto y = static_cast<vid_t>(table_y.sample(rng));
+      list.edges[static_cast<std::size_t>(k)] = {x, y};
+    }
+  }
+  return BipartiteGraph::from_edges(list);
+}
+
+}  // namespace graftmatch

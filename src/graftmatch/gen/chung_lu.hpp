@@ -1,0 +1,30 @@
+// Chung-Lu bipartite graphs with power-law expected degrees.
+//
+// Stand-in for the paper's scale-free class (cit-Patents, amazon0312,
+// coPapersDBLP, wikipedia): skewed degree distributions where MS-BFS
+// beats DFS-based searches. The power-law exponent gamma controls the
+// skew; lower gamma means heavier tail and (empirically) lower matching
+// number, like the wikipedia instance.
+#pragma once
+
+#include <cstdint>
+
+#include "graftmatch/graph/bipartite_graph.hpp"
+
+namespace graftmatch {
+
+struct ChungLuParams {
+  vid_t nx = 1 << 15;
+  vid_t ny = 1 << 15;
+  double avg_degree = 8.0;  ///< expected edges ~= avg_degree * nx
+  double gamma = 2.5;       ///< power-law exponent of expected degrees
+  eid_t max_degree = 1 << 12;
+  std::uint64_t seed = 1;
+};
+
+/// Sample edges by picking endpoints proportional to power-law weights
+/// (the "fast Chung-Lu" / weighted ball-dropping scheme). Duplicates
+/// merged; realized degree of vertex v is Binomial with mean ~ w_v.
+BipartiteGraph generate_chung_lu(const ChungLuParams& params);
+
+}  // namespace graftmatch

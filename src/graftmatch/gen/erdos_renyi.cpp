@@ -1,0 +1,40 @@
+#include "graftmatch/gen/erdos_renyi.hpp"
+
+#include <omp.h>
+
+#include <stdexcept>
+
+#include "graftmatch/runtime/prng.hpp"
+
+namespace graftmatch {
+
+BipartiteGraph generate_erdos_renyi(const ErdosRenyiParams& params) {
+  if (params.nx <= 0 || params.ny <= 0) {
+    throw std::invalid_argument("erdos_renyi: parts must be nonempty");
+  }
+  if (params.edges < 0) {
+    throw std::invalid_argument("erdos_renyi: negative edge count");
+  }
+
+  EdgeList list;
+  list.nx = params.nx;
+  list.ny = params.ny;
+  list.edges.resize(static_cast<std::size_t>(params.edges));
+
+#pragma omp parallel
+  {
+    Xoshiro256 rng = Xoshiro256(params.seed).fork(
+        static_cast<std::uint64_t>(omp_get_thread_num()) + 0xe12du);
+#pragma omp for schedule(static)
+    for (std::int64_t k = 0; k < params.edges; ++k) {
+      const auto x = static_cast<vid_t>(
+          rng.below(static_cast<std::uint64_t>(params.nx)));
+      const auto y = static_cast<vid_t>(
+          rng.below(static_cast<std::uint64_t>(params.ny)));
+      list.edges[static_cast<std::size_t>(k)] = {x, y};
+    }
+  }
+  return BipartiteGraph::from_edges(list);
+}
+
+}  // namespace graftmatch

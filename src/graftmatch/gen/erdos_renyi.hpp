@@ -1,0 +1,20 @@
+// Erdos-Renyi bipartite random graphs G(nx, ny, m).
+#pragma once
+
+#include <cstdint>
+
+#include "graftmatch/graph/bipartite_graph.hpp"
+
+namespace graftmatch {
+
+struct ErdosRenyiParams {
+  vid_t nx = 1 << 14;
+  vid_t ny = 1 << 14;
+  std::int64_t edges = 1 << 18;  ///< target edge count (before dedup)
+  std::uint64_t seed = 1;
+};
+
+/// Sample `edges` endpoints uniformly at random; duplicates merged.
+BipartiteGraph generate_erdos_renyi(const ErdosRenyiParams& params);
+
+}  // namespace graftmatch

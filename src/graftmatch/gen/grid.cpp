@@ -1,0 +1,58 @@
+#include "graftmatch/gen/grid.hpp"
+
+#include <stdexcept>
+
+#include "graftmatch/runtime/prng.hpp"
+
+namespace graftmatch {
+
+BipartiteGraph generate_grid(const GridParams& params) {
+  if (params.width <= 0 || params.height <= 0 || params.depth <= 0) {
+    throw std::invalid_argument("grid: dimensions must be positive");
+  }
+  if (params.diagonal_drop < 0.0 || params.diagonal_drop > 1.0) {
+    throw std::invalid_argument("grid: diagonal_drop outside [0, 1]");
+  }
+
+  const vid_t w = params.width;
+  const vid_t h = params.height;
+  const vid_t d = params.depth;
+  const vid_t n = w * h * d;
+
+  Xoshiro256 rng(params.seed);
+  EdgeList list;
+  list.nx = n;
+  list.ny = n;
+  list.edges.reserve(static_cast<std::size_t>(n) * (d > 1 ? 7 : 5));
+
+  const auto cell = [w, h](vid_t x, vid_t y, vid_t z) {
+    return (z * h + y) * w + x;
+  };
+
+  for (vid_t z = 0; z < d; ++z) {
+    for (vid_t y = 0; y < h; ++y) {
+      for (vid_t x = 0; x < w; ++x) {
+        const vid_t row = cell(x, y, z);
+        const bool keep_diagonal =
+            params.diagonal_drop == 0.0 ||
+            rng.uniform() >= params.diagonal_drop;
+        if (keep_diagonal) list.edges.push_back({row, row});
+        if (x + 1 < w) {
+          list.edges.push_back({row, cell(x + 1, y, z)});
+          list.edges.push_back({cell(x + 1, y, z), row});
+        }
+        if (y + 1 < h) {
+          list.edges.push_back({row, cell(x, y + 1, z)});
+          list.edges.push_back({cell(x, y + 1, z), row});
+        }
+        if (z + 1 < d) {
+          list.edges.push_back({row, cell(x, y, z + 1)});
+          list.edges.push_back({cell(x, y, z + 1), row});
+        }
+      }
+    }
+  }
+  return BipartiteGraph::from_edges(list);
+}
+
+}  // namespace graftmatch

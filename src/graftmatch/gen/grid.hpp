@@ -1,0 +1,30 @@
+// Structured-grid stencil matrices: the "scientific computing" class.
+//
+// kkt_power / hugetrace / delaunay-like inputs share three structural
+// properties the paper leans on: near-perfect matching number, bounded
+// degree, and large diameter. A 5-point (2D) or 7-point (3D) stencil
+// matrix interpreted as a bipartite graph has exactly these properties
+// (the diagonal gives a perfect matching; we optionally knock out a
+// fraction of diagonal entries to dial the matching number down).
+#pragma once
+
+#include <cstdint>
+
+#include "graftmatch/graph/bipartite_graph.hpp"
+
+namespace graftmatch {
+
+struct GridParams {
+  vid_t width = 512;
+  vid_t height = 512;
+  vid_t depth = 1;             ///< depth > 1 selects the 3D 7-point stencil
+  double diagonal_drop = 0.0;  ///< fraction of diagonal entries removed
+  std::uint64_t seed = 1;      ///< used only when diagonal_drop > 0
+};
+
+/// Bipartite graph of the stencil matrix of a width x height (x depth)
+/// grid: row i is connected to column i (unless dropped) and to the
+/// columns of grid-adjacent cells.
+BipartiteGraph generate_grid(const GridParams& params);
+
+}  // namespace graftmatch

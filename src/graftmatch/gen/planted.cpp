@@ -1,0 +1,70 @@
+#include "graftmatch/gen/planted.hpp"
+
+#include <stdexcept>
+
+#include "graftmatch/graph/transforms.hpp"
+#include "graftmatch/runtime/prng.hpp"
+
+namespace graftmatch {
+
+PlantedGraph generate_planted(const PlantedParams& params) {
+  if (params.matched_pairs < 0 || params.surplus_rows < 0 ||
+      params.bottleneck < 0) {
+    throw std::invalid_argument("planted: negative sizes");
+  }
+  if (params.noise_degree < 0.0) {
+    throw std::invalid_argument("planted: negative noise degree");
+  }
+
+  const vid_t planted = params.matched_pairs;
+  const vid_t surplus = params.surplus_rows;
+  const vid_t bottleneck = params.bottleneck;
+
+  Xoshiro256 rng(params.seed);
+  EdgeList list;
+  list.nx = planted + surplus;
+  list.ny = planted + bottleneck;
+
+  // Planted perfect matching plus noise, confined to the planted block
+  // (so the block's maximum stays exactly `planted`).
+  for (vid_t i = 0; i < planted; ++i) {
+    list.edges.push_back({i, i});
+  }
+  const auto noise_edges =
+      static_cast<std::int64_t>(params.noise_degree *
+                                static_cast<double>(planted));
+  for (std::int64_t k = 0; k < noise_edges; ++k) {
+    const auto x = static_cast<vid_t>(
+        rng.below(static_cast<std::uint64_t>(planted)));
+    const auto y = static_cast<vid_t>(
+        rng.below(static_cast<std::uint64_t>(planted)));
+    list.edges.push_back({x, y});
+  }
+
+  // Surplus rows compete for the bottleneck columns. The deterministic
+  // ring pattern (row j -> cols j mod B and j+1 mod B) guarantees the
+  // bottleneck block's maximum is exactly min(surplus, bottleneck);
+  // extra random edges into the same columns cannot raise it.
+  if (bottleneck > 0) {
+    for (vid_t j = 0; j < surplus; ++j) {
+      const vid_t row = planted + j;
+      list.edges.push_back({row, planted + (j % bottleneck)});
+      list.edges.push_back({row, planted + ((j + 1) % bottleneck)});
+      if (rng.uniform() < 0.5) {
+        list.edges.push_back(
+            {row, planted + static_cast<vid_t>(rng.below(
+                      static_cast<std::uint64_t>(bottleneck)))});
+      }
+    }
+  }
+
+  PlantedGraph result;
+  result.maximum_cardinality =
+      planted + (bottleneck > 0 ? std::min(surplus, bottleneck) : 0);
+  // Hide the construction from the algorithms under test.
+  result.graph = shuffle_labels(BipartiteGraph::from_edges(list),
+                                mix64(params.seed + 0x9e37u));
+  return result;
+}
+
+}  // namespace graftmatch

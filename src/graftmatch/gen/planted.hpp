@@ -1,0 +1,39 @@
+// Planted-matching generator: graphs whose EXACT maximum matching
+// cardinality is known by construction.
+//
+// Construction: a perfect matching is planted on `matched_pairs`
+// vertices (x_i ~ y_i, relabeled), noise edges are added on top (they
+// can never decrease the matching number), and the remaining
+// nx - matched_pairs rows are connected ONLY to a clique of `bottleneck`
+// already-matched columns... no: connected only into a designated set of
+// `bottleneck` EXTRA columns shared with `bottleneck` of the surplus
+// rows, so exactly min(bottleneck, surplus) extra rows can be matched.
+//
+// Precisely: maximum matching = matched_pairs + min(bottleneck, surplus)
+// where surplus = nx - matched_pairs (surplus rows compete for
+// `bottleneck` dedicated columns). This gives tests an exact oracle that
+// is independent of any matching algorithm.
+#pragma once
+
+#include <cstdint>
+
+#include "graftmatch/graph/bipartite_graph.hpp"
+
+namespace graftmatch {
+
+struct PlantedParams {
+  vid_t matched_pairs = 1 << 12;  ///< size of the planted perfect part
+  vid_t surplus_rows = 1 << 8;    ///< rows beyond the planted part
+  vid_t bottleneck = 1 << 4;      ///< dedicated columns for surplus rows
+  double noise_degree = 4.0;      ///< expected extra edges per planted row
+  std::uint64_t seed = 1;
+};
+
+struct PlantedGraph {
+  BipartiteGraph graph;
+  std::int64_t maximum_cardinality = 0;  ///< exact, by construction
+};
+
+PlantedGraph generate_planted(const PlantedParams& params);
+
+}  // namespace graftmatch

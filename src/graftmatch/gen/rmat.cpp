@@ -1,0 +1,70 @@
+#include "graftmatch/gen/rmat.hpp"
+
+#include <omp.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graftmatch/runtime/prng.hpp"
+
+namespace graftmatch {
+
+BipartiteGraph generate_rmat(const RmatParams& params) {
+  if (params.scale < 1 || params.scale > 30) {
+    throw std::invalid_argument("rmat: scale out of range [1, 30]");
+  }
+  const double d = 1.0 - params.a - params.b - params.c;
+  if (params.a < 0 || params.b < 0 || params.c < 0 || d < 0) {
+    throw std::invalid_argument("rmat: probabilities must be a partition");
+  }
+
+  const vid_t n = vid_t{1} << params.scale;
+  const auto target_edges =
+      static_cast<std::int64_t>(params.edge_factor * static_cast<double>(n));
+
+  EdgeList list;
+  list.nx = n;
+  list.ny = n;
+  list.edges.resize(static_cast<std::size_t>(target_edges));
+
+#pragma omp parallel
+  {
+    // Independent deterministic stream per thread.
+    Xoshiro256 rng =
+        Xoshiro256(params.seed).fork(static_cast<std::uint64_t>(
+            omp_get_thread_num()) + 0x51edd1u);
+#pragma omp for schedule(static)
+    for (std::int64_t k = 0; k < target_edges; ++k) {
+      vid_t row = 0;
+      vid_t col = 0;
+      for (int level = 0; level < params.scale; ++level) {
+        const double p = rng.uniform();
+        row <<= 1;
+        col <<= 1;
+        if (p < params.a) {
+          // top-left quadrant: nothing to add
+        } else if (p < params.a + params.b) {
+          col |= 1;
+        } else if (p < params.a + params.b + params.c) {
+          row |= 1;
+        } else {
+          row |= 1;
+          col |= 1;
+        }
+      }
+      if (params.scramble_ids) {
+        row = static_cast<vid_t>(
+            mix64(static_cast<std::uint64_t>(row) ^ params.seed) &
+            static_cast<std::uint64_t>(n - 1));
+        col = static_cast<vid_t>(
+            mix64(static_cast<std::uint64_t>(col) ^ (params.seed * 31 + 7)) &
+            static_cast<std::uint64_t>(n - 1));
+      }
+      list.edges[static_cast<std::size_t>(k)] = {row, col};
+    }
+  }
+
+  return BipartiteGraph::from_edges(list);
+}
+
+}  // namespace graftmatch

@@ -1,0 +1,29 @@
+// Recursive MATrix (R-MAT) generator, Graph500 flavor.
+//
+// The paper's scale-free class includes a Graph500 RMAT instance
+// (Table II). We generate an RMAT square matrix and interpret rows as X
+// and columns as Y, exactly as the paper constructs bipartite graphs
+// from sparse matrices (Sec. IV-B).
+#pragma once
+
+#include <cstdint>
+
+#include "graftmatch/graph/bipartite_graph.hpp"
+
+namespace graftmatch {
+
+struct RmatParams {
+  int scale = 16;                ///< 2^scale vertices per side
+  double edge_factor = 16.0;     ///< edges = edge_factor * 2^scale
+  double a = 0.57;               ///< Graph500 defaults
+  double b = 0.19;
+  double c = 0.19;               ///< d = 1 - a - b - c
+  std::uint64_t seed = 1;
+  bool scramble_ids = true;      ///< hash vertex labels (Graph500 does)
+};
+
+/// Generate an RMAT bipartite graph. Duplicate edges are merged, so the
+/// resulting edge count is slightly below edge_factor * 2^scale.
+BipartiteGraph generate_rmat(const RmatParams& params);
+
+}  // namespace graftmatch

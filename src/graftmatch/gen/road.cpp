@@ -1,0 +1,58 @@
+#include "graftmatch/gen/road.hpp"
+
+#include <stdexcept>
+
+#include "graftmatch/runtime/prng.hpp"
+
+namespace graftmatch {
+
+BipartiteGraph generate_road(const RoadParams& params) {
+  if (params.width <= 0 || params.height <= 0) {
+    throw std::invalid_argument("road: dimensions must be positive");
+  }
+  if (params.edge_keep < 0.0 || params.edge_keep > 1.0 ||
+      params.dead_end < 0.0 || params.dead_end > 1.0) {
+    throw std::invalid_argument("road: probabilities outside [0, 1]");
+  }
+
+  const vid_t w = params.width;
+  const vid_t h = params.height;
+  const vid_t n = w * h;
+  Xoshiro256 rng(params.seed);
+
+  EdgeList list;
+  list.nx = n;
+  list.ny = n;
+  list.edges.reserve(static_cast<std::size_t>(n) * 5);
+
+  const auto cell = [w](vid_t x, vid_t y) { return y * w + x; };
+
+  // Dead-end selection first so it is independent of edge sampling order.
+  std::vector<bool> dead(static_cast<std::size_t>(n), false);
+  for (vid_t v = 0; v < n; ++v) {
+    dead[static_cast<std::size_t>(v)] = rng.uniform() < params.dead_end;
+  }
+
+  for (vid_t y = 0; y < h; ++y) {
+    for (vid_t x = 0; x < w; ++x) {
+      const vid_t row = cell(x, y);
+      if (dead[static_cast<std::size_t>(row)]) continue;
+      // Roads correspond to a symmetric adjacency matrix with a zero-free
+      // diagonal (each intersection's own column): keep the diagonal and
+      // a random subset of lattice links.
+      list.edges.push_back({row, row});
+      const auto keep = [&](vid_t other) {
+        if (dead[static_cast<std::size_t>(other)]) return;
+        if (rng.uniform() < params.edge_keep) {
+          list.edges.push_back({row, other});
+          list.edges.push_back({other, row});
+        }
+      };
+      if (x + 1 < w) keep(cell(x + 1, y));
+      if (y + 1 < h) keep(cell(x, y + 1));
+    }
+  }
+  return BipartiteGraph::from_edges(list);
+}
+
+}  // namespace graftmatch

@@ -1,0 +1,26 @@
+// Road-network-like graphs: bounded degree, locally connected, long
+// shortest paths (road_usa / europe_osm class).
+//
+// We lay vertices on a jittered 2D lattice and connect each to a random
+// subset of its lattice neighbors, then delete a fraction of vertices'
+// incident edges entirely ("dead ends"), which lowers the matching
+// number the way real road matrices do.
+#pragma once
+
+#include <cstdint>
+
+#include "graftmatch/graph/bipartite_graph.hpp"
+
+namespace graftmatch {
+
+struct RoadParams {
+  vid_t width = 1024;
+  vid_t height = 1024;
+  double edge_keep = 0.85;   ///< probability a lattice link survives
+  double dead_end = 0.02;    ///< fraction of rows with all edges removed
+  std::uint64_t seed = 1;
+};
+
+BipartiteGraph generate_road(const RoadParams& params);
+
+}  // namespace graftmatch

@@ -1,0 +1,61 @@
+#include "graftmatch/gen/sbm.hpp"
+
+#include <omp.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graftmatch/runtime/prng.hpp"
+
+namespace graftmatch {
+
+BipartiteGraph generate_sbm(const SbmParams& params) {
+  if (params.rows_per_block <= 0 || params.cols_per_block <= 0 ||
+      params.blocks <= 0) {
+    throw std::invalid_argument("sbm: sizes must be positive");
+  }
+  if (params.in_degree < 0.0 || params.out_degree < 0.0) {
+    throw std::invalid_argument("sbm: degrees must be non-negative");
+  }
+
+  const vid_t nx = params.rows_per_block * params.blocks;
+  const vid_t ny = params.cols_per_block * params.blocks;
+
+  EdgeList list;
+  list.nx = nx;
+  list.ny = ny;
+  list.edges.reserve(static_cast<std::size_t>(
+      static_cast<double>(nx) * (params.in_degree + params.out_degree)));
+
+  Xoshiro256 rng(params.seed);
+  for (vid_t x = 0; x < nx; ++x) {
+    const vid_t block = x / params.rows_per_block;
+    const vid_t own_base = block * params.cols_per_block;
+
+    // In-block edges: Poisson-ish via independent geometric rounding.
+    const auto in_edges = static_cast<std::int64_t>(std::floor(
+        params.in_degree + rng.uniform()));
+    for (std::int64_t k = 0; k < in_edges; ++k) {
+      list.edges.push_back(
+          {x, own_base + static_cast<vid_t>(rng.below(
+                  static_cast<std::uint64_t>(params.cols_per_block)))});
+    }
+    // Cross-block edges land anywhere outside the own block.
+    if (params.blocks > 1) {
+      const auto out_edges = static_cast<std::int64_t>(std::floor(
+          params.out_degree + rng.uniform()));
+      for (std::int64_t k = 0; k < out_edges; ++k) {
+        vid_t other = static_cast<vid_t>(rng.below(
+            static_cast<std::uint64_t>(params.blocks - 1)));
+        if (other >= block) ++other;
+        list.edges.push_back(
+            {x, other * params.cols_per_block +
+                    static_cast<vid_t>(rng.below(static_cast<std::uint64_t>(
+                        params.cols_per_block)))});
+      }
+    }
+  }
+  return BipartiteGraph::from_edges(list);
+}
+
+}  // namespace graftmatch

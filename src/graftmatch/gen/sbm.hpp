@@ -1,0 +1,27 @@
+// Bipartite stochastic block model: rows and columns partitioned into
+// communities; edge probability depends only on the community pair.
+// Community structure is the feature real link graphs have that plain
+// random models lack, and it shapes how alternating trees overlap --
+// useful both as a workload and for stress-testing the grafting step
+// (trees tend to collide inside communities).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graftmatch/graph/bipartite_graph.hpp"
+
+namespace graftmatch {
+
+struct SbmParams {
+  vid_t rows_per_block = 1 << 10;
+  vid_t cols_per_block = 1 << 10;
+  vid_t blocks = 8;
+  double in_degree = 6.0;    ///< expected edges per row into its own block
+  double out_degree = 1.0;   ///< expected edges per row into other blocks
+  std::uint64_t seed = 1;
+};
+
+BipartiteGraph generate_sbm(const SbmParams& params);
+
+}  // namespace graftmatch

@@ -1,0 +1,197 @@
+#include "graftmatch/gen/suite.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graftmatch/gen/chung_lu.hpp"
+#include "graftmatch/gen/erdos_renyi.hpp"
+#include "graftmatch/gen/grid.hpp"
+#include "graftmatch/gen/rmat.hpp"
+#include "graftmatch/gen/road.hpp"
+#include "graftmatch/gen/webcrawl.hpp"
+
+namespace graftmatch {
+namespace {
+
+// Scale a linear dimension by sqrt(size_factor) so that vertex/edge
+// counts scale roughly linearly with size_factor.
+vid_t scale_dim(vid_t base, double size_factor) {
+  const double scaled = static_cast<double>(base) * std::sqrt(size_factor);
+  return std::max<vid_t>(4, static_cast<vid_t>(scaled));
+}
+
+vid_t scale_count(vid_t base, double size_factor) {
+  const double scaled = static_cast<double>(base) * size_factor;
+  return std::max<vid_t>(8, static_cast<vid_t>(scaled));
+}
+
+int scale_log2(int base, double size_factor) {
+  const int shift = static_cast<int>(std::lround(std::log2(
+      std::max(size_factor, 1.0 / 1024.0))));
+  return std::max(4, base + shift);
+}
+
+std::vector<SuiteInstance> build_suite() {
+  std::vector<SuiteInstance> suite;
+
+  // ----- class 1: scientific computing & road networks (high matching
+  // number; the paper reports ~1.0 fractions for these).
+  suite.push_back(
+      {"kkt_power-like", "kkt_power", GraphClass::kScientific,
+       [](double f, std::uint64_t seed) {
+         GridParams p;
+         p.width = scale_dim(640, f);
+         p.height = scale_dim(640, f);
+         p.diagonal_drop = 0.02;  // KKT systems have a few zero diagonals
+         p.seed = seed;
+         return generate_grid(p);
+       }});
+  suite.push_back(
+      {"hugetrace-like", "hugetrace-00020", GraphClass::kScientific,
+       [](double f, std::uint64_t seed) {
+         GridParams p;  // large 2D mesh, zero-free diagonal
+         p.width = scale_dim(800, f);
+         p.height = scale_dim(800, f);
+         p.seed = seed;
+         return generate_grid(p);
+       }});
+  suite.push_back(
+      {"delaunay-like", "delaunay_n24", GraphClass::kScientific,
+       [](double f, std::uint64_t seed) {
+         GridParams p;  // 3D stencil: higher degree, still near-perfect
+         p.width = scale_dim(96, f);
+         p.height = scale_dim(96, f);
+         p.depth = 48;
+         p.seed = seed;
+         return generate_grid(p);
+       }});
+  suite.push_back(
+      {"road_usa-like", "road_usa", GraphClass::kScientific,
+       [](double f, std::uint64_t seed) {
+         RoadParams p;
+         p.width = scale_dim(760, f);
+         p.height = scale_dim(760, f);
+         p.seed = seed;
+         return generate_road(p);
+       }});
+
+  // ----- class 2: scale-free graphs.
+  suite.push_back(
+      {"cit-patents-like", "cit-Patents", GraphClass::kScaleFree,
+       [](double f, std::uint64_t seed) {
+         ChungLuParams p;
+         p.nx = scale_count(1 << 18, f);
+         p.ny = p.nx;
+         p.avg_degree = 9.0;
+         p.gamma = 2.6;
+         p.seed = seed;
+         return generate_chung_lu(p);
+       }});
+  suite.push_back(
+      {"amazon-like", "amazon0312", GraphClass::kScaleFree,
+       [](double f, std::uint64_t seed) {
+         ChungLuParams p;
+         p.nx = scale_count(1 << 17, f);
+         p.ny = p.nx;
+         p.avg_degree = 8.0;
+         p.gamma = 3.0;  // mild skew: amazon is close to a co-purchase mesh
+         p.seed = seed;
+         return generate_chung_lu(p);
+       }});
+  suite.push_back(
+      {"copapers-like", "coPapersDBLP", GraphClass::kScaleFree,
+       [](double f, std::uint64_t seed) {
+         ChungLuParams p;
+         p.nx = scale_count(1 << 17, f);
+         p.ny = p.nx;
+         p.avg_degree = 24.0;  // dense co-authorship cliques
+         p.gamma = 2.3;
+         p.seed = seed;
+         return generate_chung_lu(p);
+       }});
+  suite.push_back(
+      {"rmat-like", "RMAT (Graph500)", GraphClass::kScaleFree,
+       [](double f, std::uint64_t seed) {
+         RmatParams p;
+         p.scale = scale_log2(18, f);
+         p.edge_factor = 16.0;
+         p.seed = seed;
+         return generate_rmat(p);
+       }});
+
+  // ----- class 3: web crawls & link graphs (low matching number).
+  suite.push_back(
+      {"wikipedia-like", "wikipedia-20070206", GraphClass::kWeb,
+       [](double f, std::uint64_t seed) {
+         WebCrawlParams p;
+         p.nx = scale_count(1 << 18, f);
+         p.ny = p.nx;
+         p.avg_degree = 12.0;
+         p.gamma = 1.9;
+         p.stub_fraction = 0.45;
+         p.seed = seed;
+         return generate_webcrawl(p);
+       }});
+  suite.push_back(
+      {"web-google-like", "web-Google", GraphClass::kWeb,
+       [](double f, std::uint64_t seed) {
+         WebCrawlParams p;
+         p.nx = scale_count(1 << 17, f);
+         p.ny = p.nx;
+         p.avg_degree = 10.0;
+         p.gamma = 2.0;
+         p.stub_fraction = 0.55;
+         p.hub_count = 192;
+         p.seed = seed;
+         return generate_webcrawl(p);
+       }});
+  suite.push_back(
+      {"wb-edu-like", "wb-edu", GraphClass::kWeb,
+       [](double f, std::uint64_t seed) {
+         WebCrawlParams p;
+         p.nx = scale_count(1 << 18, f);
+         p.ny = scale_count(1 << 17, f);  // rectangular: crawls see more
+                                          // pages than distinct targets
+         p.avg_degree = 8.0;
+         p.gamma = 1.8;
+         p.stub_fraction = 0.6;
+         p.hub_count = 128;
+         p.seed = seed;
+         return generate_webcrawl(p);
+       }});
+
+  return suite;
+}
+
+}  // namespace
+
+std::string to_string(GraphClass cls) {
+  switch (cls) {
+    case GraphClass::kScientific: return "scientific";
+    case GraphClass::kScaleFree: return "scale-free";
+    case GraphClass::kWeb: return "web";
+  }
+  return "unknown";
+}
+
+const std::vector<SuiteInstance>& benchmark_suite() {
+  static const std::vector<SuiteInstance> suite = build_suite();
+  return suite;
+}
+
+const SuiteInstance& suite_instance(const std::string& name) {
+  for (const SuiteInstance& instance : benchmark_suite()) {
+    if (instance.name == name) return instance;
+  }
+  throw std::out_of_range("suite: no instance named " + name);
+}
+
+std::vector<std::string> suite_names(GraphClass cls) {
+  std::vector<std::string> names;
+  for (const SuiteInstance& instance : benchmark_suite()) {
+    if (instance.graph_class == cls) names.push_back(instance.name);
+  }
+  return names;
+}
+
+}  // namespace graftmatch

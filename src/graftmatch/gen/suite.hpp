@@ -1,0 +1,49 @@
+// The benchmark suite: named synthetic stand-ins for the paper's
+// Table II inputs, grouped into the paper's three classes.
+//
+//   class 1  "scientific"  -- high matching number (kkt_power, hugetrace,
+//                             delaunay, road_usa analogues)
+//   class 2  "scale-free"  -- skewed degrees (cit-Patents, amazon0312,
+//                             coPapersDBLP, RMAT analogues)
+//   class 3  "web"         -- low matching number (wikipedia, web-Google,
+//                             wb-edu analogues)
+//
+// Every instance is deterministic given its seed, and has a size knob so
+// tests run in milliseconds while benches run at full size.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graftmatch/graph/bipartite_graph.hpp"
+
+namespace graftmatch {
+
+enum class GraphClass {
+  kScientific,  ///< class 1: high matching number
+  kScaleFree,   ///< class 2: skewed degree distribution
+  kWeb,         ///< class 3: low matching number
+};
+
+/// Printable class name ("scientific" / "scale-free" / "web").
+std::string to_string(GraphClass cls);
+
+struct SuiteInstance {
+  std::string name;        ///< e.g. "kkt_power-like"
+  std::string paper_name;  ///< the Table II instance it stands in for
+  GraphClass graph_class;
+  std::function<BipartiteGraph(double size_factor, std::uint64_t seed)>
+      factory;
+};
+
+/// All suite instances, in Table II order.
+const std::vector<SuiteInstance>& benchmark_suite();
+
+/// Look up one instance by name; throws std::out_of_range when missing.
+const SuiteInstance& suite_instance(const std::string& name);
+
+/// Names of instances belonging to a class.
+std::vector<std::string> suite_names(GraphClass cls);
+
+}  // namespace graftmatch

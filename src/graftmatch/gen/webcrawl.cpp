@@ -1,0 +1,62 @@
+#include "graftmatch/gen/webcrawl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "graftmatch/runtime/alias_table.hpp"
+#include "graftmatch/runtime/prng.hpp"
+
+namespace graftmatch {
+
+BipartiteGraph generate_webcrawl(const WebCrawlParams& params) {
+  if (params.nx <= 0 || params.ny <= 0) {
+    throw std::invalid_argument("webcrawl: parts must be nonempty");
+  }
+  if (params.gamma <= 1.0) {
+    throw std::invalid_argument("webcrawl: gamma must exceed 1");
+  }
+  if (params.stub_fraction < 0.0 || params.stub_fraction > 1.0) {
+    throw std::invalid_argument("webcrawl: stub_fraction outside [0, 1]");
+  }
+  if (params.hub_count <= 0 || params.hub_count > params.ny) {
+    throw std::invalid_argument("webcrawl: hub_count outside (0, ny]");
+  }
+
+  // Column popularity weights: w_j ~ (j+1)^(-1/(gamma-1)). Column 0 is
+  // the biggest hub; the first hub_count columns absorb the stub links.
+  std::vector<double> weights(static_cast<std::size_t>(params.ny));
+  const double exponent = -1.0 / (params.gamma - 1.0);
+  for (vid_t j = 0; j < params.ny; ++j) {
+    weights[static_cast<std::size_t>(j)] =
+        std::pow(static_cast<double>(j) + 1.0, exponent);
+  }
+  const AliasTable columns{std::span<const double>(weights)};
+
+  Xoshiro256 rng(params.seed);
+  EdgeList list;
+  list.nx = params.nx;
+  list.ny = params.ny;
+  list.edges.reserve(static_cast<std::size_t>(
+      static_cast<double>(params.nx) * params.avg_degree / 2.0));
+
+  for (vid_t x = 0; x < params.nx; ++x) {
+    const bool is_stub = rng.uniform() < params.stub_fraction;
+    if (is_stub) {
+      const auto hub = static_cast<vid_t>(
+          rng.below(static_cast<std::uint64_t>(params.hub_count)));
+      list.edges.push_back({x, hub});
+      continue;
+    }
+    // Out-degree of a regular page: geometric-ish around avg_degree.
+    const auto degree = static_cast<std::int64_t>(std::max(
+        1.0, std::round(-params.avg_degree * std::log(1.0 - rng.uniform()))));
+    for (std::int64_t k = 0; k < degree; ++k) {
+      list.edges.push_back({x, static_cast<vid_t>(columns.sample(rng))});
+    }
+  }
+  return BipartiteGraph::from_edges(list);
+}
+
+}  // namespace graftmatch

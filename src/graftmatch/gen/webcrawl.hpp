@@ -1,0 +1,31 @@
+// Web-crawl-like bipartite graphs: the paper's third class (wb-edu,
+// web-Google, wikipedia), whose defining property is a LOW matching
+// number -- many vertices cannot be matched because link mass
+// concentrates on a small set of hub columns.
+//
+// Construction: column popularity follows a heavy power law
+// (gamma ~ 1.9), and a `stub_fraction` of rows are one-link stub pages
+// pointing only at hubs. Stubs compete for the same few hubs, so the
+// maximum matching leaves a large fraction of rows unmatched -- the
+// regime where tree grafting pays off most (paper Sec. V-A).
+#pragma once
+
+#include <cstdint>
+
+#include "graftmatch/graph/bipartite_graph.hpp"
+
+namespace graftmatch {
+
+struct WebCrawlParams {
+  vid_t nx = 1 << 15;         ///< pages (rows)
+  vid_t ny = 1 << 15;         ///< link targets (columns)
+  double avg_degree = 6.0;    ///< mean out-degree of non-stub pages
+  double gamma = 1.9;         ///< column-popularity power-law exponent
+  double stub_fraction = 0.5; ///< fraction of rows that are 1-link stubs
+  vid_t hub_count = 256;      ///< stubs link uniformly into the top hubs
+  std::uint64_t seed = 1;
+};
+
+BipartiteGraph generate_webcrawl(const WebCrawlParams& params);
+
+}  // namespace graftmatch

@@ -1,0 +1,123 @@
+#include "graftmatch/graph/bipartite_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graftmatch/runtime/atomics.hpp"
+#include "graftmatch/runtime/parallel.hpp"
+
+namespace graftmatch {
+namespace {
+
+// Counting-sort one CSR side from a deduplicated edge list.
+// key(e) selects the source vertex, value(e) the stored neighbor.
+template <typename Key, typename Value>
+void build_side(const std::vector<Edge>& edges, vid_t n,
+                std::vector<eid_t>& offsets, std::vector<vid_t>& neighbors,
+                Key key, Value value) {
+  offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  const std::int64_t m = static_cast<std::int64_t>(edges.size());
+
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < m; ++i) {
+    fetch_add_relaxed(
+        offsets[static_cast<std::size_t>(key(edges[static_cast<std::size_t>(i)])) + 1],
+        eid_t{1});
+  }
+  for (std::size_t v = 0; v < static_cast<std::size_t>(n); ++v) {
+    offsets[v + 1] += offsets[v];
+  }
+
+  neighbors.resize(static_cast<std::size_t>(m));
+  std::vector<eid_t> cursor(offsets.begin(), offsets.end() - 1);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < m; ++i) {
+    const Edge& e = edges[static_cast<std::size_t>(i)];
+    const eid_t slot =
+        fetch_add_relaxed(cursor[static_cast<std::size_t>(key(e))], eid_t{1});
+    neighbors[static_cast<std::size_t>(slot)] = value(e);
+  }
+
+#pragma omp parallel for schedule(dynamic, 1024)
+  for (std::int64_t v = 0; v < n; ++v) {
+    std::sort(neighbors.begin() + offsets[static_cast<std::size_t>(v)],
+              neighbors.begin() + offsets[static_cast<std::size_t>(v) + 1]);
+  }
+}
+
+}  // namespace
+
+BipartiteGraph BipartiteGraph::from_edges(const EdgeList& list) {
+  if (list.nx < 0 || list.ny < 0) {
+    throw std::invalid_argument("BipartiteGraph: negative part size");
+  }
+  if (!list.in_bounds()) {
+    throw std::invalid_argument("BipartiteGraph: edge endpoint out of range");
+  }
+
+  EdgeList canonical = list;
+  canonical.canonicalize();
+
+  BipartiteGraph g;
+  g.nx_ = canonical.nx;
+  g.ny_ = canonical.ny;
+  build_side(
+      canonical.edges, g.nx_, g.x_offsets_, g.x_neighbors_,
+      [](const Edge& e) { return e.x; }, [](const Edge& e) { return e.y; });
+  build_side(
+      canonical.edges, g.ny_, g.y_offsets_, g.y_neighbors_,
+      [](const Edge& e) { return e.y; }, [](const Edge& e) { return e.x; });
+  return g;
+}
+
+BipartiteGraph BipartiteGraph::from_csr(std::span<const eid_t> offsets,
+                                        std::span<const vid_t> neighbors,
+                                        vid_t ny) {
+  if (offsets.empty()) {
+    throw std::invalid_argument("from_csr: offsets must have nx+1 entries");
+  }
+  if (offsets.front() != 0 ||
+      offsets.back() != static_cast<eid_t>(neighbors.size())) {
+    throw std::invalid_argument("from_csr: offsets do not frame neighbors");
+  }
+  EdgeList list;
+  list.nx = static_cast<vid_t>(offsets.size()) - 1;
+  list.ny = ny;
+  list.edges.reserve(neighbors.size());
+  for (vid_t x = 0; x < list.nx; ++x) {
+    const eid_t begin = offsets[static_cast<std::size_t>(x)];
+    const eid_t end = offsets[static_cast<std::size_t>(x) + 1];
+    if (begin > end) {
+      throw std::invalid_argument("from_csr: offsets must be nondecreasing");
+    }
+    for (eid_t k = begin; k < end; ++k) {
+      list.edges.push_back({x, neighbors[static_cast<std::size_t>(k)]});
+    }
+  }
+  return from_edges(list);
+}
+
+bool BipartiteGraph::has_edge(vid_t x, vid_t y) const noexcept {
+  if (x < 0 || x >= nx_ || y < 0 || y >= ny_) return false;
+  const auto adj = neighbors_of_x(x);
+  return std::binary_search(adj.begin(), adj.end(), y);
+}
+
+EdgeList BipartiteGraph::to_edges() const {
+  EdgeList list;
+  list.nx = nx_;
+  list.ny = ny_;
+  list.edges.reserve(static_cast<std::size_t>(num_edges()));
+  for (vid_t x = 0; x < nx_; ++x) {
+    for (vid_t y : neighbors_of_x(x)) list.edges.push_back({x, y});
+  }
+  return list;
+}
+
+std::int64_t BipartiteGraph::memory_bytes() const noexcept {
+  return static_cast<std::int64_t>(
+      (x_offsets_.size() + y_offsets_.size()) * sizeof(eid_t) +
+      (x_neighbors_.size() + y_neighbors_.size()) * sizeof(vid_t));
+}
+
+}  // namespace graftmatch

@@ -1,0 +1,19 @@
+#include "graftmatch/graph/edge_list.hpp"
+
+#include <algorithm>
+
+namespace graftmatch {
+
+void EdgeList::canonicalize() {
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+}
+
+bool EdgeList::in_bounds() const noexcept {
+  for (const Edge& e : edges) {
+    if (e.x < 0 || e.x >= nx || e.y < 0 || e.y >= ny) return false;
+  }
+  return true;
+}
+
+}  // namespace graftmatch

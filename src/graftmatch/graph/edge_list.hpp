@@ -1,0 +1,39 @@
+// Bipartite edge list: the interchange format between generators,
+// Matrix Market I/O, and CSR construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graftmatch/types.hpp"
+
+namespace graftmatch {
+
+/// One bipartite edge (x in X/rows, y in Y/columns).
+struct Edge {
+  vid_t x;
+  vid_t y;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// A bag of bipartite edges plus the two part sizes. May contain
+/// duplicates and is unordered until canonicalize() is called.
+struct EdgeList {
+  vid_t nx = 0;  ///< |X| (rows)
+  vid_t ny = 0;  ///< |Y| (columns)
+  std::vector<Edge> edges;
+
+  /// Sort lexicographically and drop duplicate edges in place.
+  void canonicalize();
+
+  /// True when every endpoint is inside [0, nx) x [0, ny).
+  bool in_bounds() const noexcept;
+
+  std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(edges.size());
+  }
+};
+
+}  // namespace graftmatch

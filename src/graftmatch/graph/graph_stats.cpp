@@ -1,0 +1,56 @@
+#include "graftmatch/graph/graph_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace graftmatch {
+
+GraphStats compute_graph_stats(const BipartiteGraph& g) {
+  GraphStats stats;
+  stats.nx = g.num_x();
+  stats.ny = g.num_y();
+  stats.edges = g.num_edges();
+
+  eid_t max_dx = 0;
+  eid_t max_dy = 0;
+  vid_t iso_x = 0;
+  vid_t iso_y = 0;
+#pragma omp parallel for schedule(static) reduction(max : max_dx) \
+    reduction(+ : iso_x)
+  for (vid_t x = 0; x < stats.nx; ++x) {
+    const eid_t d = g.degree_x(x);
+    max_dx = std::max(max_dx, d);
+    iso_x += (d == 0);
+  }
+#pragma omp parallel for schedule(static) reduction(max : max_dy) \
+    reduction(+ : iso_y)
+  for (vid_t y = 0; y < stats.ny; ++y) {
+    const eid_t d = g.degree_y(y);
+    max_dy = std::max(max_dy, d);
+    iso_y += (d == 0);
+  }
+
+  stats.max_degree_x = max_dx;
+  stats.max_degree_y = max_dy;
+  stats.isolated_x = iso_x;
+  stats.isolated_y = iso_y;
+  stats.avg_degree_x =
+      stats.nx > 0 ? static_cast<double>(stats.edges) / static_cast<double>(stats.nx) : 0.0;
+  stats.avg_degree_y =
+      stats.ny > 0 ? static_cast<double>(stats.edges) / static_cast<double>(stats.ny) : 0.0;
+  stats.degree_skew_x = stats.avg_degree_x > 0.0
+                            ? static_cast<double>(stats.max_degree_x) / stats.avg_degree_x
+                            : 0.0;
+  return stats;
+}
+
+std::string format_graph_stats(const GraphStats& stats) {
+  std::ostringstream out;
+  out << "nx=" << stats.nx << " ny=" << stats.ny << " m=" << stats.edges
+      << " davg_x=" << stats.avg_degree_x << " dmax_x=" << stats.max_degree_x
+      << " dmax_y=" << stats.max_degree_y << " iso_x=" << stats.isolated_x
+      << " iso_y=" << stats.isolated_y;
+  return out.str();
+}
+
+}  // namespace graftmatch

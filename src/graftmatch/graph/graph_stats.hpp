@@ -1,0 +1,31 @@
+// Descriptive statistics of a bipartite graph, used by the Table II
+// reproduction and by the generator tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graftmatch/graph/bipartite_graph.hpp"
+
+namespace graftmatch {
+
+struct GraphStats {
+  vid_t nx = 0;
+  vid_t ny = 0;
+  std::int64_t edges = 0;          ///< undirected edges (nnz)
+  double avg_degree_x = 0.0;
+  double avg_degree_y = 0.0;
+  eid_t max_degree_x = 0;
+  eid_t max_degree_y = 0;
+  vid_t isolated_x = 0;            ///< degree-0 X vertices
+  vid_t isolated_y = 0;
+  double degree_skew_x = 0.0;      ///< max degree / avg degree
+};
+
+/// Compute stats with a parallel scan over both sides.
+GraphStats compute_graph_stats(const BipartiteGraph& g);
+
+/// One-line rendering: "nx=... ny=... m=... davg=... dmax=...".
+std::string format_graph_stats(const GraphStats& stats);
+
+}  // namespace graftmatch

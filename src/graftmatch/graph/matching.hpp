@@ -1,0 +1,86 @@
+// Matching representation shared by every algorithm.
+//
+// The paper represents a matching as a single mate[] array over X u Y
+// with -1 for unmatched vertices. We split it into mate_x / mate_y so
+// both sides index from zero, which keeps kernels free of offset
+// arithmetic; the semantics are identical.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graftmatch/types.hpp"
+
+namespace graftmatch {
+
+class Matching {
+ public:
+  Matching() = default;
+
+  /// Empty matching over parts of size nx and ny.
+  Matching(vid_t nx, vid_t ny)
+      : mate_x_(static_cast<std::size_t>(nx), kInvalidVertex),
+        mate_y_(static_cast<std::size_t>(ny), kInvalidVertex) {}
+
+  vid_t num_x() const noexcept { return static_cast<vid_t>(mate_x_.size()); }
+  vid_t num_y() const noexcept { return static_cast<vid_t>(mate_y_.size()); }
+
+  /// Mate of x in Y, or kInvalidVertex.
+  vid_t mate_of_x(vid_t x) const noexcept {
+    return mate_x_[static_cast<std::size_t>(x)];
+  }
+  /// Mate of y in X, or kInvalidVertex.
+  vid_t mate_of_y(vid_t y) const noexcept {
+    return mate_y_[static_cast<std::size_t>(y)];
+  }
+
+  bool is_matched_x(vid_t x) const noexcept {
+    return mate_of_x(x) != kInvalidVertex;
+  }
+  bool is_matched_y(vid_t y) const noexcept {
+    return mate_of_y(y) != kInvalidVertex;
+  }
+
+  /// Add the edge (x, y) to the matching. Both endpoints must currently
+  /// be unmatched (checked only by assert; kernels maintain this).
+  void match(vid_t x, vid_t y) noexcept {
+    mate_x_[static_cast<std::size_t>(x)] = y;
+    mate_y_[static_cast<std::size_t>(y)] = x;
+  }
+
+  /// Remove the matched edge incident to x (no-op if x is unmatched).
+  void unmatch_x(vid_t x) noexcept {
+    const vid_t y = mate_of_x(x);
+    if (y == kInvalidVertex) return;
+    mate_x_[static_cast<std::size_t>(x)] = kInvalidVertex;
+    mate_y_[static_cast<std::size_t>(y)] = kInvalidVertex;
+  }
+
+  /// Number of matched edges. O(nx).
+  std::int64_t cardinality() const noexcept {
+    std::int64_t count = 0;
+    for (const vid_t mate : mate_x_) count += (mate != kInvalidVertex);
+    return count;
+  }
+
+  /// Matching number as a fraction of |X u Y| (the paper's Table II
+  /// reporting convention: 2|M| / n).
+  double fraction_of_vertices() const noexcept {
+    const auto n = static_cast<double>(mate_x_.size() + mate_y_.size());
+    return n == 0.0 ? 0.0 : 2.0 * static_cast<double>(cardinality()) / n;
+  }
+
+  /// Direct access for parallel kernels (atomic_ref-compatible storage).
+  std::vector<vid_t>& mate_x() noexcept { return mate_x_; }
+  std::vector<vid_t>& mate_y() noexcept { return mate_y_; }
+  const std::vector<vid_t>& mate_x() const noexcept { return mate_x_; }
+  const std::vector<vid_t>& mate_y() const noexcept { return mate_y_; }
+
+  friend bool operator==(const Matching&, const Matching&) = default;
+
+ private:
+  std::vector<vid_t> mate_x_;
+  std::vector<vid_t> mate_y_;
+};
+
+}  // namespace graftmatch

@@ -1,0 +1,68 @@
+#include "graftmatch/graph/matching_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace graftmatch {
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::runtime_error("matching io: " + message);
+}
+
+}  // namespace
+
+void write_matching(std::ostream& out, const Matching& matching) {
+  out << "graftmatch-matching 1\n";
+  out << matching.num_x() << ' ' << matching.num_y() << ' '
+      << matching.cardinality() << '\n';
+  for (vid_t x = 0; x < matching.num_x(); ++x) {
+    const vid_t y = matching.mate_of_x(x);
+    if (y != kInvalidVertex) out << x << ' ' << y << '\n';
+  }
+}
+
+void write_matching_file(const std::string& path, const Matching& matching) {
+  std::ofstream out(path);
+  if (!out) fail("cannot open " + path);
+  write_matching(out, matching);
+}
+
+Matching read_matching(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "graftmatch-matching") {
+    fail("bad magic");
+  }
+  if (version != 1) fail("unsupported version");
+
+  vid_t nx = 0;
+  vid_t ny = 0;
+  std::int64_t cardinality = 0;
+  if (!(in >> nx >> ny >> cardinality) || nx < 0 || ny < 0 ||
+      cardinality < 0) {
+    fail("bad header");
+  }
+
+  Matching matching(nx, ny);
+  for (std::int64_t k = 0; k < cardinality; ++k) {
+    vid_t x = 0;
+    vid_t y = 0;
+    if (!(in >> x >> y)) fail("truncated pair list");
+    if (x < 0 || x >= nx || y < 0 || y >= ny) fail("pair out of range");
+    if (matching.is_matched_x(x) || matching.is_matched_y(y)) {
+      fail("duplicate endpoint");
+    }
+    matching.match(x, y);
+  }
+  return matching;
+}
+
+Matching read_matching_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open " + path);
+  return read_matching(in);
+}
+
+}  // namespace graftmatch

@@ -1,0 +1,26 @@
+// Plain-text serialization of matchings, so expensive maximum matchings
+// (and Karp-Sipser warm starts) can be cached between runs.
+//
+// Format:
+//   graftmatch-matching 1
+//   <nx> <ny> <cardinality>
+//   <x> <y>          (one matched pair per line, ascending x)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graftmatch/graph/matching.hpp"
+
+namespace graftmatch {
+
+void write_matching(std::ostream& out, const Matching& matching);
+void write_matching_file(const std::string& path, const Matching& matching);
+
+/// Parse a matching; throws std::runtime_error on malformed input
+/// (bad magic, out-of-range vertices, duplicate endpoints, or a pair
+/// count that disagrees with the header).
+Matching read_matching(std::istream& in);
+Matching read_matching_file(const std::string& path);
+
+}  // namespace graftmatch

@@ -1,0 +1,140 @@
+#include "graftmatch/graph/mm_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace graftmatch {
+namespace {
+
+[[noreturn]] void fail(std::int64_t line, const std::string& message) {
+  std::ostringstream out;
+  out << "matrix market: line " << line << ": " << message;
+  throw std::runtime_error(out.str());
+}
+
+std::string lowercase(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return text;
+}
+
+struct Header {
+  std::string field;     // real | integer | pattern | complex
+  std::string symmetry;  // general | symmetric | skew-symmetric | hermitian
+};
+
+Header parse_banner(const std::string& line) {
+  std::istringstream in(line);
+  std::string banner, object, format, field, symmetry;
+  in >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket" && banner != "%MatrixMarket") {
+    fail(1, "missing %%MatrixMarket banner");
+  }
+  object = lowercase(object);
+  format = lowercase(format);
+  field = lowercase(field);
+  symmetry = lowercase(symmetry);
+  if (object != "matrix") fail(1, "unsupported object '" + object + "'");
+  if (format != "coordinate") {
+    fail(1, "unsupported format '" + format + "' (only coordinate)");
+  }
+  if (field != "real" && field != "integer" && field != "pattern" &&
+      field != "complex") {
+    fail(1, "unsupported field '" + field + "'");
+  }
+  if (symmetry != "general" && symmetry != "symmetric" &&
+      symmetry != "skew-symmetric" && symmetry != "hermitian") {
+    fail(1, "unsupported symmetry '" + symmetry + "'");
+  }
+  return {field, symmetry};
+}
+
+}  // namespace
+
+EdgeList read_matrix_market(std::istream& in) {
+  std::string line;
+  std::int64_t lineno = 0;
+
+  if (!std::getline(in, line)) fail(1, "empty input");
+  ++lineno;
+  const Header header = parse_banner(line);
+
+  // Skip comment lines.
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line[0] != '%') break;
+  }
+  if (line.empty() || line[0] == '%') fail(lineno, "missing size line");
+
+  std::int64_t rows = 0, cols = 0, entries = 0;
+  {
+    std::istringstream sizes(line);
+    if (!(sizes >> rows >> cols >> entries)) {
+      fail(lineno, "malformed size line");
+    }
+    if (rows < 0 || cols < 0 || entries < 0) {
+      fail(lineno, "negative dimension");
+    }
+  }
+
+  EdgeList list;
+  list.nx = rows;
+  list.ny = cols;
+  const bool symmetric = header.symmetry != "general";
+  list.edges.reserve(
+      static_cast<std::size_t>(symmetric ? 2 * entries : entries));
+
+  for (std::int64_t k = 0; k < entries; ++k) {
+    if (!std::getline(in, line)) fail(lineno + 1, "unexpected end of file");
+    ++lineno;
+    if (line.empty() || line[0] == '%') {
+      --k;  // tolerate stray blank/comment lines between entries
+      continue;
+    }
+    std::istringstream entry(line);
+    std::int64_t i = 0, j = 0;
+    if (!(entry >> i >> j)) fail(lineno, "malformed entry");
+    if (i < 1 || i > rows || j < 1 || j > cols) {
+      fail(lineno, "index out of range");
+    }
+    const vid_t x = i - 1;
+    const vid_t y = j - 1;
+    list.edges.push_back({x, y});
+    if (symmetric && i != j) {
+      // Symmetric storage keeps only the lower triangle; mirror it.
+      // (Requires a square matrix; the UF collection guarantees this.)
+      if (rows != cols) fail(lineno, "symmetric matrix must be square");
+      list.edges.push_back({y, x});
+    }
+  }
+
+  list.canonicalize();
+  return list;
+}
+
+EdgeList read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("matrix market: cannot open " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const EdgeList& edges) {
+  out << "%%MatrixMarket matrix coordinate pattern general\n";
+  out << "% written by graftmatch\n";
+  out << edges.nx << ' ' << edges.ny << ' ' << edges.edges.size() << '\n';
+  for (const Edge& e : edges.edges) {
+    out << (e.x + 1) << ' ' << (e.y + 1) << '\n';
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const EdgeList& edges) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("matrix market: cannot open " + path);
+  write_matrix_market(out, edges);
+}
+
+}  // namespace graftmatch

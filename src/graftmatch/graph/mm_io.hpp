@@ -1,0 +1,32 @@
+// Matrix Market I/O.
+//
+// The paper evaluates on matrices from the University of Florida sparse
+// matrix collection, which ships in Matrix Market (.mtx) format. This
+// reader supports the subset those files use: "matrix coordinate"
+// headers with real / integer / pattern fields and general / symmetric /
+// skew-symmetric / hermitian symmetry. Values are discarded (matching
+// cares only about structure); symmetric storage is expanded. The writer
+// emits "coordinate pattern general", sufficient to round-trip graphs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graftmatch/graph/edge_list.hpp"
+
+namespace graftmatch {
+
+/// Parse a Matrix Market stream into a bipartite edge list
+/// (rows -> X, columns -> Y). Throws std::runtime_error on malformed
+/// input, with a 1-based line number in the message.
+EdgeList read_matrix_market(std::istream& in);
+
+/// Convenience: open and parse a file.
+EdgeList read_matrix_market_file(const std::string& path);
+
+/// Write as "matrix coordinate pattern general" (1-based indices).
+void write_matrix_market(std::ostream& out, const EdgeList& edges);
+
+void write_matrix_market_file(const std::string& path, const EdgeList& edges);
+
+}  // namespace graftmatch

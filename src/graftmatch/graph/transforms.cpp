@@ -1,0 +1,71 @@
+#include "graftmatch/graph/transforms.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace graftmatch {
+
+BipartiteGraph transpose(const BipartiteGraph& g) {
+  EdgeList list;
+  list.nx = g.num_y();
+  list.ny = g.num_x();
+  list.edges.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (vid_t x = 0; x < g.num_x(); ++x) {
+    for (vid_t y : g.neighbors_of_x(x)) list.edges.push_back({y, x});
+  }
+  return BipartiteGraph::from_edges(list);
+}
+
+BipartiteGraph permute(const BipartiteGraph& g,
+                       const std::vector<vid_t>& perm_x,
+                       const std::vector<vid_t>& perm_y) {
+  if (static_cast<vid_t>(perm_x.size()) != g.num_x() ||
+      static_cast<vid_t>(perm_y.size()) != g.num_y()) {
+    throw std::invalid_argument("permute: permutation size mismatch");
+  }
+  if (!is_permutation(perm_x) || !is_permutation(perm_y)) {
+    throw std::invalid_argument("permute: not a permutation");
+  }
+  EdgeList list;
+  list.nx = g.num_x();
+  list.ny = g.num_y();
+  list.edges.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (vid_t x = 0; x < g.num_x(); ++x) {
+    for (vid_t y : g.neighbors_of_x(x)) {
+      list.edges.push_back({perm_x[static_cast<std::size_t>(x)],
+                            perm_y[static_cast<std::size_t>(y)]});
+    }
+  }
+  return BipartiteGraph::from_edges(list);
+}
+
+BipartiteGraph shuffle_labels(const BipartiteGraph& g, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const auto perm_x = random_permutation(g.num_x(), rng);
+  const auto perm_y = random_permutation(g.num_y(), rng);
+  return permute(g, perm_x, perm_y);
+}
+
+std::vector<vid_t> random_permutation(vid_t n, Xoshiro256& rng) {
+  std::vector<vid_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), vid_t{0});
+  for (vid_t i = n - 1; i > 0; --i) {
+    const auto j = static_cast<vid_t>(
+        rng.below(static_cast<std::uint64_t>(i) + 1));
+    std::swap(perm[static_cast<std::size_t>(i)],
+              perm[static_cast<std::size_t>(j)]);
+  }
+  return perm;
+}
+
+bool is_permutation(const std::vector<vid_t>& perm) {
+  const auto n = static_cast<vid_t>(perm.size());
+  std::vector<bool> seen(perm.size(), false);
+  for (const vid_t v : perm) {
+    if (v < 0 || v >= n || seen[static_cast<std::size_t>(v)]) return false;
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  return true;
+}
+
+}  // namespace graftmatch

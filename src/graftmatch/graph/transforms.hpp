@@ -1,0 +1,33 @@
+// Structure-preserving graph transformations used by tests, the DM/BTF
+// application, and workload preparation.
+#pragma once
+
+#include <vector>
+
+#include "graftmatch/graph/bipartite_graph.hpp"
+#include "graftmatch/runtime/prng.hpp"
+
+namespace graftmatch {
+
+/// Swap the two parts: X vertices become Y vertices and vice versa.
+/// (Transpose of the underlying matrix.)
+BipartiteGraph transpose(const BipartiteGraph& g);
+
+/// Relabel vertices: new_x = perm_x[old_x], new_y = perm_y[old_y].
+/// Both arrays must be permutations of their respective ranges.
+/// Throws std::invalid_argument otherwise.
+BipartiteGraph permute(const BipartiteGraph& g,
+                       const std::vector<vid_t>& perm_x,
+                       const std::vector<vid_t>& perm_y);
+
+/// Random relabeling of both sides; useful for breaking generator
+/// artifacts (sorted ids) in benchmarks. Deterministic given `seed`.
+BipartiteGraph shuffle_labels(const BipartiteGraph& g, std::uint64_t seed);
+
+/// A uniformly random permutation of [0, n) (Fisher-Yates).
+std::vector<vid_t> random_permutation(vid_t n, Xoshiro256& rng);
+
+/// True when `perm` is a permutation of [0, perm.size()).
+bool is_permutation(const std::vector<vid_t>& perm);
+
+}  // namespace graftmatch

@@ -1,0 +1,23 @@
+// Simple greedy maximal matching: the baseline initializer Karp-Sipser
+// is compared against in the initializer ablation.
+#pragma once
+
+#include "graftmatch/graph/bipartite_graph.hpp"
+#include "graftmatch/graph/matching.hpp"
+
+namespace graftmatch {
+
+/// For each X vertex in index order, match it to its first unmatched
+/// neighbor. Returns a maximal matching.
+Matching greedy_maximal(const BipartiteGraph& g);
+
+/// Randomized greedy: visit X vertices in a random order and match each
+/// to a random unmatched neighbor. Returns a maximal matching.
+/// Deterministic given `seed`.
+Matching randomized_greedy(const BipartiteGraph& g, std::uint64_t seed = 1);
+
+/// True when no edge has both endpoints unmatched (the definition the
+/// tests assert for every initializer).
+bool is_maximal_matching(const BipartiteGraph& g, const Matching& m);
+
+}  // namespace graftmatch

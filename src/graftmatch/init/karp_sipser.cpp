@@ -1,0 +1,245 @@
+#include "graftmatch/init/karp_sipser.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "graftmatch/runtime/prng.hpp"
+#include "graftmatch/runtime/timer.hpp"
+
+namespace graftmatch {
+namespace {
+
+// Encode (side, vertex) into one id: X vertices as-is, Y vertices
+// shifted by nx. Keeps the degree-1 work queue homogeneous.
+struct Encoded {
+  static vid_t x(vid_t v) { return v; }
+  static vid_t y(vid_t v, vid_t nx) { return v + nx; }
+};
+
+}  // namespace
+
+Matching karp_sipser(const BipartiteGraph& g, std::uint64_t seed,
+                     KarpSipserStats* stats) {
+  const Timer timer;
+  const vid_t nx = g.num_x();
+  const vid_t ny = g.num_y();
+  Matching matching(nx, ny);
+  Xoshiro256 rng(seed);
+
+  // Residual degree = number of unmatched neighbors; starts at full
+  // degree and is decremented lazily as endpoints get matched.
+  std::vector<eid_t> deg_x(static_cast<std::size_t>(nx));
+  std::vector<eid_t> deg_y(static_cast<std::size_t>(ny));
+  for (vid_t x = 0; x < nx; ++x) {
+    deg_x[static_cast<std::size_t>(x)] = g.degree_x(x);
+  }
+  for (vid_t y = 0; y < ny; ++y) {
+    deg_y[static_cast<std::size_t>(y)] = g.degree_y(y);
+  }
+
+  std::vector<vid_t> degree_one;
+  degree_one.reserve(static_cast<std::size_t>(nx + ny) / 8);
+  for (vid_t x = 0; x < nx; ++x) {
+    if (deg_x[static_cast<std::size_t>(x)] == 1) {
+      degree_one.push_back(Encoded::x(x));
+    }
+  }
+  for (vid_t y = 0; y < ny; ++y) {
+    if (deg_y[static_cast<std::size_t>(y)] == 1) {
+      degree_one.push_back(Encoded::y(y, nx));
+    }
+  }
+
+  std::int64_t rule1 = 0;
+  std::int64_t rule2 = 0;
+
+  // After matching (x, y), retire both endpoints: decrement residual
+  // degrees of their unmatched neighbors and enqueue new degree-1s.
+  const auto retire = [&](vid_t x, vid_t y) {
+    for (const vid_t w : g.neighbors_of_x(x)) {
+      if (!matching.is_matched_y(w) &&
+          --deg_y[static_cast<std::size_t>(w)] == 1) {
+        degree_one.push_back(Encoded::y(w, nx));
+      }
+    }
+    for (const vid_t w : g.neighbors_of_y(y)) {
+      if (!matching.is_matched_x(w) &&
+          --deg_x[static_cast<std::size_t>(w)] == 1) {
+        degree_one.push_back(Encoded::x(w));
+      }
+    }
+  };
+
+  const auto first_unmatched_y = [&](vid_t x) -> vid_t {
+    for (const vid_t y : g.neighbors_of_x(x)) {
+      if (!matching.is_matched_y(y)) return y;
+    }
+    return kInvalidVertex;
+  };
+  const auto first_unmatched_x = [&](vid_t y) -> vid_t {
+    for (const vid_t x : g.neighbors_of_y(y)) {
+      if (!matching.is_matched_x(x)) return x;
+    }
+    return kInvalidVertex;
+  };
+
+  // Drain the degree-1 queue; entries may be stale (vertex already
+  // matched or its residual degree changed), so re-check on pop.
+  const auto drain_degree_one = [&] {
+    while (!degree_one.empty()) {
+      const vid_t id = degree_one.back();
+      degree_one.pop_back();
+      if (id < nx) {
+        const vid_t x = id;
+        if (matching.is_matched_x(x) ||
+            deg_x[static_cast<std::size_t>(x)] != 1) {
+          continue;
+        }
+        const vid_t y = first_unmatched_y(x);
+        if (y == kInvalidVertex) continue;
+        matching.match(x, y);
+        ++rule1;
+        retire(x, y);
+      } else {
+        const vid_t y = id - nx;
+        if (matching.is_matched_y(y) ||
+            deg_y[static_cast<std::size_t>(y)] != 1) {
+          continue;
+        }
+        const vid_t x = first_unmatched_x(y);
+        if (x == kInvalidVertex) continue;
+        matching.match(x, y);
+        ++rule1;
+        retire(x, y);
+      }
+    }
+  };
+
+  // Random rule: visit X vertices in a random order; whenever the
+  // degree-1 queue is non-empty the safe rule takes priority.
+  std::vector<vid_t> order(static_cast<std::size_t>(nx));
+  for (vid_t x = 0; x < nx; ++x) order[static_cast<std::size_t>(x)] = x;
+  for (vid_t i = nx - 1; i > 0; --i) {
+    const auto j =
+        static_cast<vid_t>(rng.below(static_cast<std::uint64_t>(i) + 1));
+    std::swap(order[static_cast<std::size_t>(i)],
+              order[static_cast<std::size_t>(j)]);
+  }
+
+  drain_degree_one();
+  for (const vid_t x : order) {
+    if (!matching.is_matched_x(x)) {
+      const vid_t y = first_unmatched_y(x);
+      if (y != kInvalidVertex) {
+        matching.match(x, y);
+        ++rule2;
+        retire(x, y);
+        drain_degree_one();
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->degree_one_matches = rule1;
+    stats->random_matches = rule2;
+    stats->seconds = timer.elapsed();
+  }
+  return matching;
+}
+
+Matching karp_sipser_rule1(const BipartiteGraph& g, KarpSipserStats* stats) {
+  const Timer timer;
+  const vid_t nx = g.num_x();
+  const vid_t ny = g.num_y();
+  Matching matching(nx, ny);
+
+  std::vector<eid_t> deg_x(static_cast<std::size_t>(nx));
+  std::vector<eid_t> deg_y(static_cast<std::size_t>(ny));
+  for (vid_t x = 0; x < nx; ++x) {
+    deg_x[static_cast<std::size_t>(x)] = g.degree_x(x);
+  }
+  for (vid_t y = 0; y < ny; ++y) {
+    deg_y[static_cast<std::size_t>(y)] = g.degree_y(y);
+  }
+
+  std::vector<vid_t> degree_one;
+  for (vid_t x = 0; x < nx; ++x) {
+    if (deg_x[static_cast<std::size_t>(x)] == 1) {
+      degree_one.push_back(Encoded::x(x));
+    }
+  }
+  for (vid_t y = 0; y < ny; ++y) {
+    if (deg_y[static_cast<std::size_t>(y)] == 1) {
+      degree_one.push_back(Encoded::y(y, nx));
+    }
+  }
+
+  std::int64_t rule1 = 0;
+  const auto retire = [&](vid_t x, vid_t y) {
+    for (const vid_t w : g.neighbors_of_x(x)) {
+      if (!matching.is_matched_y(w) &&
+          --deg_y[static_cast<std::size_t>(w)] == 1) {
+        degree_one.push_back(Encoded::y(w, nx));
+      }
+    }
+    for (const vid_t w : g.neighbors_of_y(y)) {
+      if (!matching.is_matched_x(w) &&
+          --deg_x[static_cast<std::size_t>(w)] == 1) {
+        degree_one.push_back(Encoded::x(w));
+      }
+    }
+  };
+
+  // Phase 1: the safe rule, cascaded to fixpoint.
+  while (!degree_one.empty()) {
+    const vid_t id = degree_one.back();
+    degree_one.pop_back();
+    if (id < nx) {
+      const vid_t x = id;
+      if (matching.is_matched_x(x) || deg_x[static_cast<std::size_t>(x)] != 1)
+        continue;
+      for (const vid_t y : g.neighbors_of_x(x)) {
+        if (!matching.is_matched_y(y)) {
+          matching.match(x, y);
+          ++rule1;
+          retire(x, y);
+          break;
+        }
+      }
+    } else {
+      const vid_t y = id - nx;
+      if (matching.is_matched_y(y) || deg_y[static_cast<std::size_t>(y)] != 1)
+        continue;
+      for (const vid_t x : g.neighbors_of_y(y)) {
+        if (!matching.is_matched_x(x)) {
+          matching.match(x, y);
+          ++rule1;
+          retire(x, y);
+          break;
+        }
+      }
+    }
+  }
+
+  // Phase 2: plain greedy over the remaining 2-core, no cascading.
+  std::int64_t rule2 = 0;
+  for (vid_t x = 0; x < nx; ++x) {
+    if (matching.is_matched_x(x)) continue;
+    for (const vid_t y : g.neighbors_of_x(x)) {
+      if (!matching.is_matched_y(y)) {
+        matching.match(x, y);
+        ++rule2;
+        break;
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->degree_one_matches = rule1;
+    stats->random_matches = rule2;
+    stats->seconds = timer.elapsed();
+  }
+  return matching;
+}
+
+}  // namespace graftmatch

@@ -1,0 +1,53 @@
+#include "graftmatch/runtime/affinity.hpp"
+
+#include <omp.h>
+#include <sched.h>
+#include <unistd.h>
+
+namespace graftmatch {
+
+int logical_cpu_count() noexcept {
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+bool pin_current_thread(int cpu) noexcept {
+  if (cpu < 0) return false;
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  CPU_SET(static_cast<unsigned>(cpu), &mask);
+  return sched_setaffinity(0, sizeof mask, &mask) == 0;
+}
+
+int current_cpu() noexcept { return sched_getcpu(); }
+
+std::vector<int> pin_openmp_threads(PinPolicy policy) {
+  const int threads = omp_get_max_threads();
+  std::vector<int> placement(static_cast<std::size_t>(threads), -1);
+  if (policy == PinPolicy::kNone) return placement;
+
+  const int ncpu = logical_cpu_count();
+#pragma omp parallel
+  {
+    const int tid = omp_get_thread_num();
+    int cpu = 0;
+    switch (policy) {
+      case PinPolicy::kCompact:
+        cpu = tid % ncpu;
+        break;
+      case PinPolicy::kScatter:
+        // Stride by half the CPU count so consecutive threads land on
+        // different halves (different sockets on a 2-socket node).
+        cpu = (tid * (ncpu / 2 > 0 ? ncpu / 2 : 1) + tid / 2) % ncpu;
+        break;
+      case PinPolicy::kNone:
+        break;
+    }
+    if (pin_current_thread(cpu)) {
+      placement[static_cast<std::size_t>(tid)] = cpu;
+    }
+  }
+  return placement;
+}
+
+}  // namespace graftmatch

@@ -1,0 +1,35 @@
+// Thread pinning, mirroring the paper's GOMP_CPU_AFFINITY / KMP_AFFINITY
+// "compact" placement (fill one socket before spilling to the next).
+//
+// On the reproduction substrate (a single-socket container) pinning is a
+// no-op performance-wise, but the mechanism is implemented and tested so
+// the library behaves as published on real multi-socket hardware.
+#pragma once
+
+#include <vector>
+
+namespace graftmatch {
+
+/// Pinning strategies.
+enum class PinPolicy {
+  kNone,     ///< leave threads wherever the OS puts them
+  kCompact,  ///< thread t -> logical CPU (t mod ncpus), filling in order
+  kScatter,  ///< round-robin across the CPU list with a stride
+};
+
+/// Number of logical CPUs visible to this process.
+int logical_cpu_count() noexcept;
+
+/// Pin the *calling* thread to the given logical CPU.
+/// Returns false if the kernel rejected the affinity mask.
+bool pin_current_thread(int cpu) noexcept;
+
+/// CPU id the calling thread is currently executing on, or -1.
+int current_cpu() noexcept;
+
+/// Pin every OpenMP thread in a fresh parallel region according to
+/// `policy`. Returns the CPU chosen per thread (index = omp thread id);
+/// entries are -1 where pinning failed or policy is kNone.
+std::vector<int> pin_openmp_threads(PinPolicy policy);
+
+}  // namespace graftmatch

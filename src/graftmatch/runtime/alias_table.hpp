@@ -1,0 +1,75 @@
+// Walker/Vose alias method: O(1) sampling from a fixed discrete
+// distribution after O(n) setup. Used by the Chung-Lu and web-crawl
+// generators to draw endpoints proportional to per-vertex weights.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "graftmatch/runtime/prng.hpp"
+
+namespace graftmatch {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Build from non-negative weights; at least one must be positive.
+  explicit AliasTable(std::span<const double> weights) {
+    const std::size_t n = weights.size();
+    if (n == 0) throw std::invalid_argument("alias table: empty weights");
+
+    double total = 0.0;
+    for (const double w : weights) {
+      if (w < 0.0) throw std::invalid_argument("alias table: negative weight");
+      total += w;
+    }
+    if (total <= 0.0) {
+      throw std::invalid_argument("alias table: all weights zero");
+    }
+
+    probability_.resize(n);
+    alias_.assign(n, 0);
+    // Vose's algorithm: split indices into under-full and over-full
+    // buckets of the scaled distribution, then pair them up.
+    std::vector<double> scaled(n);
+    std::vector<std::uint32_t> small;
+    std::vector<std::uint32_t> large;
+    small.reserve(n);
+    large.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      scaled[i] = weights[i] * static_cast<double>(n) / total;
+      (scaled[i] < 1.0 ? small : large).push_back(
+          static_cast<std::uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+      const std::uint32_t s = small.back();
+      small.pop_back();
+      const std::uint32_t l = large.back();
+      large.pop_back();
+      probability_[s] = scaled[s];
+      alias_[s] = l;
+      scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+      (scaled[l] < 1.0 ? small : large).push_back(l);
+    }
+    for (const std::uint32_t i : large) probability_[i] = 1.0;
+    for (const std::uint32_t i : small) probability_[i] = 1.0;
+  }
+
+  /// Draw an index with probability proportional to its weight.
+  std::size_t sample(Xoshiro256& rng) const noexcept {
+    const std::size_t column = static_cast<std::size_t>(
+        rng.below(static_cast<std::uint64_t>(probability_.size())));
+    return rng.uniform() < probability_[column] ? column : alias_[column];
+  }
+
+  std::size_t size() const noexcept { return probability_.size(); }
+
+ private:
+  std::vector<double> probability_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace graftmatch

@@ -1,0 +1,40 @@
+// Cache-line aware containers to avoid false sharing in parallel loops.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace graftmatch {
+
+/// Destructive-interference distance; hardcoded because
+/// std::hardware_destructive_interference_size is not universally
+/// available and 64 bytes matches every x86-64 part we target.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// A value padded out to a full cache line so per-thread counters that
+/// live in an array do not false-share.
+template <typename T>
+struct alignas(kCacheLineBytes) Padded {
+  T value{};
+
+  Padded() = default;
+  explicit Padded(const T& v) : value(v) {}
+
+  operator T&() noexcept { return value; }
+  operator const T&() const noexcept { return value; }
+};
+
+/// Convenience: a vector of per-thread padded slots.
+template <typename T>
+using PerThread = std::vector<Padded<T>>;
+
+/// Sum all per-thread slots (single-threaded reduction, call after the
+/// parallel region has joined).
+template <typename T>
+T per_thread_sum(const PerThread<T>& slots) {
+  T total{};
+  for (const auto& slot : slots) total += slot.value;
+  return total;
+}
+
+}  // namespace graftmatch

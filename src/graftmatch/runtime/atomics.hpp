@@ -1,0 +1,64 @@
+// Thin helpers over std::atomic_ref for lock-free flag/pointer updates.
+//
+// The paper's implementation uses GCC builtins (__sync_fetch_and_add,
+// __sync_fetch_and_or) directly on plain arrays. We get the same codegen
+// portably with C++20 std::atomic_ref, which lets us keep the hot arrays
+// as plain contiguous vectors (important for the bottom-up traversal,
+// which reads them non-atomically by design where that is safe).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+namespace graftmatch {
+
+/// Atomically claim a byte flag: set it to 1 and report whether this call
+/// performed the transition 0 -> 1. Used to ensure each Y vertex joins
+/// exactly one alternating tree in the parallel top-down step.
+inline bool claim_flag(std::uint8_t& flag) noexcept {
+  // Cheap non-atomic pre-check (paper Sec. III-B: "we check the visited
+  // flags before performing the atomic operations").
+  if (std::atomic_ref<std::uint8_t>(flag).load(std::memory_order_relaxed) !=
+      0) {
+    return false;
+  }
+  return std::atomic_ref<std::uint8_t>(flag).exchange(
+             1, std::memory_order_acq_rel) == 0;
+}
+
+/// Relaxed atomic store (for benign-race writes such as the leaf pointer,
+/// where any single winning value is acceptable).
+template <typename T>
+inline void relaxed_store(T& location, T value) noexcept {
+  static_assert(std::atomic_ref<T>::is_always_lock_free);
+  std::atomic_ref<T>(location).store(value, std::memory_order_relaxed);
+}
+
+/// Relaxed atomic load.
+template <typename T>
+inline T relaxed_load(const T& location) noexcept {
+  static_assert(std::atomic_ref<T>::is_always_lock_free);
+  return std::atomic_ref<const T>(location).load(std::memory_order_relaxed);
+}
+
+/// Atomic fetch-add with relaxed ordering (counters, queue cursors).
+template <typename T>
+inline T fetch_add_relaxed(T& location, T delta) noexcept {
+  static_assert(std::atomic_ref<T>::is_always_lock_free);
+  return std::atomic_ref<T>(location).fetch_add(delta,
+                                                std::memory_order_relaxed);
+}
+
+/// Compare-and-swap; returns true when `location` transitioned from
+/// `expected` to `desired`. Used for lock-free mate claims in the
+/// parallel push-relabel and Pothen-Fan baselines.
+template <typename T>
+inline bool cas(T& location, T expected, T desired) noexcept {
+  static_assert(std::atomic_ref<T>::is_always_lock_free);
+  return std::atomic_ref<T>(location).compare_exchange_strong(
+      expected, desired, std::memory_order_acq_rel,
+      std::memory_order_relaxed);
+}
+
+}  // namespace graftmatch

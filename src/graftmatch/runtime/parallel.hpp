@@ -1,0 +1,56 @@
+// Small OpenMP helpers shared by the algorithm implementations.
+#pragma once
+
+#include <omp.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "graftmatch/types.hpp"
+
+namespace graftmatch {
+
+/// Scoped override of the OpenMP thread count; restores the previous
+/// value on destruction. `threads <= 0` leaves the runtime default.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(int threads) noexcept
+      : previous_(omp_get_max_threads()), active_(threads > 0) {
+    if (active_) omp_set_num_threads(threads);
+  }
+  ~ThreadCountGuard() {
+    if (active_) omp_set_num_threads(previous_);
+  }
+  ThreadCountGuard(const ThreadCountGuard&) = delete;
+  ThreadCountGuard& operator=(const ThreadCountGuard&) = delete;
+
+ private:
+  int previous_;
+  bool active_;
+};
+
+/// Exclusive prefix sum; returns the total. Serial (inputs here are
+/// per-thread or per-bucket arrays, far too small to parallelize).
+template <typename T>
+T exclusive_prefix_sum(std::vector<T>& values) {
+  T running{};
+  for (auto& value : values) {
+    T next = running + value;
+    value = running;
+    running = next;
+  }
+  return running;
+}
+
+/// First-touch initialization: write `value` to every element from inside
+/// a parallel loop so pages are faulted in by the threads that will use
+/// them (the NUMA placement technique the paper relies on via numactl;
+/// on a single socket this degenerates to a parallel fill).
+template <typename T>
+void first_touch_fill(std::vector<T>& data, const T& value) {
+  const std::int64_t n = static_cast<std::int64_t>(data.size());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) data[static_cast<std::size_t>(i)] = value;
+}
+
+}  // namespace graftmatch

@@ -1,0 +1,89 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// Every stochastic component in graftmatch (generators, Karp-Sipser's
+// random rule, shuffles) draws from these engines so that runs are
+// reproducible bit-for-bit given a seed. We implement splitmix64 (for
+// seeding and cheap stateless hashing) and xoshiro256** (the workhorse
+// engine), both public-domain algorithms by Blackman & Vigna.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace graftmatch {
+
+/// One splitmix64 step: advances `state` and returns the next value.
+/// Useful both as a tiny PRNG and as a mixing/seeding function.
+inline std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix of a 64-bit value; handy for hashing (seed, index) pairs
+/// so that parallel loops can draw independent deterministic streams.
+inline std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64_next(s);
+}
+
+/// xoshiro256** 1.0 -- a fast, high-quality 64-bit engine.
+/// Satisfies C++ UniformRandomBitGenerator so it composes with
+/// std::uniform_int_distribution and friends if needed.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    // Seed the four words from splitmix64 as the authors recommend.
+    std::uint64_t s = seed;
+    for (auto& word : state_) word = splitmix64_next(s);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Uses Lemire's multiply-shift rejection-free approximation, which is
+  /// adequate for workload generation (bias < 2^-64 * bound).
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>(operator()()) * bound;
+    return static_cast<std::uint64_t>(product >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Jump-free independent substream: a fresh engine deterministically
+  /// derived from this engine's seed material and `stream`.
+  Xoshiro256 fork(std::uint64_t stream) const noexcept {
+    return Xoshiro256(mix64(state_[0] ^ mix64(stream + 0x632be59bd9b4e019ULL)));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace graftmatch

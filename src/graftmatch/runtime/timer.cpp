@@ -1,0 +1,25 @@
+#include "graftmatch/runtime/timer.hpp"
+
+#include <cstdio>
+
+namespace graftmatch {
+
+double now_seconds() noexcept {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+std::string format_seconds(double seconds) {
+  char buffer[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buffer, sizeof buffer, "%.3f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buffer, sizeof buffer, "%.3f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.1f us", seconds * 1e6);
+  }
+  return buffer;
+}
+
+}  // namespace graftmatch

@@ -1,0 +1,87 @@
+// Wall-clock timing utilities.
+//
+// Matching algorithms are instrumented per step (top-down, bottom-up,
+// augment, graft, statistics), so the central abstraction here is an
+// accumulating stopwatch that can be started/stopped many times and
+// queried for total elapsed seconds.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace graftmatch {
+
+/// Monotonic wall-clock timestamp in seconds.
+double now_seconds() noexcept;
+
+/// Simple one-shot timer: construct, then call elapsed().
+class Timer {
+ public:
+  Timer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Seconds since construction or the last reset().
+  double elapsed() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulating stopwatch: total time across many start()/stop() pairs.
+class Stopwatch {
+ public:
+  void start() noexcept {
+    start_ = clock::now();
+    running_ = true;
+  }
+
+  void stop() noexcept {
+    if (!running_) return;
+    total_ += std::chrono::duration<double>(clock::now() - start_).count();
+    running_ = false;
+    ++laps_;
+  }
+
+  void reset() noexcept {
+    total_ = 0.0;
+    laps_ = 0;
+    running_ = false;
+  }
+
+  /// Total accumulated seconds over all completed laps.
+  double seconds() const noexcept { return total_; }
+
+  /// Number of completed start()/stop() pairs.
+  std::int64_t laps() const noexcept { return laps_; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_{};
+  double total_ = 0.0;
+  std::int64_t laps_ = 0;
+  bool running_ = false;
+};
+
+/// RAII lap: starts `watch` on construction, stops it on destruction.
+class ScopedLap {
+ public:
+  explicit ScopedLap(Stopwatch& watch) noexcept : watch_(watch) {
+    watch_.start();
+  }
+  ~ScopedLap() { watch_.stop(); }
+  ScopedLap(const ScopedLap&) = delete;
+  ScopedLap& operator=(const ScopedLap&) = delete;
+
+ private:
+  Stopwatch& watch_;
+};
+
+/// Human-readable "1.234 s" / "56.7 ms" / "890 us" formatting.
+std::string format_seconds(double seconds);
+
+}  // namespace graftmatch

@@ -1,0 +1,23 @@
+// Core scalar types and constants shared by every graftmatch module.
+#pragma once
+
+#include <cstdint>
+
+namespace graftmatch {
+
+/// Vertex identifier. Signed so that -1 can denote "no vertex"
+/// (unmatched mate, absent parent/root pointer), matching the paper's
+/// conventions in Algorithm 3.
+using vid_t = std::int64_t;
+
+/// Edge offset into a CSR adjacency array.
+using eid_t = std::int64_t;
+
+/// Sentinel for "no vertex" / "unmatched" / "pointer not set".
+inline constexpr vid_t kInvalidVertex = -1;
+
+/// Default direction-optimization / grafting threshold parameter.
+/// The paper reports alpha ~= 5 works best for MS-BFS-Graft (Sec. III-B).
+inline constexpr double kDefaultAlpha = 5.0;
+
+}  // namespace graftmatch

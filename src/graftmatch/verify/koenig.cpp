@@ -1,0 +1,81 @@
+#include "graftmatch/verify/koenig.hpp"
+
+#include <vector>
+
+#include "graftmatch/verify/validate.hpp"
+
+namespace graftmatch {
+
+VertexCover koenig_cover(const BipartiteGraph& g, const Matching& m) {
+  const vid_t nx = g.num_x();
+  const vid_t ny = g.num_y();
+
+  // Alternating BFS from all unmatched X vertices:
+  // X -> Y along unmatched edges, Y -> X along matched edges.
+  std::vector<std::uint8_t> reached_x(static_cast<std::size_t>(nx), 0);
+  std::vector<std::uint8_t> reached_y(static_cast<std::size_t>(ny), 0);
+  std::vector<vid_t> frontier;
+  std::vector<vid_t> next;
+  for (vid_t x = 0; x < nx; ++x) {
+    if (!m.is_matched_x(x)) {
+      reached_x[static_cast<std::size_t>(x)] = 1;
+      frontier.push_back(x);
+    }
+  }
+  while (!frontier.empty()) {
+    next.clear();
+    for (const vid_t x : frontier) {
+      for (const vid_t y : g.neighbors_of_x(x)) {
+        if (reached_y[static_cast<std::size_t>(y)]) continue;
+        if (m.mate_of_x(x) == y) continue;  // must leave X unmatched
+        reached_y[static_cast<std::size_t>(y)] = 1;
+        const vid_t mate = m.mate_of_y(y);
+        if (mate != kInvalidVertex &&
+            !reached_x[static_cast<std::size_t>(mate)]) {
+          reached_x[static_cast<std::size_t>(mate)] = 1;
+          next.push_back(mate);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+
+  VertexCover cover;
+  for (vid_t x = 0; x < nx; ++x) {
+    if (!reached_x[static_cast<std::size_t>(x)]) {
+      cover.x_vertices.push_back(x);
+    }
+  }
+  for (vid_t y = 0; y < ny; ++y) {
+    if (reached_y[static_cast<std::size_t>(y)]) {
+      cover.y_vertices.push_back(y);
+    }
+  }
+  return cover;
+}
+
+bool covers_all_edges(const BipartiteGraph& g, const VertexCover& cover) {
+  std::vector<std::uint8_t> in_x(static_cast<std::size_t>(g.num_x()), 0);
+  std::vector<std::uint8_t> in_y(static_cast<std::size_t>(g.num_y()), 0);
+  for (const vid_t x : cover.x_vertices) {
+    in_x[static_cast<std::size_t>(x)] = 1;
+  }
+  for (const vid_t y : cover.y_vertices) {
+    in_y[static_cast<std::size_t>(y)] = 1;
+  }
+  for (vid_t x = 0; x < g.num_x(); ++x) {
+    if (in_x[static_cast<std::size_t>(x)]) continue;
+    for (const vid_t y : g.neighbors_of_x(x)) {
+      if (!in_y[static_cast<std::size_t>(y)]) return false;
+    }
+  }
+  return true;
+}
+
+bool is_maximum_matching(const BipartiteGraph& g, const Matching& m) {
+  if (!is_valid_matching(g, m)) return false;
+  const VertexCover cover = koenig_cover(g, m);
+  return covers_all_edges(g, cover) && cover.size() == m.cardinality();
+}
+
+}  // namespace graftmatch

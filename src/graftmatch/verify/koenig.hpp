@@ -1,0 +1,40 @@
+// Maximum-cardinality certificate via Koenig's theorem.
+//
+// For a bipartite graph, a matching M is maximum iff there is a vertex
+// cover of size |M|. Given M, let Z be the set of vertices reachable
+// from unmatched X vertices by M-alternating paths; then
+// C = (X \ Z) u (Y n Z) is a vertex cover, and |C| = |M| exactly when M
+// is maximum. This gives an O(n + m) *independent* maximality check used
+// throughout the test suite: it never trusts the algorithm under test,
+// only the graph and the final mate arrays.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graftmatch/graph/bipartite_graph.hpp"
+#include "graftmatch/graph/matching.hpp"
+
+namespace graftmatch {
+
+struct VertexCover {
+  std::vector<vid_t> x_vertices;  ///< cover members from X
+  std::vector<vid_t> y_vertices;  ///< cover members from Y
+
+  std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(x_vertices.size() + y_vertices.size());
+  }
+};
+
+/// Koenig construction from a (valid) matching. Always returns a vertex
+/// cover; its size equals |M| iff M is maximum.
+VertexCover koenig_cover(const BipartiteGraph& g, const Matching& m);
+
+/// True when every edge of g has an endpoint in the cover.
+bool covers_all_edges(const BipartiteGraph& g, const VertexCover& cover);
+
+/// Full maximality certificate: matching valid, cover covers all edges,
+/// and |cover| == |M|.
+bool is_maximum_matching(const BipartiteGraph& g, const Matching& m);
+
+}  // namespace graftmatch

@@ -1,0 +1,46 @@
+#include "graftmatch/verify/validate.hpp"
+
+#include <sstream>
+
+namespace graftmatch {
+
+std::string validate_matching(const BipartiteGraph& g, const Matching& m) {
+  std::ostringstream error;
+  if (m.num_x() != g.num_x() || m.num_y() != g.num_y()) {
+    error << "size mismatch: matching (" << m.num_x() << ", " << m.num_y()
+          << ") vs graph (" << g.num_x() << ", " << g.num_y() << ")";
+    return error.str();
+  }
+  for (vid_t x = 0; x < g.num_x(); ++x) {
+    const vid_t y = m.mate_of_x(x);
+    if (y == kInvalidVertex) continue;
+    if (y < 0 || y >= g.num_y()) {
+      error << "mate_x[" << x << "] = " << y << " out of range";
+      return error.str();
+    }
+    if (m.mate_of_y(y) != x) {
+      error << "asymmetric pair: mate_x[" << x << "] = " << y
+            << " but mate_y[" << y << "] = " << m.mate_of_y(y);
+      return error.str();
+    }
+    if (!g.has_edge(x, y)) {
+      error << "matched non-edge (" << x << ", " << y << ")";
+      return error.str();
+    }
+  }
+  for (vid_t y = 0; y < g.num_y(); ++y) {
+    const vid_t x = m.mate_of_y(y);
+    if (x == kInvalidVertex) continue;
+    if (x < 0 || x >= g.num_x() || m.mate_of_x(x) != y) {
+      error << "asymmetric pair: mate_y[" << y << "] = " << x;
+      return error.str();
+    }
+  }
+  return {};
+}
+
+bool is_valid_matching(const BipartiteGraph& g, const Matching& m) {
+  return validate_matching(g, m).empty();
+}
+
+}  // namespace graftmatch

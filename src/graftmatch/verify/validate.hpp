@@ -1,0 +1,19 @@
+// Matching validity checks used by tests and examples.
+#pragma once
+
+#include <string>
+
+#include "graftmatch/graph/bipartite_graph.hpp"
+#include "graftmatch/graph/matching.hpp"
+
+namespace graftmatch {
+
+/// A matching is valid when (a) sizes agree with the graph, (b) mate
+/// pointers are mutually consistent, and (c) every matched pair is an
+/// actual edge. Returns an empty string when valid, else a diagnostic.
+std::string validate_matching(const BipartiteGraph& g, const Matching& m);
+
+/// Convenience wrapper: true when validate_matching returns empty.
+bool is_valid_matching(const BipartiteGraph& g, const Matching& m);
+
+}  // namespace graftmatch

@@ -1,0 +1,191 @@
+// Final semantic-coverage batch: algorithm behaviors that the unit and
+// property tests do not pin down directly -- monotonicity, idempotence,
+// stats determinism, and degenerate shapes (complete bipartite, stars,
+// chains, unbalanced parts).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graftmatch/graftmatch.hpp"
+
+namespace graftmatch {
+namespace {
+
+BipartiteGraph complete_bipartite(vid_t nx, vid_t ny) {
+  EdgeList list;
+  list.nx = nx;
+  list.ny = ny;
+  for (vid_t x = 0; x < nx; ++x) {
+    for (vid_t y = 0; y < ny; ++y) list.edges.push_back({x, y});
+  }
+  return BipartiteGraph::from_edges(list);
+}
+
+BipartiteGraph long_chain(vid_t k) {
+  // x0-y0-x1-y1-...-x(k-1)-y(k-1): forces a single augmenting path of
+  // length 2k-1 when the matching starts "shifted".
+  EdgeList list;
+  list.nx = k;
+  list.ny = k;
+  for (vid_t i = 0; i < k; ++i) {
+    list.edges.push_back({i, i});
+    if (i + 1 < k) list.edges.push_back({i + 1, i});
+  }
+  return BipartiteGraph::from_edges(list);
+}
+
+TEST(Semantics, CompleteBipartiteMatchesSmallerSide) {
+  for (const auto& [nx, ny] : std::vector<std::pair<vid_t, vid_t>>{
+           {5, 9}, {9, 5}, {7, 7}, {1, 20}, {20, 1}}) {
+    const BipartiteGraph g = complete_bipartite(nx, ny);
+    Matching m(nx, ny);
+    ms_bfs_graft(g, m);
+    EXPECT_EQ(m.cardinality(), std::min(nx, ny)) << nx << "x" << ny;
+  }
+}
+
+TEST(Semantics, LongestPossibleAugmentingPath) {
+  // Adversarial shifted start: match x(i+1)-y(i) everywhere, leaving x0
+  // and y(k-1) unmatched; the ONLY augmenting path uses all 2k-1 edges.
+  constexpr vid_t k = 500;
+  const BipartiteGraph g = long_chain(k);
+  Matching m(k, k);
+  for (vid_t i = 0; i + 1 < k; ++i) m.match(i + 1, i);
+  ASSERT_TRUE(is_valid_matching(g, m));
+
+  RunConfig config;
+  config.collect_path_histogram = true;
+  const RunStats stats = ms_bfs_graft(g, m, config);
+  EXPECT_EQ(m.cardinality(), k);
+  EXPECT_EQ(stats.augmentations, 1);
+  EXPECT_EQ(stats.total_path_edges, 2 * k - 1);
+  ASSERT_EQ(stats.path_length_histogram.size(), 1u);
+  EXPECT_EQ(stats.path_length_histogram.begin()->first, 2 * k - 1);
+}
+
+TEST(Semantics, LongChainSolvedByAllAlgorithms) {
+  constexpr vid_t k = 200;
+  const BipartiteGraph g = long_chain(k);
+  const auto check = [&](auto&& algorithm, const char* name) {
+    Matching m(k, k);
+    for (vid_t i = 0; i + 1 < k; ++i) m.match(i + 1, i);
+    algorithm(g, m);
+    EXPECT_EQ(m.cardinality(), k) << name;
+  };
+  check([](const auto& g2, auto& m) { return ms_bfs_graft(g2, m); }, "graft");
+  check([](const auto& g2, auto& m) { return pothen_fan(g2, m); }, "pf");
+  check([](const auto& g2, auto& m) { return push_relabel(g2, m); }, "pr");
+  check([](const auto& g2, auto& m) { return hopcroft_karp(g2, m); }, "hk");
+  check([](const auto& g2, auto& m) { return ss_bfs(g2, m); }, "ssbfs");
+  check([](const auto& g2, auto& m) { return ss_dfs(g2, m); }, "ssdfs");
+}
+
+TEST(Semantics, CardinalityNeverDecreases) {
+  // Every algorithm only augments: feed progressively better matchings
+  // and assert monotone output.
+  WebCrawlParams params;
+  params.nx = params.ny = 1500;
+  const BipartiteGraph g = generate_webcrawl(params);
+  std::int64_t previous = -1;
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    Matching m = randomized_greedy(g, seed);
+    const std::int64_t before = m.cardinality();
+    ms_bfs_graft(g, m);
+    EXPECT_GE(m.cardinality(), before);
+    if (previous >= 0) {
+      EXPECT_EQ(m.cardinality(), previous);
+    }
+    previous = m.cardinality();
+  }
+}
+
+TEST(Semantics, RunningTwiceIsIdempotent) {
+  ChungLuParams params;
+  params.nx = params.ny = 1200;
+  const BipartiteGraph g = generate_chung_lu(params);
+  Matching m = greedy_maximal(g);
+  ms_bfs_graft(g, m);
+  const Matching settled = m;
+  for (int round = 0; round < 3; ++round) {
+    const RunStats stats = ms_bfs_graft(g, m);
+    EXPECT_EQ(stats.augmentations, 0);
+    EXPECT_EQ(m, settled);
+  }
+}
+
+TEST(Semantics, SerialStatsFullyDeterministic) {
+  const BipartiteGraph g = suite_instance("wb-edu-like").factory(0.01, 3);
+  RunConfig config;
+  config.threads = 1;
+  config.collect_frontier_trace = true;
+  config.collect_phase_stats = true;
+  config.collect_path_histogram = true;
+
+  Matching m1 = randomized_greedy(g, 7);
+  Matching m2 = randomized_greedy(g, 7);
+  const RunStats a = ms_bfs_graft(g, m1, config);
+  const RunStats b = ms_bfs_graft(g, m2, config);
+  EXPECT_EQ(a.edges_traversed, b.edges_traversed);
+  EXPECT_EQ(a.phases, b.phases);
+  EXPECT_EQ(a.path_length_histogram, b.path_length_histogram);
+  ASSERT_EQ(a.frontier_trace.size(), b.frontier_trace.size());
+  for (std::size_t i = 0; i < a.frontier_trace.size(); ++i) {
+    EXPECT_EQ(a.frontier_trace[i].frontier_size,
+              b.frontier_trace[i].frontier_size);
+    EXPECT_EQ(a.frontier_trace[i].bottom_up, b.frontier_trace[i].bottom_up);
+  }
+  ASSERT_EQ(a.phase_stats.size(), b.phase_stats.size());
+  for (std::size_t i = 0; i < a.phase_stats.size(); ++i) {
+    EXPECT_EQ(a.phase_stats[i].edges, b.phase_stats[i].edges);
+    EXPECT_EQ(a.phase_stats[i].grafted, b.phase_stats[i].grafted);
+  }
+}
+
+TEST(Semantics, UnbalancedPartsBothOrientations) {
+  // 10 rows, 100k columns and vice versa: index math must not assume
+  // square shapes anywhere.
+  ErdosRenyiParams params;
+  params.nx = 10;
+  params.ny = 100000;
+  params.edges = 500;
+  params.seed = 2;
+  const BipartiteGraph wide = generate_erdos_renyi(params);
+  Matching m1(wide.num_x(), wide.num_y());
+  ms_bfs_graft(wide, m1);
+  EXPECT_TRUE(is_maximum_matching(wide, m1));
+
+  const BipartiteGraph tall = transpose(wide);
+  Matching m2(tall.num_x(), tall.num_y());
+  ms_bfs_graft(tall, m2);
+  EXPECT_EQ(m1.cardinality(), m2.cardinality());
+}
+
+TEST(Semantics, SsAlgorithmsRespectExistingMatching) {
+  // Starting from a maximum matching, the SS searches must not disturb
+  // any existing pair (they only augment).
+  const BipartiteGraph g = complete_bipartite(6, 6);
+  Matching m(6, 6);
+  for (vid_t i = 0; i < 6; ++i) m.match(i, 5 - i);
+  const Matching before = m;
+  ss_bfs(g, m);
+  EXPECT_EQ(m, before);
+  ss_dfs(g, m);
+  EXPECT_EQ(m, before);
+}
+
+TEST(Semantics, StatsAlgorithmNamesStable) {
+  const BipartiteGraph g = complete_bipartite(3, 3);
+  Matching m(3, 3);
+  EXPECT_EQ(pothen_fan(g, m).algorithm, "Pothen-Fan");
+  m = Matching(3, 3);
+  EXPECT_EQ(push_relabel(g, m).algorithm, "PR");
+  m = Matching(3, 3);
+  EXPECT_EQ(hopcroft_karp(g, m).algorithm, "HK");
+  m = Matching(3, 3);
+  EXPECT_EQ(ss_bfs(g, m).algorithm, "SS-BFS");
+  m = Matching(3, 3);
+  EXPECT_EQ(ss_dfs(g, m).algorithm, "SS-DFS");
+}
+
+}  // namespace
+}  // namespace graftmatch

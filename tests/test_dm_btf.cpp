@@ -1,0 +1,207 @@
+// Tests for the Dulmage-Mendelsohn decomposition and block triangular
+// form application.
+#include <gtest/gtest.h>
+
+#include "graftmatch/dm/btf.hpp"
+#include "graftmatch/dm/dulmage_mendelsohn.hpp"
+#include "graftmatch/gen/erdos_renyi.hpp"
+#include "graftmatch/gen/grid.hpp"
+#include "graftmatch/gen/webcrawl.hpp"
+#include "graftmatch/graph/transforms.hpp"
+
+namespace graftmatch {
+namespace {
+
+// A matrix with all three coarse parts:
+//   rows 0-1 x cols 0-2 : horizontal (2x3, full)
+//   rows 2-3 x cols 3-4 : square (diagonal + one coupling)
+//   rows 4-6 x cols 5-6 : vertical (3x2, full)
+// plus legal "upper" couplings (horizontal rows to later columns).
+BipartiteGraph three_part_matrix() {
+  EdgeList list;
+  list.nx = 7;
+  list.ny = 7;
+  // horizontal block
+  for (vid_t x = 0; x < 2; ++x) {
+    for (vid_t y = 0; y < 3; ++y) list.edges.push_back({x, y});
+  }
+  // square block: 2x2 lower-left-free
+  list.edges.push_back({2, 3});
+  list.edges.push_back({2, 4});
+  list.edges.push_back({3, 4});
+  // vertical block
+  for (vid_t x = 4; x < 7; ++x) {
+    for (vid_t y = 5; y < 7; ++y) list.edges.push_back({x, y});
+  }
+  // allowed couplings: horizontal rows may hit square/vertical columns
+  list.edges.push_back({0, 3});
+  list.edges.push_back({1, 6});
+  // square rows may hit vertical columns
+  list.edges.push_back({2, 5});
+  return BipartiteGraph::from_edges(list);
+}
+
+TEST(DmDecomposition, ClassifiesThreePartMatrix) {
+  const BipartiteGraph g = three_part_matrix();
+  const DmDecomposition dm = dm_decompose(g);
+
+  EXPECT_EQ(dm.rows_in(DmBlock::kHorizontal), 2);
+  EXPECT_EQ(dm.cols_in(DmBlock::kHorizontal), 3);
+  EXPECT_EQ(dm.rows_in(DmBlock::kSquare), 2);
+  EXPECT_EQ(dm.cols_in(DmBlock::kSquare), 2);
+  EXPECT_EQ(dm.rows_in(DmBlock::kVertical), 3);
+  EXPECT_EQ(dm.cols_in(DmBlock::kVertical), 2);
+
+  // Structural rank = |M*| = 2 + 2 + 2.
+  EXPECT_EQ(dm.structural_rank(), 6);
+}
+
+TEST(DmDecomposition, PerfectlyMatchableIsAllSquare) {
+  GridParams params;
+  params.width = 16;
+  params.height = 16;
+  const BipartiteGraph g = generate_grid(params);
+  const DmDecomposition dm = dm_decompose(g);
+  EXPECT_EQ(dm.rows_in(DmBlock::kSquare), 256);
+  EXPECT_EQ(dm.cols_in(DmBlock::kSquare), 256);
+  EXPECT_EQ(dm.rows_in(DmBlock::kHorizontal), 0);
+  EXPECT_EQ(dm.rows_in(DmBlock::kVertical), 0);
+}
+
+TEST(DmDecomposition, HorizontalVerticalSizesMatchDeficiency) {
+  // Every unmatched row is vertical; every unmatched column horizontal.
+  WebCrawlParams params;
+  params.nx = params.ny = 2000;
+  params.seed = 3;
+  const BipartiteGraph g = generate_webcrawl(params);
+  const DmDecomposition dm = dm_decompose(g);
+  const std::int64_t matched = dm.structural_rank();
+  // |VR| - |VC| = unmatched rows; |HC| - |HR| = unmatched columns.
+  EXPECT_EQ(dm.rows_in(DmBlock::kVertical) - dm.cols_in(DmBlock::kVertical),
+            g.num_x() - matched);
+  EXPECT_EQ(dm.cols_in(DmBlock::kHorizontal) -
+                dm.rows_in(DmBlock::kHorizontal),
+            g.num_y() - matched);
+  // Square part is perfectly matched.
+  EXPECT_EQ(dm.rows_in(DmBlock::kSquare), dm.cols_in(DmBlock::kSquare));
+}
+
+TEST(DmDecomposition, MatchedPairsStayInSameBlock) {
+  ErdosRenyiParams params;
+  params.nx = 700;
+  params.ny = 600;
+  params.edges = 2200;
+  const BipartiteGraph g = generate_erdos_renyi(params);
+  const DmDecomposition dm = dm_decompose(g);
+  for (vid_t x = 0; x < g.num_x(); ++x) {
+    const vid_t y = dm.matching.mate_of_x(x);
+    if (y == kInvalidVertex) continue;
+    EXPECT_EQ(static_cast<int>(dm.row_block[static_cast<std::size_t>(x)]),
+              static_cast<int>(dm.col_block[static_cast<std::size_t>(y)]))
+        << "pair (" << x << ", " << y << ")";
+  }
+}
+
+TEST(Btf, VerifiesOnThreePartMatrix) {
+  const BipartiteGraph g = three_part_matrix();
+  const BlockTriangularForm btf = block_triangular_form(g);
+  EXPECT_TRUE(verify_btf(g, btf));
+  EXPECT_EQ(btf.square_row_end - btf.square_row_begin, 2);
+  // Square part: rows 2,3 / cols 3,4 with edges (2,3),(2,4),(3,4):
+  // contracted digraph 2->3 only, so two 1x1 blocks in topo order.
+  EXPECT_EQ(btf.num_square_blocks(), 2);
+}
+
+TEST(Btf, SingleStronglyConnectedSquare) {
+  // 2x2 fully dense square: one irreducible block.
+  EdgeList list;
+  list.nx = 2;
+  list.ny = 2;
+  list.edges = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(list);
+  const BlockTriangularForm btf = block_triangular_form(g);
+  EXPECT_TRUE(verify_btf(g, btf));
+  EXPECT_EQ(btf.num_square_blocks(), 1);
+}
+
+TEST(Btf, DiagonalMatrixGivesAllSingletonBlocks) {
+  EdgeList list;
+  list.nx = 5;
+  list.ny = 5;
+  for (vid_t i = 0; i < 5; ++i) list.edges.push_back({i, i});
+  const BipartiteGraph g = BipartiteGraph::from_edges(list);
+  const BlockTriangularForm btf = block_triangular_form(g);
+  EXPECT_TRUE(verify_btf(g, btf));
+  EXPECT_EQ(btf.num_square_blocks(), 5);
+}
+
+TEST(Btf, UpperTriangularMatrixKeepsOrder) {
+  // Upper triangular 4x4: blocks must come out in an order where all
+  // nonzeros are on-or-above the diagonal blocks.
+  EdgeList list;
+  list.nx = 4;
+  list.ny = 4;
+  for (vid_t i = 0; i < 4; ++i) {
+    for (vid_t j = i; j < 4; ++j) list.edges.push_back({i, j});
+  }
+  const BipartiteGraph g = BipartiteGraph::from_edges(list);
+  const BlockTriangularForm btf = block_triangular_form(g);
+  EXPECT_TRUE(verify_btf(g, btf));
+  EXPECT_EQ(btf.num_square_blocks(), 4);
+}
+
+TEST(Btf, CycleCollapsesToOneBlock) {
+  // Circulant: row i ~ {col i, col (i+1) mod n}: one big SCC.
+  EdgeList list;
+  list.nx = 6;
+  list.ny = 6;
+  for (vid_t i = 0; i < 6; ++i) {
+    list.edges.push_back({i, i});
+    list.edges.push_back({i, (i + 1) % 6});
+  }
+  const BipartiteGraph g = BipartiteGraph::from_edges(list);
+  const BlockTriangularForm btf = block_triangular_form(g);
+  EXPECT_TRUE(verify_btf(g, btf));
+  EXPECT_EQ(btf.num_square_blocks(), 1);
+}
+
+TEST(Btf, RandomGraphsVerify) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    ErdosRenyiParams params;
+    params.nx = 500;
+    params.ny = 450;
+    params.edges = 1800;
+    params.seed = seed;
+    const BipartiteGraph g = generate_erdos_renyi(params);
+    const BlockTriangularForm btf = block_triangular_form(g);
+    EXPECT_TRUE(verify_btf(g, btf)) << seed;
+    // Permutations cover all rows/cols.
+    EXPECT_EQ(btf.row_perm.size(), static_cast<std::size_t>(g.num_x()));
+    EXPECT_EQ(btf.col_perm.size(), static_cast<std::size_t>(g.num_y()));
+  }
+}
+
+TEST(Btf, EmptyGraph) {
+  EdgeList list;
+  list.nx = 3;
+  list.ny = 2;
+  const BipartiteGraph g = BipartiteGraph::from_edges(list);
+  const BlockTriangularForm btf = block_triangular_form(g);
+  EXPECT_TRUE(verify_btf(g, btf));
+  EXPECT_EQ(btf.num_square_blocks(), 0);
+  EXPECT_EQ(btf.square_row_begin, btf.square_row_end);
+}
+
+TEST(Btf, VerifyRejectsCorruptPermutation) {
+  const BipartiteGraph g = three_part_matrix();
+  BlockTriangularForm btf = block_triangular_form(g);
+  ASSERT_TRUE(verify_btf(g, btf));
+  std::swap(btf.row_perm[0], btf.row_perm[btf.row_perm.size() - 1]);
+  // Swapping a horizontal row with a vertical one breaks nothing in the
+  // permutation check, but duplicating an entry must fail.
+  btf.row_perm[0] = btf.row_perm[1];
+  EXPECT_FALSE(verify_btf(g, btf));
+}
+
+}  // namespace
+}  // namespace graftmatch

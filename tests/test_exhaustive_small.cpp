@@ -1,0 +1,175 @@
+// Exhaustive small-graph cross-validation: hundreds of tiny random
+// bipartite graphs, every library algorithm, compared against an
+// INDEPENDENT reference implementation (Kuhn's augmenting-path
+// algorithm, written here in the test, sharing no code with the
+// library). Small graphs hit degenerate shapes -- empty rows, isolated
+// vertices, complete blocks, parallel structure collapsing to serial --
+// far more densely than large workloads do.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graftmatch/graftmatch.hpp"
+
+namespace graftmatch {
+namespace {
+
+// ---- independent reference: Kuhn's algorithm over an adjacency matrix.
+class KuhnReference {
+ public:
+  KuhnReference(int nx, int ny, const std::vector<std::vector<bool>>& adj)
+      : nx_(nx), ny_(ny), adj_(adj), mate_y_(static_cast<std::size_t>(ny), -1) {}
+
+  int solve() {
+    int result = 0;
+    for (int x = 0; x < nx_; ++x) {
+      seen_.assign(static_cast<std::size_t>(ny_), false);
+      if (try_augment(x)) ++result;
+    }
+    return result;
+  }
+
+ private:
+  bool try_augment(int x) {
+    for (int y = 0; y < ny_; ++y) {
+      if (!adj_[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)] ||
+          seen_[static_cast<std::size_t>(y)]) {
+        continue;
+      }
+      seen_[static_cast<std::size_t>(y)] = true;
+      if (mate_y_[static_cast<std::size_t>(y)] < 0 ||
+          try_augment(mate_y_[static_cast<std::size_t>(y)])) {
+        mate_y_[static_cast<std::size_t>(y)] = x;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  int nx_;
+  int ny_;
+  const std::vector<std::vector<bool>>& adj_;
+  std::vector<int> mate_y_;
+  std::vector<bool> seen_;
+};
+
+struct SmallCase {
+  BipartiteGraph graph;
+  int reference = 0;
+};
+
+SmallCase random_small_case(Xoshiro256& rng) {
+  const int nx = 1 + static_cast<int>(rng.below(12));
+  const int ny = 1 + static_cast<int>(rng.below(12));
+  // Density spans near-empty to complete.
+  const double density = rng.uniform();
+  std::vector<std::vector<bool>> adj(
+      static_cast<std::size_t>(nx),
+      std::vector<bool>(static_cast<std::size_t>(ny), false));
+  EdgeList list;
+  list.nx = nx;
+  list.ny = ny;
+  for (int x = 0; x < nx; ++x) {
+    for (int y = 0; y < ny; ++y) {
+      if (rng.uniform() < density) {
+        adj[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)] = true;
+        list.edges.push_back({x, y});
+      }
+    }
+  }
+  SmallCase result{BipartiteGraph::from_edges(list), 0};
+  KuhnReference reference(nx, ny, adj);
+  result.reference = reference.solve();
+  return result;
+}
+
+using AlgoFn = std::function<RunStats(const BipartiteGraph&, Matching&)>;
+
+struct NamedAlgo {
+  const char* name;
+  AlgoFn run;
+};
+
+std::vector<NamedAlgo> all_algorithms() {
+  return {
+      {"graft",
+       [](const BipartiteGraph& g, Matching& m) { return ms_bfs_graft(g, m); }},
+      {"graft-noopt",
+       [](const BipartiteGraph& g, Matching& m) {
+         RunConfig c;
+         c.direction_optimizing = false;
+         return ms_bfs_graft(g, m, c);
+       }},
+      {"msbfs",
+       [](const BipartiteGraph& g, Matching& m) { return ms_bfs(g, m); }},
+      {"pf",
+       [](const BipartiteGraph& g, Matching& m) { return pothen_fan(g, m); }},
+      {"pr",
+       [](const BipartiteGraph& g, Matching& m) { return push_relabel(g, m); }},
+      {"hk",
+       [](const BipartiteGraph& g, Matching& m) { return hopcroft_karp(g, m); }},
+      {"ssbfs",
+       [](const BipartiteGraph& g, Matching& m) { return ss_bfs(g, m); }},
+      {"ssdfs",
+       [](const BipartiteGraph& g, Matching& m) { return ss_dfs(g, m); }},
+  };
+}
+
+class ExhaustiveSmall : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExhaustiveSmall, AllAlgorithmsMatchKuhnReference) {
+  Xoshiro256 rng(GetParam());
+  const auto algorithms = all_algorithms();
+  // 50 random graphs per seed parameter, every algorithm, three
+  // different starting matchings each.
+  for (int round = 0; round < 50; ++round) {
+    const SmallCase test_case = random_small_case(rng);
+    const BipartiteGraph& g = test_case.graph;
+    for (const NamedAlgo& algo : algorithms) {
+      for (int start = 0; start < 3; ++start) {
+        Matching m = start == 0   ? Matching(g.num_x(), g.num_y())
+                     : start == 1 ? greedy_maximal(g)
+                                  : karp_sipser(g, GetParam() + round);
+        algo.run(g, m);
+        ASSERT_EQ(m.cardinality(), test_case.reference)
+            << algo.name << " round=" << round << " start=" << start
+            << " nx=" << g.num_x() << " ny=" << g.num_y()
+            << " m=" << g.num_edges();
+        ASSERT_TRUE(is_valid_matching(g, m)) << algo.name;
+        ASSERT_TRUE(is_maximum_matching(g, m)) << algo.name;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExhaustiveSmall,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+// DM/BTF on the same tiny-graph distribution: decomposition block sizes
+// must be consistent with the reference matching number, and the BTF
+// structural checks must hold.
+class ExhaustiveDm : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExhaustiveDm, DecompositionConsistent) {
+  Xoshiro256 rng(GetParam());
+  for (int round = 0; round < 40; ++round) {
+    const SmallCase test_case = random_small_case(rng);
+    const BipartiteGraph& g = test_case.graph;
+    const DmDecomposition dm = dm_decompose(g);
+    EXPECT_EQ(dm.structural_rank(), test_case.reference);
+    // Square part perfectly matched; H has column surplus; V row surplus.
+    EXPECT_EQ(dm.rows_in(DmBlock::kSquare), dm.cols_in(DmBlock::kSquare));
+    EXPECT_GE(dm.cols_in(DmBlock::kHorizontal),
+              dm.rows_in(DmBlock::kHorizontal));
+    EXPECT_GE(dm.rows_in(DmBlock::kVertical), dm.cols_in(DmBlock::kVertical));
+    const BlockTriangularForm btf = block_triangular_form(g, dm);
+    EXPECT_TRUE(verify_btf(g, btf)) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExhaustiveDm, ::testing::Values(5, 6, 7, 8));
+
+}  // namespace
+}  // namespace graftmatch

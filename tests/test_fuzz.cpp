@@ -1,0 +1,120 @@
+// Randomized robustness tests: the I/O layer and graph builders must
+// round-trip arbitrary valid inputs and reject malformed ones without
+// crashing; transforms must compose to identity.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graftmatch/graph/bipartite_graph.hpp"
+#include "graftmatch/graph/mm_io.hpp"
+#include "graftmatch/graph/transforms.hpp"
+#include "graftmatch/runtime/prng.hpp"
+
+namespace graftmatch {
+namespace {
+
+EdgeList random_edge_list(Xoshiro256& rng) {
+  EdgeList list;
+  list.nx = 1 + static_cast<vid_t>(rng.below(40));
+  list.ny = 1 + static_cast<vid_t>(rng.below(40));
+  const auto edges = rng.below(200);
+  for (std::uint64_t k = 0; k < edges; ++k) {
+    list.edges.push_back(
+        {static_cast<vid_t>(rng.below(static_cast<std::uint64_t>(list.nx))),
+         static_cast<vid_t>(rng.below(static_cast<std::uint64_t>(list.ny)))});
+  }
+  return list;
+}
+
+TEST(Fuzz, MatrixMarketRoundTripsRandomLists) {
+  Xoshiro256 rng(101);
+  for (int round = 0; round < 200; ++round) {
+    EdgeList original = random_edge_list(rng);
+    original.canonicalize();
+    std::ostringstream out;
+    write_matrix_market(out, original);
+    std::istringstream in(out.str());
+    const EdgeList parsed = read_matrix_market(in);
+    ASSERT_EQ(parsed.nx, original.nx) << round;
+    ASSERT_EQ(parsed.ny, original.ny) << round;
+    ASSERT_EQ(parsed.edges, original.edges) << round;
+  }
+}
+
+TEST(Fuzz, MatrixMarketSurvivesMutations) {
+  // Mutate valid files and require: either a clean parse or a clean
+  // exception -- never a crash and never an out-of-range edge list.
+  Xoshiro256 rng(202);
+  for (int round = 0; round < 300; ++round) {
+    EdgeList original = random_edge_list(rng);
+    original.canonicalize();
+    std::ostringstream out;
+    write_matrix_market(out, original);
+    std::string text = out.str();
+    // Apply 1-3 random byte mutations.
+    const int mutations = 1 + static_cast<int>(rng.below(3));
+    for (int k = 0; k < mutations && !text.empty(); ++k) {
+      const auto at = static_cast<std::size_t>(
+          rng.below(static_cast<std::uint64_t>(text.size())));
+      const char replacement =
+          static_cast<char>('0' + static_cast<char>(rng.below(75)));
+      text[at] = replacement;
+    }
+    std::istringstream in(text);
+    try {
+      const EdgeList parsed = read_matrix_market(in);
+      EXPECT_TRUE(parsed.in_bounds()) << round;
+    } catch (const std::runtime_error&) {
+      // rejected cleanly: fine
+    }
+  }
+}
+
+TEST(Fuzz, CsrBuilderIdempotentUnderDuplication) {
+  Xoshiro256 rng(303);
+  for (int round = 0; round < 100; ++round) {
+    EdgeList list = random_edge_list(rng);
+    const BipartiteGraph once = BipartiteGraph::from_edges(list);
+    // Duplicate every edge; the built graph must be identical.
+    EdgeList doubled = list;
+    doubled.edges.insert(doubled.edges.end(), list.edges.begin(),
+                         list.edges.end());
+    const BipartiteGraph twice = BipartiteGraph::from_edges(doubled);
+    ASSERT_EQ(once.to_edges().edges, twice.to_edges().edges) << round;
+  }
+}
+
+TEST(Fuzz, PermutationComposesToIdentity) {
+  Xoshiro256 rng(404);
+  for (int round = 0; round < 50; ++round) {
+    const BipartiteGraph g = BipartiteGraph::from_edges(random_edge_list(rng));
+    const auto perm_x = random_permutation(g.num_x(), rng);
+    const auto perm_y = random_permutation(g.num_y(), rng);
+    // Invert.
+    std::vector<vid_t> inv_x(perm_x.size());
+    std::vector<vid_t> inv_y(perm_y.size());
+    for (std::size_t i = 0; i < perm_x.size(); ++i) {
+      inv_x[static_cast<std::size_t>(perm_x[i])] = static_cast<vid_t>(i);
+    }
+    for (std::size_t i = 0; i < perm_y.size(); ++i) {
+      inv_y[static_cast<std::size_t>(perm_y[i])] = static_cast<vid_t>(i);
+    }
+    const BipartiteGraph there = permute(g, perm_x, perm_y);
+    const BipartiteGraph back = permute(there, inv_x, inv_y);
+    ASSERT_EQ(back.to_edges().edges, g.to_edges().edges) << round;
+  }
+}
+
+TEST(Fuzz, TransposeIsInvolutive) {
+  Xoshiro256 rng(505);
+  for (int round = 0; round < 50; ++round) {
+    const BipartiteGraph g = BipartiteGraph::from_edges(random_edge_list(rng));
+    const BipartiteGraph back = transpose(transpose(g));
+    ASSERT_EQ(back.to_edges().edges, g.to_edges().edges) << round;
+  }
+}
+
+}  // namespace
+}  // namespace graftmatch

@@ -1,0 +1,295 @@
+// Generator tests: determinism, size contracts, parameter validation,
+// and the per-class structural properties the benchmark suite relies on.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graftmatch/baselines/hopcroft_karp.hpp"
+#include "graftmatch/gen/chung_lu.hpp"
+#include "graftmatch/gen/erdos_renyi.hpp"
+#include "graftmatch/gen/grid.hpp"
+#include "graftmatch/gen/rmat.hpp"
+#include "graftmatch/gen/road.hpp"
+#include "graftmatch/gen/suite.hpp"
+#include "graftmatch/gen/webcrawl.hpp"
+#include "graftmatch/graph/graph_stats.hpp"
+
+namespace graftmatch {
+namespace {
+
+TEST(Rmat, DeterministicGivenSeed) {
+  RmatParams params;
+  params.scale = 10;
+  params.seed = 5;
+  const BipartiteGraph a = generate_rmat(params);
+  const BipartiteGraph b = generate_rmat(params);
+  EXPECT_EQ(a.to_edges().edges, b.to_edges().edges);
+}
+
+TEST(Rmat, SeedChangesGraph) {
+  RmatParams params;
+  params.scale = 10;
+  params.seed = 5;
+  const BipartiteGraph a = generate_rmat(params);
+  params.seed = 6;
+  const BipartiteGraph b = generate_rmat(params);
+  EXPECT_NE(a.to_edges().edges, b.to_edges().edges);
+}
+
+TEST(Rmat, SizeContract) {
+  RmatParams params;
+  params.scale = 12;
+  params.edge_factor = 8.0;
+  const BipartiteGraph g = generate_rmat(params);
+  EXPECT_EQ(g.num_x(), 1 << 12);
+  EXPECT_EQ(g.num_y(), 1 << 12);
+  // Dedup removes some edges but the bulk must remain.
+  EXPECT_GT(g.num_edges(), (8 << 12) / 2);
+  EXPECT_LE(g.num_edges(), 8LL << 12);
+}
+
+TEST(Rmat, SkewedDegrees) {
+  RmatParams params;
+  params.scale = 13;
+  const GraphStats stats = compute_graph_stats(generate_rmat(params));
+  // RMAT hubs are far above the mean degree.
+  EXPECT_GT(stats.degree_skew_x, 10.0);
+}
+
+TEST(Rmat, RejectsBadParameters) {
+  RmatParams params;
+  params.scale = 0;
+  EXPECT_THROW(generate_rmat(params), std::invalid_argument);
+  params.scale = 10;
+  params.a = 0.9;
+  params.b = 0.2;  // a+b+c > 1
+  EXPECT_THROW(generate_rmat(params), std::invalid_argument);
+}
+
+TEST(ErdosRenyi, SizeAndDeterminism) {
+  ErdosRenyiParams params;
+  params.nx = 500;
+  params.ny = 400;
+  params.edges = 3000;
+  params.seed = 11;
+  const BipartiteGraph a = generate_erdos_renyi(params);
+  const BipartiteGraph b = generate_erdos_renyi(params);
+  EXPECT_EQ(a.num_x(), 500);
+  EXPECT_EQ(a.num_y(), 400);
+  EXPECT_GT(a.num_edges(), 2800);  // dedup loses a few
+  EXPECT_LE(a.num_edges(), 3000);
+  EXPECT_EQ(a.to_edges().edges, b.to_edges().edges);
+}
+
+TEST(ErdosRenyi, RejectsBadParameters) {
+  ErdosRenyiParams params;
+  params.nx = 0;
+  EXPECT_THROW(generate_erdos_renyi(params), std::invalid_argument);
+  params.nx = 4;
+  params.edges = -1;
+  EXPECT_THROW(generate_erdos_renyi(params), std::invalid_argument);
+}
+
+TEST(ChungLu, PowerLawSkew) {
+  ChungLuParams params;
+  params.nx = 1 << 13;
+  params.ny = 1 << 13;
+  params.avg_degree = 8.0;
+  params.gamma = 2.2;
+  const BipartiteGraph g = generate_chung_lu(params);
+  const GraphStats stats = compute_graph_stats(g);
+  EXPECT_GT(stats.degree_skew_x, 8.0);
+  // Realized edge count tracks the target within dedup losses.
+  EXPECT_GT(g.num_edges(), static_cast<std::int64_t>(
+                               0.5 * params.avg_degree * params.nx));
+}
+
+TEST(ChungLu, GammaControlsSkew) {
+  ChungLuParams params;
+  params.nx = params.ny = 1 << 13;
+  params.avg_degree = 8.0;
+  params.gamma = 1.9;
+  const GraphStats heavy = compute_graph_stats(generate_chung_lu(params));
+  params.gamma = 3.5;
+  const GraphStats light = compute_graph_stats(generate_chung_lu(params));
+  EXPECT_GT(heavy.degree_skew_x, light.degree_skew_x);
+}
+
+TEST(ChungLu, RejectsBadParameters) {
+  ChungLuParams params;
+  params.gamma = 1.0;
+  EXPECT_THROW(generate_chung_lu(params), std::invalid_argument);
+  params.gamma = 2.5;
+  params.avg_degree = 0.0;
+  EXPECT_THROW(generate_chung_lu(params), std::invalid_argument);
+}
+
+TEST(Grid, PerfectMatchingWithFullDiagonal) {
+  GridParams params;
+  params.width = 40;
+  params.height = 40;
+  const BipartiteGraph g = generate_grid(params);
+  EXPECT_EQ(g.num_x(), 1600);
+  // Zero-free diagonal -> perfect matching exists.
+  EXPECT_EQ(maximum_matching_cardinality(g), 1600);
+}
+
+TEST(Grid, DiagonalDropKeepsNearPerfectMatching) {
+  // On even-sided grids the off-diagonal stencil alone admits a perfect
+  // matching (pair adjacent cells), so dropping diagonal entries must
+  // not cost more than a few percent.
+  GridParams params;
+  params.width = 40;
+  params.height = 40;
+  params.diagonal_drop = 0.05;
+  const BipartiteGraph g = generate_grid(params);
+  const std::int64_t maximum = maximum_matching_cardinality(g);
+  EXPECT_LE(maximum, 1600);
+  EXPECT_GT(maximum, 1500);
+}
+
+TEST(Grid, OddGridWithoutDiagonalIsDeficient) {
+  // 41x41 cells, all diagonals dropped: a perfect matching would be a
+  // 2-factor of the odd grid graph, which cannot exist (the chessboard
+  // color classes are unbalanced), so the matching number must drop.
+  GridParams params;
+  params.width = 41;
+  params.height = 41;
+  params.diagonal_drop = 1.0;
+  const BipartiteGraph g = generate_grid(params);
+  EXPECT_LT(maximum_matching_cardinality(g), 41 * 41);
+}
+
+TEST(Grid, ThreeDimensionalStencil) {
+  GridParams params;
+  params.width = 8;
+  params.height = 8;
+  params.depth = 8;
+  const BipartiteGraph g = generate_grid(params);
+  EXPECT_EQ(g.num_x(), 512);
+  // 7-point stencil: interior row degree is 7 (diag + 6 neighbors).
+  GraphStats stats = compute_graph_stats(g);
+  EXPECT_EQ(stats.max_degree_x, 7);
+}
+
+TEST(Grid, RejectsBadParameters) {
+  GridParams params;
+  params.width = 0;
+  EXPECT_THROW(generate_grid(params), std::invalid_argument);
+  params.width = 4;
+  params.diagonal_drop = 1.5;
+  EXPECT_THROW(generate_grid(params), std::invalid_argument);
+}
+
+TEST(Road, BoundedDegreeAndDeterminism) {
+  RoadParams params;
+  params.width = 64;
+  params.height = 64;
+  params.seed = 3;
+  const BipartiteGraph a = generate_road(params);
+  const BipartiteGraph b = generate_road(params);
+  EXPECT_EQ(a.to_edges().edges, b.to_edges().edges);
+  const GraphStats stats = compute_graph_stats(a);
+  EXPECT_LE(stats.max_degree_x, 5);  // diagonal + 4 lattice links
+}
+
+TEST(Road, DeadEndsCreateIsolation) {
+  RoadParams params;
+  params.width = 64;
+  params.height = 64;
+  params.dead_end = 0.1;
+  const GraphStats stats = compute_graph_stats(generate_road(params));
+  EXPECT_GT(stats.isolated_x, 0);
+}
+
+TEST(Road, RejectsBadParameters) {
+  RoadParams params;
+  params.edge_keep = 2.0;
+  EXPECT_THROW(generate_road(params), std::invalid_argument);
+}
+
+TEST(WebCrawl, LowMatchingFraction) {
+  WebCrawlParams params;
+  params.nx = 1 << 13;
+  params.ny = 1 << 13;
+  params.seed = 2;
+  const BipartiteGraph g = generate_webcrawl(params);
+  const auto maximum = maximum_matching_cardinality(g);
+  const double fraction =
+      2.0 * static_cast<double>(maximum) /
+      static_cast<double>(g.num_x() + g.num_y());
+  // The defining property of the paper's class 3.
+  EXPECT_LT(fraction, 0.6);
+}
+
+TEST(WebCrawl, StubsConcentrateOnHubs) {
+  WebCrawlParams params;
+  params.nx = 4096;
+  params.ny = 4096;
+  params.stub_fraction = 1.0;  // all rows are stubs
+  params.hub_count = 16;
+  const BipartiteGraph g = generate_webcrawl(params);
+  for (vid_t x = 0; x < g.num_x(); ++x) {
+    for (const vid_t y : g.neighbors_of_x(x)) EXPECT_LT(y, 16);
+  }
+}
+
+TEST(WebCrawl, RejectsBadParameters) {
+  WebCrawlParams params;
+  params.hub_count = 0;
+  EXPECT_THROW(generate_webcrawl(params), std::invalid_argument);
+  params.hub_count = 10;
+  params.stub_fraction = -0.1;
+  EXPECT_THROW(generate_webcrawl(params), std::invalid_argument);
+}
+
+TEST(Suite, HasElevenInstancesInThreeClasses) {
+  const auto& suite = benchmark_suite();
+  EXPECT_EQ(suite.size(), 11u);
+  EXPECT_EQ(suite_names(GraphClass::kScientific).size(), 4u);
+  EXPECT_EQ(suite_names(GraphClass::kScaleFree).size(), 4u);
+  EXPECT_EQ(suite_names(GraphClass::kWeb).size(), 3u);
+}
+
+TEST(Suite, LookupByName) {
+  const SuiteInstance& instance = suite_instance("kkt_power-like");
+  EXPECT_EQ(instance.paper_name, "kkt_power");
+  EXPECT_EQ(instance.graph_class, GraphClass::kScientific);
+  EXPECT_THROW(suite_instance("nope"), std::out_of_range);
+}
+
+TEST(Suite, SizeFactorScalesGraphs) {
+  const SuiteInstance& instance = suite_instance("hugetrace-like");
+  const BipartiteGraph small = instance.factory(0.01, 1);
+  const BipartiteGraph larger = instance.factory(0.04, 1);
+  EXPECT_GT(larger.num_x(), 2 * small.num_x());
+}
+
+TEST(Suite, ClassNames) {
+  EXPECT_EQ(to_string(GraphClass::kScientific), "scientific");
+  EXPECT_EQ(to_string(GraphClass::kScaleFree), "scale-free");
+  EXPECT_EQ(to_string(GraphClass::kWeb), "web");
+}
+
+TEST(Suite, WebClassHasLowMatchingNumber) {
+  for (const auto& name : suite_names(GraphClass::kWeb)) {
+    const BipartiteGraph g = suite_instance(name).factory(0.02, 1);
+    const double fraction =
+        2.0 * static_cast<double>(maximum_matching_cardinality(g)) /
+        static_cast<double>(g.num_x() + g.num_y());
+    EXPECT_LT(fraction, 0.6) << name;
+  }
+}
+
+TEST(Suite, ScientificClassHasHighMatchingNumber) {
+  for (const auto& name : suite_names(GraphClass::kScientific)) {
+    const BipartiteGraph g = suite_instance(name).factory(0.02, 1);
+    const double fraction =
+        2.0 * static_cast<double>(maximum_matching_cardinality(g)) /
+        static_cast<double>(g.num_x() + g.num_y());
+    EXPECT_GT(fraction, 0.9) << name;
+  }
+}
+
+}  // namespace
+}  // namespace graftmatch

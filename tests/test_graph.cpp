@@ -1,0 +1,213 @@
+// Unit tests for the graph substrate: edge lists, CSR construction,
+// transforms, matching container, and graph statistics.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graftmatch/graph/bipartite_graph.hpp"
+#include "graftmatch/graph/edge_list.hpp"
+#include "graftmatch/graph/graph_stats.hpp"
+#include "graftmatch/graph/matching.hpp"
+#include "graftmatch/graph/transforms.hpp"
+
+namespace graftmatch {
+namespace {
+
+EdgeList diamond() {
+  // 2x3 matrix: x0 ~ {y0, y1}, x1 ~ {y1, y2}.
+  EdgeList list;
+  list.nx = 2;
+  list.ny = 3;
+  list.edges = {{0, 0}, {0, 1}, {1, 1}, {1, 2}};
+  return list;
+}
+
+TEST(EdgeList, CanonicalizeSortsAndDedups) {
+  EdgeList list;
+  list.nx = 2;
+  list.ny = 2;
+  list.edges = {{1, 1}, {0, 0}, {1, 1}, {0, 1}};
+  list.canonicalize();
+  ASSERT_EQ(list.edges.size(), 3u);
+  EXPECT_EQ(list.edges[0], (Edge{0, 0}));
+  EXPECT_EQ(list.edges[1], (Edge{0, 1}));
+  EXPECT_EQ(list.edges[2], (Edge{1, 1}));
+}
+
+TEST(EdgeList, InBounds) {
+  EdgeList list = diamond();
+  EXPECT_TRUE(list.in_bounds());
+  list.edges.push_back({5, 0});
+  EXPECT_FALSE(list.in_bounds());
+}
+
+TEST(BipartiteGraph, BuildsBothDirections) {
+  const BipartiteGraph g = BipartiteGraph::from_edges(diamond());
+  EXPECT_EQ(g.num_x(), 2);
+  EXPECT_EQ(g.num_y(), 3);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.num_directed_edges(), 8);
+  EXPECT_EQ(g.degree_x(0), 2);
+  EXPECT_EQ(g.degree_y(1), 2);
+  // X adjacency sorted.
+  const auto adj0 = g.neighbors_of_x(0);
+  ASSERT_EQ(adj0.size(), 2u);
+  EXPECT_EQ(adj0[0], 0);
+  EXPECT_EQ(adj0[1], 1);
+  // Y adjacency mirrors.
+  const auto back1 = g.neighbors_of_y(1);
+  ASSERT_EQ(back1.size(), 2u);
+  EXPECT_EQ(back1[0], 0);
+  EXPECT_EQ(back1[1], 1);
+}
+
+TEST(BipartiteGraph, MergesDuplicates) {
+  EdgeList list = diamond();
+  list.edges.push_back({0, 0});
+  const BipartiteGraph g = BipartiteGraph::from_edges(list);
+  EXPECT_EQ(g.num_edges(), 4);
+}
+
+TEST(BipartiteGraph, RejectsOutOfRange) {
+  EdgeList list = diamond();
+  list.edges.push_back({0, 99});
+  EXPECT_THROW(BipartiteGraph::from_edges(list), std::invalid_argument);
+}
+
+TEST(BipartiteGraph, HasEdge) {
+  const BipartiteGraph g = BipartiteGraph::from_edges(diamond());
+  EXPECT_TRUE(g.has_edge(0, 0));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(-1, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(BipartiteGraph, EmptyGraph) {
+  EdgeList list;
+  list.nx = 3;
+  list.ny = 2;
+  const BipartiteGraph g = BipartiteGraph::from_edges(list);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.degree_x(0), 0);
+  EXPECT_TRUE(g.neighbors_of_x(2).empty());
+}
+
+TEST(BipartiteGraph, ToEdgesRoundTrips) {
+  const BipartiteGraph g = BipartiteGraph::from_edges(diamond());
+  EdgeList out = g.to_edges();
+  EdgeList in = diamond();
+  in.canonicalize();
+  EXPECT_EQ(out.nx, in.nx);
+  EXPECT_EQ(out.ny, in.ny);
+  EXPECT_EQ(out.edges, in.edges);
+}
+
+TEST(BipartiteGraph, MemoryBytesPositive) {
+  const BipartiteGraph g = BipartiteGraph::from_edges(diamond());
+  EXPECT_GT(g.memory_bytes(), 0);
+}
+
+TEST(Transforms, TransposeSwapsSides) {
+  const BipartiteGraph g = BipartiteGraph::from_edges(diamond());
+  const BipartiteGraph t = transpose(g);
+  EXPECT_EQ(t.num_x(), 3);
+  EXPECT_EQ(t.num_y(), 2);
+  EXPECT_EQ(t.num_edges(), g.num_edges());
+  EXPECT_TRUE(t.has_edge(2, 1));
+  EXPECT_FALSE(t.has_edge(2, 0));
+}
+
+TEST(Transforms, PermuteRelabels) {
+  const BipartiteGraph g = BipartiteGraph::from_edges(diamond());
+  const std::vector<vid_t> perm_x{1, 0};
+  const std::vector<vid_t> perm_y{2, 0, 1};
+  const BipartiteGraph p = permute(g, perm_x, perm_y);
+  // Edge (0,0) -> (1,2); edge (1,2) -> (0,1).
+  EXPECT_TRUE(p.has_edge(1, 2));
+  EXPECT_TRUE(p.has_edge(0, 1));
+  EXPECT_EQ(p.num_edges(), g.num_edges());
+}
+
+TEST(Transforms, PermuteValidatesInput) {
+  const BipartiteGraph g = BipartiteGraph::from_edges(diamond());
+  EXPECT_THROW(permute(g, {0}, {0, 1, 2}), std::invalid_argument);
+  EXPECT_THROW(permute(g, {0, 0}, {0, 1, 2}), std::invalid_argument);
+  EXPECT_THROW(permute(g, {0, 1}, {0, 1, 5}), std::invalid_argument);
+}
+
+TEST(Transforms, ShuffleIsDeterministicPerSeed) {
+  const BipartiteGraph g = BipartiteGraph::from_edges(diamond());
+  const BipartiteGraph a = shuffle_labels(g, 9);
+  const BipartiteGraph b = shuffle_labels(g, 9);
+  EXPECT_EQ(a.to_edges().edges, b.to_edges().edges);
+  EXPECT_EQ(a.num_edges(), g.num_edges());
+}
+
+TEST(Transforms, RandomPermutationIsPermutation) {
+  Xoshiro256 rng(4);
+  const auto perm = random_permutation(100, rng);
+  EXPECT_TRUE(is_permutation(perm));
+}
+
+TEST(Transforms, IsPermutationRejects) {
+  EXPECT_TRUE(is_permutation({2, 0, 1}));
+  EXPECT_FALSE(is_permutation({0, 0, 1}));
+  EXPECT_FALSE(is_permutation({0, 3, 1}));
+  EXPECT_FALSE(is_permutation({0, -1, 1}));
+}
+
+TEST(Matching, BasicOperations) {
+  Matching m(3, 3);
+  EXPECT_EQ(m.cardinality(), 0);
+  EXPECT_FALSE(m.is_matched_x(0));
+  m.match(0, 2);
+  EXPECT_TRUE(m.is_matched_x(0));
+  EXPECT_TRUE(m.is_matched_y(2));
+  EXPECT_EQ(m.mate_of_x(0), 2);
+  EXPECT_EQ(m.mate_of_y(2), 0);
+  EXPECT_EQ(m.cardinality(), 1);
+  m.unmatch_x(0);
+  EXPECT_EQ(m.cardinality(), 0);
+  EXPECT_FALSE(m.is_matched_y(2));
+  m.unmatch_x(0);  // no-op on unmatched
+  EXPECT_EQ(m.cardinality(), 0);
+}
+
+TEST(Matching, FractionOfVertices) {
+  Matching m(2, 2);
+  EXPECT_EQ(m.fraction_of_vertices(), 0.0);
+  m.match(0, 0);
+  m.match(1, 1);
+  EXPECT_DOUBLE_EQ(m.fraction_of_vertices(), 1.0);
+}
+
+TEST(Matching, Equality) {
+  Matching a(2, 2);
+  Matching b(2, 2);
+  EXPECT_EQ(a, b);
+  a.match(0, 1);
+  EXPECT_NE(a, b);
+  b.match(0, 1);
+  EXPECT_EQ(a, b);
+}
+
+TEST(GraphStats, ComputesDegreesAndIsolation) {
+  EdgeList list;
+  list.nx = 3;
+  list.ny = 3;
+  list.edges = {{0, 0}, {0, 1}, {0, 2}, {1, 0}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(list);
+  const GraphStats stats = compute_graph_stats(g);
+  EXPECT_EQ(stats.nx, 3);
+  EXPECT_EQ(stats.edges, 4);
+  EXPECT_EQ(stats.max_degree_x, 3);
+  EXPECT_EQ(stats.max_degree_y, 2);
+  EXPECT_EQ(stats.isolated_x, 1);  // x2
+  EXPECT_EQ(stats.isolated_y, 0);
+  EXPECT_NEAR(stats.avg_degree_x, 4.0 / 3.0, 1e-12);
+  EXPECT_FALSE(format_graph_stats(stats).empty());
+}
+
+}  // namespace
+}  // namespace graftmatch

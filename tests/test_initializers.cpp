@@ -1,0 +1,202 @@
+// Tests for the maximal-matching initializers: Karp-Sipser (serial and
+// parallel) and the greedy variants.
+#include <gtest/gtest.h>
+
+#include "graftmatch/baselines/hopcroft_karp.hpp"
+#include "graftmatch/gen/erdos_renyi.hpp"
+#include "graftmatch/gen/grid.hpp"
+#include "graftmatch/gen/webcrawl.hpp"
+#include "graftmatch/init/greedy.hpp"
+#include "graftmatch/init/karp_sipser.hpp"
+#include "graftmatch/init/parallel_karp_sipser.hpp"
+#include "graftmatch/verify/validate.hpp"
+
+namespace graftmatch {
+namespace {
+
+BipartiteGraph path_graph(vid_t k) {
+  // x0 - y0 - x1 - y1 - ... (a path with 2k vertices): the degree-1
+  // rule alone solves it optimally.
+  EdgeList list;
+  list.nx = k;
+  list.ny = k;
+  for (vid_t i = 0; i < k; ++i) {
+    list.edges.push_back({i, i});
+    if (i + 1 < k) list.edges.push_back({i + 1, i});
+  }
+  return BipartiteGraph::from_edges(list);
+}
+
+BipartiteGraph star_graph(vid_t leaves) {
+  // One X hub connected to `leaves` Y vertices: max matching is 1.
+  EdgeList list;
+  list.nx = 1;
+  list.ny = leaves;
+  for (vid_t y = 0; y < leaves; ++y) list.edges.push_back({0, y});
+  return BipartiteGraph::from_edges(list);
+}
+
+TEST(KarpSipser, OptimalOnPath) {
+  const BipartiteGraph g = path_graph(50);
+  KarpSipserStats stats;
+  const Matching m = karp_sipser(g, 1, &stats);
+  EXPECT_TRUE(is_valid_matching(g, m));
+  EXPECT_EQ(m.cardinality(), 50);  // perfect via the diagonal
+  EXPECT_GT(stats.degree_one_matches, 0);
+}
+
+TEST(KarpSipser, StarUsesDegreeOneRule) {
+  const BipartiteGraph g = star_graph(10);
+  KarpSipserStats stats;
+  const Matching m = karp_sipser(g, 1, &stats);
+  EXPECT_EQ(m.cardinality(), 1);
+  // All ten leaves are degree-1; the safe rule fires first.
+  EXPECT_EQ(stats.degree_one_matches + stats.random_matches, 1);
+}
+
+TEST(KarpSipser, MaximalOnRandomGraphs) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    ErdosRenyiParams params;
+    params.nx = 600;
+    params.ny = 500;
+    params.edges = 2500;
+    params.seed = seed;
+    const BipartiteGraph g = generate_erdos_renyi(params);
+    const Matching m = karp_sipser(g, seed);
+    EXPECT_TRUE(is_valid_matching(g, m));
+    EXPECT_TRUE(is_maximal_matching(g, m));
+  }
+}
+
+TEST(KarpSipser, DeterministicGivenSeed) {
+  ErdosRenyiParams params;
+  params.nx = params.ny = 300;
+  params.edges = 1200;
+  const BipartiteGraph g = generate_erdos_renyi(params);
+  EXPECT_EQ(karp_sipser(g, 7), karp_sipser(g, 7));
+}
+
+TEST(KarpSipser, NearOptimalOnGrid) {
+  GridParams params;
+  params.width = 32;
+  params.height = 32;
+  const BipartiteGraph g = generate_grid(params);
+  const Matching m = karp_sipser(g);
+  // KS should recover at least 95% of the (perfect) maximum.
+  EXPECT_GT(m.cardinality(), (1024 * 95) / 100);
+}
+
+TEST(KarpSipser, EmptyGraph) {
+  EdgeList list;
+  list.nx = 5;
+  list.ny = 5;
+  const BipartiteGraph g = BipartiteGraph::from_edges(list);
+  EXPECT_EQ(karp_sipser(g).cardinality(), 0);
+}
+
+TEST(KarpSipserRule1, MaximalValidAndBetween) {
+  // KSR1's quality sits between plain greedy and full Karp-Sipser on
+  // graphs with a meaningful degree-1 periphery.
+  WebCrawlParams params;
+  params.nx = params.ny = 3000;
+  params.seed = 5;
+  const BipartiteGraph g = generate_webcrawl(params);
+  KarpSipserStats stats;
+  const Matching m = karp_sipser_rule1(g, &stats);
+  EXPECT_TRUE(is_valid_matching(g, m));
+  EXPECT_TRUE(is_maximal_matching(g, m));
+  EXPECT_GT(stats.degree_one_matches, 0);
+  const Matching full = karp_sipser(g);
+  EXPECT_LE(m.cardinality(), full.cardinality());
+  EXPECT_GE(2 * m.cardinality(), full.cardinality());
+}
+
+TEST(KarpSipserRule1, OptimalOnPath) {
+  const BipartiteGraph g = path_graph(30);
+  EXPECT_EQ(karp_sipser_rule1(g).cardinality(), 30);
+}
+
+TEST(KarpSipserRule1, Deterministic) {
+  ErdosRenyiParams params;
+  params.nx = params.ny = 400;
+  params.edges = 1600;
+  const BipartiteGraph g = generate_erdos_renyi(params);
+  EXPECT_EQ(karp_sipser_rule1(g), karp_sipser_rule1(g));
+}
+
+TEST(Greedy, MaximalAndValid) {
+  WebCrawlParams params;
+  params.nx = params.ny = 2000;
+  const BipartiteGraph g = generate_webcrawl(params);
+  const Matching m = greedy_maximal(g);
+  EXPECT_TRUE(is_valid_matching(g, m));
+  EXPECT_TRUE(is_maximal_matching(g, m));
+}
+
+TEST(Greedy, AtLeastHalfOfMaximum) {
+  ErdosRenyiParams params;
+  params.nx = params.ny = 800;
+  params.edges = 3000;
+  const BipartiteGraph g = generate_erdos_renyi(params);
+  const Matching m = greedy_maximal(g);
+  EXPECT_GE(2 * m.cardinality(), maximum_matching_cardinality(g));
+}
+
+TEST(RandomizedGreedy, MaximalValidDeterministic) {
+  ErdosRenyiParams params;
+  params.nx = params.ny = 500;
+  params.edges = 2000;
+  const BipartiteGraph g = generate_erdos_renyi(params);
+  const Matching a = randomized_greedy(g, 3);
+  const Matching b = randomized_greedy(g, 3);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(is_valid_matching(g, a));
+  EXPECT_TRUE(is_maximal_matching(g, a));
+  // A different seed gives a different maximal matching (overwhelmingly).
+  const Matching c = randomized_greedy(g, 4);
+  EXPECT_NE(a, c);
+}
+
+TEST(IsMaximal, DetectsNonMaximal) {
+  const BipartiteGraph g = path_graph(3);
+  Matching empty(g.num_x(), g.num_y());
+  EXPECT_FALSE(is_maximal_matching(g, empty));
+}
+
+TEST(ParallelKarpSipser, MaximalValidAcrossThreadCounts) {
+  ErdosRenyiParams params;
+  params.nx = 1500;
+  params.ny = 1200;
+  params.edges = 6000;
+  const BipartiteGraph g = generate_erdos_renyi(params);
+  for (int threads : {1, 2, 4}) {
+    const Matching m = parallel_karp_sipser(g, 1, threads);
+    EXPECT_TRUE(is_valid_matching(g, m)) << threads;
+    EXPECT_TRUE(is_maximal_matching(g, m)) << threads;
+  }
+}
+
+TEST(ParallelKarpSipser, QualityComparableToSerial) {
+  GridParams params;
+  params.width = 48;
+  params.height = 48;
+  const BipartiteGraph g = generate_grid(params);
+  const auto serial = karp_sipser(g).cardinality();
+  const auto parallel = parallel_karp_sipser(g, 1, 4).cardinality();
+  // Both are maximal, so both are >= max/2; additionally the parallel
+  // variant should stay within 10% of the serial one on a grid.
+  EXPECT_GT(parallel, (serial * 9) / 10);
+}
+
+TEST(ParallelKarpSipser, HandlesIsolatedVertices) {
+  EdgeList list;
+  list.nx = 10;
+  list.ny = 10;
+  list.edges = {{0, 0}, {9, 9}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(list);
+  const Matching m = parallel_karp_sipser(g, 1, 2);
+  EXPECT_EQ(m.cardinality(), 2);
+}
+
+}  // namespace
+}  // namespace graftmatch

@@ -1,0 +1,119 @@
+// Cross-module integration tests: full pipelines exercising generator ->
+// I/O -> matching -> decomposition -> verification together, plus
+// consistency across transformations (matching number is invariant
+// under relabeling and transposition).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "graftmatch/graftmatch.hpp"
+
+namespace graftmatch {
+namespace {
+
+TEST(Integration, MtxRoundTripPreservesMatchingNumber) {
+  ChungLuParams params;
+  params.nx = params.ny = 1500;
+  params.avg_degree = 6.0;
+  params.seed = 17;
+  const BipartiteGraph original = generate_chung_lu(params);
+  const std::int64_t expected = maximum_matching_cardinality(original);
+
+  const std::string path = testing::TempDir() + "/graftmatch_integration.mtx";
+  write_matrix_market_file(path, original.to_edges());
+  const BipartiteGraph loaded =
+      BipartiteGraph::from_edges(read_matrix_market_file(path));
+
+  EXPECT_EQ(loaded.num_edges(), original.num_edges());
+  EXPECT_EQ(maximum_matching_cardinality(loaded), expected);
+}
+
+TEST(Integration, MatchingNumberInvariantUnderRelabeling) {
+  WebCrawlParams params;
+  params.nx = params.ny = 2000;
+  params.seed = 5;
+  const BipartiteGraph g = generate_webcrawl(params);
+  const std::int64_t expected = maximum_matching_cardinality(g);
+
+  for (const std::uint64_t seed : {1ULL, 2ULL}) {
+    const BipartiteGraph shuffled = shuffle_labels(g, seed);
+    Matching m = randomized_greedy(shuffled, seed);
+    ms_bfs_graft(shuffled, m);
+    EXPECT_EQ(m.cardinality(), expected) << seed;
+  }
+}
+
+TEST(Integration, MatchingNumberInvariantUnderTransposition) {
+  ErdosRenyiParams params;
+  params.nx = 900;
+  params.ny = 700;
+  params.edges = 3200;
+  const BipartiteGraph g = generate_erdos_renyi(params);
+  EXPECT_EQ(maximum_matching_cardinality(g),
+            maximum_matching_cardinality(transpose(g)));
+}
+
+TEST(Integration, WarmStartFromAnotherAlgorithmsOutput) {
+  // Feeding one algorithm's maximum matching into another must be a
+  // no-op (zero augmentations).
+  const BipartiteGraph g = suite_instance("amazon-like").factory(0.01, 3);
+  Matching m = karp_sipser(g);
+  pothen_fan(g, m);
+  ASSERT_TRUE(is_maximum_matching(g, m));
+  const RunStats stats = ms_bfs_graft(g, m);
+  EXPECT_EQ(stats.augmentations, 0);
+  EXPECT_EQ(stats.phases, 1);
+}
+
+TEST(Integration, DmOfGeneratedMatrixMatchesBtf) {
+  const BipartiteGraph g = suite_instance("wb-edu-like").factory(0.01, 2);
+  const DmDecomposition dm = dm_decompose(g);
+  const BlockTriangularForm btf = block_triangular_form(g, dm);
+  EXPECT_TRUE(verify_btf(g, btf));
+  // Coarse part sizes agree between the two views.
+  EXPECT_EQ(btf.square_row_begin, dm.rows_in(DmBlock::kHorizontal));
+  EXPECT_EQ(btf.square_row_end - btf.square_row_begin,
+            dm.rows_in(DmBlock::kSquare));
+}
+
+TEST(Integration, StatsEdgesBoundedByPhaseWork) {
+  // Edge traversals cannot exceed phases * directed edges (each phase
+  // touches each directed edge O(1) times in MS-BFS-Graft).
+  const BipartiteGraph g = suite_instance("wikipedia-like").factory(0.01, 1);
+  Matching m = randomized_greedy(g, 1);
+  const RunStats stats = ms_bfs_graft(g, m);
+  EXPECT_LE(stats.edges_traversed,
+            2 * stats.phases * g.num_directed_edges());
+}
+
+TEST(Integration, SerialAndParallelGraftAgreeOnCardinality) {
+  const BipartiteGraph g = suite_instance("rmat-like").factory(0.01, 8);
+  RunConfig serial;
+  serial.threads = 1;
+  RunConfig parallel;
+  parallel.threads = 4;
+  Matching m1 = randomized_greedy(g, 9);
+  Matching m2 = m1;
+  ms_bfs_graft(g, m1, serial);
+  ms_bfs_graft(g, m2, parallel);
+  EXPECT_EQ(m1.cardinality(), m2.cardinality());
+}
+
+TEST(Integration, RepeatedRunsAreDeterministicSerially) {
+  const BipartiteGraph g = suite_instance("road_usa-like").factory(0.01, 4);
+  RunConfig config;
+  config.threads = 1;
+  Matching m1 = randomized_greedy(g, 6);
+  Matching m2 = randomized_greedy(g, 6);
+  ASSERT_EQ(m1, m2);
+  const RunStats s1 = ms_bfs_graft(g, m1, config);
+  const RunStats s2 = ms_bfs_graft(g, m2, config);
+  EXPECT_EQ(m1, m2);
+  EXPECT_EQ(s1.phases, s2.phases);
+  EXPECT_EQ(s1.edges_traversed, s2.edges_traversed);
+  EXPECT_EQ(s1.total_path_edges, s2.total_path_edges);
+}
+
+}  // namespace
+}  // namespace graftmatch

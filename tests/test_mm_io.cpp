@@ -1,0 +1,136 @@
+// Unit tests for Matrix Market I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "graftmatch/graph/bipartite_graph.hpp"
+#include "graftmatch/graph/mm_io.hpp"
+
+namespace graftmatch {
+namespace {
+
+TEST(MatrixMarket, ParsesCoordinateReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 4 3\n"
+      "1 1 1.5\n"
+      "2 3 -2.0\n"
+      "3 4 0.25\n");
+  const EdgeList list = read_matrix_market(in);
+  EXPECT_EQ(list.nx, 3);
+  EXPECT_EQ(list.ny, 4);
+  ASSERT_EQ(list.edges.size(), 3u);
+  EXPECT_EQ(list.edges[0], (Edge{0, 0}));
+  EXPECT_EQ(list.edges[1], (Edge{1, 2}));
+  EXPECT_EQ(list.edges[2], (Edge{2, 3}));
+}
+
+TEST(MatrixMarket, ParsesPattern) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  const EdgeList list = read_matrix_market(in);
+  ASSERT_EQ(list.edges.size(), 2u);
+  EXPECT_EQ(list.edges[0], (Edge{0, 1}));
+}
+
+TEST(MatrixMarket, ExpandsSymmetricStorage) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "1 1 1.0\n"
+      "2 1 2.0\n"
+      "3 2 3.0\n");
+  const EdgeList list = read_matrix_market(in);
+  // diag (0,0) + mirrored (1,0)/(0,1) + (2,1)/(1,2) = 5 edges.
+  EXPECT_EQ(list.edges.size(), 5u);
+  const BipartiteGraph g = BipartiteGraph::from_edges(list);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_FALSE(g.has_edge(2, 0));
+}
+
+TEST(MatrixMarket, CaseInsensitiveBanner) {
+  std::istringstream in(
+      "%%MatrixMarket MATRIX Coordinate Pattern General\n"
+      "1 1 1\n"
+      "1 1\n");
+  EXPECT_EQ(read_matrix_market(in).edges.size(), 1u);
+}
+
+TEST(MatrixMarket, RejectsBadBanner) {
+  std::istringstream in("%%NotMatrixMarket matrix coordinate real general\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsArrayFormat) {
+  std::istringstream in(
+      "%%MatrixMarket matrix array real general\n"
+      "2 2\n1\n2\n3\n4\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsIndexOutOfRange) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 1\n"
+      "3 1\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedFile) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsNonSquareSymmetric) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+  EdgeList original;
+  original.nx = 3;
+  original.ny = 5;
+  original.edges = {{0, 4}, {1, 0}, {2, 2}, {2, 3}};
+  original.canonicalize();
+
+  std::ostringstream out;
+  write_matrix_market(out, original);
+  std::istringstream in(out.str());
+  const EdgeList parsed = read_matrix_market(in);
+  EXPECT_EQ(parsed.nx, original.nx);
+  EXPECT_EQ(parsed.ny, original.ny);
+  EXPECT_EQ(parsed.edges, original.edges);
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  EdgeList original;
+  original.nx = 2;
+  original.ny = 2;
+  original.edges = {{0, 0}, {1, 1}};
+  const std::string path = testing::TempDir() + "/graftmatch_roundtrip.mtx";
+  write_matrix_market_file(path, original);
+  const EdgeList parsed = read_matrix_market_file(path);
+  EXPECT_EQ(parsed.edges, original.edges);
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/graph.mtx"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace graftmatch

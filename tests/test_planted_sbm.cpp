@@ -1,0 +1,166 @@
+// Tests for the planted-matching and SBM generators, including the
+// strongest property test in the suite: every algorithm must hit the
+// EXACT matching number the planted construction guarantees.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graftmatch/graftmatch.hpp"
+
+namespace graftmatch {
+namespace {
+
+TEST(Planted, ExactCardinalityByConstruction) {
+  PlantedParams params;
+  params.matched_pairs = 3000;
+  params.surplus_rows = 500;
+  params.bottleneck = 40;
+  params.seed = 9;
+  const PlantedGraph planted = generate_planted(params);
+  EXPECT_EQ(planted.maximum_cardinality, 3040);
+  // Confirm against the independent HK+Koenig machinery.
+  EXPECT_EQ(maximum_matching_cardinality(planted.graph), 3040);
+}
+
+TEST(Planted, SurplusSmallerThanBottleneck) {
+  PlantedParams params;
+  params.matched_pairs = 100;
+  params.surplus_rows = 5;
+  params.bottleneck = 32;
+  const PlantedGraph planted = generate_planted(params);
+  EXPECT_EQ(planted.maximum_cardinality, 105);
+  EXPECT_EQ(maximum_matching_cardinality(planted.graph), 105);
+}
+
+TEST(Planted, NoBottleneckMeansSurplusUnmatched) {
+  PlantedParams params;
+  params.matched_pairs = 200;
+  params.surplus_rows = 50;
+  params.bottleneck = 0;
+  const PlantedGraph planted = generate_planted(params);
+  EXPECT_EQ(planted.maximum_cardinality, 200);
+  EXPECT_EQ(maximum_matching_cardinality(planted.graph), 200);
+}
+
+TEST(Planted, DeterministicPerSeed) {
+  PlantedParams params;
+  params.seed = 4;
+  const PlantedGraph a = generate_planted(params);
+  const PlantedGraph b = generate_planted(params);
+  EXPECT_EQ(a.graph.to_edges().edges, b.graph.to_edges().edges);
+}
+
+TEST(Planted, RejectsBadParameters) {
+  PlantedParams params;
+  params.matched_pairs = -1;
+  EXPECT_THROW(generate_planted(params), std::invalid_argument);
+  params.matched_pairs = 10;
+  params.noise_degree = -1.0;
+  EXPECT_THROW(generate_planted(params), std::invalid_argument);
+}
+
+// The money test: every algorithm, exact planted oracle, several shapes.
+using PlantedShape = std::tuple<vid_t, vid_t, vid_t>;  // pairs, surplus, B
+
+class PlantedSweep : public ::testing::TestWithParam<PlantedShape> {};
+
+TEST_P(PlantedSweep, EveryAlgorithmHitsExactOptimum) {
+  const auto& [pairs, surplus, bottleneck] = GetParam();
+  PlantedParams params;
+  params.matched_pairs = pairs;
+  params.surplus_rows = surplus;
+  params.bottleneck = bottleneck;
+  params.seed = 31;
+  const PlantedGraph planted = generate_planted(params);
+  const BipartiteGraph& g = planted.graph;
+  const std::int64_t expected = planted.maximum_cardinality;
+
+  const auto check = [&](auto&& algorithm, const char* name) {
+    Matching m = randomized_greedy(g, 3);
+    algorithm(g, m);
+    EXPECT_EQ(m.cardinality(), expected) << name;
+  };
+  check([](const auto& g2, auto& m) { return ms_bfs_graft(g2, m); }, "graft");
+  check([](const auto& g2, auto& m) { return ms_bfs(g2, m); }, "msbfs");
+  check([](const auto& g2, auto& m) { return pothen_fan(g2, m); }, "pf");
+  check([](const auto& g2, auto& m) { return push_relabel(g2, m); }, "pr");
+  check([](const auto& g2, auto& m) { return hopcroft_karp(g2, m); }, "hk");
+  check([](const auto& g2, auto& m) { return ss_bfs(g2, m); }, "ssbfs");
+  check([](const auto& g2, auto& m) { return ss_dfs(g2, m); }, "ssdfs");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PlantedSweep,
+    ::testing::Values(PlantedShape{1000, 0, 0},      // perfect matching
+                      PlantedShape{1000, 100, 100},  // balanced bottleneck
+                      PlantedShape{1000, 400, 16},   // starved bottleneck
+                      PlantedShape{1000, 8, 64},     // slack bottleneck
+                      PlantedShape{0, 300, 20},      // bottleneck only
+                      PlantedShape{2000, 1, 1}));    // single extra pair
+
+TEST(Sbm, SizesAndDeterminism) {
+  SbmParams params;
+  params.rows_per_block = 200;
+  params.cols_per_block = 150;
+  params.blocks = 4;
+  params.seed = 6;
+  const BipartiteGraph a = generate_sbm(params);
+  EXPECT_EQ(a.num_x(), 800);
+  EXPECT_EQ(a.num_y(), 600);
+  const BipartiteGraph b = generate_sbm(params);
+  EXPECT_EQ(a.to_edges().edges, b.to_edges().edges);
+}
+
+TEST(Sbm, CommunityConcentration) {
+  SbmParams params;
+  params.rows_per_block = 300;
+  params.cols_per_block = 300;
+  params.blocks = 6;
+  params.in_degree = 8.0;
+  params.out_degree = 1.0;
+  const BipartiteGraph g = generate_sbm(params);
+  // Most edges stay inside the diagonal blocks.
+  std::int64_t inside = 0;
+  for (vid_t x = 0; x < g.num_x(); ++x) {
+    const vid_t block = x / params.rows_per_block;
+    for (const vid_t y : g.neighbors_of_x(x)) {
+      inside += (y / params.cols_per_block == block);
+    }
+  }
+  EXPECT_GT(inside, (g.num_edges() * 3) / 4);
+}
+
+TEST(Sbm, SingleBlockHasNoCrossEdges) {
+  SbmParams params;
+  params.blocks = 1;
+  params.rows_per_block = 100;
+  params.cols_per_block = 100;
+  params.out_degree = 5.0;  // must be ignored with one block
+  const BipartiteGraph g = generate_sbm(params);
+  EXPECT_GT(g.num_edges(), 0);
+}
+
+TEST(Sbm, MatchableAndSolvable) {
+  SbmParams params;
+  params.rows_per_block = 400;
+  params.cols_per_block = 400;
+  params.blocks = 5;
+  const BipartiteGraph g = generate_sbm(params);
+  Matching m = randomized_greedy(g, 1);
+  RunConfig config;
+  config.check_invariants = true;
+  ms_bfs_graft(g, m, config);
+  EXPECT_TRUE(is_maximum_matching(g, m));
+}
+
+TEST(Sbm, RejectsBadParameters) {
+  SbmParams params;
+  params.blocks = 0;
+  EXPECT_THROW(generate_sbm(params), std::invalid_argument);
+  params.blocks = 2;
+  params.in_degree = -1.0;
+  EXPECT_THROW(generate_sbm(params), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace graftmatch

@@ -1,0 +1,132 @@
+// Unit tests for the deterministic PRNG substrate (splitmix64,
+// xoshiro256**, alias tables).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "graftmatch/runtime/alias_table.hpp"
+#include "graftmatch/runtime/prng.hpp"
+
+namespace graftmatch {
+namespace {
+
+TEST(Splitmix64, KnownSequence) {
+  // Reference values for seed 0 from the published splitmix64 code.
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64_next(state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64_next(state), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(splitmix64_next(state), 0x06c45d188009454fULL);
+}
+
+TEST(Splitmix64, MixIsStateless) {
+  EXPECT_EQ(mix64(123), mix64(123));
+  EXPECT_NE(mix64(123), mix64(124));
+}
+
+TEST(Xoshiro, DeterministicGivenSeed) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro, BelowStaysInRange) {
+  Xoshiro256 rng(1);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Xoshiro, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(99);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::array<int, kBuckets> histogram{};
+  for (int i = 0; i < kDraws; ++i) {
+    ++histogram[rng.below(kBuckets)];
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (const int count : histogram) {
+    EXPECT_NEAR(count, expected, 5 * std::sqrt(expected));
+  }
+}
+
+TEST(Xoshiro, UniformInHalfOpenUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Xoshiro, ForkedStreamsAreIndependent) {
+  Xoshiro256 base(42);
+  Xoshiro256 s0 = base.fork(0);
+  Xoshiro256 s1 = base.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (s0() == s1());
+  EXPECT_LE(equal, 1);
+
+  // Forking is deterministic: same stream id, same sequence.
+  Xoshiro256 s0_again = Xoshiro256(42).fork(0);
+  Xoshiro256 s0_ref = Xoshiro256(42).fork(0);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(s0_again(), s0_ref());
+}
+
+TEST(AliasTable, SingleEntryAlwaysSampled) {
+  const std::vector<double> weights{3.0};
+  const AliasTable table{std::span<const double>(weights)};
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(table.sample(rng), 0u);
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled) {
+  const std::vector<double> weights{1.0, 0.0, 1.0};
+  const AliasTable table{std::span<const double>(weights)};
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 2000; ++i) EXPECT_NE(table.sample(rng), 1u);
+}
+
+TEST(AliasTable, MatchesWeightProportions) {
+  const std::vector<double> weights{1.0, 2.0, 3.0, 4.0};
+  const AliasTable table{std::span<const double>(weights)};
+  Xoshiro256 rng(5);
+  std::array<int, 4> histogram{};
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++histogram[table.sample(rng)];
+  const double total = 10.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double expected = kDraws * weights[i] / total;
+    EXPECT_NEAR(histogram[i], expected, 6 * std::sqrt(expected)) << i;
+  }
+}
+
+TEST(AliasTable, RejectsInvalidWeights) {
+  const std::vector<double> empty;
+  EXPECT_THROW(AliasTable{std::span<const double>(empty)},
+               std::invalid_argument);
+  const std::vector<double> negative{1.0, -0.5};
+  EXPECT_THROW(AliasTable{std::span<const double>(negative)},
+               std::invalid_argument);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW(AliasTable{std::span<const double>(zeros)},
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace graftmatch

@@ -1,0 +1,64 @@
+// End-to-end smoke tests: every algorithm reaches the same maximum
+// cardinality on a few small-but-nontrivial graphs and passes the
+// Koenig certificate.
+#include <gtest/gtest.h>
+
+#include "graftmatch/graftmatch.hpp"
+
+namespace graftmatch {
+namespace {
+
+BipartiteGraph small_rmat() {
+  RmatParams params;
+  params.scale = 10;
+  params.edge_factor = 8.0;
+  params.seed = 42;
+  return generate_rmat(params);
+}
+
+TEST(Smoke, GraftReachesMaximum) {
+  const BipartiteGraph g = small_rmat();
+  Matching matching = karp_sipser(g);
+  ASSERT_TRUE(is_valid_matching(g, matching));
+  const RunStats stats = ms_bfs_graft(g, matching);
+  EXPECT_TRUE(is_valid_matching(g, matching));
+  EXPECT_TRUE(is_maximum_matching(g, matching));
+  EXPECT_EQ(stats.final_cardinality, matching.cardinality());
+  EXPECT_GE(stats.final_cardinality, stats.initial_cardinality);
+}
+
+TEST(Smoke, AllAlgorithmsAgree) {
+  const BipartiteGraph g = small_rmat();
+  const std::int64_t expected = maximum_matching_cardinality(g);
+
+  const auto check = [&](auto&& algorithm, const char* name) {
+    Matching matching = karp_sipser(g);
+    algorithm(g, matching);
+    EXPECT_TRUE(is_maximum_matching(g, matching)) << name;
+    EXPECT_EQ(matching.cardinality(), expected) << name;
+  };
+
+  check([](const auto& graph, auto& m) { return ms_bfs_graft(graph, m); },
+        "ms_bfs_graft");
+  check([](const auto& graph, auto& m) { return ms_bfs(graph, m); },
+        "ms_bfs");
+  check([](const auto& graph, auto& m) { return pothen_fan(graph, m); },
+        "pothen_fan");
+  check([](const auto& graph, auto& m) { return push_relabel(graph, m); },
+        "push_relabel");
+  check([](const auto& graph, auto& m) { return hopcroft_karp(graph, m); },
+        "hopcroft_karp");
+  check([](const auto& graph, auto& m) { return ss_bfs(graph, m); },
+        "ss_bfs");
+  check([](const auto& graph, auto& m) { return ss_dfs(graph, m); },
+        "ss_dfs");
+}
+
+TEST(Smoke, DmAndBtf) {
+  const BipartiteGraph g = small_rmat();
+  const BlockTriangularForm btf = block_triangular_form(g);
+  EXPECT_TRUE(verify_btf(g, btf));
+}
+
+}  // namespace
+}  // namespace graftmatch

@@ -1,0 +1,193 @@
+// Tests for RunStats (formatting, derived metrics, path-length
+// histograms), BipartiteGraph::from_csr, and matching serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "graftmatch/baselines/hopcroft_karp.hpp"
+#include "graftmatch/baselines/pothen_fan.hpp"
+#include "graftmatch/baselines/ss_bfs.hpp"
+#include "graftmatch/baselines/ss_dfs.hpp"
+#include "graftmatch/core/ms_bfs_graft.hpp"
+#include "graftmatch/gen/chung_lu.hpp"
+#include "graftmatch/graph/matching_io.hpp"
+#include "graftmatch/init/greedy.hpp"
+
+namespace graftmatch {
+namespace {
+
+TEST(RunStats, DerivedMetrics) {
+  RunStats stats;
+  stats.algorithm = "test";
+  stats.augmentations = 4;
+  stats.total_path_edges = 20;
+  stats.edges_traversed = 3'000'000;
+  stats.seconds = 1.5;
+  EXPECT_DOUBLE_EQ(stats.avg_path_length(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.mteps(), 2.0);
+
+  RunStats empty;
+  EXPECT_EQ(empty.avg_path_length(), 0.0);
+  EXPECT_EQ(empty.mteps(), 0.0);
+}
+
+TEST(RunStats, StepSecondsTotal) {
+  StepSeconds steps;
+  steps.top_down = 1;
+  steps.bottom_up = 2;
+  steps.augment = 3;
+  steps.graft = 4;
+  steps.statistics = 5;
+  steps.other = 6;
+  EXPECT_DOUBLE_EQ(steps.total(), 21.0);
+}
+
+TEST(RunStats, FormatContainsKeyFields) {
+  RunStats stats;
+  stats.algorithm = "MS-BFS-Graft";
+  stats.final_cardinality = 42;
+  stats.phases = 3;
+  const std::string text = format_run_stats(stats);
+  EXPECT_NE(text.find("MS-BFS-Graft"), std::string::npos);
+  EXPECT_NE(text.find("|M|=42"), std::string::npos);
+  EXPECT_NE(text.find("phases=3"), std::string::npos);
+}
+
+// Every path-collecting algorithm: histogram totals must reconcile with
+// augmentations/total_path_edges, and lengths must be odd.
+TEST(PathHistogram, ConsistentAcrossAlgorithms) {
+  ChungLuParams params;
+  params.nx = params.ny = 2000;
+  params.avg_degree = 6.0;
+  params.seed = 4;
+  const BipartiteGraph g = generate_chung_lu(params);
+  const Matching initial = randomized_greedy(g, 2);
+
+  const auto check = [&](auto&& algorithm, const char* name) {
+    RunConfig config;
+    config.collect_path_histogram = true;
+    Matching m = initial;
+    const RunStats stats = algorithm(g, m, config);
+    std::int64_t count = 0;
+    std::int64_t edges = 0;
+    for (const auto& [length, paths] : stats.path_length_histogram) {
+      EXPECT_EQ(length % 2, 1) << name << ": even path length " << length;
+      EXPECT_GT(paths, 0) << name;
+      count += paths;
+      edges += length * paths;
+    }
+    EXPECT_EQ(count, stats.augmentations) << name;
+    EXPECT_EQ(edges, stats.total_path_edges) << name;
+    EXPECT_GT(count, 0) << name << ": workload left no paths";
+  };
+
+  check([](const auto& g2, auto& m, const RunConfig& c) {
+    return ms_bfs_graft(g2, m, c);
+  }, "graft");
+  check([](const auto& g2, auto& m, const RunConfig& c) {
+    return pothen_fan(g2, m, c);
+  }, "pf");
+  check([](const auto& g2, auto& m, const RunConfig& c) {
+    return hopcroft_karp(g2, m, c);
+  }, "hk");
+  check([](const auto& g2, auto& m, const RunConfig& c) {
+    return ss_bfs(g2, m, c);
+  }, "ssbfs");
+  check([](const auto& g2, auto& m, const RunConfig& c) {
+    return ss_dfs(g2, m, c);
+  }, "ssdfs");
+}
+
+TEST(PathHistogram, OffByDefault) {
+  ChungLuParams params;
+  params.nx = params.ny = 500;
+  const BipartiteGraph g = generate_chung_lu(params);
+  Matching m = randomized_greedy(g, 1);
+  const RunStats stats = ms_bfs_graft(g, m);
+  EXPECT_TRUE(stats.path_length_histogram.empty());
+}
+
+TEST(FromCsr, BuildsEquivalentGraph) {
+  // x0 ~ {y1, y0 (dup, unsorted)}, x1 ~ {}, x2 ~ {y2}
+  const std::vector<eid_t> offsets{0, 3, 3, 4};
+  const std::vector<vid_t> neighbors{1, 0, 0, 2};
+  const BipartiteGraph g = BipartiteGraph::from_csr(offsets, neighbors, 3);
+  EXPECT_EQ(g.num_x(), 3);
+  EXPECT_EQ(g.num_y(), 3);
+  EXPECT_EQ(g.num_edges(), 3);  // duplicate merged
+  EXPECT_TRUE(g.has_edge(0, 0));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 2));
+  EXPECT_EQ(g.degree_x(1), 0);
+}
+
+TEST(FromCsr, ValidatesInput) {
+  const std::vector<eid_t> empty;
+  const std::vector<vid_t> none;
+  EXPECT_THROW(BipartiteGraph::from_csr(empty, none, 1),
+               std::invalid_argument);
+
+  const std::vector<eid_t> bad_frame{0, 2};
+  const std::vector<vid_t> one{0};
+  EXPECT_THROW(BipartiteGraph::from_csr(bad_frame, one, 1),
+               std::invalid_argument);
+
+  const std::vector<eid_t> decreasing{0, 1, 0, 1};
+  const std::vector<vid_t> n1{0};
+  EXPECT_THROW(BipartiteGraph::from_csr(decreasing, n1, 1),
+               std::invalid_argument);
+
+  const std::vector<eid_t> offsets{0, 1};
+  const std::vector<vid_t> out_of_range{5};
+  EXPECT_THROW(BipartiteGraph::from_csr(offsets, out_of_range, 2),
+               std::invalid_argument);
+}
+
+TEST(MatchingIo, RoundTrip) {
+  Matching m(5, 7);
+  m.match(0, 6);
+  m.match(3, 2);
+  m.match(4, 0);
+
+  std::ostringstream out;
+  write_matching(out, m);
+  std::istringstream in(out.str());
+  const Matching loaded = read_matching(in);
+  EXPECT_EQ(loaded, m);
+  EXPECT_EQ(loaded.num_x(), 5);
+  EXPECT_EQ(loaded.num_y(), 7);
+}
+
+TEST(MatchingIo, EmptyMatchingRoundTrip) {
+  const Matching m(3, 3);
+  std::ostringstream out;
+  write_matching(out, m);
+  std::istringstream in(out.str());
+  EXPECT_EQ(read_matching(in), m);
+}
+
+TEST(MatchingIo, RejectsCorruptInput) {
+  const auto expect_fail = [](const std::string& text) {
+    std::istringstream in(text);
+    EXPECT_THROW(read_matching(in), std::runtime_error) << text;
+  };
+  expect_fail("not-a-matching 1\n1 1 0\n");
+  expect_fail("graftmatch-matching 2\n1 1 0\n");
+  expect_fail("graftmatch-matching 1\n-1 1 0\n");
+  expect_fail("graftmatch-matching 1\n2 2 1\n");          // truncated
+  expect_fail("graftmatch-matching 1\n2 2 1\n5 0\n");     // out of range
+  expect_fail("graftmatch-matching 1\n2 2 2\n0 0\n1 0\n");  // dup endpoint
+}
+
+TEST(MatchingIo, FileRoundTrip) {
+  Matching m(4, 4);
+  m.match(1, 3);
+  const std::string path = testing::TempDir() + "/graftmatch_matching.txt";
+  write_matching_file(path, m);
+  EXPECT_EQ(read_matching_file(path), m);
+  EXPECT_THROW(read_matching_file("/nonexistent/m.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace graftmatch

@@ -1,0 +1,133 @@
+// Tests for the verification substrate itself: the validators must catch
+// corrupt matchings and the Koenig certificate must separate maximum
+// from non-maximum matchings.
+#include <gtest/gtest.h>
+
+#include "graftmatch/baselines/hopcroft_karp.hpp"
+#include "graftmatch/gen/erdos_renyi.hpp"
+#include "graftmatch/init/karp_sipser.hpp"
+#include "graftmatch/verify/koenig.hpp"
+#include "graftmatch/verify/validate.hpp"
+
+namespace graftmatch {
+namespace {
+
+BipartiteGraph z_graph() {
+  // x0 ~ {y0, y1}, x1 ~ {y1}: maximum matching has size 2 and requires
+  // x0-y0; the greedy trap x0-y1 gives size 1.
+  EdgeList list;
+  list.nx = 2;
+  list.ny = 2;
+  list.edges = {{0, 0}, {0, 1}, {1, 1}};
+  return BipartiteGraph::from_edges(list);
+}
+
+TEST(Validate, AcceptsEmptyAndProperMatchings) {
+  const BipartiteGraph g = z_graph();
+  Matching m(2, 2);
+  EXPECT_TRUE(is_valid_matching(g, m));
+  m.match(0, 0);
+  m.match(1, 1);
+  EXPECT_TRUE(is_valid_matching(g, m));
+}
+
+TEST(Validate, RejectsSizeMismatch) {
+  const BipartiteGraph g = z_graph();
+  const Matching m(3, 2);
+  EXPECT_FALSE(validate_matching(g, m).empty());
+}
+
+TEST(Validate, RejectsNonEdge) {
+  const BipartiteGraph g = z_graph();
+  Matching m(2, 2);
+  m.match(1, 0);  // (x1, y0) is not an edge
+  const std::string error = validate_matching(g, m);
+  EXPECT_NE(error.find("non-edge"), std::string::npos);
+}
+
+TEST(Validate, RejectsAsymmetricPair) {
+  const BipartiteGraph g = z_graph();
+  Matching m(2, 2);
+  m.mate_x()[0] = 0;  // forge one-sided pointer
+  const std::string error = validate_matching(g, m);
+  EXPECT_NE(error.find("asymmetric"), std::string::npos);
+
+  Matching m2(2, 2);
+  m2.mate_y()[1] = 0;
+  EXPECT_FALSE(validate_matching(g, m2).empty());
+}
+
+TEST(Validate, RejectsOutOfRangeMate) {
+  const BipartiteGraph g = z_graph();
+  Matching m(2, 2);
+  m.mate_x()[0] = 7;
+  EXPECT_NE(validate_matching(g, m).find("out of range"), std::string::npos);
+}
+
+TEST(Koenig, CertifiesMaximum) {
+  const BipartiteGraph g = z_graph();
+  Matching m(2, 2);
+  m.match(0, 0);
+  m.match(1, 1);
+  EXPECT_TRUE(is_maximum_matching(g, m));
+  const VertexCover cover = koenig_cover(g, m);
+  EXPECT_EQ(cover.size(), 2);
+  EXPECT_TRUE(covers_all_edges(g, cover));
+}
+
+TEST(Koenig, RejectsNonMaximum) {
+  const BipartiteGraph g = z_graph();
+  Matching m(2, 2);
+  m.match(0, 1);  // the greedy trap: maximal but not maximum
+  EXPECT_TRUE(is_valid_matching(g, m));
+  EXPECT_FALSE(is_maximum_matching(g, m));
+  // The Koenig cover is strictly larger than the matching here.
+  const VertexCover cover = koenig_cover(g, m);
+  EXPECT_GT(cover.size(), m.cardinality());
+}
+
+TEST(Koenig, EmptyMatchingOnEdgelessGraphIsMaximum) {
+  EdgeList list;
+  list.nx = 4;
+  list.ny = 4;
+  const BipartiteGraph g = BipartiteGraph::from_edges(list);
+  const Matching m(4, 4);
+  EXPECT_TRUE(is_maximum_matching(g, m));
+  EXPECT_EQ(koenig_cover(g, m).size(), 0);
+}
+
+TEST(Koenig, RejectsInvalidMatchingOutright) {
+  const BipartiteGraph g = z_graph();
+  Matching m(2, 2);
+  m.mate_x()[0] = 0;  // asymmetric
+  EXPECT_FALSE(is_maximum_matching(g, m));
+}
+
+TEST(Koenig, CoverSizeEqualsHopcroftKarpCardinality) {
+  // Koenig's theorem end-to-end on random graphs: min vertex cover
+  // size equals maximum matching size.
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    ErdosRenyiParams params;
+    params.nx = 300;
+    params.ny = 280;
+    params.edges = 1500;
+    params.seed = seed;
+    const BipartiteGraph g = generate_erdos_renyi(params);
+    Matching m = karp_sipser(g, seed);
+    hopcroft_karp(g, m);
+    const VertexCover cover = koenig_cover(g, m);
+    EXPECT_TRUE(covers_all_edges(g, cover));
+    EXPECT_EQ(cover.size(), m.cardinality());
+  }
+}
+
+TEST(Koenig, CoversAllEdgesDetectsGaps) {
+  const BipartiteGraph g = z_graph();
+  VertexCover bogus;  // empty cover cannot cover a nonempty graph
+  EXPECT_FALSE(covers_all_edges(g, bogus));
+  bogus.y_vertices = {0, 1};
+  EXPECT_TRUE(covers_all_edges(g, bogus));
+}
+
+}  // namespace
+}  // namespace graftmatch
