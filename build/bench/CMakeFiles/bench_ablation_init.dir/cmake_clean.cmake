@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_init.dir/bench_ablation_init.cpp.o"
+  "CMakeFiles/bench_ablation_init.dir/bench_ablation_init.cpp.o.d"
+  "bench_ablation_init"
+  "bench_ablation_init.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_init.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

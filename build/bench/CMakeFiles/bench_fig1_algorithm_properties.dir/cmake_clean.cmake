@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_algorithm_properties.dir/bench_fig1_algorithm_properties.cpp.o"
+  "CMakeFiles/bench_fig1_algorithm_properties.dir/bench_fig1_algorithm_properties.cpp.o.d"
+  "bench_fig1_algorithm_properties"
+  "bench_fig1_algorithm_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_algorithm_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_relative_performance.dir/bench_fig3_relative_performance.cpp.o"
+  "CMakeFiles/bench_fig3_relative_performance.dir/bench_fig3_relative_performance.cpp.o.d"
+  "bench_fig3_relative_performance"
+  "bench_fig3_relative_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_relative_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

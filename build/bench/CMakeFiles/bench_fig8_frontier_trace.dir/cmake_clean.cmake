@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_frontier_trace.dir/bench_fig8_frontier_trace.cpp.o"
+  "CMakeFiles/bench_fig8_frontier_trace.dir/bench_fig8_frontier_trace.cpp.o.d"
+  "bench_fig8_frontier_trace"
+  "bench_fig8_frontier_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_frontier_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5b_variability.dir/bench_sec5b_variability.cpp.o"
+  "CMakeFiles/bench_sec5b_variability.dir/bench_sec5b_variability.cpp.o.d"
+  "bench_sec5b_variability"
+  "bench_sec5b_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5b_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

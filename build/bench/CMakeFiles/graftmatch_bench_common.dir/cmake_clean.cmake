@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graftmatch_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/graftmatch_bench_common.dir/bench_common.cpp.o.d"
+  "libgraftmatch_bench_common.a"
+  "libgraftmatch_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graftmatch_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgraftmatch_bench_common.a"
+)

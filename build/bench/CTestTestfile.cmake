@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_bench_table1_system "/root/repo/build/bench/bench_table1_system")
+set_tests_properties(smoke_bench_table1_system PROPERTIES  ENVIRONMENT "GRAFTMATCH_SIZE=0.004;GRAFTMATCH_RUNS=1;GRAFTMATCH_RESULTS_DIR=/root/repo/build/bench/smoke_results" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;40;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_table2_graphs "/root/repo/build/bench/bench_table2_graphs")
+set_tests_properties(smoke_bench_table2_graphs PROPERTIES  ENVIRONMENT "GRAFTMATCH_SIZE=0.004;GRAFTMATCH_RUNS=1;GRAFTMATCH_RESULTS_DIR=/root/repo/build/bench/smoke_results" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;40;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig1_algorithm_properties "/root/repo/build/bench/bench_fig1_algorithm_properties")
+set_tests_properties(smoke_bench_fig1_algorithm_properties PROPERTIES  ENVIRONMENT "GRAFTMATCH_SIZE=0.004;GRAFTMATCH_RUNS=1;GRAFTMATCH_RESULTS_DIR=/root/repo/build/bench/smoke_results" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;40;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig3_relative_performance "/root/repo/build/bench/bench_fig3_relative_performance")
+set_tests_properties(smoke_bench_fig3_relative_performance PROPERTIES  ENVIRONMENT "GRAFTMATCH_SIZE=0.004;GRAFTMATCH_RUNS=1;GRAFTMATCH_RESULTS_DIR=/root/repo/build/bench/smoke_results" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;40;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig4_search_rate "/root/repo/build/bench/bench_fig4_search_rate")
+set_tests_properties(smoke_bench_fig4_search_rate PROPERTIES  ENVIRONMENT "GRAFTMATCH_SIZE=0.004;GRAFTMATCH_RUNS=1;GRAFTMATCH_RESULTS_DIR=/root/repo/build/bench/smoke_results" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;40;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig5_strong_scaling "/root/repo/build/bench/bench_fig5_strong_scaling")
+set_tests_properties(smoke_bench_fig5_strong_scaling PROPERTIES  ENVIRONMENT "GRAFTMATCH_SIZE=0.004;GRAFTMATCH_RUNS=1;GRAFTMATCH_RESULTS_DIR=/root/repo/build/bench/smoke_results" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;40;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig6_breakdown "/root/repo/build/bench/bench_fig6_breakdown")
+set_tests_properties(smoke_bench_fig6_breakdown PROPERTIES  ENVIRONMENT "GRAFTMATCH_SIZE=0.004;GRAFTMATCH_RUNS=1;GRAFTMATCH_RESULTS_DIR=/root/repo/build/bench/smoke_results" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;40;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig7_contributions "/root/repo/build/bench/bench_fig7_contributions")
+set_tests_properties(smoke_bench_fig7_contributions PROPERTIES  ENVIRONMENT "GRAFTMATCH_SIZE=0.004;GRAFTMATCH_RUNS=1;GRAFTMATCH_RESULTS_DIR=/root/repo/build/bench/smoke_results" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;40;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig8_frontier_trace "/root/repo/build/bench/bench_fig8_frontier_trace")
+set_tests_properties(smoke_bench_fig8_frontier_trace PROPERTIES  ENVIRONMENT "GRAFTMATCH_SIZE=0.004;GRAFTMATCH_RUNS=1;GRAFTMATCH_RESULTS_DIR=/root/repo/build/bench/smoke_results" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;40;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_sec5b_variability "/root/repo/build/bench/bench_sec5b_variability")
+set_tests_properties(smoke_bench_sec5b_variability PROPERTIES  ENVIRONMENT "GRAFTMATCH_SIZE=0.004;GRAFTMATCH_RUNS=1;GRAFTMATCH_RESULTS_DIR=/root/repo/build/bench/smoke_results" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;40;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_ablation_alpha "/root/repo/build/bench/bench_ablation_alpha")
+set_tests_properties(smoke_bench_ablation_alpha PROPERTIES  ENVIRONMENT "GRAFTMATCH_SIZE=0.004;GRAFTMATCH_RUNS=1;GRAFTMATCH_RESULTS_DIR=/root/repo/build/bench/smoke_results" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;40;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_ablation_init "/root/repo/build/bench/bench_ablation_init")
+set_tests_properties(smoke_bench_ablation_init PROPERTIES  ENVIRONMENT "GRAFTMATCH_SIZE=0.004;GRAFTMATCH_RUNS=1;GRAFTMATCH_RESULTS_DIR=/root/repo/build/bench/smoke_results" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;40;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btf_decomposition.dir/btf_decomposition.cpp.o"
+  "CMakeFiles/btf_decomposition.dir/btf_decomposition.cpp.o.d"
+  "btf_decomposition"
+  "btf_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btf_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontier_anatomy.dir/frontier_anatomy.cpp.o"
+  "CMakeFiles/frontier_anatomy.dir/frontier_anatomy.cpp.o.d"
+  "frontier_anatomy"
+  "frontier_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontier_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_tool.dir/matching_tool.cpp.o"
+  "CMakeFiles/matching_tool.dir/matching_tool.cpp.o.d"
+  "matching_tool"
+  "matching_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

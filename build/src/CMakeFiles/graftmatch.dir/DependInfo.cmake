@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graftmatch/baselines/hopcroft_karp.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/baselines/hopcroft_karp.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/baselines/hopcroft_karp.cpp.o.d"
+  "/root/repo/src/graftmatch/baselines/pothen_fan.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/baselines/pothen_fan.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/baselines/pothen_fan.cpp.o.d"
+  "/root/repo/src/graftmatch/baselines/push_relabel.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/baselines/push_relabel.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/baselines/push_relabel.cpp.o.d"
+  "/root/repo/src/graftmatch/baselines/ss_bfs.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/baselines/ss_bfs.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/baselines/ss_bfs.cpp.o.d"
+  "/root/repo/src/graftmatch/baselines/ss_dfs.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/baselines/ss_dfs.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/baselines/ss_dfs.cpp.o.d"
+  "/root/repo/src/graftmatch/core/ms_bfs_graft.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/core/ms_bfs_graft.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/core/ms_bfs_graft.cpp.o.d"
+  "/root/repo/src/graftmatch/core/run_stats.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/core/run_stats.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/core/run_stats.cpp.o.d"
+  "/root/repo/src/graftmatch/dm/btf.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/dm/btf.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/dm/btf.cpp.o.d"
+  "/root/repo/src/graftmatch/dm/dulmage_mendelsohn.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/dm/dulmage_mendelsohn.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/dm/dulmage_mendelsohn.cpp.o.d"
+  "/root/repo/src/graftmatch/gen/chung_lu.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/gen/chung_lu.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/gen/chung_lu.cpp.o.d"
+  "/root/repo/src/graftmatch/gen/erdos_renyi.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/gen/erdos_renyi.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/gen/erdos_renyi.cpp.o.d"
+  "/root/repo/src/graftmatch/gen/grid.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/gen/grid.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/gen/grid.cpp.o.d"
+  "/root/repo/src/graftmatch/gen/planted.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/gen/planted.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/gen/planted.cpp.o.d"
+  "/root/repo/src/graftmatch/gen/rmat.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/gen/rmat.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/gen/rmat.cpp.o.d"
+  "/root/repo/src/graftmatch/gen/road.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/gen/road.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/gen/road.cpp.o.d"
+  "/root/repo/src/graftmatch/gen/sbm.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/gen/sbm.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/gen/sbm.cpp.o.d"
+  "/root/repo/src/graftmatch/gen/suite.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/gen/suite.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/gen/suite.cpp.o.d"
+  "/root/repo/src/graftmatch/gen/webcrawl.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/gen/webcrawl.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/gen/webcrawl.cpp.o.d"
+  "/root/repo/src/graftmatch/graph/bipartite_graph.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/graph/bipartite_graph.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/graph/bipartite_graph.cpp.o.d"
+  "/root/repo/src/graftmatch/graph/edge_list.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/graph/edge_list.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/graph/edge_list.cpp.o.d"
+  "/root/repo/src/graftmatch/graph/graph_stats.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/graph/graph_stats.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/graph/graph_stats.cpp.o.d"
+  "/root/repo/src/graftmatch/graph/matching_io.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/graph/matching_io.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/graph/matching_io.cpp.o.d"
+  "/root/repo/src/graftmatch/graph/mm_io.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/graph/mm_io.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/graph/mm_io.cpp.o.d"
+  "/root/repo/src/graftmatch/graph/transforms.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/graph/transforms.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/graph/transforms.cpp.o.d"
+  "/root/repo/src/graftmatch/init/greedy.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/init/greedy.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/init/greedy.cpp.o.d"
+  "/root/repo/src/graftmatch/init/karp_sipser.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/init/karp_sipser.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/init/karp_sipser.cpp.o.d"
+  "/root/repo/src/graftmatch/init/parallel_karp_sipser.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/init/parallel_karp_sipser.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/init/parallel_karp_sipser.cpp.o.d"
+  "/root/repo/src/graftmatch/runtime/affinity.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/runtime/affinity.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/runtime/affinity.cpp.o.d"
+  "/root/repo/src/graftmatch/runtime/system_info.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/runtime/system_info.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/runtime/system_info.cpp.o.d"
+  "/root/repo/src/graftmatch/runtime/timer.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/runtime/timer.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/runtime/timer.cpp.o.d"
+  "/root/repo/src/graftmatch/verify/koenig.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/verify/koenig.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/verify/koenig.cpp.o.d"
+  "/root/repo/src/graftmatch/verify/validate.cpp" "src/CMakeFiles/graftmatch.dir/graftmatch/verify/validate.cpp.o" "gcc" "src/CMakeFiles/graftmatch.dir/graftmatch/verify/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algorithm_semantics.dir/test_algorithm_semantics.cpp.o"
+  "CMakeFiles/test_algorithm_semantics.dir/test_algorithm_semantics.cpp.o.d"
+  "test_algorithm_semantics"
+  "test_algorithm_semantics.pdb"
+  "test_algorithm_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algorithm_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

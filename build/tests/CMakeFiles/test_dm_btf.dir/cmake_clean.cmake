@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dm_btf.dir/test_dm_btf.cpp.o"
+  "CMakeFiles/test_dm_btf.dir/test_dm_btf.cpp.o.d"
+  "test_dm_btf"
+  "test_dm_btf.pdb"
+  "test_dm_btf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dm_btf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

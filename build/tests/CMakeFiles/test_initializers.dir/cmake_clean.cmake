@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_initializers.dir/test_initializers.cpp.o"
+  "CMakeFiles/test_initializers.dir/test_initializers.cpp.o.d"
+  "test_initializers"
+  "test_initializers.pdb"
+  "test_initializers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_initializers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

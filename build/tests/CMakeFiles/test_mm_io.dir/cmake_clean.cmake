@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mm_io.dir/test_mm_io.cpp.o"
+  "CMakeFiles/test_mm_io.dir/test_mm_io.cpp.o.d"
+  "test_mm_io"
+  "test_mm_io.pdb"
+  "test_mm_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mm_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ms_bfs_graft.dir/test_ms_bfs_graft.cpp.o"
+  "CMakeFiles/test_ms_bfs_graft.dir/test_ms_bfs_graft.cpp.o.d"
+  "test_ms_bfs_graft"
+  "test_ms_bfs_graft.pdb"
+  "test_ms_bfs_graft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ms_bfs_graft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

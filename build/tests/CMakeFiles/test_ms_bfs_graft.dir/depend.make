@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ms_bfs_graft.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_planted_sbm.dir/test_planted_sbm.cpp.o"
+  "CMakeFiles/test_planted_sbm.dir/test_planted_sbm.cpp.o.d"
+  "test_planted_sbm"
+  "test_planted_sbm.pdb"
+  "test_planted_sbm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_planted_sbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

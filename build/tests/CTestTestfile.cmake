@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_prng[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_mm_io[1]_include.cmake")
+include("/root/repo/build/tests/test_generators[1]_include.cmake")
+include("/root/repo/build/tests/test_initializers[1]_include.cmake")
+include("/root/repo/build/tests/test_verify[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_ms_bfs_graft[1]_include.cmake")
+include("/root/repo/build/tests/test_property_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_dm_btf[1]_include.cmake")
+include("/root/repo/build/tests/test_stats_and_io[1]_include.cmake")
+include("/root/repo/build/tests/test_exhaustive_small[1]_include.cmake")
+include("/root/repo/build/tests/test_planted_sbm[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_algorithm_semantics[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
