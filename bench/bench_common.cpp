@@ -1,12 +1,15 @@
 #include "bench_common.hpp"
 
+#include <omp.h>
 #include <sys/stat.h>
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
+#include <string>
 
 namespace graftmatch::bench {
 namespace {
@@ -19,7 +22,59 @@ double env_double(const char* name, double fallback) {
   return (end != value && parsed > 0.0) ? parsed : fallback;
 }
 
+[[noreturn]] void usage_and_exit(const char* binary, const char* bad_arg) {
+  std::fprintf(stderr,
+               "unknown argument '%s'\n"
+               "usage: %s [--seed N] [--threads N] [--size F] [--runs N]\n"
+               "          [--init rgreedy|greedy|ks|ksr1|none]\n"
+               "          [--results-dir DIR]\n"
+               "Each flag overrides the matching GRAFTMATCH_* environment "
+               "variable.\n",
+               bad_arg, binary);
+  std::exit(2);
+}
+
 }  // namespace
+
+void apply_cli_overrides(int argc, char** argv) {
+  // Flag name -> the env knob it overrides. The env accessors below are
+  // the only readers, so CLI and environment cannot disagree.
+  static const struct { const char* flag; const char* env; } kFlags[] = {
+      {"--seed", "GRAFTMATCH_SEED"},
+      {"--threads", "GRAFTMATCH_THREADS"},
+      {"--size", "GRAFTMATCH_SIZE"},
+      {"--runs", "GRAFTMATCH_RUNS"},
+      {"--init", "GRAFTMATCH_INIT"},
+      {"--results-dir", "GRAFTMATCH_RESULTS_DIR"},
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    bool matched = false;
+    for (const auto& [flag, env] : kFlags) {
+      const std::size_t flag_len = std::strlen(flag);
+      if (arg == flag) {  // two-token form: --seed 7
+        if (i + 1 >= argc) usage_and_exit(argv[0], arg.c_str());
+        ::setenv(env, argv[++i], /*overwrite=*/1);
+        matched = true;
+        break;
+      }
+      if (arg.compare(0, flag_len, flag) == 0 && arg.size() > flag_len &&
+          arg[flag_len] == '=') {  // one-token form: --seed=7
+        ::setenv(env, arg.c_str() + flag_len + 1, /*overwrite=*/1);
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) usage_and_exit(argv[0], arg.c_str());
+  }
+  if (const int threads = thread_override(); threads > 0) {
+    omp_set_num_threads(threads);
+  }
+}
+
+int thread_override() {
+  return static_cast<int>(env_double("GRAFTMATCH_THREADS", 0.0));
+}
 
 // Default 0.25: the quarter-scale workloads EXPERIMENTS.md records,
 // sized so the full sweep finishes in minutes on a single core. Set
@@ -56,9 +111,12 @@ void print_header(const std::string& bench_name, const std::string& what) {
   std::printf("substrate : %s, %d logical CPUs, OpenMP max threads %d\n",
               info.cpu_model.c_str(), info.logical_cpus,
               info.openmp_max_threads);
-  std::printf("workload  : size factor %.3g, seed %llu, initializer %s\n\n",
-              size_factor(), static_cast<unsigned long long>(seed()),
-              init_name().c_str());
+  const std::string threads =
+      thread_override() > 0 ? std::to_string(thread_override()) : "default";
+  std::printf(
+      "workload  : size factor %.3g, seed %llu, initializer %s, threads %s\n\n",
+      size_factor(), static_cast<unsigned long long>(seed()),
+      init_name().c_str(), threads.c_str());
 }
 
 std::vector<Workload> make_suite_workloads(bool with_matching_number) {

@@ -28,6 +28,21 @@
 
 namespace graftmatch::bench {
 
+/// Parse CLI overrides: --seed=N, --threads=N, --size=F, --runs=N,
+/// --init=NAME, --results-dir=DIR (the "--seed N" two-token form works
+/// too). Each override is exported through the matching GRAFTMATCH_*
+/// environment knob, so the env-reading accessors below stay the single
+/// source of truth and the stress/diff corpora (which honor
+/// GRAFTMATCH_SEED) share one instance-generation path with the
+/// benches. --threads additionally sets the OpenMP default so benches
+/// that run at the runtime thread count pick it up. Unknown --options
+/// print usage and exit; call first thing in main().
+void apply_cli_overrides(int argc, char** argv);
+
+/// Thread-count override from --threads / GRAFTMATCH_THREADS
+/// (0 = keep the OpenMP runtime default).
+int thread_override();
+
 /// Workload size factor from GRAFTMATCH_SIZE (default 1.0).
 double size_factor();
 

@@ -34,7 +34,8 @@ double run_mean(const BipartiteGraph& g, int runs,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  graftmatch::bench::apply_cli_overrides(argc, argv);
   print_header("bench_fig3_relative_performance",
                "Fig. 3 (relative performance of matching algorithms with "
                "1 thread and all threads)");

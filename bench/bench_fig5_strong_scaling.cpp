@@ -13,7 +13,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  graftmatch::bench::apply_cli_overrides(argc, argv);
   using namespace graftmatch;
   using namespace graftmatch::bench;
   print_header("bench_fig5_strong_scaling",

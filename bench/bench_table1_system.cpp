@@ -8,7 +8,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  graftmatch::bench::apply_cli_overrides(argc, argv);
   using namespace graftmatch;
   bench::print_header("bench_table1_system",
                       "Table I (description of the systems)");

@@ -1,6 +1,7 @@
 #include "graftmatch/baselines/pothen_fan.hpp"
 
 #include <map>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -46,11 +47,13 @@ RunStats pothen_fan(const BipartiteGraph& g, Matching& matching,
   // unmatched neighbor; each adjacency entry is looked at most once over
   // the whole run, giving PF its O(m) lookahead total.
   std::vector<eid_t> lookahead(static_cast<std::size_t>(nx));
-#pragma omp parallel for schedule(static)
-  for (vid_t x = 0; x < nx; ++x) {
-    lookahead[static_cast<std::size_t>(x)] =
-        x_offsets[static_cast<std::size_t>(x)];
-  }
+  parallel_region([&] {
+#pragma omp for schedule(static)
+    for (vid_t x = 0; x < nx; ++x) {
+      lookahead[static_cast<std::size_t>(x)] =
+          x_offsets[static_cast<std::size_t>(x)];
+    }
+  });
 
   // Try to claim an unmatched Y neighbor of x via the lookahead cursor.
   // Returns the claimed vertex or kInvalidVertex. May claim a matched
@@ -175,19 +178,21 @@ RunStats pothen_fan(const BipartiteGraph& g, Matching& matching,
     first_touch_fill(visited, std::uint8_t{0});
 
     std::int64_t phase_paths = 0;
-#pragma omp parallel reduction(+ : phase_paths)
-    {
+    std::mutex stats_mutex;  // TSan-visible replacement for omp critical
+    parallel_region([&] {
       DfsWorkspace ws;
       ws.collect_histogram = config.collect_path_histogram;
+      std::int64_t local_paths = 0;
 #pragma omp for schedule(dynamic, 16)
       for (vid_t x0 = 0; x0 < nx; ++x0) {
         if (relaxed_load(mate_x[static_cast<std::size_t>(x0)]) !=
             kInvalidVertex)
           continue;
-        if (search(x0, ws, forward)) ++phase_paths;
+        if (search(x0, ws, forward)) ++local_paths;
       }
-#pragma omp critical(graftmatch_pf_stats)
+      fetch_add_relaxed(phase_paths, local_paths);
       {
+        const std::scoped_lock lock(stats_mutex);
         stats.edges_traversed += ws.edges;
         stats.augmentations += ws.paths;
         stats.total_path_edges += ws.path_edges;
@@ -195,7 +200,7 @@ RunStats pothen_fan(const BipartiteGraph& g, Matching& matching,
           stats.path_length_histogram[length] += count;
         }
       }
-    }
+    });
 
     progress = phase_paths > 0;
     if (config.pf_fairness) forward = !forward;

@@ -154,9 +154,9 @@ RunStats push_relabel(const BipartiteGraph& g, Matching& matching,
     const auto count = static_cast<std::int64_t>(items.size());
     std::int64_t phase_pushes = 0;
 
-#pragma omp parallel reduction(+ : phase_pushes)
-    {
+    parallel_region([&] {
       std::int64_t edges = 0;
+      std::int64_t local_pushes = 0;
       auto out = reactivated.handle();
 #pragma omp for schedule(dynamic, 1) nowait
       for (std::int64_t base = 0; base < count; base += chunk) {
@@ -168,14 +168,14 @@ RunStats push_relabel(const BipartiteGraph& g, Matching& matching,
             continue;  // stale entry
           }
           const vid_t displaced = double_push(x, edges);
-          ++phase_pushes;
+          ++local_pushes;
           if (displaced != kInvalidVertex) out.push(displaced);
         }
       }
       out.flush();
-#pragma omp critical(graftmatch_pr_stats)
-      stats.edges_traversed += edges;
-    }
+      fetch_add_relaxed(phase_pushes, local_pushes);
+      fetch_add_relaxed(stats.edges_traversed, edges);
+    });
 
     ++stats.phases;
     pushes_since_relabel += phase_pushes;

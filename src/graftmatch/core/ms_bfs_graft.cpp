@@ -93,9 +93,10 @@ void top_down(GraftState& state, std::int64_t& edges,
   std::int64_t edge_total = 0;
   std::int64_t visit_total = 0;
 
-#pragma omp parallel reduction(+ : edge_total, visit_total)
-  {
+  parallel_region([&] {
     auto out = state.next.handle();
+    std::int64_t local_edges = 0;
+    std::int64_t local_visits = 0;
 #pragma omp for schedule(dynamic, 64)
     for (std::int64_t i = 0; i < count; ++i) {
       const vid_t x = items[static_cast<std::size_t>(i)];
@@ -103,13 +104,15 @@ void top_down(GraftState& state, std::int64_t& edges,
       // frontier vertices must not keep growing it (Algorithm 4).
       if (!state.in_active_tree(x)) continue;
       for (const vid_t y : state.g.neighbors_of_x(x)) {
-        ++edge_total;
+        ++local_edges;
         if (!claim_flag(state.visited[static_cast<std::size_t>(y)])) continue;
-        ++visit_total;
+        ++local_visits;
         update_pointers(state, x, y, out);
       }
     }
-  }
+    fetch_add_relaxed(edge_total, local_edges);
+    fetch_add_relaxed(visit_total, local_visits);
+  });
   edges += edge_total;
   newly_visited += visit_total;
 }
@@ -129,17 +132,18 @@ void bottom_up(GraftState& state, std::span<const vid_t> candidates,
   std::int64_t edge_total = 0;
   std::int64_t visit_total = 0;
 
-#pragma omp parallel reduction(+ : edge_total, visit_total)
-  {
+  parallel_region([&] {
     auto out = state.next.handle();
     auto failed_out = failed.handle();
+    std::int64_t local_edges = 0;
+    std::int64_t local_visits = 0;
 #pragma omp for schedule(dynamic, 64)
     for (std::int64_t i = 0; i < count; ++i) {
       const vid_t y = candidates[static_cast<std::size_t>(i)];
       if (state.visited[static_cast<std::size_t>(y)]) continue;
       bool attached = false;
       for (const vid_t x : state.g.neighbors_of_y(y)) {
-        ++edge_total;
+        ++local_edges;
         // Only vertices that joined a tree before this pass are valid
         // parents (level-synchronous semantics; see x_join_time).
         if (relaxed_load(state.x_join_time[static_cast<std::size_t>(x)]) >=
@@ -149,14 +153,16 @@ void bottom_up(GraftState& state, std::span<const vid_t> candidates,
         if (!state.in_active_tree(x)) continue;
         relaxed_store(state.visited[static_cast<std::size_t>(y)],
                       std::uint8_t{1});
-        ++visit_total;
+        ++local_visits;
         update_pointers(state, x, y, out);
         attached = true;
         break;  // stop exploring y's neighbors once attached
       }
       if (!attached) failed_out.push(y);
     }
-  }
+    fetch_add_relaxed(edge_total, local_edges);
+    fetch_add_relaxed(visit_total, local_visits);
+  });
   edges += edge_total;
   newly_visited += visit_total;
 }
@@ -332,14 +338,13 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
         const ScopedLap lap(sw_bottom_up);
         if (!candidates_fresh) {
           candidates.clear();
-#pragma omp parallel
-          {
+          parallel_region([&] {
             auto out = candidates.handle();
 #pragma omp for schedule(static)
             for (vid_t y = 0; y < ny; ++y) {
               if (!state.visited[static_cast<std::size_t>(y)]) out.push(y);
             }
-          }
+          });
           candidates_fresh = true;
         }
         failed_candidates.clear();
@@ -370,8 +375,7 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
     // ---- Step 2: augment along every renewable tree's unique path.
     sw_statistics.start();
     renewable_roots.clear();
-#pragma omp parallel
-    {
+    parallel_region([&] {
       auto out = renewable_roots.handle();
 #pragma omp for schedule(static)
       for (vid_t x = 0; x < nx; ++x) {
@@ -384,7 +388,7 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
           out.push(x);
         }
       }
-    }
+    });
     sw_statistics.stop();
 
     sw_augment.start();
@@ -397,25 +401,29 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
         path_lengths.assign(static_cast<std::size_t>(count), 0);
       }
       // Paths live in vertex-disjoint trees: flip them in parallel.
-#pragma omp parallel for schedule(dynamic, 8) reduction(+ : path_edges_total)
-      for (std::int64_t i = 0; i < count; ++i) {
-        const vid_t r = roots[static_cast<std::size_t>(i)];
-        vid_t y = state.leaf[static_cast<std::size_t>(r)];
-        std::int64_t path_edges = 0;
-        while (y != kInvalidVertex) {
-          const vid_t x = state.parent[static_cast<std::size_t>(y)];
-          const vid_t next_y = state.mate_x[static_cast<std::size_t>(x)];
-          state.mate_x[static_cast<std::size_t>(x)] = y;
-          state.mate_y[static_cast<std::size_t>(y)] = x;
-          ++path_edges;
-          if (next_y != kInvalidVertex) ++path_edges;
-          y = next_y;
+      parallel_region([&] {
+        std::int64_t local_path_edges = 0;
+#pragma omp for schedule(dynamic, 8)
+        for (std::int64_t i = 0; i < count; ++i) {
+          const vid_t r = roots[static_cast<std::size_t>(i)];
+          vid_t y = state.leaf[static_cast<std::size_t>(r)];
+          std::int64_t path_edges = 0;
+          while (y != kInvalidVertex) {
+            const vid_t x = state.parent[static_cast<std::size_t>(y)];
+            const vid_t next_y = state.mate_x[static_cast<std::size_t>(x)];
+            state.mate_x[static_cast<std::size_t>(x)] = y;
+            state.mate_y[static_cast<std::size_t>(y)] = x;
+            ++path_edges;
+            if (next_y != kInvalidVertex) ++path_edges;
+            y = next_y;
+          }
+          local_path_edges += path_edges;
+          if (config.collect_path_histogram) {
+            path_lengths[static_cast<std::size_t>(i)] = path_edges;
+          }
         }
-        path_edges_total += path_edges;
-        if (config.collect_path_histogram) {
-          path_lengths[static_cast<std::size_t>(i)] = path_edges;
-        }
-      }
+        fetch_add_relaxed(path_edges_total, local_path_edges);
+      });
       stats.augmentations += count;
       stats.total_path_edges += path_edges_total;
       phase_row.augmentations = count;
@@ -441,10 +449,10 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
     renewable_y.clear();
     active_y.clear();
     std::int64_t active_x_count = 0;
-#pragma omp parallel reduction(+ : active_x_count)
-    {
+    parallel_region([&] {
       auto renewable_out = renewable_y.handle();
       auto active_out = active_y.handle();
+      std::int64_t local_active_x = 0;
 #pragma omp for schedule(static) nowait
       for (vid_t y = 0; y < ny; ++y) {
         const vid_t r = state.root_y[static_cast<std::size_t>(y)];
@@ -457,9 +465,10 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
       }
 #pragma omp for schedule(static)
       for (vid_t x = 0; x < nx; ++x) {
-        active_x_count += state.in_active_tree(x);
+        local_active_x += state.in_active_tree(x);
       }
-    }
+      fetch_add_relaxed(active_x_count, local_active_x);
+    });
     sw_statistics.stop();
 
     sw_graft.start();
@@ -468,12 +477,14 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
     {
       const auto items = renewable_y.items();
       const auto count = static_cast<std::int64_t>(items.size());
-#pragma omp parallel for schedule(static)
-      for (std::int64_t i = 0; i < count; ++i) {
-        const vid_t y = items[static_cast<std::size_t>(i)];
-        state.visited[static_cast<std::size_t>(y)] = 0;
-        state.root_y[static_cast<std::size_t>(y)] = kInvalidVertex;
-      }
+      parallel_region([&] {
+#pragma omp for schedule(static)
+        for (std::int64_t i = 0; i < count; ++i) {
+          const vid_t y = items[static_cast<std::size_t>(i)];
+          state.visited[static_cast<std::size_t>(y)] = 0;
+          state.root_y[static_cast<std::size_t>(y)] = kInvalidVertex;
+        }
+      });
       state.unvisited_y += count;
     }
 
@@ -503,20 +514,23 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
       {
         const auto items = active_y.items();
         const auto count = static_cast<std::int64_t>(items.size());
-#pragma omp parallel for schedule(static)
-        for (std::int64_t i = 0; i < count; ++i) {
-          const vid_t y = items[static_cast<std::size_t>(i)];
-          state.visited[static_cast<std::size_t>(y)] = 0;
-          state.root_y[static_cast<std::size_t>(y)] = kInvalidVertex;
-        }
+        parallel_region([&] {
+#pragma omp for schedule(static)
+          for (std::int64_t i = 0; i < count; ++i) {
+            const vid_t y = items[static_cast<std::size_t>(i)];
+            state.visited[static_cast<std::size_t>(y)] = 0;
+            state.root_y[static_cast<std::size_t>(y)] = kInvalidVertex;
+          }
+        });
         state.unvisited_y += count;
       }
-#pragma omp parallel for schedule(static)
-      for (vid_t x = 0; x < nx; ++x) {
-        state.root_x[static_cast<std::size_t>(x)] = kInvalidVertex;
-      }
-#pragma omp parallel
-      {
+      parallel_region([&] {
+#pragma omp for schedule(static)
+        for (vid_t x = 0; x < nx; ++x) {
+          state.root_x[static_cast<std::size_t>(x)] = kInvalidVertex;
+        }
+      });
+      parallel_region([&] {
         auto out = state.frontier.handle();
 #pragma omp for schedule(static)
         for (vid_t x = 0; x < nx; ++x) {
@@ -527,7 +541,7 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
             out.push(x);
           }
         }
-      }
+      });
     }
     sw_graft.stop();
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graftmatch/runtime/alias_table.hpp"
+#include "graftmatch/runtime/parallel.hpp"
 #include "graftmatch/runtime/prng.hpp"
 
 namespace graftmatch {
@@ -60,8 +61,7 @@ BipartiteGraph generate_chung_lu(const ChungLuParams& params) {
   list.ny = params.ny;
   list.edges.resize(static_cast<std::size_t>(target_edges));
 
-#pragma omp parallel
-  {
+  parallel_region([&] {
     Xoshiro256 rng = Xoshiro256(params.seed).fork(
         static_cast<std::uint64_t>(omp_get_thread_num()) + 0xc1u);
 #pragma omp for schedule(static)
@@ -70,7 +70,7 @@ BipartiteGraph generate_chung_lu(const ChungLuParams& params) {
       const auto y = static_cast<vid_t>(table_y.sample(rng));
       list.edges[static_cast<std::size_t>(k)] = {x, y};
     }
-  }
+  });
   return BipartiteGraph::from_edges(list);
 }
 

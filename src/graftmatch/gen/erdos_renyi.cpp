@@ -4,6 +4,7 @@
 
 #include <stdexcept>
 
+#include "graftmatch/runtime/parallel.hpp"
 #include "graftmatch/runtime/prng.hpp"
 
 namespace graftmatch {
@@ -21,8 +22,7 @@ BipartiteGraph generate_erdos_renyi(const ErdosRenyiParams& params) {
   list.ny = params.ny;
   list.edges.resize(static_cast<std::size_t>(params.edges));
 
-#pragma omp parallel
-  {
+  parallel_region([&] {
     Xoshiro256 rng = Xoshiro256(params.seed).fork(
         static_cast<std::uint64_t>(omp_get_thread_num()) + 0xe12du);
 #pragma omp for schedule(static)
@@ -33,7 +33,7 @@ BipartiteGraph generate_erdos_renyi(const ErdosRenyiParams& params) {
           rng.below(static_cast<std::uint64_t>(params.ny)));
       list.edges[static_cast<std::size_t>(k)] = {x, y};
     }
-  }
+  });
   return BipartiteGraph::from_edges(list);
 }
 

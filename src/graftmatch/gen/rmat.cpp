@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "graftmatch/runtime/parallel.hpp"
 #include "graftmatch/runtime/prng.hpp"
 
 namespace graftmatch {
@@ -27,8 +28,7 @@ BipartiteGraph generate_rmat(const RmatParams& params) {
   list.ny = n;
   list.edges.resize(static_cast<std::size_t>(target_edges));
 
-#pragma omp parallel
-  {
+  parallel_region([&] {
     // Independent deterministic stream per thread.
     Xoshiro256 rng =
         Xoshiro256(params.seed).fork(static_cast<std::uint64_t>(
@@ -62,7 +62,7 @@ BipartiteGraph generate_rmat(const RmatParams& params) {
       }
       list.edges[static_cast<std::size_t>(k)] = {row, col};
     }
-  }
+  });
 
   return BipartiteGraph::from_edges(list);
 }

@@ -18,31 +18,38 @@ void build_side(const std::vector<Edge>& edges, vid_t n,
   offsets.assign(static_cast<std::size_t>(n) + 1, 0);
   const std::int64_t m = static_cast<std::int64_t>(edges.size());
 
-#pragma omp parallel for schedule(static)
-  for (std::int64_t i = 0; i < m; ++i) {
-    fetch_add_relaxed(
-        offsets[static_cast<std::size_t>(key(edges[static_cast<std::size_t>(i)])) + 1],
-        eid_t{1});
-  }
+  parallel_region([&] {
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < m; ++i) {
+      fetch_add_relaxed(
+          offsets[static_cast<std::size_t>(
+                      key(edges[static_cast<std::size_t>(i)])) + 1],
+          eid_t{1});
+    }
+  });
   for (std::size_t v = 0; v < static_cast<std::size_t>(n); ++v) {
     offsets[v + 1] += offsets[v];
   }
 
   neighbors.resize(static_cast<std::size_t>(m));
   std::vector<eid_t> cursor(offsets.begin(), offsets.end() - 1);
-#pragma omp parallel for schedule(static)
-  for (std::int64_t i = 0; i < m; ++i) {
-    const Edge& e = edges[static_cast<std::size_t>(i)];
-    const eid_t slot =
-        fetch_add_relaxed(cursor[static_cast<std::size_t>(key(e))], eid_t{1});
-    neighbors[static_cast<std::size_t>(slot)] = value(e);
-  }
+  parallel_region([&] {
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < m; ++i) {
+      const Edge& e = edges[static_cast<std::size_t>(i)];
+      const eid_t slot =
+          fetch_add_relaxed(cursor[static_cast<std::size_t>(key(e))], eid_t{1});
+      neighbors[static_cast<std::size_t>(slot)] = value(e);
+    }
+  });
 
-#pragma omp parallel for schedule(dynamic, 1024)
-  for (std::int64_t v = 0; v < n; ++v) {
-    std::sort(neighbors.begin() + offsets[static_cast<std::size_t>(v)],
-              neighbors.begin() + offsets[static_cast<std::size_t>(v) + 1]);
-  }
+  parallel_region([&] {
+#pragma omp for schedule(dynamic, 1024)
+    for (std::int64_t v = 0; v < n; ++v) {
+      std::sort(neighbors.begin() + offsets[static_cast<std::size_t>(v)],
+                neighbors.begin() + offsets[static_cast<std::size_t>(v) + 1]);
+    }
+  });
 }
 
 }  // namespace

@@ -3,7 +3,21 @@
 #include <algorithm>
 #include <sstream>
 
+#include "graftmatch/runtime/atomics.hpp"
+#include "graftmatch/runtime/parallel.hpp"
+
 namespace graftmatch {
+namespace {
+
+// Atomic max-merge of a per-thread partial into the shared cell.
+void merge_max(eid_t& shared, eid_t local) noexcept {
+  eid_t observed = relaxed_load(shared);
+  while (local > observed && !cas(shared, observed, local)) {
+    observed = relaxed_load(shared);
+  }
+}
+
+}  // namespace
 
 GraphStats compute_graph_stats(const BipartiteGraph& g) {
   GraphStats stats;
@@ -15,20 +29,28 @@ GraphStats compute_graph_stats(const BipartiteGraph& g) {
   eid_t max_dy = 0;
   vid_t iso_x = 0;
   vid_t iso_y = 0;
-#pragma omp parallel for schedule(static) reduction(max : max_dx) \
-    reduction(+ : iso_x)
-  for (vid_t x = 0; x < stats.nx; ++x) {
-    const eid_t d = g.degree_x(x);
-    max_dx = std::max(max_dx, d);
-    iso_x += (d == 0);
-  }
-#pragma omp parallel for schedule(static) reduction(max : max_dy) \
-    reduction(+ : iso_y)
-  for (vid_t y = 0; y < stats.ny; ++y) {
-    const eid_t d = g.degree_y(y);
-    max_dy = std::max(max_dy, d);
-    iso_y += (d == 0);
-  }
+  parallel_region([&] {
+    eid_t local_max_dx = 0;
+    eid_t local_max_dy = 0;
+    vid_t local_iso_x = 0;
+    vid_t local_iso_y = 0;
+#pragma omp for schedule(static) nowait
+    for (vid_t x = 0; x < stats.nx; ++x) {
+      const eid_t d = g.degree_x(x);
+      local_max_dx = std::max(local_max_dx, d);
+      local_iso_x += (d == 0);
+    }
+#pragma omp for schedule(static)
+    for (vid_t y = 0; y < stats.ny; ++y) {
+      const eid_t d = g.degree_y(y);
+      local_max_dy = std::max(local_max_dy, d);
+      local_iso_y += (d == 0);
+    }
+    merge_max(max_dx, local_max_dx);
+    merge_max(max_dy, local_max_dy);
+    fetch_add_relaxed(iso_x, local_iso_x);
+    fetch_add_relaxed(iso_y, local_iso_y);
+  });
 
   stats.max_degree_x = max_dx;
   stats.max_degree_y = max_dy;

@@ -38,22 +38,23 @@ Matching parallel_karp_sipser(const BipartiteGraph& g, std::uint64_t seed,
   // Residual degrees, updated with atomic decrements.
   std::vector<eid_t> deg_x(static_cast<std::size_t>(nx));
   std::vector<eid_t> deg_y(static_cast<std::size_t>(ny));
-#pragma omp parallel for schedule(static)
-  for (vid_t x = 0; x < nx; ++x) {
-    deg_x[static_cast<std::size_t>(x)] = g.degree_x(x);
-  }
-#pragma omp parallel for schedule(static)
-  for (vid_t y = 0; y < ny; ++y) {
-    deg_y[static_cast<std::size_t>(y)] = g.degree_y(y);
-  }
+  parallel_region([&] {
+#pragma omp for schedule(static) nowait
+    for (vid_t x = 0; x < nx; ++x) {
+      deg_x[static_cast<std::size_t>(x)] = g.degree_x(x);
+    }
+#pragma omp for schedule(static)
+    for (vid_t y = 0; y < ny; ++y) {
+      deg_y[static_cast<std::size_t>(y)] = g.degree_y(y);
+    }
+  });
 
   // Degree-1 work queues; X vertices stored as-is, Y shifted by nx.
   const auto capacity = static_cast<std::size_t>(nx + ny);
   FrontierQueue<vid_t> current(capacity);
   FrontierQueue<vid_t> next(capacity);
 
-#pragma omp parallel
-  {
+  parallel_region([&] {
     auto handle = current.handle();
 #pragma omp for schedule(static) nowait
     for (vid_t x = 0; x < nx; ++x) {
@@ -63,7 +64,7 @@ Matching parallel_karp_sipser(const BipartiteGraph& g, std::uint64_t seed,
     for (vid_t y = 0; y < ny; ++y) {
       if (deg_y[static_cast<std::size_t>(y)] == 1) handle.push(y + nx);
     }
-  }
+  });
 
   // After matching (x, y), decrement the residual degree of every
   // still-unmatched neighbor; the thread that performs the 2 -> 1
@@ -123,14 +124,13 @@ Matching parallel_karp_sipser(const BipartiteGraph& g, std::uint64_t seed,
     while (!current.empty()) {
       const auto items = current.items();
       const auto count = static_cast<std::int64_t>(items.size());
-#pragma omp parallel
-      {
+      parallel_region([&] {
         auto out = next.handle();
 #pragma omp for schedule(dynamic, 64)
         for (std::int64_t i = 0; i < count; ++i) {
           process_degree_one(items[static_cast<std::size_t>(i)], out);
         }
-      }
+      });
       current.clear();
       current.swap(next);
     }
@@ -141,8 +141,7 @@ Matching parallel_karp_sipser(const BipartiteGraph& g, std::uint64_t seed,
   // Random rule: parallel greedy sweep over unmatched X vertices in a
   // hash-scrambled order, then give the safe rule another chance.
   const std::uint64_t salt = mix64(seed);
-#pragma omp parallel
-  {
+  parallel_region([&] {
     auto out = next.handle();
 #pragma omp for schedule(dynamic, 256)
     for (vid_t i = 0; i < nx; ++i) {
@@ -161,7 +160,7 @@ Matching parallel_karp_sipser(const BipartiteGraph& g, std::uint64_t seed,
         }
       }
     }
-  }
+  });
   current.clear();
   current.swap(next);
   drain_degree_one();

@@ -4,6 +4,8 @@
 #include <sched.h>
 #include <unistd.h>
 
+#include "graftmatch/runtime/parallel.hpp"
+
 namespace graftmatch {
 
 int logical_cpu_count() noexcept {
@@ -27,8 +29,7 @@ std::vector<int> pin_openmp_threads(PinPolicy policy) {
   if (policy == PinPolicy::kNone) return placement;
 
   const int ncpu = logical_cpu_count();
-#pragma omp parallel
-  {
+  parallel_region([&] {
     const int tid = omp_get_thread_num();
     int cpu = 0;
     switch (policy) {
@@ -46,7 +47,7 @@ std::vector<int> pin_openmp_threads(PinPolicy policy) {
     if (pin_current_thread(cpu)) {
       placement[static_cast<std::size_t>(tid)] = cpu;
     }
-  }
+  });
   return placement;
 }
 

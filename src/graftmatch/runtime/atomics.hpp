@@ -11,6 +11,61 @@
 #include <cstdint>
 #include <type_traits>
 
+#if defined(GRAFTMATCH_STRESS_HOOKS)
+#include <thread>
+
+#include "graftmatch/runtime/prng.hpp"
+#endif
+
+namespace graftmatch::stress {
+
+/// Scheduling-jitter hooks for the concurrency stress harness.
+///
+/// Lock-free races (flag claims, mate CAS, queue-cursor bumps) are only
+/// exercised when two threads actually land in the same window, and on a
+/// lightly loaded machine the windows are a handful of instructions wide.
+/// When the library is compiled with -DGRAFTMATCH_STRESS_HOOKS=ON, every
+/// racy primitive below calls maybe_yield() inside its window, which
+/// yields the OS thread with probability 1/period. That stretches the
+/// windows by whole scheduling quanta and makes lost-update bugs loud
+/// under the stress tests and TSan. In normal builds the hook compiles
+/// to nothing.
+#if defined(GRAFTMATCH_STRESS_HOOKS)
+
+inline constexpr bool kHooksCompiled = true;
+
+inline std::atomic<std::uint32_t>& yield_period_ref() noexcept {
+  // 0 disables jitter; N yields with probability 1/N at each hook.
+  static std::atomic<std::uint32_t> period{0};
+  return period;
+}
+
+/// Enable (period > 0) or disable (period == 0) jitter process-wide.
+inline void set_yield_period(std::uint32_t period) noexcept {
+  yield_period_ref().store(period, std::memory_order_relaxed);
+}
+
+inline void maybe_yield() noexcept {
+  const std::uint32_t period =
+      yield_period_ref().load(std::memory_order_relaxed);
+  if (period == 0) return;
+  // Per-thread splitmix64 stream, seeded from the TLS slot address so
+  // threads diverge without coordination.
+  thread_local std::uint64_t state =
+      0x9e3779b97f4a7c15ULL ^ reinterpret_cast<std::uintptr_t>(&state);
+  if (splitmix64_next(state) % period == 0) std::this_thread::yield();
+}
+
+#else  // !GRAFTMATCH_STRESS_HOOKS
+
+inline constexpr bool kHooksCompiled = false;
+inline void set_yield_period(std::uint32_t) noexcept {}
+inline void maybe_yield() noexcept {}
+
+#endif
+
+}  // namespace graftmatch::stress
+
 namespace graftmatch {
 
 /// Atomically claim a byte flag: set it to 1 and report whether this call
@@ -23,6 +78,7 @@ inline bool claim_flag(std::uint8_t& flag) noexcept {
       0) {
     return false;
   }
+  stress::maybe_yield();  // widen the check-then-claim window under stress
   return std::atomic_ref<std::uint8_t>(flag).exchange(
              1, std::memory_order_acq_rel) == 0;
 }
@@ -56,6 +112,7 @@ inline T fetch_add_relaxed(T& location, T delta) noexcept {
 template <typename T>
 inline bool cas(T& location, T expected, T desired) noexcept {
   static_assert(std::atomic_ref<T>::is_always_lock_free);
+  stress::maybe_yield();  // widen read-to-CAS windows in callers
   return std::atomic_ref<T>(location).compare_exchange_strong(
       expected, desired, std::memory_order_acq_rel,
       std::memory_order_relaxed);

@@ -61,6 +61,7 @@ class FrontierQueue {
           static_cast<std::size_t>(fetch_add_relaxed(
               queue_.cursor_, static_cast<std::ptrdiff_t>(count_)));
       assert(base + count_ <= queue_.storage_.size());
+      stress::maybe_yield();  // widen the reserve-to-copy window under stress
       for (std::size_t i = 0; i < count_; ++i) {
         queue_.storage_[base + i] = local_[i];
       }

@@ -3,12 +3,90 @@
 
 #include <omp.h>
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "graftmatch/types.hpp"
 
+#if defined(__SANITIZE_THREAD__)
+#define GRAFTMATCH_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define GRAFTMATCH_TSAN_ACTIVE 1
+#endif
+#endif
+#ifndef GRAFTMATCH_TSAN_ACTIVE
+#define GRAFTMATCH_TSAN_ACTIVE 0
+#endif
+
 namespace graftmatch {
+
+/// Runs `fn()` on every thread of an OpenMP parallel team. This is the
+/// library's only way to open a parallel region; `#pragma omp for`
+/// inside `fn` binds to the team as an orphaned worksharing construct.
+/// `num_threads <= 0` uses the runtime default.
+///
+/// Why a wrapper instead of a bare `#pragma omp parallel`: GCC's
+/// libgomp is not TSan-instrumented, so the synchronization that hands
+/// a region's shared-variable frame (.omp_data, materialized on the
+/// serial thread's stack) to reused pool threads is invisible to the
+/// race detector. Workers read that frame before any user statement
+/// runs, which TSan reports as a race against whatever the serial
+/// thread last wrote at those stack addresses -- either the frame
+/// setup itself or stale locals of an earlier region's body. Blanket
+/// `race:gomp_*` suppressions are not an answer: suppressions match
+/// ANY frame of EITHER stack, and worker stacks are rooted in
+/// gomp_thread_start, so they also swallow *real* races in library
+/// code (see tools/tsan.supp).
+///
+/// Under TSan this wrapper removes the capture frame instead of trying
+/// to annotate around it. The body is published through a static slot
+/// with a release store and fetched by each team thread with an
+/// acquire load -- the thread's first instrumented access -- and
+/// `default(none)` turns any accidental capture into a compile error.
+/// Every access workers make to serial-thread memory therefore goes
+/// through the acquired body pointer and is ordered after everything
+/// the serial thread wrote before the region. The mirror-image join
+/// edge is a release increment per thread after `fn()` returns
+/// (destructors of `fn`'s locals, e.g. FrontierQueue handles that
+/// flush into shared storage, have already run) and an acquire load on
+/// the serial side. Note that OpenMP `reduction` combines *after* the
+/// body returns and `critical` uses uninstrumented locks, so bodies
+/// accumulate into shared counters with fetch_add (or a std::mutex)
+/// instead of using either clause.
+///
+/// The slot is per call site (one static per lambda type). TSan builds
+/// therefore assume a given call site is not re-entered concurrently
+/// from multiple host threads; the library itself never does so.
+template <typename Fn>
+inline void parallel_region(int num_threads, Fn&& fn) {
+  const int team = num_threads > 0 ? num_threads : omp_get_max_threads();
+#if GRAFTMATCH_TSAN_ACTIVE
+  using Body = std::remove_reference_t<Fn>;
+  static std::atomic<Body*> slot{nullptr};
+  static std::atomic<std::uint64_t> joins{0};
+  slot.store(std::addressof(fn), std::memory_order_release);
+#pragma omp parallel num_threads(team) default(none) shared(slot, joins)
+  {
+    Body& body = *slot.load(std::memory_order_acquire);
+    body();
+    joins.fetch_add(1, std::memory_order_release);
+  }
+  (void)joins.load(std::memory_order_acquire);
+#else
+#pragma omp parallel num_threads(team)
+  fn();
+#endif
+}
+
+/// parallel_region with the runtime-default thread count.
+template <typename Fn>
+inline void parallel_region(Fn&& fn) {
+  parallel_region(0, std::forward<Fn>(fn));
+}
 
 /// Scoped override of the OpenMP thread count; restores the previous
 /// value on destruction. `threads <= 0` leaves the runtime default.
@@ -49,8 +127,12 @@ T exclusive_prefix_sum(std::vector<T>& values) {
 template <typename T>
 void first_touch_fill(std::vector<T>& data, const T& value) {
   const std::int64_t n = static_cast<std::int64_t>(data.size());
-#pragma omp parallel for schedule(static)
-  for (std::int64_t i = 0; i < n; ++i) data[static_cast<std::size_t>(i)] = value;
+  parallel_region([&] {
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < n; ++i) {
+      data[static_cast<std::size_t>(i)] = value;
+    }
+  });
 }
 
 }  // namespace graftmatch

@@ -65,8 +65,7 @@ TEST(Timer, FormatSeconds) {
 TEST(Atomics, ClaimFlagIsExactlyOnce) {
   std::vector<std::uint8_t> flags(1000, 0);
   std::atomic<int> claims{0};
-#pragma omp parallel num_threads(4)
-  {
+  parallel_region(4, [&] {
 #pragma omp for
     for (int i = 0; i < 1000; ++i) {
       // Every thread races for every flag; exactly 1000 total claims.
@@ -76,7 +75,7 @@ TEST(Atomics, ClaimFlagIsExactlyOnce) {
         }
       }
     }
-  }
+  });
   EXPECT_EQ(claims.load(), 1000);
   EXPECT_TRUE(std::all_of(flags.begin(), flags.end(),
                           [](std::uint8_t f) { return f == 1; }));
@@ -131,12 +130,11 @@ TEST(FrontierQueue, HandleFlushesOnDestruction) {
 TEST(FrontierQueue, ParallelPushesLoseNothing) {
   constexpr int kItems = 100000;
   FrontierQueue<int> queue(kItems);
-#pragma omp parallel num_threads(4)
-  {
+  parallel_region(4, [&] {
     auto handle = queue.handle();
 #pragma omp for
     for (int i = 0; i < kItems; ++i) handle.push(i);
-  }
+  });
   EXPECT_EQ(queue.size(), static_cast<std::size_t>(kItems));
   // Every value appears exactly once.
   auto items = queue.items();

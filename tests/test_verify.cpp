@@ -5,6 +5,8 @@
 
 #include "graftmatch/baselines/hopcroft_karp.hpp"
 #include "graftmatch/gen/erdos_renyi.hpp"
+#include "graftmatch/gen/planted.hpp"
+#include "graftmatch/init/greedy.hpp"
 #include "graftmatch/init/karp_sipser.hpp"
 #include "graftmatch/verify/koenig.hpp"
 #include "graftmatch/verify/validate.hpp"
@@ -119,6 +121,82 @@ TEST(Koenig, CoverSizeEqualsHopcroftKarpCardinality) {
     EXPECT_TRUE(covers_all_edges(g, cover));
     EXPECT_EQ(cover.size(), m.cardinality());
   }
+}
+
+// Adversarial certificate coverage on planted instances, where the
+// exact maximum is known independently of every solver: the certificate
+// must accept known-maximum matchings and reject EVERY valid-but-
+// sub-maximum matching we can manufacture -- this is the detection path
+// the differential harness relies on when a parallel race silently
+// drops an augmenting path.
+
+PlantedParams planted_shape(std::uint64_t seed) {
+  PlantedParams params;
+  params.matched_pairs = 300;
+  params.surplus_rows = 60;
+  params.bottleneck = 20;
+  params.noise_degree = 3.0;
+  params.seed = seed;
+  return params;
+}
+
+TEST(Koenig, AcceptsKnownMaximumOnPlantedInstances) {
+  for (const std::uint64_t seed : {11ULL, 22ULL, 33ULL, 44ULL}) {
+    const PlantedGraph planted = generate_planted(planted_shape(seed));
+    Matching m = karp_sipser(planted.graph, seed);
+    hopcroft_karp(planted.graph, m);
+    ASSERT_EQ(m.cardinality(), planted.maximum_cardinality) << seed;
+    EXPECT_TRUE(is_maximum_matching(planted.graph, m)) << seed;
+    const VertexCover cover = koenig_cover(planted.graph, m);
+    EXPECT_TRUE(covers_all_edges(planted.graph, cover)) << seed;
+    EXPECT_EQ(cover.size(), planted.maximum_cardinality) << seed;
+  }
+}
+
+TEST(Koenig, RejectsPlantedSubMaximumMatchings) {
+  // Start from the true maximum and strip k matched edges: the result
+  // stays a valid matching but must fail the certificate for every k.
+  const PlantedGraph planted = generate_planted(planted_shape(77));
+  Matching maximum = karp_sipser(planted.graph, 77);
+  hopcroft_karp(planted.graph, maximum);
+  ASSERT_EQ(maximum.cardinality(), planted.maximum_cardinality);
+
+  for (const int strip : {1, 2, 7, 50}) {
+    Matching m = maximum;
+    int stripped = 0;
+    for (vid_t x = 0; x < m.num_x() && stripped < strip; ++x) {
+      if (m.is_matched_x(x)) {
+        m.unmatch_x(x);
+        ++stripped;
+      }
+    }
+    ASSERT_EQ(stripped, strip);
+    ASSERT_TRUE(is_valid_matching(planted.graph, m)) << strip;
+    EXPECT_FALSE(is_maximum_matching(planted.graph, m)) << strip;
+    // The Koenig gap bounds the deficiency from below.
+    const VertexCover cover = koenig_cover(planted.graph, m);
+    EXPECT_GT(cover.size(), m.cardinality()) << strip;
+  }
+}
+
+TEST(Koenig, RejectsMaximalButSubMaximumGreedyMatchings) {
+  // Organic sub-maximum inputs (no hand-stripping): greedy maximal
+  // matchings that fall short of the planted optimum must be rejected;
+  // greedy runs that happen to reach the optimum must be accepted.
+  int rejected = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const PlantedGraph planted = generate_planted(planted_shape(seed));
+    const Matching m = randomized_greedy(planted.graph, seed * 13);
+    ASSERT_TRUE(is_valid_matching(planted.graph, m)) << seed;
+    ASSERT_TRUE(is_maximal_matching(planted.graph, m)) << seed;
+    const bool at_optimum = m.cardinality() == planted.maximum_cardinality;
+    EXPECT_EQ(is_maximum_matching(planted.graph, m), at_optimum) << seed;
+    rejected += !at_optimum;
+  }
+  // The planted bottleneck makes greedy traps overwhelmingly likely; if
+  // every greedy run reached the optimum this test stopped testing the
+  // reject path and the shape above needs retuning.
+  EXPECT_GT(rejected, 0);
 }
 
 TEST(Koenig, CoversAllEdgesDetectsGaps) {
