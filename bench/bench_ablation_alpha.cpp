@@ -11,10 +11,9 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  graftmatch::bench::apply_cli_overrides(argc, argv);
   using namespace graftmatch;
   using namespace graftmatch::bench;
-  print_header("bench_ablation_alpha",
+  bench_entry(argc, argv, "bench_ablation_alpha",
                "Sec. III-B design choice (alpha ~= 5): runtime and edge "
                "traversals vs alpha");
 

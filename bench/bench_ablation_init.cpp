@@ -16,10 +16,9 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  graftmatch::bench::apply_cli_overrides(argc, argv);
   using namespace graftmatch;
   using namespace graftmatch::bench;
-  print_header("bench_ablation_init",
+  bench_entry(argc, argv, "bench_ablation_init",
                "Sec. II-B design choice (initializer quality and its "
                "effect on the maximum matching phase)");
 

@@ -23,14 +23,18 @@ double env_double(const char* name, double fallback) {
 }
 
 [[noreturn]] void usage_and_exit(const char* binary, const char* bad_arg) {
+  std::string inits;
+  for (const auto& init : engine::initializer_registry()) {
+    inits += (inits.empty() ? "" : "|") + init.name;
+  }
   std::fprintf(stderr,
                "unknown argument '%s'\n"
                "usage: %s [--seed N] [--threads N] [--size F] [--runs N]\n"
-               "          [--init rgreedy|greedy|ks|ksr1|none]\n"
+               "          [--init %s]\n"
                "          [--results-dir DIR]\n"
                "Each flag overrides the matching GRAFTMATCH_* environment "
                "variable.\n",
-               bad_arg, binary);
+               bad_arg, binary, inits.c_str());
   std::exit(2);
 }
 
@@ -96,12 +100,21 @@ std::string init_name() {
 }
 
 Matching make_initial_matching(const BipartiteGraph& g) {
-  const std::string name = init_name();
-  if (name == "ks") return karp_sipser(g, seed());
-  if (name == "ksr1") return karp_sipser_rule1(g);
-  if (name == "greedy") return greedy_maximal(g);
-  if (name == "none") return Matching(g.num_x(), g.num_y());
-  return randomized_greedy(g, seed());
+  RunConfig config;
+  config.seed = seed();
+  config.threads = thread_override();
+  try {
+    return engine::make_initial_matching(init_name(), g, config);
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    std::exit(2);
+  }
+}
+
+void bench_entry(int argc, char** argv, const std::string& bench_name,
+                 const std::string& what) {
+  apply_cli_overrides(argc, argv);
+  print_header(bench_name, what);
 }
 
 void print_header(const std::string& bench_name, const std::string& what) {

@@ -39,6 +39,12 @@ namespace graftmatch::bench {
 /// print usage and exit; call first thing in main().
 void apply_cli_overrides(int argc, char** argv);
 
+/// The standard bench preamble, all in one call: parse CLI overrides
+/// and print the self-describing header. Every bench main() starts with
+/// this single line instead of repeating the apply/print pair.
+void bench_entry(int argc, char** argv, const std::string& bench_name,
+                 const std::string& what);
+
 /// Thread-count override from --threads / GRAFTMATCH_THREADS
 /// (0 = keep the OpenMP runtime default).
 int thread_override();
@@ -52,10 +58,13 @@ int run_count(int fallback);
 /// Seed from GRAFTMATCH_SEED (default 1).
 std::uint64_t seed();
 
-/// Name of the selected initializer (GRAFTMATCH_INIT).
+/// Name of the selected initializer (GRAFTMATCH_INIT). Any key of the
+/// engine's initializer registry is accepted.
 std::string init_name();
 
-/// Build the selected initial matching for a graph.
+/// Build the selected initial matching for a graph via the engine's
+/// initializer registry (honoring the bench seed and thread override).
+/// Unknown initializer names print the registry's error and exit(2).
 Matching make_initial_matching(const BipartiteGraph& g);
 
 /// Print the standard bench header (binary name, substrate info,

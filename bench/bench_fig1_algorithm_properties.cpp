@@ -20,10 +20,9 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  graftmatch::bench::apply_cli_overrides(argc, argv);
   using namespace graftmatch;
   using namespace graftmatch::bench;
-  print_header("bench_fig1_algorithm_properties",
+  bench_entry(argc, argv, "bench_fig1_algorithm_properties",
                "Fig. 1 (edges traversed / phases / augmenting path length "
                "of five serial algorithms)");
 
@@ -34,29 +33,12 @@ int main(int argc, char** argv) {
   const std::vector<std::string> graphs = {"kkt_power-like",
                                            "cit-patents-like",
                                            "wikipedia-like"};
-  struct AlgoEntry {
-    const char* name;
-    std::function<RunStats(const BipartiteGraph&, Matching&)> run;
-  };
+  // Fig. 1 is a serial comparison: every registered solver runs at one
+  // thread (the paper's five algorithms plus later registry additions).
   RunConfig serial;
   serial.threads = 1;
-  const std::vector<AlgoEntry> algorithms = {
-      {"SS-DFS", [&](const BipartiteGraph& g, Matching& m) {
-         return ss_dfs(g, m, serial);
-       }},
-      {"SS-BFS", [&](const BipartiteGraph& g, Matching& m) {
-         return ss_bfs(g, m, serial);
-       }},
-      {"PF", [&](const BipartiteGraph& g, Matching& m) {
-         return pothen_fan(g, m, serial);
-       }},
-      {"MS-BFS", [&](const BipartiteGraph& g, Matching& m) {
-         return ms_bfs(g, m, serial);
-       }},
-      {"HK", [&](const BipartiteGraph& g, Matching& m) {
-         return hopcroft_karp(g, m, serial);
-       }},
-  };
+  const std::vector<std::string> algorithms = {"ssdfs", "ssbfs", "pf",
+                                               "msbfs", "hk"};
 
   for (const std::string& graph_name : graphs) {
     const Workload w = make_workload(graph_name);
@@ -68,16 +50,19 @@ int main(int argc, char** argv) {
                 static_cast<long long>(initial.cardinality()));
     std::printf("%-8s %14s %8s %10s %10s %12s\n", "algo", "edges", "phases",
                 "paths", "avg_len", "time");
-    for (const AlgoEntry& algo : algorithms) {
+    for (const std::string& key : algorithms) {
+      const engine::SolverInfo& solver = engine::find_solver(key);
       Matching m = initial;
-      const RunStats stats = algo.run(w.graph, m);
-      std::printf("%-8s %14lld %8lld %10lld %10.2f %12s\n", algo.name,
+      const RunStats stats = solver.run(w.graph, m, serial);
+      std::printf("%-8s %14lld %8lld %10lld %10.2f %12s\n",
+                  solver.display_name.c_str(),
                   static_cast<long long>(stats.edges_traversed),
                   static_cast<long long>(stats.phases),
                   static_cast<long long>(stats.augmentations),
                   stats.avg_path_length(),
                   format_seconds(stats.seconds).c_str());
-      csv.row({w.name, algo.name, CsvWriter::cell(stats.edges_traversed),
+      csv.row({w.name, solver.display_name,
+               CsvWriter::cell(stats.edges_traversed),
                CsvWriter::cell(stats.phases),
                CsvWriter::cell(stats.augmentations),
                CsvWriter::cell(stats.avg_path_length()),

@@ -35,8 +35,7 @@ double run_mean(const BipartiteGraph& g, int runs,
 }  // namespace
 
 int main(int argc, char** argv) {
-  graftmatch::bench::apply_cli_overrides(argc, argv);
-  print_header("bench_fig3_relative_performance",
+  bench_entry(argc, argv, "bench_fig3_relative_performance",
                "Fig. 3 (relative performance of matching algorithms with "
                "1 thread and all threads)");
 
@@ -64,17 +63,20 @@ int main(int argc, char** argv) {
       RunConfig pr_config = config;
       pr_config.pr_relabel_frequency = threads == 1 ? 2 : 16;
 
+      const engine::SolverInfo& graft = engine::find_solver("graft");
+      const engine::SolverInfo& pf = engine::find_solver("pf");
+      const engine::SolverInfo& pr = engine::find_solver("pr");
       const double graft_s = run_mean(
           w.graph, runs, [&](const BipartiteGraph& g, Matching& m) {
-            return ms_bfs_graft(g, m, config);
+            return graft.run(g, m, config);
           });
       const double pf_s = run_mean(
           w.graph, runs, [&](const BipartiteGraph& g, Matching& m) {
-            return pothen_fan(g, m, config);
+            return pf.run(g, m, config);
           });
       const double pr_s = run_mean(
           w.graph, runs, [&](const BipartiteGraph& g, Matching& m) {
-            return push_relabel(g, m, pr_config);
+            return pr.run(g, m, pr_config);
           });
 
       const double slowest = std::max({graft_s, pf_s, pr_s});

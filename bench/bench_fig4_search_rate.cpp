@@ -11,10 +11,9 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  graftmatch::bench::apply_cli_overrides(argc, argv);
   using namespace graftmatch;
   using namespace graftmatch::bench;
-  print_header("bench_fig4_search_rate",
+  bench_entry(argc, argv, "bench_fig4_search_rate",
                "Fig. 4 (search rate in MTEPS, MS-BFS-Graft vs Pothen-Fan)");
 
   const int runs = run_count(3);

@@ -14,10 +14,9 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  graftmatch::bench::apply_cli_overrides(argc, argv);
   using namespace graftmatch;
   using namespace graftmatch::bench;
-  print_header("bench_fig5_strong_scaling",
+  bench_entry(argc, argv, "bench_fig5_strong_scaling",
                "Fig. 5 (strong scaling of MS-BFS-Graft by graph class)");
 
   const int runs = run_count(3);

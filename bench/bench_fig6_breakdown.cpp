@@ -11,10 +11,9 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  graftmatch::bench::apply_cli_overrides(argc, argv);
   using namespace graftmatch;
   using namespace graftmatch::bench;
-  print_header("bench_fig6_breakdown",
+  bench_entry(argc, argv, "bench_fig6_breakdown",
                "Fig. 6 (runtime breakdown per step of MS-BFS-Graft)");
 
   const std::vector<Workload> workloads = make_suite_workloads(false);

@@ -15,10 +15,9 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  graftmatch::bench::apply_cli_overrides(argc, argv);
   using namespace graftmatch;
   using namespace graftmatch::bench;
-  print_header("bench_fig7_contributions",
+  bench_entry(argc, argv, "bench_fig7_contributions",
                "Fig. 7 (effect of direction-optimizing BFS and tree "
                "grafting on MS-BFS)");
 

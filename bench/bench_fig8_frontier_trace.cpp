@@ -79,8 +79,7 @@ void print_curves(const PhaseMap& phases) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  graftmatch::bench::apply_cli_overrides(argc, argv);
-  print_header("bench_fig8_frontier_trace",
+  bench_entry(argc, argv, "bench_fig8_frontier_trace",
                "Fig. 8 (frontier size per BFS level, with and without "
                "grafting, coPapersDBLP stand-in)");
 

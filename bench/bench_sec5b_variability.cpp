@@ -10,10 +10,9 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  graftmatch::bench::apply_cli_overrides(argc, argv);
   using namespace graftmatch;
   using namespace graftmatch::bench;
-  print_header("bench_sec5b_variability",
+  bench_entry(argc, argv, "bench_sec5b_variability",
                "Sec. V-B (runtime variability psi = sigma/mu over repeated "
                "parallel runs)");
 

@@ -9,9 +9,8 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  graftmatch::bench::apply_cli_overrides(argc, argv);
   using namespace graftmatch;
-  bench::print_header("bench_table1_system",
+  bench::bench_entry(argc, argv, "bench_table1_system",
                       "Table I (description of the systems)");
 
   const SystemInfo info = query_system_info();

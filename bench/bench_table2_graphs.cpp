@@ -10,10 +10,9 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  graftmatch::bench::apply_cli_overrides(argc, argv);
   using namespace graftmatch;
   using namespace graftmatch::bench;
-  print_header("bench_table2_graphs",
+  bench_entry(argc, argv, "bench_table2_graphs",
                "Table II (description of the input graphs)");
 
   std::printf("%-18s %-18s %-11s %10s %11s %7s %8s %8s %8s\n", "instance",

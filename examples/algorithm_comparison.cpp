@@ -3,12 +3,15 @@
 // suite does at scale -- useful as a template for evaluating the
 // algorithms on your own Matrix Market files:
 //
+// The algorithm list comes from the engine's solver registry, so a
+// newly registered solver shows up here automatically.
+//
 //   ./algorithm_comparison                # built-in web-crawl workload
+//   ./algorithm_comparison 14             # web-crawl with 2^14 vertices
 //   ./algorithm_comparison mygraph.mtx    # your matrix
 #include <cstdio>
-#include <functional>
+#include <cstdlib>
 #include <string>
-#include <vector>
 
 #include "graftmatch/graftmatch.hpp"
 
@@ -16,12 +19,13 @@ int main(int argc, char** argv) {
   using namespace graftmatch;
 
   BipartiteGraph graph;
-  if (argc > 1) {
+  const int log_size = argc > 1 ? std::atoi(argv[1]) : 0;
+  if (argc > 1 && log_size == 0) {
     std::printf("loading %s ...\n", argv[1]);
     graph = BipartiteGraph::from_edges(read_matrix_market_file(argv[1]));
   } else {
     WebCrawlParams params;
-    params.nx = params.ny = 1 << 16;
+    params.nx = params.ny = 1 << (log_size > 0 ? log_size : 16);
     params.seed = 11;
     graph = generate_webcrawl(params);
   }
@@ -33,39 +37,18 @@ int main(int argc, char** argv) {
   std::printf("initial maximal matching: |M| = %lld\n\n",
               static_cast<long long>(initial.cardinality()));
 
-  struct Entry {
-    std::string name;
-    std::function<RunStats(const BipartiteGraph&, Matching&)> run;
-  };
-  const std::vector<Entry> algorithms = {
-      {"MS-BFS-Graft",
-       [](const BipartiteGraph& g, Matching& m) { return ms_bfs_graft(g, m); }},
-      {"MS-BFS",
-       [](const BipartiteGraph& g, Matching& m) { return ms_bfs(g, m); }},
-      {"Pothen-Fan",
-       [](const BipartiteGraph& g, Matching& m) { return pothen_fan(g, m); }},
-      {"Push-Relabel",
-       [](const BipartiteGraph& g, Matching& m) { return push_relabel(g, m); }},
-      {"Hopcroft-Karp",
-       [](const BipartiteGraph& g, Matching& m) { return hopcroft_karp(g, m); }},
-      {"SS-BFS",
-       [](const BipartiteGraph& g, Matching& m) { return ss_bfs(g, m); }},
-      {"SS-DFS",
-       [](const BipartiteGraph& g, Matching& m) { return ss_dfs(g, m); }},
-  };
-
   std::printf("%-14s %10s %8s %12s %10s %12s %9s\n", "algorithm", "|M|",
               "phases", "edges", "avg path", "time", "verified");
   std::int64_t reference = -1;
   bool all_ok = true;
-  for (const Entry& entry : algorithms) {
+  for (const engine::SolverInfo& solver : engine::solver_registry()) {
     Matching m = initial;
-    const RunStats stats = entry.run(graph, m);
+    const RunStats stats = solver.run(graph, m, RunConfig{});
     const bool maximum = is_maximum_matching(graph, m);
     if (reference < 0) reference = m.cardinality();
     all_ok = all_ok && maximum && m.cardinality() == reference;
     std::printf("%-14s %10lld %8lld %12lld %10.2f %12s %9s\n",
-                entry.name.c_str(),
+                solver.display_name.c_str(),
                 static_cast<long long>(m.cardinality()),
                 static_cast<long long>(stats.phases),
                 static_cast<long long>(stats.edges_traversed),

@@ -3,9 +3,11 @@
 // size and the direction chosen, with and without tree grafting, so the
 // "start-large-then-shrink" effect of grafting is visible directly.
 //
-//   ./frontier_anatomy [instance-name]     (default: copapers-like)
+//   ./frontier_anatomy [instance-name] [size-factor]
+//   (defaults: copapers-like at size factor 0.1)
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
@@ -48,7 +50,8 @@ void render(const RunStats& stats, std::int64_t max_phases) {
 
 int main(int argc, char** argv) {
   const std::string name = argc > 1 ? argv[1] : "copapers-like";
-  const BipartiteGraph graph = suite_instance(name).factory(0.1, 1);
+  const double size = argc > 2 ? std::atof(argv[2]) : 0.1;
+  const BipartiteGraph graph = suite_instance(name).factory(size, 1);
   const Matching initial = randomized_greedy(graph, 1);
   std::printf("instance %s: %s\n\n", name.c_str(),
               format_graph_stats(compute_graph_stats(graph)).c_str());

@@ -7,19 +7,22 @@
 //   ./matching_tool --gen INSTANCE [--size F] [options]
 //
 // Options:
-//   --algo NAME     graft (default) | msbfs | pf | pr | hk | ssbfs | ssdfs
-//   --init NAME     rgreedy (default) | greedy | ks | none
+//   --algo NAME     any solver-registry key (default graft; see --list)
+//   --init NAME     any initializer-registry key (default rgreedy)
 //   --threads N     OpenMP threads (default: runtime default)
 //   --alpha A       direction/grafting threshold (default 5)
 //   --seed S        generator / initializer seed (default 1)
 //   --dm            also print the coarse DM decomposition
 //   --phases        print a per-phase table (MS-BFS-Graft only)
+//   --json          print the run's stats as one JSON object
 //   --no-verify     skip the Koenig maximality certificate
-//   --list          list built-in generator instances and exit
+//   --list          list generator instances, solvers and initializers
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "graftmatch/graftmatch.hpp"
 
@@ -27,37 +30,47 @@ namespace {
 
 using namespace graftmatch;
 
+std::string joined_keys(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    out += out.empty() ? name : " | " + name;
+  }
+  return out;
+}
+
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--mtx FILE | --gen INSTANCE | --list) "
                "[--algo NAME] [--init NAME]\n"
                "       [--threads N] [--alpha A] [--seed S] [--size F] "
-               "[--dm] [--no-verify]\n",
-               argv0);
+               "[--dm] [--phases] [--json] [--no-verify]\n"
+               "  --algo: %s\n"
+               "  --init: %s\n",
+               argv0, joined_keys(engine::solver_names()).c_str(),
+               joined_keys(engine::initializer_names()).c_str());
   std::exit(2);
 }
 
+// Both lookups resolve through the engine registry, so the tool picks
+// up newly registered solvers/initializers without edits here.
 RunStats run_algorithm(const std::string& algo, const BipartiteGraph& g,
                        Matching& m, const RunConfig& config) {
-  if (algo == "graft") return ms_bfs_graft(g, m, config);
-  if (algo == "msbfs") return ms_bfs(g, m, config);
-  if (algo == "pf") return pothen_fan(g, m, config);
-  if (algo == "pr") return push_relabel(g, m, config);
-  if (algo == "hk") return hopcroft_karp(g, m, config);
-  if (algo == "ssbfs") return ss_bfs(g, m, config);
-  if (algo == "ssdfs") return ss_dfs(g, m, config);
-  std::fprintf(stderr, "unknown algorithm '%s'\n", algo.c_str());
-  std::exit(2);
+  try {
+    return engine::find_solver(algo).run(g, m, config);
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    std::exit(2);
+  }
 }
 
 Matching make_initial(const std::string& init, const BipartiteGraph& g,
-                      std::uint64_t seed) {
-  if (init == "rgreedy") return randomized_greedy(g, seed);
-  if (init == "greedy") return greedy_maximal(g);
-  if (init == "ks") return karp_sipser(g, seed);
-  if (init == "none") return Matching(g.num_x(), g.num_y());
-  std::fprintf(stderr, "unknown initializer '%s'\n", init.c_str());
-  std::exit(2);
+                      const RunConfig& config) {
+  try {
+    return engine::make_initial_matching(init, g, config);
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    std::exit(2);
+  }
 }
 
 }  // namespace
@@ -72,6 +85,7 @@ int main(int argc, char** argv) {
   double size = 1.0;
   bool want_dm = false;
   bool want_phases = false;
+  bool want_json = false;
   bool verify = true;
 
   for (int i = 1; i < argc; ++i) {
@@ -90,13 +104,27 @@ int main(int argc, char** argv) {
     else if (arg == "--size") size = std::atof(next());
     else if (arg == "--dm") want_dm = true;
     else if (arg == "--phases") want_phases = true;
+    else if (arg == "--json") want_json = true;
     else if (arg == "--no-verify") verify = false;
     else if (arg == "--list") {
+      std::printf("generator instances:\n");
       for (const SuiteInstance& instance : benchmark_suite()) {
-        std::printf("%-20s %-12s (stands in for %s)\n",
+        std::printf("  %-20s %-12s (stands in for %s)\n",
                     instance.name.c_str(),
                     to_string(instance.graph_class).c_str(),
                     instance.paper_name.c_str());
+      }
+      std::printf("solvers (--algo):\n");
+      for (const engine::SolverInfo& solver : engine::solver_registry()) {
+        std::printf("  %-8s %-14s %s%s\n", solver.name.c_str(),
+                    solver.display_name.c_str(), solver.description.c_str(),
+                    solver.parallel ? "" : " [serial]");
+      }
+      std::printf("initializers (--init):\n");
+      for (const engine::InitializerInfo& init :
+           engine::initializer_registry()) {
+        std::printf("  %-8s %s\n", init.name.c_str(),
+                    init.description.c_str());
       }
       return 0;
     } else {
@@ -114,15 +142,20 @@ int main(int argc, char** argv) {
   std::printf("graph: %s\n",
               format_graph_stats(compute_graph_stats(graph)).c_str());
 
+  config.seed = seed;
   const Timer init_timer;
-  Matching matching = make_initial(init, graph, seed);
+  Matching matching = make_initial(init, graph, config);
   std::printf("init (%s): |M| = %lld in %s\n", init.c_str(),
               static_cast<long long>(matching.cardinality()),
               format_seconds(init_timer.elapsed()).c_str());
 
   config.collect_phase_stats = want_phases;
   const RunStats stats = run_algorithm(algo, graph, matching, config);
-  std::printf("%s\n", format_run_stats(stats).c_str());
+  if (want_json) {
+    std::printf("%s\n", run_stats_json(stats).c_str());
+  } else {
+    std::printf("%s\n", format_run_stats(stats).c_str());
+  }
 
   if (want_phases && !stats.phase_stats.empty()) {
     std::printf("%-6s %7s %5s %9s %11s %9s %11s %8s\n", "phase", "levels",

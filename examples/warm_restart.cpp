@@ -14,7 +14,10 @@
 //
 // Also demonstrates matching serialization (matching_io) and the
 // per-phase statistics (RunConfig::collect_phase_stats).
+//
+//   ./warm_restart [log2-vertices]     (default: 16)
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "graftmatch/graftmatch.hpp"
@@ -70,9 +73,10 @@ void print_phase_table(const RunStats& stats) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int log_size = argc > 1 ? std::atoi(argv[1]) : 16;
   ChungLuParams params;
-  params.nx = params.ny = 1 << 16;
+  params.nx = params.ny = 1 << (log_size > 0 ? log_size : 16);
   params.avg_degree = 8.0;
   params.seed = 13;
   const BipartiteGraph original = generate_chung_lu(params);

@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "graftmatch/engine/frontier_kernels.hpp"
+#include "graftmatch/engine/stats_sink.hpp"
 #include "graftmatch/init/karp_sipser.hpp"
 #include "graftmatch/runtime/timer.hpp"
 
@@ -16,12 +18,11 @@ constexpr std::int64_t kInfinity = std::numeric_limits<std::int64_t>::max();
 
 RunStats hopcroft_karp(const BipartiteGraph& g, Matching& matching,
                        const RunConfig& config) {
-  const Timer timer;
   RunStats stats;
-  stats.algorithm = "HK";
-  stats.initial_cardinality = matching.cardinality();
+  engine::StatsSink sink(stats, "HK", matching, /*parallel=*/false);
 
   const vid_t nx = g.num_x();
+  const engine::Adjacency adj = engine::x_adjacency(g);
 
   // dist[x]: BFS level of X vertex x in the alternating level graph
   // (0 for unmatched roots); kInfinity when unreached.
@@ -40,6 +41,7 @@ RunStats hopcroft_karp(const BipartiteGraph& g, Matching& matching,
     ++stats.phases;
 
     // ---- BFS: build levels until the first free Y vertex is seen.
+    sink.watch(engine::Step::kTopDown).start();
     std::int64_t shortest = kInfinity;
     frontier.clear();
     for (vid_t x = 0; x < nx; ++x) {
@@ -53,24 +55,25 @@ RunStats hopcroft_karp(const BipartiteGraph& g, Matching& matching,
     std::int64_t level = 0;
     while (!frontier.empty() && shortest == kInfinity) {
       next.clear();
-      for (const vid_t x : frontier) {
-        for (const vid_t y : g.neighbors_of_x(x)) {
-          ++stats.edges_traversed;
-          const vid_t mate = matching.mate_of_y(y);
-          if (mate == kInvalidVertex) {
-            shortest = level;  // free Y found: stop after this level
-          } else if (dist[static_cast<std::size_t>(mate)] == kInfinity) {
-            dist[static_cast<std::size_t>(mate)] = level + 1;
-            next.push_back(mate);
-          }
-        }
-      }
+      stats.edges_traversed +=
+          engine::scan_frontier_edges(adj, frontier, [&](vid_t, vid_t y) {
+            const vid_t mate = matching.mate_of_y(y);
+            if (mate == kInvalidVertex) {
+              shortest = level;  // free Y found: stop after this level
+            } else if (dist[static_cast<std::size_t>(mate)] == kInfinity) {
+              dist[static_cast<std::size_t>(mate)] = level + 1;
+              next.push_back(mate);
+            }
+            return true;  // finish the level even after a hit
+          });
       frontier.swap(next);
       ++level;
     }
+    sink.watch(engine::Step::kTopDown).stop();
     if (shortest == kInfinity) break;  // no augmenting path: maximum
 
     // ---- DFS: peel off vertex-disjoint shortest augmenting paths.
+    const ScopedLap lap = sink.scoped(engine::Step::kAugment);
     for (vid_t x = 0; x < nx; ++x) {
       cursor[static_cast<std::size_t>(x)] =
           x_offsets[static_cast<std::size_t>(x)];
@@ -133,9 +136,7 @@ RunStats hopcroft_karp(const BipartiteGraph& g, Matching& matching,
     }
   }
 
-  stats.final_cardinality = matching.cardinality();
-  stats.seconds = timer.elapsed();
-  stats.step_seconds.top_down = stats.seconds;
+  sink.finish(matching);
   return stats;
 }
 

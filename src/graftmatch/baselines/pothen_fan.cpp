@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "graftmatch/engine/frontier_kernels.hpp"
+#include "graftmatch/engine/stats_sink.hpp"
 #include "graftmatch/runtime/aligned.hpp"
 #include "graftmatch/runtime/atomics.hpp"
 #include "graftmatch/runtime/parallel.hpp"
@@ -29,10 +31,8 @@ struct DfsWorkspace {
 RunStats pothen_fan(const BipartiteGraph& g, Matching& matching,
                     const RunConfig& config) {
   const ThreadCountGuard thread_guard(config.threads);
-  const Timer timer;
   RunStats stats;
-  stats.algorithm = "Pothen-Fan";
-  stats.initial_cardinality = matching.cardinality();
+  engine::StatsSink sink(stats, "Pothen-Fan", matching, /*parallel=*/true);
 
   const vid_t nx = g.num_x();
   const vid_t ny = g.num_y();
@@ -175,40 +175,40 @@ RunStats pothen_fan(const BipartiteGraph& g, Matching& matching,
   bool forward = true;
   while (progress) {
     ++stats.phases;
+    const ScopedLap lap = sink.scoped(engine::Step::kTopDown);
     first_touch_fill(visited, std::uint8_t{0});
 
+    // Workspaces are per phase (fresh per team thread), so the merged
+    // path count of one sweep is exactly this phase's progress.
     std::int64_t phase_paths = 0;
-    std::mutex stats_mutex;  // TSan-visible replacement for omp critical
-    parallel_region([&] {
-      DfsWorkspace ws;
-      ws.collect_histogram = config.collect_path_histogram;
-      std::int64_t local_paths = 0;
-#pragma omp for schedule(dynamic, 16)
-      for (vid_t x0 = 0; x0 < nx; ++x0) {
-        if (relaxed_load(mate_x[static_cast<std::size_t>(x0)]) !=
-            kInvalidVertex)
-          continue;
-        if (search(x0, ws, forward)) ++local_paths;
-      }
-      fetch_add_relaxed(phase_paths, local_paths);
-      {
-        const std::scoped_lock lock(stats_mutex);
-        stats.edges_traversed += ws.edges;
-        stats.augmentations += ws.paths;
-        stats.total_path_edges += ws.path_edges;
-        for (const auto& [length, count] : ws.histogram) {
-          stats.path_length_histogram[length] += count;
-        }
-      }
-    });
+    engine::for_each_root_dynamic(
+        nx, /*chunk=*/16,
+        [&] {
+          DfsWorkspace ws;
+          ws.collect_histogram = config.collect_path_histogram;
+          return ws;
+        },
+        [&](vid_t x0, DfsWorkspace& ws) {
+          if (relaxed_load(mate_x[static_cast<std::size_t>(x0)]) !=
+              kInvalidVertex)
+            return;
+          search(x0, ws, forward);
+        },
+        [&](const DfsWorkspace& ws) {
+          phase_paths += ws.paths;
+          stats.edges_traversed += ws.edges;
+          stats.augmentations += ws.paths;
+          stats.total_path_edges += ws.path_edges;
+          for (const auto& [length, count] : ws.histogram) {
+            stats.path_length_histogram[length] += count;
+          }
+        });
 
     progress = phase_paths > 0;
     if (config.pf_fairness) forward = !forward;
   }
 
-  stats.final_cardinality = matching.cardinality();
-  stats.seconds = timer.elapsed();
-  stats.step_seconds.top_down = stats.seconds;
+  sink.finish(matching);
   return stats;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "graftmatch/engine/frontier_kernels.hpp"
+#include "graftmatch/engine/stats_sink.hpp"
 #include "graftmatch/runtime/atomics.hpp"
 #include "graftmatch/runtime/frontier_queue.hpp"
 #include "graftmatch/runtime/parallel.hpp"
@@ -36,10 +38,8 @@ class SpinGuard {
 RunStats push_relabel(const BipartiteGraph& g, Matching& matching,
                       const RunConfig& config) {
   const ThreadCountGuard thread_guard(config.threads);
-  const Timer timer;
   RunStats stats;
-  stats.algorithm = "PR";
-  stats.initial_cardinality = matching.cardinality();
+  engine::StatsSink sink(stats, "PR", matching, /*parallel=*/true);
 
   const vid_t nx = g.num_x();
   const vid_t ny = g.num_y();
@@ -57,7 +57,9 @@ RunStats push_relabel(const BipartiteGraph& g, Matching& matching,
   // reach a free Y vertex (0 when y itself is free).
   std::vector<vid_t> frontier;
   std::vector<vid_t> next;
+  const engine::Adjacency reverse_adj = engine::y_adjacency(g);
   const auto global_relabel = [&] {
+    const ScopedLap lap = sink.scoped(engine::Step::kStatistics);
     std::fill(psi.begin(), psi.end(), label_max);
     frontier.clear();
     for (vid_t y = 0; y < ny; ++y) {
@@ -70,17 +72,16 @@ RunStats push_relabel(const BipartiteGraph& g, Matching& matching,
     while (!frontier.empty()) {
       next.clear();
       ++level;
-      for (const vid_t y : frontier) {
-        for (const vid_t x : g.neighbors_of_y(y)) {
-          ++stats.edges_traversed;
-          const vid_t held = mate_x[static_cast<std::size_t>(x)];
-          if (held != kInvalidVertex &&
-              psi[static_cast<std::size_t>(held)] == label_max) {
-            psi[static_cast<std::size_t>(held)] = level;
-            next.push_back(held);
-          }
-        }
-      }
+      stats.edges_traversed += engine::scan_frontier_edges(
+          reverse_adj, frontier, [&](vid_t, vid_t x) {
+            const vid_t held = mate_x[static_cast<std::size_t>(x)];
+            if (held != kInvalidVertex &&
+                psi[static_cast<std::size_t>(held)] == label_max) {
+              psi[static_cast<std::size_t>(held)] = level;
+              next.push_back(held);
+            }
+            return true;
+          });
       frontier.swap(next);
     }
   };
@@ -150,35 +151,23 @@ RunStats push_relabel(const BipartiteGraph& g, Matching& matching,
 
   const int chunk = std::max(1, config.pr_queue_limit);
   while (!active.empty()) {
-    const auto items = active.items();
-    const auto count = static_cast<std::int64_t>(items.size());
-    std::int64_t phase_pushes = 0;
-
-    parallel_region([&] {
-      std::int64_t edges = 0;
-      std::int64_t local_pushes = 0;
-      auto out = reactivated.handle();
-#pragma omp for schedule(dynamic, 1) nowait
-      for (std::int64_t base = 0; base < count; base += chunk) {
-        const std::int64_t end = std::min(count, base + chunk);
-        for (std::int64_t i = base; i < end; ++i) {
-          const vid_t x = items[static_cast<std::size_t>(i)];
+    sink.watch(engine::Step::kTopDown).start();
+    const engine::TraversalCounters counters = engine::for_each_chunked(
+        active.items(), chunk, reactivated,
+        [&](vid_t x, auto& out, engine::TraversalCounters& local) {
           if (relaxed_load(mate_x[static_cast<std::size_t>(x)]) !=
               kInvalidVertex) {
-            continue;  // stale entry
+            return;  // stale entry
           }
-          const vid_t displaced = double_push(x, edges);
-          ++local_pushes;
+          const vid_t displaced = double_push(x, local.edges);
+          ++local.visits;  // one double push
           if (displaced != kInvalidVertex) out.push(displaced);
-        }
-      }
-      out.flush();
-      fetch_add_relaxed(phase_pushes, local_pushes);
-      fetch_add_relaxed(stats.edges_traversed, edges);
-    });
+        });
+    sink.watch(engine::Step::kTopDown).stop();
+    stats.edges_traversed += counters.edges;
 
     ++stats.phases;
-    pushes_since_relabel += phase_pushes;
+    pushes_since_relabel += counters.visits;
 
     active.clear();
     active.swap(reactivated);
@@ -188,13 +177,11 @@ RunStats push_relabel(const BipartiteGraph& g, Matching& matching,
     }
   }
 
-  stats.final_cardinality = matching.cardinality();
+  sink.finish(matching);
   // PR has no augmenting paths; report one unit of gained cardinality
   // per "augmentation" so the shared stats invariants hold.
   stats.augmentations = stats.final_cardinality - stats.initial_cardinality;
   stats.total_path_edges = stats.augmentations;
-  stats.seconds = timer.elapsed();
-  stats.step_seconds.top_down = stats.seconds;
   return stats;
 }
 

@@ -2,19 +2,20 @@
 
 #include <vector>
 
+#include "graftmatch/engine/frontier_kernels.hpp"
+#include "graftmatch/engine/stats_sink.hpp"
 #include "graftmatch/runtime/timer.hpp"
 
 namespace graftmatch {
 
 RunStats ss_bfs(const BipartiteGraph& g, Matching& matching,
                 const RunConfig& config) {
-  const Timer timer;
   RunStats stats;
-  stats.algorithm = "SS-BFS";
-  stats.initial_cardinality = matching.cardinality();
+  engine::StatsSink sink(stats, "SS-BFS", matching, /*parallel=*/false);
 
   const vid_t nx = g.num_x();
   const vid_t ny = g.num_y();
+  const engine::Adjacency adj = engine::x_adjacency(g);
 
   std::vector<std::uint8_t> visited(static_cast<std::size_t>(ny), 0);
   std::vector<vid_t> parent(static_cast<std::size_t>(ny), kInvalidVertex);
@@ -33,28 +34,30 @@ RunStats ss_bfs(const BipartiteGraph& g, Matching& matching,
     frontier.assign(1, x0);
     vid_t found_leaf = kInvalidVertex;
 
-    while (!frontier.empty() && found_leaf == kInvalidVertex) {
-      next.clear();
-      for (const vid_t x : frontier) {
-        for (const vid_t y : g.neighbors_of_x(x)) {
-          ++stats.edges_traversed;
-          if (visited[static_cast<std::size_t>(y)]) continue;
-          visited[static_cast<std::size_t>(y)] = 1;
-          parent[static_cast<std::size_t>(y)] = x;
-          trail.push_back(y);
-          const vid_t mate = matching.mate_of_y(y);
-          if (mate == kInvalidVertex) {
-            found_leaf = y;  // shortest augmenting path from x0
-            break;
-          }
-          next.push_back(mate);
-        }
-        if (found_leaf != kInvalidVertex) break;
+    {
+      const ScopedLap lap = sink.scoped(engine::Step::kTopDown);
+      while (!frontier.empty() && found_leaf == kInvalidVertex) {
+        next.clear();
+        stats.edges_traversed +=
+            engine::scan_frontier_edges(adj, frontier, [&](vid_t x, vid_t y) {
+              if (visited[static_cast<std::size_t>(y)]) return true;
+              visited[static_cast<std::size_t>(y)] = 1;
+              parent[static_cast<std::size_t>(y)] = x;
+              trail.push_back(y);
+              const vid_t mate = matching.mate_of_y(y);
+              if (mate == kInvalidVertex) {
+                found_leaf = y;  // shortest augmenting path from x0
+                return false;    // stop the whole level scan
+              }
+              next.push_back(mate);
+              return true;
+            });
+        frontier.swap(next);
       }
-      frontier.swap(next);
     }
 
     if (found_leaf != kInvalidVertex) {
+      const ScopedLap lap = sink.scoped(engine::Step::kAugment);
       // Flip the path by walking parent/mate pointers back to x0.
       std::int64_t path_edges = 0;
       vid_t y = found_leaf;
@@ -79,9 +82,7 @@ RunStats ss_bfs(const BipartiteGraph& g, Matching& matching,
     }
   }
 
-  stats.final_cardinality = matching.cardinality();
-  stats.seconds = timer.elapsed();
-  stats.step_seconds.top_down = stats.seconds;
+  sink.finish(matching);
   return stats;
 }
 

@@ -3,16 +3,15 @@
 #include <utility>
 #include <vector>
 
+#include "graftmatch/engine/stats_sink.hpp"
 #include "graftmatch/runtime/timer.hpp"
 
 namespace graftmatch {
 
 RunStats ss_dfs(const BipartiteGraph& g, Matching& matching,
                 const RunConfig& config) {
-  const Timer timer;
   RunStats stats;
-  stats.algorithm = "SS-DFS";
-  stats.initial_cardinality = matching.cardinality();
+  engine::StatsSink sink(stats, "SS-DFS", matching, /*parallel=*/false);
 
   const vid_t nx = g.num_x();
   const vid_t ny = g.num_y();
@@ -36,6 +35,7 @@ RunStats ss_dfs(const BipartiteGraph& g, Matching& matching,
     stack.assign(1, {x0, x_offsets[static_cast<std::size_t>(x0)]});
     vid_t found_leaf = kInvalidVertex;
 
+    sink.watch(engine::Step::kTopDown).start();
     while (!stack.empty() && found_leaf == kInvalidVertex) {
       auto& [x, position] = stack.back();
       if (position == x_offsets[static_cast<std::size_t>(x) + 1]) {
@@ -56,7 +56,10 @@ RunStats ss_dfs(const BipartiteGraph& g, Matching& matching,
       }
     }
 
+    sink.watch(engine::Step::kTopDown).stop();
+
     if (found_leaf != kInvalidVertex) {
+      const ScopedLap lap = sink.scoped(engine::Step::kAugment);
       std::int64_t path_edges = 0;
       vid_t y = found_leaf;
       while (y != kInvalidVertex) {
@@ -78,9 +81,7 @@ RunStats ss_dfs(const BipartiteGraph& g, Matching& matching,
     }
   }
 
-  stats.final_cardinality = matching.cardinality();
-  stats.seconds = timer.elapsed();
-  stats.step_seconds.top_down = stats.seconds;
+  sink.finish(matching);
   return stats;
 }
 

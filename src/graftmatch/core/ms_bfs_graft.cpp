@@ -1,11 +1,13 @@
 #include "graftmatch/core/ms_bfs_graft.hpp"
 
 #include <algorithm>
-#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "graftmatch/engine/edge_partition.hpp"
+#include "graftmatch/engine/frontier_kernels.hpp"
+#include "graftmatch/engine/stats_sink.hpp"
 #include "graftmatch/runtime/atomics.hpp"
 #include "graftmatch/runtime/frontier_queue.hpp"
 #include "graftmatch/runtime/parallel.hpp"
@@ -13,6 +15,8 @@
 
 namespace graftmatch {
 namespace {
+
+using engine::Step;
 
 /// All per-run state of Algorithm 3, bundled so the step functions
 /// (top-down, bottom-up, augment, graft) can share it without long
@@ -37,6 +41,8 @@ struct GraftState {
 
   FrontierQueue<vid_t> frontier;      ///< current frontier (X vertices)
   FrontierQueue<vid_t> next;          ///< next frontier being built
+
+  engine::EdgePartition partition;    ///< per-level edge-balance scratch
 
   std::int64_t unvisited_y = 0;       ///< for the direction heuristic
 
@@ -64,9 +70,10 @@ struct GraftState {
 
 /// Algorithm 5: attach the (already claimed) Y vertex y as a child of x,
 /// and either extend the frontier through y's mate or record an
-/// augmenting path. Returns the number of newly visited vertices (1).
-inline void update_pointers(GraftState& state, vid_t x, vid_t y,
-                            FrontierQueue<vid_t>::Handle& out) {
+/// augmenting path. `out` is the engine's thread-private out-queue
+/// handle for the next frontier.
+template <typename Out>
+inline void update_pointers(GraftState& state, vid_t x, vid_t y, Out& out) {
   state.parent[static_cast<std::size_t>(y)] = x;
   const vid_t root = relaxed_load(state.root_x[static_cast<std::size_t>(x)]);
   relaxed_store(state.root_y[static_cast<std::size_t>(y)], root);
@@ -85,86 +92,60 @@ inline void update_pointers(GraftState& state, vid_t x, vid_t y,
 }
 
 /// Algorithm 4: top-down level. Scans the adjacency of every frontier
-/// X vertex; claims unvisited Y vertices atomically.
+/// X vertex via the edge-balanced kernel (a hub's adjacency may be
+/// split across threads; claims are atomic, so that is safe); claims
+/// unvisited Y vertices atomically.
 void top_down(GraftState& state, std::int64_t& edges,
               std::int64_t& newly_visited) {
-  const auto items = state.frontier.items();
-  const auto count = static_cast<std::int64_t>(items.size());
-  std::int64_t edge_total = 0;
-  std::int64_t visit_total = 0;
-
-  parallel_region([&] {
-    auto out = state.next.handle();
-    std::int64_t local_edges = 0;
-    std::int64_t local_visits = 0;
-#pragma omp for schedule(dynamic, 64)
-    for (std::int64_t i = 0; i < count; ++i) {
-      const vid_t x = items[static_cast<std::size_t>(i)];
+  const engine::TraversalCounters counters = engine::for_each_frontier_edge(
+      engine::x_adjacency(state.g), state.frontier.items(), state.next,
+      state.partition,
       // The tree may have turned renewable after x was enqueued; such
       // frontier vertices must not keep growing it (Algorithm 4).
-      if (!state.in_active_tree(x)) continue;
-      for (const vid_t y : state.g.neighbors_of_x(x)) {
-        ++local_edges;
-        if (!claim_flag(state.visited[static_cast<std::size_t>(y)])) continue;
-        ++local_visits;
+      [&](vid_t x) { return state.in_active_tree(x); },
+      [&](vid_t x, vid_t y, auto& out, engine::TraversalCounters& local) {
+        if (!claim_flag(state.visited[static_cast<std::size_t>(y)])) return;
+        ++local.visits;
         update_pointers(state, x, y, out);
-      }
-    }
-    fetch_add_relaxed(edge_total, local_edges);
-    fetch_add_relaxed(visit_total, local_visits);
-  });
-  edges += edge_total;
-  newly_visited += visit_total;
+      });
+  edges += counters.edges;
+  newly_visited += counters.visits;
 }
 
 /// Algorithm 6: bottom-up step over the Y vertices in `candidates`
 /// (either the unvisited Y vertices during BFS, or renewableY during
 /// grafting). Each candidate claims itself into the first active tree
-/// found among its neighbors. No atomics needed on visited: each y is
-/// owned by exactly one thread. Candidates that did not attach are
-/// collected into `failed` so the next bottom-up level of the same phase
-/// skips already-attached vertices (callers that do not need the list
-/// pass a scratch queue and ignore it).
+/// found among its neighbors; the item-granular kernel guarantees each
+/// y is owned by exactly one thread, so visited needs no atomics.
+/// Candidates that did not attach land in `failed` so the next
+/// bottom-up level of the same phase skips already-attached vertices
+/// (callers that do not need the list pass a scratch queue).
 void bottom_up(GraftState& state, std::span<const vid_t> candidates,
                std::int64_t& edges, std::int64_t& newly_visited,
                FrontierQueue<vid_t>& failed) {
-  const auto count = static_cast<std::int64_t>(candidates.size());
-  std::int64_t edge_total = 0;
-  std::int64_t visit_total = 0;
-
-  parallel_region([&] {
-    auto out = state.next.handle();
-    auto failed_out = failed.handle();
-    std::int64_t local_edges = 0;
-    std::int64_t local_visits = 0;
-#pragma omp for schedule(dynamic, 64)
-    for (std::int64_t i = 0; i < count; ++i) {
-      const vid_t y = candidates[static_cast<std::size_t>(i)];
-      if (state.visited[static_cast<std::size_t>(y)]) continue;
-      bool attached = false;
-      for (const vid_t x : state.g.neighbors_of_y(y)) {
-        ++local_edges;
-        // Only vertices that joined a tree before this pass are valid
-        // parents (level-synchronous semantics; see x_join_time).
-        if (relaxed_load(state.x_join_time[static_cast<std::size_t>(x)]) >=
-            state.now) {
-          continue;
-        }
-        if (!state.in_active_tree(x)) continue;
-        relaxed_store(state.visited[static_cast<std::size_t>(y)],
-                      std::uint8_t{1});
-        ++local_visits;
-        update_pointers(state, x, y, out);
-        attached = true;
-        break;  // stop exploring y's neighbors once attached
-      }
-      if (!attached) failed_out.push(y);
-    }
-    fetch_add_relaxed(edge_total, local_edges);
-    fetch_add_relaxed(visit_total, local_visits);
-  });
-  edges += edge_total;
-  newly_visited += visit_total;
+  const engine::TraversalCounters counters =
+      engine::for_each_unvisited_reverse(
+          engine::y_adjacency(state.g), candidates, state.next, failed,
+          state.partition,
+          [&](vid_t y) {
+            return state.visited[static_cast<std::size_t>(y)] != 0;
+          },
+          [&](vid_t y, vid_t x, auto& out) {
+            // Only vertices that joined a tree before this pass are
+            // valid parents (level-synchronous semantics; x_join_time).
+            if (relaxed_load(
+                    state.x_join_time[static_cast<std::size_t>(x)]) >=
+                state.now) {
+              return false;
+            }
+            if (!state.in_active_tree(x)) return false;
+            relaxed_store(state.visited[static_cast<std::size_t>(y)],
+                          std::uint8_t{1});
+            update_pointers(state, x, y, out);
+            return true;  // stop exploring y's neighbors once attached
+          });
+  edges += counters.edges;
+  newly_visited += counters.visits;
 }
 
 // O(n + m) audit of the alternating-forest invariants (RunConfig::
@@ -259,24 +240,17 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
   const ThreadCountGuard thread_guard(config.threads);
   if (config.pin != PinPolicy::kNone) pin_openmp_threads(config.pin);
 
-  const Timer timer;
   RunStats stats;
-  stats.algorithm = config.tree_grafting
-                        ? (config.direction_optimizing ? "MS-BFS-Graft"
-                                                       : "MS-BFS+Graft")
-                        : (config.direction_optimizing ? "MS-BFS+DirOpt"
-                                                       : "MS-BFS");
-  stats.initial_cardinality = matching.cardinality();
+  engine::StatsSink sink(
+      stats,
+      config.tree_grafting
+          ? (config.direction_optimizing ? "MS-BFS-Graft" : "MS-BFS+Graft")
+          : (config.direction_optimizing ? "MS-BFS+DirOpt" : "MS-BFS"),
+      matching, /*parallel=*/true);
 
   const vid_t nx = g.num_x();
   const vid_t ny = g.num_y();
   GraftState state(g, matching);
-
-  Stopwatch sw_top_down;
-  Stopwatch sw_bottom_up;
-  Stopwatch sw_augment;
-  Stopwatch sw_graft;
-  Stopwatch sw_statistics;
 
   // Reusable scratch: unvisited-Y candidate lists for bottom-up levels
   // (double-buffered: failed candidates of one level feed the next),
@@ -322,8 +296,8 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
           static_cast<std::int64_t>(state.frontier.size());
       const bool use_bottom_up =
           config.direction_optimizing && !bottom_up_banned &&
-          static_cast<double>(frontier_size) >=
-              static_cast<double>(state.unvisited_y) / config.alpha;
+          engine::prefer_bottom_up(frontier_size, state.unvisited_y,
+                                   config.alpha);
 
       if (config.collect_frontier_trace) {
         stats.frontier_trace.push_back(
@@ -335,15 +309,11 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
       ++state.now;  // vertices joining during this pass get a new stamp
       phase_row.bottom_up_levels += use_bottom_up;
       if (use_bottom_up) {
-        const ScopedLap lap(sw_bottom_up);
+        const ScopedLap lap = sink.scoped(Step::kBottomUp);
         if (!candidates_fresh) {
           candidates.clear();
-          parallel_region([&] {
-            auto out = candidates.handle();
-#pragma omp for schedule(static)
-            for (vid_t y = 0; y < ny; ++y) {
-              if (!state.visited[static_cast<std::size_t>(y)]) out.push(y);
-            }
+          engine::collect_if(ny, candidates, [&](vid_t y) {
+            return !state.visited[static_cast<std::size_t>(y)];
           });
           candidates_fresh = true;
         }
@@ -357,7 +327,7 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
         }
         candidates.swap(failed_candidates);
       } else {
-        const ScopedLap lap(sw_top_down);
+        const ScopedLap lap = sink.scoped(Step::kTopDown);
         top_down(state, stats.edges_traversed, newly_visited);
         // The candidate list stays a (stale but safe) superset of the
         // unvisited set across top-down levels: visits only shrink it,
@@ -373,25 +343,20 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
     if (config.check_invariants) assert_forest_invariants(state);
 
     // ---- Step 2: augment along every renewable tree's unique path.
-    sw_statistics.start();
-    renewable_roots.clear();
-    parallel_region([&] {
-      auto out = renewable_roots.handle();
-#pragma omp for schedule(static)
-      for (vid_t x = 0; x < nx; ++x) {
+    {
+      const ScopedLap lap = sink.scoped(Step::kStatistics);
+      renewable_roots.clear();
+      engine::collect_if(nx, renewable_roots, [&](vid_t x) {
         // Renewable roots are exactly the still-unmatched roots whose
         // leaf pointer was set this phase (stale leaves from earlier
         // phases belong to matched ex-roots).
-        if (state.mate_x[static_cast<std::size_t>(x)] == kInvalidVertex &&
-            state.root_x[static_cast<std::size_t>(x)] == x &&
-            state.leaf[static_cast<std::size_t>(x)] != kInvalidVertex) {
-          out.push(x);
-        }
-      }
-    });
-    sw_statistics.stop();
+        return state.mate_x[static_cast<std::size_t>(x)] == kInvalidVertex &&
+               state.root_x[static_cast<std::size_t>(x)] == x &&
+               state.leaf[static_cast<std::size_t>(x)] != kInvalidVertex;
+      });
+    }
 
-    sw_augment.start();
+    sink.watch(Step::kAugment).start();
     {
       const auto roots = renewable_roots.items();
       const auto count = static_cast<std::int64_t>(roots.size());
@@ -430,7 +395,7 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
       for (const std::int64_t length : path_lengths) {
         ++stats.path_length_histogram[length];
       }
-      sw_augment.stop();
+      sink.watch(Step::kAugment).stop();
 
       if (count == 0) {
         if (config.collect_phase_stats) {
@@ -445,33 +410,27 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
     // ---- Step 3: rebuild the frontier (Algorithm 7).
     // Statistics (lines 2-4): classify Y vertices into renewable
     // (tree found a path) and active, and count active X vertices.
-    sw_statistics.start();
-    renewable_y.clear();
-    active_y.clear();
     std::int64_t active_x_count = 0;
-    parallel_region([&] {
-      auto renewable_out = renewable_y.handle();
-      auto active_out = active_y.handle();
-      std::int64_t local_active_x = 0;
-#pragma omp for schedule(static) nowait
-      for (vid_t y = 0; y < ny; ++y) {
-        const vid_t r = state.root_y[static_cast<std::size_t>(y)];
-        if (r == kInvalidVertex) continue;
-        if (state.leaf[static_cast<std::size_t>(r)] != kInvalidVertex) {
-          renewable_out.push(y);
-        } else {
-          active_out.push(y);
-        }
-      }
-#pragma omp for schedule(static)
-      for (vid_t x = 0; x < nx; ++x) {
-        local_active_x += state.in_active_tree(x);
-      }
-      fetch_add_relaxed(active_x_count, local_active_x);
-    });
-    sw_statistics.stop();
+    {
+      const ScopedLap lap = sink.scoped(Step::kStatistics);
+      renewable_y.clear();
+      active_y.clear();
+      engine::for_each_index(
+          ny, renewable_y, active_y,
+          [&](vid_t y, auto& renewable_out, auto& active_out) {
+            const vid_t r = state.root_y[static_cast<std::size_t>(y)];
+            if (r == kInvalidVertex) return;
+            if (state.leaf[static_cast<std::size_t>(r)] != kInvalidVertex) {
+              renewable_out.push(y);
+            } else {
+              active_out.push(y);
+            }
+          });
+      active_x_count =
+          engine::count_if(nx, [&](vid_t x) { return state.in_active_tree(x); });
+    }
 
-    sw_graft.start();
+    sink.watch(Step::kGraft).start();
     // Free the renewable Y vertices so they can join other trees
     // (Algorithm 3 lines 16-17 / Algorithm 7 lines 6-7).
     {
@@ -530,20 +489,17 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
           state.root_x[static_cast<std::size_t>(x)] = kInvalidVertex;
         }
       });
-      parallel_region([&] {
-        auto out = state.frontier.handle();
-#pragma omp for schedule(static)
-        for (vid_t x = 0; x < nx; ++x) {
-          if (state.mate_x[static_cast<std::size_t>(x)] == kInvalidVertex) {
-            state.root_x[static_cast<std::size_t>(x)] = x;
-            state.x_join_time[static_cast<std::size_t>(x)] = state.now;
-            state.leaf[static_cast<std::size_t>(x)] = kInvalidVertex;
-            out.push(x);
-          }
+      engine::collect_if(nx, state.frontier, [&](vid_t x) {
+        if (state.mate_x[static_cast<std::size_t>(x)] != kInvalidVertex) {
+          return false;
         }
+        state.root_x[static_cast<std::size_t>(x)] = x;
+        state.x_join_time[static_cast<std::size_t>(x)] = state.now;
+        state.leaf[static_cast<std::size_t>(x)] = kInvalidVertex;
+        return true;
       });
     }
-    sw_graft.stop();
+    sink.watch(Step::kGraft).stop();
 
     if (config.collect_phase_stats) {
       phase_row.edges = stats.edges_traversed - phase_edges_before;
@@ -552,15 +508,7 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
     }
   }
 
-  stats.final_cardinality = matching.cardinality();
-  stats.seconds = timer.elapsed();
-  stats.step_seconds.top_down = sw_top_down.seconds();
-  stats.step_seconds.bottom_up = sw_bottom_up.seconds();
-  stats.step_seconds.augment = sw_augment.seconds();
-  stats.step_seconds.graft = sw_graft.seconds();
-  stats.step_seconds.statistics = sw_statistics.seconds();
-  stats.step_seconds.other =
-      std::max(0.0, stats.seconds - stats.step_seconds.total());
+  sink.finish(matching);
   return stats;
 }
 

@@ -1,10 +1,34 @@
 #include "graftmatch/core/run_stats.hpp"
 
+#include <iomanip>
 #include <sstream>
 
 #include "graftmatch/runtime/timer.hpp"
 
 namespace graftmatch {
+namespace {
+
+void append_escaped(std::ostringstream& out, const std::string& text) {
+  out << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
 
 std::string format_run_stats(const RunStats& stats) {
   std::ostringstream out;
@@ -15,6 +39,66 @@ std::string format_run_stats(const RunStats& stats) {
       << " avg_len=" << stats.avg_path_length() << " time="
       << format_seconds(stats.seconds) << " rate=" << stats.mteps()
       << " MTEPS";
+  return out.str();
+}
+
+std::string run_stats_json(const RunStats& stats) {
+  std::ostringstream out;
+  out << std::setprecision(17);
+  out << "{\"algorithm\":";
+  append_escaped(out, stats.algorithm);
+  out << ",\"phases\":" << stats.phases
+      << ",\"edges_traversed\":" << stats.edges_traversed
+      << ",\"augmentations\":" << stats.augmentations
+      << ",\"total_path_edges\":" << stats.total_path_edges
+      << ",\"initial_cardinality\":" << stats.initial_cardinality
+      << ",\"final_cardinality\":" << stats.final_cardinality
+      << ",\"threads_used\":" << stats.threads_used
+      << ",\"seconds\":" << stats.seconds
+      << ",\"avg_path_length\":" << stats.avg_path_length()
+      << ",\"mteps\":" << stats.mteps();
+  const StepSeconds& s = stats.step_seconds;
+  out << ",\"step_seconds\":{\"top_down\":" << s.top_down
+      << ",\"bottom_up\":" << s.bottom_up << ",\"augment\":" << s.augment
+      << ",\"graft\":" << s.graft << ",\"statistics\":" << s.statistics
+      << ",\"other\":" << s.other << "}";
+  if (!stats.path_length_histogram.empty()) {
+    out << ",\"path_length_histogram\":[";
+    bool first = true;
+    for (const auto& [length, count] : stats.path_length_histogram) {
+      out << (first ? "" : ",") << "[" << length << "," << count << "]";
+      first = false;
+    }
+    out << "]";
+  }
+  if (!stats.phase_stats.empty()) {
+    out << ",\"phase_stats\":[";
+    for (std::size_t i = 0; i < stats.phase_stats.size(); ++i) {
+      const PhaseStats& p = stats.phase_stats[i];
+      out << (i == 0 ? "" : ",") << "{\"phase\":" << p.phase
+          << ",\"levels\":" << p.levels
+          << ",\"bottom_up_levels\":" << p.bottom_up_levels
+          << ",\"edges\":" << p.edges
+          << ",\"augmentations\":" << p.augmentations
+          << ",\"active_x\":" << p.active_x
+          << ",\"renewable_y\":" << p.renewable_y
+          << ",\"grafted\":" << (p.grafted ? "true" : "false")
+          << ",\"seconds\":" << p.seconds << "}";
+    }
+    out << "]";
+  }
+  if (!stats.frontier_trace.empty()) {
+    out << ",\"frontier_trace\":[";
+    for (std::size_t i = 0; i < stats.frontier_trace.size(); ++i) {
+      const FrontierSample& f = stats.frontier_trace[i];
+      out << (i == 0 ? "" : ",") << "{\"phase\":" << f.phase
+          << ",\"level\":" << f.level
+          << ",\"frontier_size\":" << f.frontier_size
+          << ",\"bottom_up\":" << (f.bottom_up ? "true" : "false") << "}";
+    }
+    out << "]";
+  }
+  out << "}";
   return out.str();
 }
 

@@ -111,6 +111,10 @@ struct RunStats {
   std::int64_t initial_cardinality = 0;
   std::int64_t final_cardinality = 0;
 
+  /// OpenMP threads the run's parallel regions used (1 for the serial
+  /// algorithms). Stamped by the engine's StatsSink.
+  int threads_used = 0;
+
   double seconds = 0.0;  ///< total wall time of the matching run
   StepSeconds step_seconds;
 
@@ -143,5 +147,11 @@ struct RunStats {
 
 /// Render a one-line summary: algorithm, |M|, phases, edges, time.
 std::string format_run_stats(const RunStats& stats);
+
+/// Render the full stats as a self-contained JSON object (scalars, the
+/// step breakdown, and -- when collected -- phase stats, the path-length
+/// histogram, and the frontier trace). Machine-readable counterpart of
+/// format_run_stats for tooling (examples/matching_tool --json).
+std::string run_stats_json(const RunStats& stats);
 
 }  // namespace graftmatch

@@ -1,0 +1,358 @@
+// Bulk traversal kernels shared by every solver.
+//
+// The paper's performance comes from one machine: level-synchronous
+// frontier expansion with thread-private queues (FrontierQueue), a
+// top-down/bottom-up direction switch, and balanced work division. This
+// header owns that machine. Solvers express only their per-edge policy
+// (filter / claim / attach lambdas); the kernels own the OpenMP region,
+// the FrontierQueue handle flush protocol, and the edge-balanced
+// partitioning -- no solver opens a queue handle itself.
+//
+// Granularity rules (see edge_partition.hpp):
+//  * for_each_frontier_edge splits at EDGE granularity -- a hub
+//    vertex's adjacency is shared across threads. This is safe because
+//    top-down claims are atomic (claim_flag) and the visit callback
+//    must be thread-safe per edge.
+//  * for_each_unvisited_reverse and for_each_work_item split at ITEM
+//    granularity -- each item is owned by one thread, so per-item state
+//    (bottom-up visited flags, Karp-Sipser match attempts) needs no
+//    atomics and early exit per item is allowed.
+//
+// All parallel kernels open their region through parallel_region() so
+// the TSan stress tier stays suppression-free.
+#pragma once
+
+#include <omp.h>
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <utility>
+
+#include "graftmatch/engine/edge_partition.hpp"
+#include "graftmatch/graph/bipartite_graph.hpp"
+#include "graftmatch/runtime/atomics.hpp"
+#include "graftmatch/runtime/frontier_queue.hpp"
+#include "graftmatch/runtime/parallel.hpp"
+#include "graftmatch/types.hpp"
+
+namespace graftmatch::engine {
+
+/// One CSR direction of a bipartite graph, as the kernels consume it.
+struct Adjacency {
+  std::span<const eid_t> offsets;
+  std::span<const vid_t> neighbors;
+
+  eid_t degree(vid_t v) const noexcept {
+    return offsets[static_cast<std::size_t>(v) + 1] -
+           offsets[static_cast<std::size_t>(v)];
+  }
+  std::span<const vid_t> of(vid_t v) const noexcept {
+    return neighbors.subspan(
+        static_cast<std::size_t>(offsets[static_cast<std::size_t>(v)]),
+        static_cast<std::size_t>(degree(v)));
+  }
+};
+
+inline Adjacency x_adjacency(const BipartiteGraph& g) noexcept {
+  return {g.x_offsets(), g.x_neighbors()};
+}
+inline Adjacency y_adjacency(const BipartiteGraph& g) noexcept {
+  return {g.y_offsets(), g.y_neighbors()};
+}
+
+/// Work done by one kernel invocation, summed over threads.
+struct TraversalCounters {
+  std::int64_t edges = 0;   ///< adjacency entries examined
+  std::int64_t visits = 0;  ///< successful claims / attaches / pushes
+};
+
+/// The paper's direction heuristic (Sec. III-B): run bottom-up when the
+/// frontier is at least 1/alpha of the unvisited mass.
+inline bool prefer_bottom_up(std::int64_t frontier_size,
+                             std::int64_t unvisited,
+                             double alpha) noexcept {
+  return static_cast<double>(frontier_size) >=
+         static_cast<double>(unvisited) / alpha;
+}
+
+/// True when the next parallel_region() would be one thread wide. The
+/// partitioned kernels then skip the per-level prefix-sum build and the
+/// region launch and run inline: with nothing to balance the partitioner
+/// is pure overhead (an extra O(frontier) pass per level costs ~30% of
+/// the serial search rate on uniform-degree graphs, see bench_fig4).
+inline bool serial_team() noexcept { return omp_get_max_threads() == 1; }
+
+/// Top-down level: scan every adjacency entry of every frontier vertex,
+/// split at EDGE granularity over the team. `filter(u)` gates a whole
+/// vertex (evaluated per fragment on split vertices); `visit(u, v, out,
+/// counters)` runs per edge and must be thread-safe (claim atomically;
+/// bump counters.visits on success; push follow-ups into `out`).
+/// Returns the summed counters; edges counts only filtered-in vertices.
+template <typename Filter, typename Visit>
+TraversalCounters for_each_frontier_edge(const Adjacency& adj,
+                                         std::span<const vid_t> frontier,
+                                         FrontierQueue<vid_t>& next,
+                                         EdgePartition& partition,
+                                         Filter&& filter, Visit&& visit) {
+  if (serial_team()) {
+    TraversalCounters totals;
+    auto out = next.handle();
+    for (const vid_t u : frontier) {
+      if (!filter(u)) continue;
+      const auto nbrs = adj.of(u);
+      totals.edges += static_cast<std::int64_t>(nbrs.size());
+      for (const vid_t v : nbrs) visit(u, v, out, totals);
+    }
+    return totals;
+  }
+  const auto count = static_cast<std::int64_t>(frontier.size());
+  partition.build(count, [&](std::int64_t i) {
+    return adj.degree(frontier[static_cast<std::size_t>(i)]);
+  });
+  TraversalCounters totals;
+  parallel_region([&] {
+    auto out = next.handle();
+    TraversalCounters local;
+    const EdgePartition::Range share =
+        partition.edge_range(omp_get_thread_num(), omp_get_num_threads());
+    if (share.begin < share.end) {
+      const EdgePartition::Cursor start = partition.locate(share.begin);
+      std::int64_t remaining = share.end - share.begin;
+      for (std::int64_t i = start.item; remaining > 0; ++i) {
+        const vid_t u = frontier[static_cast<std::size_t>(i)];
+        const auto nbrs = adj.of(u);
+        const std::int64_t offset = i == start.item ? start.offset : 0;
+        const std::int64_t take = std::min(
+            static_cast<std::int64_t>(nbrs.size()) - offset, remaining);
+        remaining -= take;
+        if (take <= 0 || !filter(u)) continue;
+        local.edges += take;
+        for (std::int64_t k = offset; k < offset + take; ++k) {
+          visit(u, nbrs[static_cast<std::size_t>(k)], out, local);
+        }
+      }
+    }
+    fetch_add_relaxed(totals.edges, local.edges);
+    fetch_add_relaxed(totals.visits, local.visits);
+  });
+  return totals;
+}
+
+/// Bottom-up level: each candidate scans its own adjacency for a parent,
+/// split at ITEM granularity (edge-balanced, but an item never spans
+/// threads -- its state is written without atomics and its scan breaks
+/// on the first attach). `skip(y)` drops already-done candidates;
+/// `try_edge(y, x, out)` attempts one attachment and returns true to
+/// stop scanning y. Candidates that neither skip nor attach are pushed
+/// to `failed` (callers that do not need the list pass a scratch queue).
+template <typename Skip, typename TryEdge>
+TraversalCounters for_each_unvisited_reverse(const Adjacency& adj,
+                                             std::span<const vid_t> candidates,
+                                             FrontierQueue<vid_t>& next,
+                                             FrontierQueue<vid_t>& failed,
+                                             EdgePartition& partition,
+                                             Skip&& skip, TryEdge&& try_edge) {
+  if (serial_team()) {
+    TraversalCounters totals;
+    auto out = next.handle();
+    auto failed_out = failed.handle();
+    for (const vid_t y : candidates) {
+      if (skip(y)) continue;
+      bool attached = false;
+      for (const vid_t x : adj.of(y)) {
+        ++totals.edges;
+        if (try_edge(y, x, out)) {
+          ++totals.visits;
+          attached = true;
+          break;
+        }
+      }
+      if (!attached) failed_out.push(y);
+    }
+    return totals;
+  }
+  const auto count = static_cast<std::int64_t>(candidates.size());
+  // Weight degree+1: items with few (or zero) edges still cost a probe,
+  // and an all-zero frontier must not collapse onto one thread.
+  partition.build(count, [&](std::int64_t i) {
+    return adj.degree(candidates[static_cast<std::size_t>(i)]) + 1;
+  });
+  TraversalCounters totals;
+  parallel_region([&] {
+    auto out = next.handle();
+    auto failed_out = failed.handle();
+    TraversalCounters local;
+    const EdgePartition::Range share =
+        partition.item_range(omp_get_thread_num(), omp_get_num_threads());
+    for (std::int64_t i = share.begin; i < share.end; ++i) {
+      const vid_t y = candidates[static_cast<std::size_t>(i)];
+      if (skip(y)) continue;
+      bool attached = false;
+      for (const vid_t x : adj.of(y)) {
+        ++local.edges;
+        if (try_edge(y, x, out)) {
+          ++local.visits;
+          attached = true;
+          break;
+        }
+      }
+      if (!attached) failed_out.push(y);
+    }
+    fetch_add_relaxed(totals.edges, local.edges);
+    fetch_add_relaxed(totals.visits, local.visits);
+  });
+  return totals;
+}
+
+/// Edge-balanced parallel sweep over arbitrary work items with a
+/// thread-private out-queue. `weight(id)` estimates an item's cost in
+/// edges (the kernel adds the +1 per-item floor itself); `body(id,
+/// handle)` runs once per item on its owning thread.
+template <typename WeightFn, typename Body>
+void for_each_work_item(std::span<const vid_t> items, WeightFn&& weight,
+                        FrontierQueue<vid_t>& out, EdgePartition& partition,
+                        Body&& body) {
+  if (serial_team()) {
+    auto handle = out.handle();
+    for (const vid_t id : items) body(id, handle);
+    return;
+  }
+  const auto count = static_cast<std::int64_t>(items.size());
+  partition.build(count, [&](std::int64_t i) {
+    return weight(items[static_cast<std::size_t>(i)]) + 1;
+  });
+  parallel_region([&] {
+    auto handle = out.handle();
+    const EdgePartition::Range share =
+        partition.item_range(omp_get_thread_num(), omp_get_num_threads());
+    for (std::int64_t i = share.begin; i < share.end; ++i) {
+      body(items[static_cast<std::size_t>(i)], handle);
+    }
+  });
+}
+
+/// Dynamically scheduled sweep over item blocks of `chunk`, with a
+/// thread-private out-queue and per-thread counters. Used where a tuned
+/// block size is part of the algorithm (push-relabel's queue limit).
+/// `body(id, handle, counters)`.
+template <typename Body>
+TraversalCounters for_each_chunked(std::span<const vid_t> items, int chunk,
+                                   FrontierQueue<vid_t>& out, Body&& body) {
+  const auto count = static_cast<std::int64_t>(items.size());
+  const auto step = static_cast<std::int64_t>(chunk > 0 ? chunk : 1);
+  TraversalCounters totals;
+  parallel_region([&] {
+    auto handle = out.handle();
+    TraversalCounters local;
+#pragma omp for schedule(dynamic, 1) nowait
+    for (std::int64_t base = 0; base < count; base += step) {
+      const std::int64_t end = std::min(count, base + step);
+      for (std::int64_t i = base; i < end; ++i) {
+        body(items[static_cast<std::size_t>(i)], handle, local);
+      }
+    }
+    handle.flush();
+    fetch_add_relaxed(totals.edges, local.edges);
+    fetch_add_relaxed(totals.visits, local.visits);
+  });
+  return totals;
+}
+
+/// Statically scheduled parallel sweep of [0, count) with a
+/// thread-private out-queue: `body(v, handle)`.
+template <typename Body>
+void for_each_index(vid_t count, FrontierQueue<vid_t>& out, Body&& body) {
+  parallel_region([&] {
+    auto handle = out.handle();
+#pragma omp for schedule(static)
+    for (vid_t v = 0; v < count; ++v) body(v, handle);
+  });
+}
+
+/// As above with two out-queues (e.g. a renewable/active classification):
+/// `body(v, first_handle, second_handle)`.
+template <typename Body>
+void for_each_index(vid_t count, FrontierQueue<vid_t>& first,
+                    FrontierQueue<vid_t>& second, Body&& body) {
+  parallel_region([&] {
+    auto first_handle = first.handle();
+    auto second_handle = second.handle();
+#pragma omp for schedule(static)
+    for (vid_t v = 0; v < count; ++v) body(v, first_handle, second_handle);
+  });
+}
+
+/// Dynamically scheduled variant of for_each_index for sweeps with
+/// uneven per-index cost: `body(v, handle)`.
+template <typename Body>
+void for_each_index_dynamic(vid_t count, int chunk, FrontierQueue<vid_t>& out,
+                            Body&& body) {
+  parallel_region([&] {
+    auto handle = out.handle();
+#pragma omp for schedule(dynamic, chunk)
+    for (vid_t v = 0; v < count; ++v) body(v, handle);
+  });
+}
+
+/// Parallel filter: push every v in [0, count) with pred(v) into `out`.
+/// `pred` may have side effects on v's own state (used to re-initialize
+/// roots while collecting them).
+template <typename Pred>
+void collect_if(vid_t count, FrontierQueue<vid_t>& out, Pred&& pred) {
+  for_each_index(count, out, [&](vid_t v, auto& handle) {
+    if (pred(v)) handle.push(v);
+  });
+}
+
+/// Parallel count of pred(v) over [0, count).
+template <typename Pred>
+std::int64_t count_if(vid_t count, Pred&& pred) {
+  std::int64_t total = 0;
+  parallel_region([&] {
+    std::int64_t local = 0;
+#pragma omp for schedule(static)
+    for (vid_t v = 0; v < count; ++v) local += pred(v) ? 1 : 0;
+    fetch_add_relaxed(total, local);
+  });
+  return total;
+}
+
+/// Work-stealing sweep over search roots for depth-first solvers whose
+/// per-root cost is unpredictable (dynamic scheduling beats any static
+/// partition there). Each thread builds its own workspace with
+/// `make_ws()`, runs `body(root, ws)` per root, then `merge(ws)` runs
+/// once per thread under a mutex (OpenMP `critical` is invisible to
+/// TSan; see parallel_region's contract).
+template <typename MakeWs, typename Body, typename Merge>
+void for_each_root_dynamic(vid_t count, int chunk, MakeWs&& make_ws,
+                           Body&& body, Merge&& merge) {
+  std::mutex merge_mutex;
+  parallel_region([&] {
+    auto ws = make_ws();
+#pragma omp for schedule(dynamic, chunk)
+    for (vid_t v = 0; v < count; ++v) body(v, ws);
+    const std::scoped_lock lock(merge_mutex);
+    merge(ws);
+  });
+}
+
+/// Serial frontier expansion for the single-source baselines: scans
+/// frontier adjacencies in order, calling `visit(u, v)` per edge until
+/// it returns false (early stop) or the frontier is exhausted. Returns
+/// the number of edges examined.
+template <typename Visit>
+std::int64_t scan_frontier_edges(const Adjacency& adj,
+                                 std::span<const vid_t> frontier,
+                                 Visit&& visit) {
+  std::int64_t edges = 0;
+  for (const vid_t u : frontier) {
+    for (const vid_t v : adj.of(u)) {
+      ++edges;
+      if (!visit(u, v)) return edges;
+    }
+  }
+  return edges;
+}
+
+}  // namespace graftmatch::engine

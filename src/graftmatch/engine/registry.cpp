@@ -1,0 +1,175 @@
+#include "graftmatch/engine/registry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "graftmatch/baselines/hopcroft_karp.hpp"
+#include "graftmatch/baselines/pothen_fan.hpp"
+#include "graftmatch/baselines/push_relabel.hpp"
+#include "graftmatch/baselines/ss_bfs.hpp"
+#include "graftmatch/baselines/ss_dfs.hpp"
+#include "graftmatch/core/ms_bfs_graft.hpp"
+#include "graftmatch/init/greedy.hpp"
+#include "graftmatch/init/karp_sipser.hpp"
+#include "graftmatch/init/parallel_karp_sipser.hpp"
+#include "graftmatch/runtime/parallel.hpp"
+
+namespace graftmatch::engine {
+namespace {
+
+std::vector<SolverInfo> build_solvers() {
+  std::vector<SolverInfo> solvers;
+  solvers.push_back(
+      {"graft", "MS-BFS-Graft",
+       "multi-source BFS with direction optimization and tree grafting "
+       "(the paper's algorithm)",
+       true,
+       [](const BipartiteGraph& g, Matching& m, const RunConfig& c) {
+         return ms_bfs_graft(g, m, c);
+       }});
+  solvers.push_back(
+      {"msbfs", "MS-BFS",
+       "plain multi-source BFS with frontier rebuilding (Azad et al.)", true,
+       [](const BipartiteGraph& g, Matching& m, const RunConfig& c) {
+         return ms_bfs(g, m, c);
+       }});
+  solvers.push_back(
+      {"pf", "Pothen-Fan",
+       "multithreaded Pothen-Fan DFS with lookahead and fairness", true,
+       [](const BipartiteGraph& g, Matching& m, const RunConfig& c) {
+         return pothen_fan(g, m, c);
+       }});
+  solvers.push_back(
+      {"pr", "PR", "parallel push-relabel with global relabeling", true,
+       [](const BipartiteGraph& g, Matching& m, const RunConfig& c) {
+         return push_relabel(g, m, c);
+       }});
+  solvers.push_back(
+      {"hk", "HK", "serial Hopcroft-Karp (shortest augmenting phases)", false,
+       [](const BipartiteGraph& g, Matching& m, const RunConfig& c) {
+         return hopcroft_karp(g, m, c);
+       }});
+  solvers.push_back(
+      {"ssbfs", "SS-BFS", "serial single-source BFS augmentation", false,
+       [](const BipartiteGraph& g, Matching& m, const RunConfig& c) {
+         return ss_bfs(g, m, c);
+       }});
+  solvers.push_back(
+      {"ssdfs", "SS-DFS", "serial single-source DFS augmentation", false,
+       [](const BipartiteGraph& g, Matching& m, const RunConfig& c) {
+         return ss_dfs(g, m, c);
+       }});
+  return solvers;
+}
+
+std::vector<InitializerInfo> build_initializers() {
+  std::vector<InitializerInfo> inits;
+  inits.push_back({"none", "empty matching (no initialization)", false,
+                   [](const BipartiteGraph& g, const RunConfig&) {
+                     return Matching(g.num_x(), g.num_y());
+                   }});
+  inits.push_back({"greedy", "deterministic greedy maximal matching", false,
+                   [](const BipartiteGraph& g, const RunConfig&) {
+                     return greedy_maximal(g);
+                   }});
+  inits.push_back({"rgreedy", "randomized-order greedy maximal matching",
+                   false,
+                   [](const BipartiteGraph& g, const RunConfig& c) {
+                     return randomized_greedy(g, c.seed);
+                   }});
+  inits.push_back({"ks", "serial Karp-Sipser (degree-1 rule + random rule)",
+                   false,
+                   [](const BipartiteGraph& g, const RunConfig& c) {
+                     return karp_sipser(g, c.seed);
+                   }});
+  inits.push_back({"ksr1", "serial Karp-Sipser, degree-1 rule only", false,
+                   [](const BipartiteGraph& g, const RunConfig&) {
+                     return karp_sipser_rule1(g);
+                   }});
+  inits.push_back({"pks", "parallel Karp-Sipser (Azad et al. style)", true,
+                   [](const BipartiteGraph& g, const RunConfig& c) {
+                     return parallel_karp_sipser(g, c.seed, c.threads);
+                   }});
+  return inits;
+}
+
+std::string known_keys(std::span<const std::string> names) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << names[i];
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::span<const SolverInfo> solver_registry() {
+  static const std::vector<SolverInfo> solvers = build_solvers();
+  return solvers;
+}
+
+std::span<const InitializerInfo> initializer_registry() {
+  static const std::vector<InitializerInfo> inits = build_initializers();
+  return inits;
+}
+
+const SolverInfo* find_solver_or_null(const std::string& name) {
+  for (const SolverInfo& solver : solver_registry()) {
+    if (solver.name == name) return &solver;
+  }
+  return nullptr;
+}
+
+const InitializerInfo* find_initializer_or_null(const std::string& name) {
+  for (const InitializerInfo& init : initializer_registry()) {
+    if (init.name == name) return &init;
+  }
+  return nullptr;
+}
+
+const SolverInfo& find_solver(const std::string& name) {
+  if (const SolverInfo* solver = find_solver_or_null(name)) return *solver;
+  throw std::invalid_argument("unknown solver \"" + name +
+                              "\"; known solvers: " +
+                              known_keys(solver_names()));
+}
+
+const InitializerInfo& find_initializer(const std::string& name) {
+  if (const InitializerInfo* init = find_initializer_or_null(name)) {
+    return *init;
+  }
+  throw std::invalid_argument("unknown initializer \"" + name +
+                              "\"; known initializers: " +
+                              known_keys(initializer_names()));
+}
+
+std::vector<std::string> solver_names() {
+  std::vector<std::string> names;
+  for (const SolverInfo& solver : solver_registry()) {
+    names.push_back(solver.name);
+  }
+  return names;
+}
+
+std::vector<std::string> initializer_names() {
+  std::vector<std::string> names;
+  for (const InitializerInfo& init : initializer_registry()) {
+    names.push_back(init.name);
+  }
+  return names;
+}
+
+Matching make_initial_matching(const std::string& name,
+                               const BipartiteGraph& g,
+                               const RunConfig& config) {
+  const InitializerInfo& init = find_initializer(name);
+  // RunConfig::threads must bind for every initializer, including any
+  // future one that opens regions without plumbing an explicit thread
+  // argument (parallel_karp_sipser takes one, but the guard makes the
+  // contract hold registry-wide).
+  const ThreadCountGuard guard(config.threads);
+  return init.make(g, config);
+}
+
+}  // namespace graftmatch::engine

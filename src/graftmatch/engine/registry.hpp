@@ -1,0 +1,76 @@
+// Solver and initializer registries.
+//
+// Everything that runs a matching algorithm by name -- the benches,
+// the differential-oracle harness, examples/matching_tool -- used to
+// hard-code its own solver list and drift out of sync. The registries
+// are the single source of truth: one entry per algorithm and per
+// initial-matching heuristic, each with a uniform factory signature so
+// a newly registered solver is picked up by every driver (and oracle-
+// checked by tests/diff) automatically.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graftmatch/core/run_stats.hpp"
+#include "graftmatch/graph/bipartite_graph.hpp"
+#include "graftmatch/graph/matching.hpp"
+
+namespace graftmatch::engine {
+
+/// Runs one matching algorithm: grows `matching` in place on `g` under
+/// `config` and returns the run's stats.
+using SolverFn = std::function<RunStats(const BipartiteGraph& g,
+                                        Matching& matching,
+                                        const RunConfig& config)>;
+
+struct SolverInfo {
+  std::string name;          ///< registry key, e.g. "graft"
+  std::string display_name;  ///< paper label, e.g. "MS-BFS-Graft"
+  std::string description;   ///< one-line summary for --list output
+  bool parallel = false;     ///< honors RunConfig::threads beyond 1
+  SolverFn run;
+};
+
+/// Builds an initial matching on `g`. Reads RunConfig::seed and
+/// RunConfig::threads (every entry honors `threads`, including the
+/// serial heuristics, which simply never open a region).
+using InitializerFn =
+    std::function<Matching(const BipartiteGraph& g, const RunConfig& config)>;
+
+struct InitializerInfo {
+  std::string name;         ///< registry key, e.g. "ks"
+  std::string description;  ///< one-line summary for --list output
+  bool parallel = false;
+  InitializerFn make;
+};
+
+/// All registered solvers, in presentation order (paper algorithm
+/// first, then the baselines as introduced in Sec. V-A).
+std::span<const SolverInfo> solver_registry();
+
+/// All registered initializers ("none" first, then the heuristics in
+/// increasing sophistication).
+std::span<const InitializerInfo> initializer_registry();
+
+/// Lookup by registry key; throws std::invalid_argument naming the
+/// unknown key and listing the known ones.
+const SolverInfo& find_solver(const std::string& name);
+const InitializerInfo& find_initializer(const std::string& name);
+
+/// Lookup that returns nullptr instead of throwing.
+const SolverInfo* find_solver_or_null(const std::string& name);
+const InitializerInfo* find_initializer_or_null(const std::string& name);
+
+/// Registry keys, in registry order.
+std::vector<std::string> solver_names();
+std::vector<std::string> initializer_names();
+
+/// Convenience: find_initializer(name).make(g, config).
+Matching make_initial_matching(const std::string& name,
+                               const BipartiteGraph& g,
+                               const RunConfig& config);
+
+}  // namespace graftmatch::engine

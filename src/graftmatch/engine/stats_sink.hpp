@@ -1,0 +1,72 @@
+// Phase-scoped stats sink: uniform RunStats filling for every solver.
+//
+// The paper's figures need the same run anatomy from every algorithm
+// (Fig. 1 algorithmic counters, Fig. 4 search rate, Fig. 6 step
+// breakdown), but before the engine existed each solver filled RunStats
+// by hand and most left the step breakdown empty. StatsSink owns the
+// run timer and one accumulating stopwatch per step category; a solver
+// opens scoped laps around its steps and calls finish() once, and the
+// header/footer fields (algorithm, cardinalities, seconds, step
+// breakdown, threads_used) come out consistent by construction.
+#pragma once
+
+#include <omp.h>
+
+#include <algorithm>
+#include <array>
+#include <string>
+#include <utility>
+
+#include "graftmatch/core/run_stats.hpp"
+#include "graftmatch/graph/matching.hpp"
+#include "graftmatch/runtime/timer.hpp"
+
+namespace graftmatch::engine {
+
+/// Step categories of StepSeconds (Fig. 6), in field order.
+enum class Step { kTopDown, kBottomUp, kAugment, kGraft, kStatistics };
+
+class StatsSink {
+ public:
+  /// Stamps the run header into `stats` and starts the run timer.
+  /// Construct AFTER any ThreadCountGuard so `parallel` solvers record
+  /// the thread count their regions will actually use.
+  StatsSink(RunStats& stats, std::string algorithm, const Matching& initial,
+            bool parallel)
+      : stats_(stats) {
+    stats_.algorithm = std::move(algorithm);
+    stats_.initial_cardinality = initial.cardinality();
+    stats_.threads_used = parallel ? omp_get_max_threads() : 1;
+  }
+
+  /// The accumulating stopwatch behind one step category, for solvers
+  /// that need manual start()/stop() across scopes.
+  Stopwatch& watch(Step step) noexcept {
+    return watches_[static_cast<std::size_t>(step)];
+  }
+
+  /// RAII lap on a step category (relies on C++17 guaranteed elision).
+  ScopedLap scoped(Step step) noexcept { return ScopedLap(watch(step)); }
+
+  /// Stamps the run footer: final cardinality, wall time, and the step
+  /// breakdown (time not covered by any lap lands in `other`).
+  void finish(const Matching& final_matching) {
+    stats_.final_cardinality = final_matching.cardinality();
+    stats_.seconds = timer_.elapsed();
+    StepSeconds& s = stats_.step_seconds;
+    s.top_down = watch(Step::kTopDown).seconds();
+    s.bottom_up = watch(Step::kBottomUp).seconds();
+    s.augment = watch(Step::kAugment).seconds();
+    s.graft = watch(Step::kGraft).seconds();
+    s.statistics = watch(Step::kStatistics).seconds();
+    s.other = 0.0;
+    s.other = std::max(0.0, stats_.seconds - s.total());
+  }
+
+ private:
+  RunStats& stats_;
+  Timer timer_;
+  std::array<Stopwatch, 5> watches_;
+};
+
+}  // namespace graftmatch::engine

@@ -46,6 +46,13 @@
 #include "graftmatch/core/ms_bfs_graft.hpp"
 #include "graftmatch/core/run_stats.hpp"
 
+// Traversal engine: shared frontier kernels, solver/initializer
+// registries, and the phase-scoped stats sink
+#include "graftmatch/engine/edge_partition.hpp"
+#include "graftmatch/engine/frontier_kernels.hpp"
+#include "graftmatch/engine/registry.hpp"
+#include "graftmatch/engine/stats_sink.hpp"
+
 // Verification
 #include "graftmatch/verify/koenig.hpp"
 #include "graftmatch/verify/validate.hpp"

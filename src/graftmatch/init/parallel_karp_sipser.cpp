@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "graftmatch/engine/edge_partition.hpp"
+#include "graftmatch/engine/frontier_kernels.hpp"
 #include "graftmatch/runtime/atomics.hpp"
 #include "graftmatch/runtime/frontier_queue.hpp"
 #include "graftmatch/runtime/parallel.hpp"
@@ -53,24 +55,17 @@ Matching parallel_karp_sipser(const BipartiteGraph& g, std::uint64_t seed,
   const auto capacity = static_cast<std::size_t>(nx + ny);
   FrontierQueue<vid_t> current(capacity);
   FrontierQueue<vid_t> next(capacity);
+  engine::EdgePartition partition;
 
-  parallel_region([&] {
-    auto handle = current.handle();
-#pragma omp for schedule(static) nowait
-    for (vid_t x = 0; x < nx; ++x) {
-      if (deg_x[static_cast<std::size_t>(x)] == 1) handle.push(x);
-    }
-#pragma omp for schedule(static)
-    for (vid_t y = 0; y < ny; ++y) {
-      if (deg_y[static_cast<std::size_t>(y)] == 1) handle.push(y + nx);
-    }
+  engine::collect_if(nx + ny, current, [&](vid_t id) {
+    return id < nx ? deg_x[static_cast<std::size_t>(id)] == 1
+                   : deg_y[static_cast<std::size_t>(id - nx)] == 1;
   });
 
   // After matching (x, y), decrement the residual degree of every
   // still-unmatched neighbor; the thread that performs the 2 -> 1
   // transition enqueues the vertex (exactly-once by fetch_add return).
-  const auto retire = [&](vid_t x, vid_t y,
-                          FrontierQueue<vid_t>::Handle& out) {
+  const auto retire = [&](vid_t x, vid_t y, auto& out) {
     for (const vid_t w : g.neighbors_of_x(x)) {
       if (relaxed_load(mate_y[static_cast<std::size_t>(w)]) ==
               kInvalidVertex &&
@@ -89,8 +84,7 @@ Matching parallel_karp_sipser(const BipartiteGraph& g, std::uint64_t seed,
     }
   };
 
-  const auto process_degree_one = [&](vid_t id,
-                                      FrontierQueue<vid_t>::Handle& out) {
+  const auto process_degree_one = [&](vid_t id, auto& out) {
     if (id < nx) {
       const vid_t x = id;
       if (relaxed_load(mate_x[static_cast<std::size_t>(x)]) != kInvalidVertex)
@@ -120,17 +114,16 @@ Matching parallel_karp_sipser(const BipartiteGraph& g, std::uint64_t seed,
     }
   };
 
+  // A degree-1 vertex's cost is dominated by retire()'s scan of the
+  // matched pair's adjacencies, so balance the drain by graph degree.
+  const auto work_weight = [&](vid_t id) {
+    return static_cast<std::int64_t>(id < nx ? g.degree_x(id)
+                                             : g.degree_y(id - nx));
+  };
   const auto drain_degree_one = [&] {
     while (!current.empty()) {
-      const auto items = current.items();
-      const auto count = static_cast<std::int64_t>(items.size());
-      parallel_region([&] {
-        auto out = next.handle();
-#pragma omp for schedule(dynamic, 64)
-        for (std::int64_t i = 0; i < count; ++i) {
-          process_degree_one(items[static_cast<std::size_t>(i)], out);
-        }
-      });
+      engine::for_each_work_item(current.items(), work_weight, next,
+                                 partition, process_degree_one);
       current.clear();
       current.swap(next);
     }
@@ -141,23 +134,19 @@ Matching parallel_karp_sipser(const BipartiteGraph& g, std::uint64_t seed,
   // Random rule: parallel greedy sweep over unmatched X vertices in a
   // hash-scrambled order, then give the safe rule another chance.
   const std::uint64_t salt = mix64(seed);
-  parallel_region([&] {
-    auto out = next.handle();
-#pragma omp for schedule(dynamic, 256)
-    for (vid_t i = 0; i < nx; ++i) {
-      const auto x = static_cast<vid_t>(
-          (static_cast<std::uint64_t>(i) + salt) %
-          static_cast<std::uint64_t>(nx));
-      if (relaxed_load(mate_x[static_cast<std::size_t>(x)]) != kInvalidVertex)
+  engine::for_each_index_dynamic(nx, 256, next, [&](vid_t i, auto& out) {
+    const auto x = static_cast<vid_t>(
+        (static_cast<std::uint64_t>(i) + salt) %
+        static_cast<std::uint64_t>(nx));
+    if (relaxed_load(mate_x[static_cast<std::size_t>(x)]) != kInvalidVertex)
+      return;
+    for (const vid_t y : g.neighbors_of_x(x)) {
+      if (relaxed_load(mate_y[static_cast<std::size_t>(y)]) !=
+          kInvalidVertex)
         continue;
-      for (const vid_t y : g.neighbors_of_x(x)) {
-        if (relaxed_load(mate_y[static_cast<std::size_t>(y)]) !=
-            kInvalidVertex)
-          continue;
-        if (try_match(mate_x, mate_y, x, y)) {
-          retire(x, y, out);
-          break;
-        }
+      if (try_match(mate_x, mate_y, x, y)) {
+        retire(x, y, out);
+        break;
       }
     }
   });

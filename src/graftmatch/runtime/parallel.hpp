@@ -61,9 +61,20 @@ namespace graftmatch {
 /// The slot is per call site (one static per lambda type). TSan builds
 /// therefore assume a given call site is not re-entered concurrently
 /// from multiple host threads; the library itself never does so.
+/// Width of the team most recently opened by parallel_region() on any
+/// thread. A test probe: regression tests for RunConfig::threads pin a
+/// thread count, run a solver, and assert the regions it opened were
+/// that wide (see tests/test_engine_registry.cpp). Relaxed is enough --
+/// probing callers sequence the read after the solver returns.
+inline std::atomic<int>& last_team_width() noexcept {
+  static std::atomic<int> width{0};
+  return width;
+}
+
 template <typename Fn>
 inline void parallel_region(int num_threads, Fn&& fn) {
   const int team = num_threads > 0 ? num_threads : omp_get_max_threads();
+  last_team_width().store(team, std::memory_order_relaxed);
 #if GRAFTMATCH_TSAN_ACTIVE
   using Body = std::remove_reference_t<Fn>;
   static std::atomic<Body*> slot{nullptr};

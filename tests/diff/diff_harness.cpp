@@ -182,6 +182,7 @@ std::vector<SolverSpec> solver_roster(std::vector<int> thread_counts) {
   const InitFn init_ks = [](const BipartiteGraph& g) {
     return karp_sipser(g, /*seed=*/7);
   };
+  const engine::SolverFn graft_run = engine::find_solver("graft").run;
 
   // MS-BFS-Graft across the Fig. 7 ablation grid x thread counts.
   // (dir_opt=0, graft=0) is the plain MS-BFS baseline.
@@ -198,69 +199,61 @@ std::vector<SolverSpec> solver_roster(std::vector<int> thread_counts) {
                             config.direction_optimizing = dir_opt;
                             config.tree_grafting = graft;
                             config.check_invariants = true;
-                            ms_bfs_graft(g, m, config);
+                            graft_run(g, m, config);
                             return m;
                           }});
       }
     }
   }
 
-  // Initializer cross-product at max parallelism: the final cardinality
-  // must not depend on the starting maximal matching.
-  const std::vector<std::pair<std::string, InitFn>> inits = {
-      {"none", [](const BipartiteGraph& g) {
-         return Matching(g.num_x(), g.num_y());
-       }},
-      {"greedy", [](const BipartiteGraph& g) { return greedy_maximal(g); }},
-      {"pks", [=](const BipartiteGraph& g) {
-         return parallel_karp_sipser(g, /*seed=*/7, max_threads);
-       }},
-  };
-  for (const auto& [init_name, init] : inits) {
-    roster.push_back({"msbfs[do=1,graft=1,t=" + std::to_string(max_threads) +
+  // Initializer registry cross-product at max parallelism: the final
+  // cardinality must not depend on the starting maximal matching. A
+  // newly registered initializer is oracle-checked automatically. "ks"
+  // is skipped here only because the ablation grid above already covers
+  // graft-from-ks at every thread count.
+  for (const auto& init : engine::initializer_registry()) {
+    if (init.name == "ks") continue;
+    const std::string init_name = init.name;
+    roster.push_back({"graft[t=" + std::to_string(max_threads) +
                           ",init=" + init_name + "]",
                       [=](const BipartiteGraph& g) {
-                        Matching m = init(g);
                         RunConfig config;
                         config.threads = max_threads;
+                        config.seed = 7;
+                        Matching m =
+                            engine::make_initial_matching(init_name, g, config);
                         config.check_invariants = true;
-                        ms_bfs_graft(g, m, config);
+                        graft_run(g, m, config);
                         return m;
                       }});
   }
 
-  // The five baselines. Pothen-Fan and push-relabel are parallel; run
-  // them serial and at max threads. HK / SS-BFS / SS-DFS are serial.
-  using BaselineFn =
-      RunStats (*)(const BipartiteGraph&, Matching&, const RunConfig&);
-  const std::vector<std::pair<std::string, BaselineFn>> serial_baselines = {
-      {"hk", &hopcroft_karp}, {"ssbfs", &ss_bfs}, {"ssdfs", &ss_dfs}};
-  for (const auto& [name, fn] : serial_baselines) {
-    roster.push_back({std::string(name) + "[init=ks]",
-                      [=](const BipartiteGraph& g) {
-                        Matching m = init_ks(g);
-                        fn(g, m, RunConfig{});
-                        return m;
-                      }});
-  }
-  for (const int threads : {1, max_threads}) {
-    roster.push_back({"pf[t=" + std::to_string(threads) + ",init=ks]",
-                      [=](const BipartiteGraph& g) {
-                        Matching m = init_ks(g);
-                        RunConfig config;
-                        config.threads = threads;
-                        pothen_fan(g, m, config);
-                        return m;
-                      }});
-    roster.push_back({"pr[t=" + std::to_string(threads) + ",init=ks]",
-                      [=](const BipartiteGraph& g) {
-                        Matching m = init_ks(g);
-                        RunConfig config;
-                        config.threads = threads;
-                        push_relabel(g, m, config);
-                        return m;
-                      }});
-    if (max_threads == 1) break;  // avoid duplicate names
+  // Every registered solver from the same Karp-Sipser start: parallel
+  // solvers serial and at max threads, serial solvers once. Iterating
+  // the registry (instead of a hand-maintained list) means registering
+  // a solver is all it takes to put it under the oracle.
+  for (const auto& solver : engine::solver_registry()) {
+    std::vector<int> counts;
+    if (solver.parallel) {
+      counts.push_back(1);
+      if (max_threads != 1) counts.push_back(max_threads);
+    } else {
+      counts.push_back(0);
+    }
+    const engine::SolverFn run = solver.run;
+    for (const int threads : counts) {
+      const std::string name =
+          solver.parallel
+              ? solver.name + "[t=" + std::to_string(threads) + ",init=ks]"
+              : solver.name + "[init=ks]";
+      roster.push_back({name, [=](const BipartiteGraph& g) {
+                          Matching m = init_ks(g);
+                          RunConfig config;
+                          config.threads = threads;
+                          run(g, m, config);
+                          return m;
+                        }});
+    }
   }
 
   return roster;

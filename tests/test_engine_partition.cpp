@@ -1,0 +1,224 @@
+// Unit tests for the engine's degree-prefix-sum edge-balanced
+// partitioner: degenerate shapes (empty, singleton, hub-dominated),
+// coverage/monotonicity invariants under random degree sequences, and
+// bit-identical boundaries regardless of the ambient OpenMP thread
+// count (the property the traversal kernels' determinism rests on).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "graftmatch/engine/edge_partition.hpp"
+#include "graftmatch/runtime/parallel.hpp"
+
+namespace graftmatch::engine {
+namespace {
+
+std::vector<std::int64_t> prefix_of(const std::vector<std::int64_t>& degrees) {
+  std::vector<std::int64_t> prefix(degrees.size() + 1, 0);
+  std::partial_sum(degrees.begin(), degrees.end(), prefix.begin() + 1);
+  return prefix;
+}
+
+// Every boundary vector must be monotone, start at 0 and end at the
+// item count -- i.e. the parts tile the items exactly once.
+void expect_tiling(const std::vector<std::int64_t>& bounds, int parts,
+                   std::int64_t items) {
+  ASSERT_EQ(bounds.size(), static_cast<std::size_t>(parts) + 1);
+  EXPECT_EQ(bounds.front(), 0);
+  EXPECT_EQ(bounds.back(), items);
+  for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+    EXPECT_LE(bounds[i], bounds[i + 1]) << "part " << i;
+  }
+}
+
+TEST(EdgeBalancedBoundaries, EmptyFrontier) {
+  const std::vector<std::int64_t> prefix = {0};  // zero items
+  for (int parts = 1; parts <= 4; ++parts) {
+    const auto bounds = edge_balanced_boundaries(prefix, parts);
+    expect_tiling(bounds, parts, 0);
+  }
+}
+
+TEST(EdgeBalancedBoundaries, SingletonItem) {
+  const auto prefix = prefix_of({7});
+  for (int parts = 1; parts <= 4; ++parts) {
+    const auto bounds = edge_balanced_boundaries(prefix, parts);
+    expect_tiling(bounds, parts, 1);
+    // Exactly one part owns the lone item.
+    int owners = 0;
+    for (int p = 0; p < parts; ++p) {
+      owners += bounds[static_cast<std::size_t>(p)] <
+                bounds[static_cast<std::size_t>(p) + 1];
+    }
+    EXPECT_EQ(owners, 1);
+  }
+}
+
+TEST(EdgeBalancedBoundaries, HubDominatedFrontier) {
+  // One hub holds ~99% of the edges. At item granularity the hub cannot
+  // be split, so one part gets it whole and the others share the rest.
+  const std::vector<std::int64_t> degrees = {1, 1, 1000, 1, 1};
+  const auto prefix = prefix_of(degrees);
+  const auto bounds = edge_balanced_boundaries(prefix, 4);
+  expect_tiling(bounds, 4, 5);
+  int hub_owners = 0;
+  for (int p = 0; p < 4; ++p) {
+    if (bounds[static_cast<std::size_t>(p)] <= 2 &&
+        2 < bounds[static_cast<std::size_t>(p) + 1]) {
+      ++hub_owners;
+    }
+  }
+  EXPECT_EQ(hub_owners, 1);
+}
+
+TEST(EdgeBalancedBoundaries, TrailingZeroWeightItemsLandInLastPart) {
+  const auto prefix = prefix_of({5, 0, 0, 0});
+  const auto bounds = edge_balanced_boundaries(prefix, 3);
+  expect_tiling(bounds, 3, 4);
+  // The zero-degree tail belongs to the last part, never dropped.
+  EXPECT_EQ(bounds.back(), 4);
+}
+
+TEST(EdgeBalancedBoundaries, RandomDegreesCoverAndBalance) {
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  const auto rng = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto items = static_cast<std::int64_t>(rng() % 200);
+    std::vector<std::int64_t> degrees(static_cast<std::size_t>(items));
+    std::int64_t max_degree = 0;
+    for (auto& d : degrees) {
+      d = static_cast<std::int64_t>(rng() % 50);
+      if (rng() % 4 == 0) d = 0;  // plenty of zero-degree items
+      max_degree = std::max(max_degree, d);
+    }
+    const auto prefix = prefix_of(degrees);
+    const std::int64_t total = prefix.back();
+    for (int parts = 1; parts <= 9; ++parts) {
+      const auto bounds = edge_balanced_boundaries(prefix, parts);
+      expect_tiling(bounds, parts, items);
+      for (int p = 0; p < parts; ++p) {
+        const std::int64_t weight =
+            prefix[static_cast<std::size_t>(
+                bounds[static_cast<std::size_t>(p) + 1])] -
+            prefix[static_cast<std::size_t>(
+                bounds[static_cast<std::size_t>(p)])];
+        // A part overshoots the ideal share by at most one item.
+        EXPECT_LE(weight, total / parts + 1 + max_degree)
+            << "trial " << trial << " parts " << parts << " part " << p;
+      }
+    }
+  }
+}
+
+TEST(EdgePartition, BuildMatchesSerialPrefixSum) {
+  const std::vector<std::int64_t> degrees = {3, 0, 2, 5, 0, 1};
+  EdgePartition partition;
+  partition.build(static_cast<std::int64_t>(degrees.size()),
+                  [&](std::int64_t i) {
+                    return degrees[static_cast<std::size_t>(i)];
+                  });
+  const auto expected = prefix_of(degrees);
+  ASSERT_EQ(partition.items(), 6);
+  ASSERT_EQ(partition.total(), 11);
+  const auto prefix = partition.prefix();
+  ASSERT_EQ(prefix.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(prefix[i], expected[i]) << "index " << i;
+  }
+}
+
+TEST(EdgePartition, DeterministicAcrossThreadCounts) {
+  // The parallel weight fill plus serial scan must produce the same
+  // prefix -- and hence the same boundaries -- at every thread count.
+  std::vector<std::int64_t> degrees(501);
+  for (std::size_t i = 0; i < degrees.size(); ++i) {
+    degrees[i] = static_cast<std::int64_t>((i * 37) % 23);
+  }
+  const auto weight = [&](std::int64_t i) {
+    return degrees[static_cast<std::size_t>(i)];
+  };
+
+  std::vector<std::vector<std::int64_t>> prefixes;
+  for (const int threads : {1, 2, 4, 7}) {
+    ThreadCountGuard guard(threads);
+    EdgePartition partition;
+    partition.build(static_cast<std::int64_t>(degrees.size()), weight);
+    prefixes.emplace_back(partition.prefix().begin(),
+                          partition.prefix().end());
+  }
+  for (std::size_t i = 1; i < prefixes.size(); ++i) {
+    EXPECT_EQ(prefixes[i], prefixes[0]) << "thread-count variant " << i;
+  }
+}
+
+TEST(EdgePartition, LocateFindsOwningItem) {
+  const std::vector<std::int64_t> degrees = {3, 0, 2, 5, 0, 1};
+  EdgePartition partition;
+  partition.build(static_cast<std::int64_t>(degrees.size()),
+                  [&](std::int64_t i) {
+                    return degrees[static_cast<std::size_t>(i)];
+                  });
+  const auto prefix = partition.prefix();
+  for (std::int64_t rank = 0; rank < partition.total(); ++rank) {
+    const EdgePartition::Cursor cursor = partition.locate(rank);
+    ASSERT_GE(cursor.item, 0);
+    ASSERT_LT(cursor.item, partition.items());
+    // The rank falls inside the located item's weight span, so locate
+    // never lands on a zero-weight item.
+    EXPECT_LE(prefix[static_cast<std::size_t>(cursor.item)], rank);
+    EXPECT_LT(rank, prefix[static_cast<std::size_t>(cursor.item) + 1]);
+    EXPECT_EQ(cursor.offset,
+              rank - prefix[static_cast<std::size_t>(cursor.item)]);
+  }
+}
+
+TEST(EdgePartition, EdgeRangesTileTheRanks) {
+  const std::vector<std::int64_t> degrees = {4, 9, 1, 0, 6, 2};
+  EdgePartition partition;
+  partition.build(static_cast<std::int64_t>(degrees.size()),
+                  [&](std::int64_t i) {
+                    return degrees[static_cast<std::size_t>(i)];
+                  });
+  for (int parts = 1; parts <= 5; ++parts) {
+    std::int64_t expected_begin = 0;
+    for (int p = 0; p < parts; ++p) {
+      const EdgePartition::Range range = partition.edge_range(p, parts);
+      EXPECT_EQ(range.begin, expected_begin) << "parts " << parts;
+      EXPECT_LE(range.begin, range.end);
+      expected_begin = range.end;
+    }
+    EXPECT_EQ(expected_begin, partition.total()) << "parts " << parts;
+  }
+}
+
+TEST(EdgePartition, ItemRangesMatchFreeFunctionBoundaries) {
+  const std::vector<std::int64_t> degrees = {1, 1, 1000, 1, 1, 0, 0};
+  EdgePartition partition;
+  partition.build(static_cast<std::int64_t>(degrees.size()),
+                  [&](std::int64_t i) {
+                    return degrees[static_cast<std::size_t>(i)];
+                  });
+  for (int parts = 1; parts <= 6; ++parts) {
+    const auto bounds = edge_balanced_boundaries(partition.prefix(), parts);
+    std::int64_t covered = 0;
+    for (int p = 0; p < parts; ++p) {
+      const EdgePartition::Range range = partition.item_range(p, parts);
+      EXPECT_EQ(range.begin, bounds[static_cast<std::size_t>(p)])
+          << "parts " << parts << " part " << p;
+      EXPECT_EQ(range.end, bounds[static_cast<std::size_t>(p) + 1])
+          << "parts " << parts << " part " << p;
+      covered += range.end - range.begin;
+    }
+    EXPECT_EQ(covered, partition.items()) << "parts " << parts;
+  }
+}
+
+}  // namespace
+}  // namespace graftmatch::engine
