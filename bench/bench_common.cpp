@@ -11,6 +11,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "graftmatch/runtime/cli.hpp"
+
 namespace graftmatch::bench {
 namespace {
 
@@ -38,6 +40,22 @@ double env_double(const char* name, double fallback) {
   std::exit(2);
 }
 
+/// Numeric flags fail fast on garbage values; before this check a typo
+/// like "--runs 1O" silently fell back to the default via strtod.
+void validate_flag_value(const char* flag, const char* value) {
+  const std::string name = flag;
+  if (name == "--seed") {
+    cli::parse_uint_arg(flag, value);
+  } else if (name == "--threads") {
+    cli::parse_int_arg(flag, value, 0, 65536);
+  } else if (name == "--runs") {
+    cli::parse_int_arg(flag, value, 1, 1000000);
+  } else if (name == "--size") {
+    cli::parse_double_arg(flag, value, 1e-9, 1e9);
+  }
+  // --init and --results-dir take free-form strings.
+}
+
 }  // namespace
 
 void apply_cli_overrides(int argc, char** argv) {
@@ -58,12 +76,14 @@ void apply_cli_overrides(int argc, char** argv) {
       const std::size_t flag_len = std::strlen(flag);
       if (arg == flag) {  // two-token form: --seed 7
         if (i + 1 >= argc) usage_and_exit(argv[0], arg.c_str());
+        validate_flag_value(flag, argv[i + 1]);
         ::setenv(env, argv[++i], /*overwrite=*/1);
         matched = true;
         break;
       }
       if (arg.compare(0, flag_len, flag) == 0 && arg.size() > flag_len &&
           arg[flag_len] == '=') {  // one-token form: --seed=7
+        validate_flag_value(flag, arg.c_str() + flag_len + 1);
         ::setenv(env, arg.c_str() + flag_len + 1, /*overwrite=*/1);
         matched = true;
         break;

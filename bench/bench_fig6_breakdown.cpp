@@ -5,22 +5,50 @@
 // traversal; high-matching-number graphs (hugetrace, kkt_power) are
 // BFS-dominated, while low-matching-number graphs (wb-edu, wikipedia)
 // shift weight into Augment + Tree-Grafting.
+//
+// In GRAFTMATCH_TRACE=ON builds the bench also arms the obs tracer,
+// reconciles the trace-derived step totals against the stopwatch
+// columns (every trace span is emitted strictly inside its stopwatch
+// lap, so the two must agree within noise), and writes per-phase
+// anatomy rows to a second CSV.
+#include <cmath>
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.hpp"
 
+namespace {
+
+using namespace graftmatch;
+
+/// Relative deviation between the stopwatch step columns and the same
+/// totals summed from trace spans, as a fraction of the run time.
+double reconcile_deviation(const StepSeconds& s,
+                           const obs::TraceSummary& summary, double total) {
+  const double diff = std::fabs(s.top_down - summary.top_down) +
+                      std::fabs(s.bottom_up - summary.bottom_up) +
+                      std::fabs(s.augment - summary.augment) +
+                      std::fabs(s.graft - summary.graft) +
+                      std::fabs(s.statistics - summary.statistics);
+  return total > 0 ? diff / total : 0.0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace graftmatch;
   using namespace graftmatch::bench;
   bench_entry(argc, argv, "bench_fig6_breakdown",
                "Fig. 6 (runtime breakdown per step of MS-BFS-Graft)");
+
+  const bool tracing = obs::compiled();
+  if (tracing) obs::arm();
 
   const std::vector<Workload> workloads = make_suite_workloads(false);
   CsvWriter csv("fig6_breakdown",
                 {"instance", "class", "top_down_s", "bottom_up_s",
                  "augment_s", "graft_s", "statistics_s", "other_s",
                  "total_s"});
+  CsvWriter anatomy_csv("fig6_phase_anatomy", obs::phase_csv_columns());
 
   std::printf("%-18s %9s %9s %9s %9s %9s %9s   %s\n", "instance", "TopDown",
               "BottomUp", "Augment", "Graft", "Stats", "Other", "total");
@@ -41,8 +69,30 @@ int main(int argc, char** argv) {
              CsvWriter::cell(s.bottom_up), CsvWriter::cell(s.augment),
              CsvWriter::cell(s.graft), CsvWriter::cell(s.statistics),
              CsvWriter::cell(s.other), CsvWriter::cell(stats.seconds)});
+
+    if (tracing && stats.obs.collected) {
+      const obs::TraceSummary summary = obs::summarize(obs::last_run());
+      const double deviation = reconcile_deviation(s, summary, stats.seconds);
+      // A warning, not a failure: smoke-size runs measure laps of a few
+      // microseconds where clock granularity dominates.
+      if (deviation > 0.01) {
+        std::printf("  WARN %s: trace/stopwatch step totals deviate %.2f%% "
+                    "of the run\n",
+                    w.name.c_str(), 100.0 * deviation);
+      }
+      if (stats.obs.dropped > 0) {
+        std::printf("  WARN %s: %lld trace events dropped (raise "
+                    "GRAFTMATCH_TRACE_CAPACITY)\n",
+                    w.name.c_str(),
+                    static_cast<long long>(stats.obs.dropped));
+      }
+      for (const obs::PhaseAnatomy& row : summary.phases) {
+        anatomy_csv.row(obs::phase_csv_row(w.name, row));
+      }
+    }
   }
   std::printf("csv: %s\n", csv.path().c_str());
+  if (tracing) std::printf("csv: %s\n", anatomy_csv.path().c_str());
 
   std::printf("\nTopDown+BottomUp = BFS traversal (Step 1); Augment = Step "
               "2; Graft+Stats = Step 3.\n");

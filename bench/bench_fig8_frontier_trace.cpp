@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <string_view>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -78,10 +79,49 @@ void print_curves(const PhaseMap& phases) {
 
 }  // namespace
 
+/// Dump every frontier sample of one variant as CSV rows, and -- in
+/// traced builds -- cross-check the samples against the trace's
+/// frontier counter events (same count, sizes, and directions; the two
+/// record the identical per-level decision from independent paths).
+void emit_and_check(const char* variant, const RunStats& stats,
+                    CsvWriter& csv) {
+  for (const FrontierSample& s : stats.frontier_trace) {
+    csv.row({variant, CsvWriter::cell(s.phase), CsvWriter::cell(s.level),
+             CsvWriter::cell(s.frontier_size),
+             std::string(s.bottom_up ? "1" : "0")});
+  }
+  if (!stats.obs.collected) return;
+  const obs::RunTrace& trace = obs::last_run();
+  std::size_t checked = 0;
+  bool ok = true;
+  for (const obs::Event& event : trace.events) {
+    if (event.kind != obs::EventKind::kCounter ||
+        std::string_view(event.name->name) != "frontier") {
+      continue;
+    }
+    if (checked >= stats.frontier_trace.size()) {
+      ok = false;
+      break;
+    }
+    const FrontierSample& sample = stats.frontier_trace[checked++];
+    ok = ok && sample.frontier_size == event.arg0 &&
+         sample.bottom_up == (event.arg1 != 0);
+  }
+  if (!ok || checked != stats.frontier_trace.size()) {
+    std::printf("  WARN %s: trace frontier counters disagree with "
+                "frontier_trace (%zu events vs %zu samples)\n",
+                variant, checked, stats.frontier_trace.size());
+  }
+}
+
 int main(int argc, char** argv) {
   bench_entry(argc, argv, "bench_fig8_frontier_trace",
                "Fig. 8 (frontier size per BFS level, with and without "
                "grafting, coPapersDBLP stand-in)");
+
+  if (obs::compiled()) obs::arm();
+  CsvWriter csv("fig8_frontier_trace",
+                {"variant", "phase", "level", "frontier_size", "bottom_up"});
 
   const Workload w = make_workload("copapers-like");
   const Matching initial = make_initial_matching(w.graph);
@@ -96,6 +136,7 @@ int main(int argc, char** argv) {
     std::printf("WITH tree grafting:\n");
     print_summary(stats, phases);
     print_curves(phases);
+    emit_and_check("graft", stats, csv);
   }
   std::printf("\n");
   {
@@ -108,7 +149,9 @@ int main(int argc, char** argv) {
     std::printf("WITHOUT tree grafting (plain MS-BFS + DirOpt):\n");
     print_summary(stats, phases);
     print_curves(phases);
+    emit_and_check("no_graft", stats, csv);
   }
+  std::printf("csv: %s\n", csv.path().c_str());
 
   std::printf("\nexpected shape: in late phases, grafting starts from a "
               "large grafted frontier\n(start|F| >> unmatched count) that "

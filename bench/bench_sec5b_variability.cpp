@@ -18,6 +18,8 @@ int main(int argc, char** argv) {
 
   const int runs = run_count(10);
   const std::vector<Workload> workloads = make_suite_workloads(false);
+  CsvWriter csv("sec5b_variability",
+                {"instance", "algorithm", "run", "seconds"});
 
   RunConfig config;  // all threads
   RunConfig pr_config = config;
@@ -31,24 +33,35 @@ int main(int argc, char** argv) {
   double sum_pf = 0.0;
   double sum_pr = 0.0;
   for (const Workload& w : workloads) {
-    const auto psi = [&](const std::vector<double>& seconds) {
+    // Per-run samples land in the CSV so psi can be recomputed (or the
+    // distribution replotted) without rerunning the bench.
+    const auto psi = [&](const char* algorithm,
+                         const std::vector<double>& seconds) {
+      for (std::size_t r = 0; r < seconds.size(); ++r) {
+        csv.row({w.name, algorithm,
+                 CsvWriter::cell(static_cast<std::int64_t>(r)),
+                 CsvWriter::cell(seconds[r])});
+      }
       const MeanStd ms = mean_std(seconds);
       return ms.mean > 0 ? 100.0 * ms.stddev / ms.mean : 0.0;
     };
     const double graft_psi = psi(
+        "graft",
         time_matching_runs(w.graph, runs,
                            [&](const BipartiteGraph& g, Matching& m) {
                              return ms_bfs_graft(g, m, config);
                            })
             .seconds);
     const double pf_psi =
-        psi(time_matching_runs(w.graph, runs,
+        psi("pf",
+            time_matching_runs(w.graph, runs,
                                [&](const BipartiteGraph& g, Matching& m) {
                                  return pothen_fan(g, m, config);
                                })
                 .seconds);
     const double pr_psi =
-        psi(time_matching_runs(w.graph, runs,
+        psi("pr",
+            time_matching_runs(w.graph, runs,
                                [&](const BipartiteGraph& g, Matching& m) {
                                  return push_relabel(g, m, pr_config);
                                })
@@ -63,6 +76,7 @@ int main(int argc, char** argv) {
   const double count = static_cast<double>(workloads.size());
   std::printf("%s\n%-18s %10.1f %10.1f %10.1f\n", std::string(52, '-').c_str(),
               "average", sum_graft / count, sum_pf / count, sum_pr / count);
+  std::printf("csv: %s\n", csv.path().c_str());
   std::printf("\npaper averages at 40 threads: Graft 6%%, PF 17%%, PR "
               "10%%.\n");
   return 0;

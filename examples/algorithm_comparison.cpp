@@ -19,13 +19,15 @@ int main(int argc, char** argv) {
   using namespace graftmatch;
 
   BipartiteGraph graph;
-  const int log_size = argc > 1 ? std::atoi(argv[1]) : 0;
-  if (argc > 1 && log_size == 0) {
+  // A sole argument is either a log2 size or a Matrix Market filename.
+  const auto log_size =
+      argc > 1 ? cli::try_parse_int(argv[1], 1, 28) : std::nullopt;
+  if (argc > 1 && !log_size) {
     std::printf("loading %s ...\n", argv[1]);
     graph = BipartiteGraph::from_edges(read_matrix_market_file(argv[1]));
   } else {
     WebCrawlParams params;
-    params.nx = params.ny = 1 << (log_size > 0 ? log_size : 16);
+    params.nx = params.ny = 1 << (log_size ? *log_size : 16);
     params.seed = 11;
     graph = generate_webcrawl(params);
   }

@@ -90,8 +90,14 @@ void spy_plot(const BipartiteGraph& g, const BlockTriangularForm& btf,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const vid_t blocks = argc > 1 ? std::atoll(argv[1]) : 5;
-  const vid_t block_size = argc > 2 ? std::atoll(argv[2]) : 6;
+  const vid_t blocks =
+      argc > 1 ? static_cast<vid_t>(
+                     graftmatch::cli::parse_int_arg("blocks", argv[1], 1, 10000))
+               : 5;
+  const vid_t block_size =
+      argc > 2 ? static_cast<vid_t>(graftmatch::cli::parse_int_arg(
+                     "block-size", argv[2], 1, 10000))
+               : 6;
 
   const BipartiteGraph planted = planted_matrix(blocks, block_size, 42);
   // Hide the structure: a solver sees the matrix in arbitrary order.

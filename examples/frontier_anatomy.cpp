@@ -50,7 +50,9 @@ void render(const RunStats& stats, std::int64_t max_phases) {
 
 int main(int argc, char** argv) {
   const std::string name = argc > 1 ? argv[1] : "copapers-like";
-  const double size = argc > 2 ? std::atof(argv[2]) : 0.1;
+  const double size =
+      argc > 2 ? cli::parse_double_arg("size-factor", argv[2], 1e-6, 1e9)
+               : 0.1;
   const BipartiteGraph graph = suite_instance(name).factory(size, 1);
   const Matching initial = randomized_greedy(graph, 1);
   std::printf("instance %s: %s\n\n", name.c_str(),

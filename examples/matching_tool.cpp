@@ -15,6 +15,8 @@
 //   --dm            also print the coarse DM decomposition
 //   --phases        print a per-phase table (MS-BFS-Graft only)
 //   --json          print the run's stats as one JSON object
+//   --trace FILE    write a Chrome trace_event JSON of the run
+//                   (open in Perfetto / chrome://tracing)
 //   --no-verify     skip the Koenig maximality certificate
 //   --list          list generator instances, solvers and initializers
 #include <cstdio>
@@ -43,7 +45,8 @@ std::string joined_keys(const std::vector<std::string>& names) {
                "usage: %s (--mtx FILE | --gen INSTANCE | --list) "
                "[--algo NAME] [--init NAME]\n"
                "       [--threads N] [--alpha A] [--seed S] [--size F] "
-               "[--dm] [--phases] [--json] [--no-verify]\n"
+               "[--dm] [--phases] [--json]\n"
+               "       [--trace FILE] [--no-verify]\n"
                "  --algo: %s\n"
                "  --init: %s\n",
                argv0, joined_keys(engine::solver_names()).c_str(),
@@ -83,6 +86,7 @@ int main(int argc, char** argv) {
   RunConfig config;
   std::uint64_t seed = 1;
   double size = 1.0;
+  std::string trace_path;
   bool want_dm = false;
   bool want_phases = false;
   bool want_json = false;
@@ -98,10 +102,18 @@ int main(int argc, char** argv) {
     else if (arg == "--gen") gen_name = next();
     else if (arg == "--algo") algo = next();
     else if (arg == "--init") init = next();
-    else if (arg == "--threads") config.threads = std::atoi(next());
-    else if (arg == "--alpha") config.alpha = std::atof(next());
-    else if (arg == "--seed") seed = std::strtoull(next(), nullptr, 10);
-    else if (arg == "--size") size = std::atof(next());
+    else if (arg == "--threads") {
+      config.threads =
+          static_cast<int>(cli::parse_int_arg("--threads", next(), 0, 65536));
+    }
+    else if (arg == "--alpha") {
+      config.alpha = cli::parse_double_arg("--alpha", next(), 1e-9, 1e18);
+    }
+    else if (arg == "--seed") seed = cli::parse_uint_arg("--seed", next());
+    else if (arg == "--size") {
+      size = cli::parse_double_arg("--size", next(), 0.0, 1e9);
+    }
+    else if (arg == "--trace") trace_path = next();
     else if (arg == "--dm") want_dm = true;
     else if (arg == "--phases") want_phases = true;
     else if (arg == "--json") want_json = true;
@@ -132,6 +144,14 @@ int main(int argc, char** argv) {
     }
   }
   if (mtx_path.empty() == gen_name.empty()) usage(argv[0]);
+  if (!trace_path.empty()) {
+    if (!obs::compiled()) {
+      std::fprintf(stderr,
+                   "error: --trace requires a GRAFTMATCH_TRACE=ON build\n");
+      return 2;
+    }
+    obs::arm();
+  }
 
   BipartiteGraph graph;
   if (!mtx_path.empty()) {
@@ -155,6 +175,22 @@ int main(int argc, char** argv) {
     std::printf("%s\n", run_stats_json(stats).c_str());
   } else {
     std::printf("%s\n", format_run_stats(stats).c_str());
+  }
+
+  if (!trace_path.empty()) {
+    const obs::RunTrace& trace = obs::last_run();
+    if (!trace.collected) {
+      std::fprintf(stderr, "error: the run produced no trace\n");
+      return 1;
+    }
+    if (!obs::write_chrome_trace_file(trace_path, trace)) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    std::printf("trace: %lld events (%lld dropped) -> %s\n",
+                static_cast<long long>(trace.events.size()),
+                static_cast<long long>(trace.dropped), trace_path.c_str());
   }
 
   if (want_phases && !stats.phase_stats.empty()) {

@@ -12,7 +12,9 @@ int main(int argc, char** argv) {
   using namespace graftmatch;
 
   RmatParams params;
-  params.scale = argc > 1 ? std::atoi(argv[1]) : 16;
+  params.scale =
+      argc > 1 ? static_cast<int>(cli::parse_int_arg("scale", argv[1], 1, 28))
+               : 16;
   params.edge_factor = 16.0;
   params.seed = 7;
 

@@ -74,9 +74,12 @@ void print_phase_table(const RunStats& stats) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int log_size = argc > 1 ? std::atoi(argv[1]) : 16;
+  const int log_size =
+      argc > 1
+          ? static_cast<int>(cli::parse_int_arg("log2-vertices", argv[1], 1, 28))
+          : 16;
   ChungLuParams params;
-  params.nx = params.ny = 1 << (log_size > 0 ? log_size : 16);
+  params.nx = params.ny = 1 << log_size;
   params.avg_degree = 8.0;
   params.seed = 13;
   const BipartiteGraph original = generate_chung_lu(params);

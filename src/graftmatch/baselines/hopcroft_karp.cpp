@@ -41,7 +41,7 @@ RunStats hopcroft_karp(const BipartiteGraph& g, Matching& matching,
     ++stats.phases;
 
     // ---- BFS: build levels until the first free Y vertex is seen.
-    sink.watch(engine::Step::kTopDown).start();
+    sink.start(engine::Step::kTopDown);
     std::int64_t shortest = kInfinity;
     frontier.clear();
     for (vid_t x = 0; x < nx; ++x) {
@@ -69,11 +69,11 @@ RunStats hopcroft_karp(const BipartiteGraph& g, Matching& matching,
       frontier.swap(next);
       ++level;
     }
-    sink.watch(engine::Step::kTopDown).stop();
+    sink.stop(engine::Step::kTopDown);
     if (shortest == kInfinity) break;  // no augmenting path: maximum
 
     // ---- DFS: peel off vertex-disjoint shortest augmenting paths.
-    const ScopedLap lap = sink.scoped(engine::Step::kAugment);
+    const auto lap = sink.scoped(engine::Step::kAugment);
     for (vid_t x = 0; x < nx; ++x) {
       cursor[static_cast<std::size_t>(x)] =
           x_offsets[static_cast<std::size_t>(x)];

@@ -175,7 +175,7 @@ RunStats pothen_fan(const BipartiteGraph& g, Matching& matching,
   bool forward = true;
   while (progress) {
     ++stats.phases;
-    const ScopedLap lap = sink.scoped(engine::Step::kTopDown);
+    const auto lap = sink.scoped(engine::Step::kTopDown);
     first_touch_fill(visited, std::uint8_t{0});
 
     // Workspaces are per phase (fresh per team thread), so the merged

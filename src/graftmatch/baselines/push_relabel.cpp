@@ -59,7 +59,7 @@ RunStats push_relabel(const BipartiteGraph& g, Matching& matching,
   std::vector<vid_t> next;
   const engine::Adjacency reverse_adj = engine::y_adjacency(g);
   const auto global_relabel = [&] {
-    const ScopedLap lap = sink.scoped(engine::Step::kStatistics);
+    const auto lap = sink.scoped(engine::Step::kStatistics);
     std::fill(psi.begin(), psi.end(), label_max);
     frontier.clear();
     for (vid_t y = 0; y < ny; ++y) {
@@ -151,7 +151,7 @@ RunStats push_relabel(const BipartiteGraph& g, Matching& matching,
 
   const int chunk = std::max(1, config.pr_queue_limit);
   while (!active.empty()) {
-    sink.watch(engine::Step::kTopDown).start();
+    sink.start(engine::Step::kTopDown);
     const engine::TraversalCounters counters = engine::for_each_chunked(
         active.items(), chunk, reactivated,
         [&](vid_t x, auto& out, engine::TraversalCounters& local) {
@@ -163,7 +163,7 @@ RunStats push_relabel(const BipartiteGraph& g, Matching& matching,
           ++local.visits;  // one double push
           if (displaced != kInvalidVertex) out.push(displaced);
         });
-    sink.watch(engine::Step::kTopDown).stop();
+    sink.stop(engine::Step::kTopDown);
     stats.edges_traversed += counters.edges;
 
     ++stats.phases;

@@ -35,7 +35,7 @@ RunStats ss_bfs(const BipartiteGraph& g, Matching& matching,
     vid_t found_leaf = kInvalidVertex;
 
     {
-      const ScopedLap lap = sink.scoped(engine::Step::kTopDown);
+      const auto lap = sink.scoped(engine::Step::kTopDown);
       while (!frontier.empty() && found_leaf == kInvalidVertex) {
         next.clear();
         stats.edges_traversed +=
@@ -57,7 +57,7 @@ RunStats ss_bfs(const BipartiteGraph& g, Matching& matching,
     }
 
     if (found_leaf != kInvalidVertex) {
-      const ScopedLap lap = sink.scoped(engine::Step::kAugment);
+      const auto lap = sink.scoped(engine::Step::kAugment);
       // Flip the path by walking parent/mate pointers back to x0.
       std::int64_t path_edges = 0;
       vid_t y = found_leaf;

@@ -35,7 +35,7 @@ RunStats ss_dfs(const BipartiteGraph& g, Matching& matching,
     stack.assign(1, {x0, x_offsets[static_cast<std::size_t>(x0)]});
     vid_t found_leaf = kInvalidVertex;
 
-    sink.watch(engine::Step::kTopDown).start();
+    sink.start(engine::Step::kTopDown);
     while (!stack.empty() && found_leaf == kInvalidVertex) {
       auto& [x, position] = stack.back();
       if (position == x_offsets[static_cast<std::size_t>(x) + 1]) {
@@ -56,10 +56,10 @@ RunStats ss_dfs(const BipartiteGraph& g, Matching& matching,
       }
     }
 
-    sink.watch(engine::Step::kTopDown).stop();
+    sink.stop(engine::Step::kTopDown);
 
     if (found_leaf != kInvalidVertex) {
-      const ScopedLap lap = sink.scoped(engine::Step::kAugment);
+      const auto lap = sink.scoped(engine::Step::kAugment);
       std::int64_t path_edges = 0;
       vid_t y = found_leaf;
       while (y != kInvalidVertex) {

@@ -8,6 +8,7 @@
 #include "graftmatch/engine/edge_partition.hpp"
 #include "graftmatch/engine/frontier_kernels.hpp"
 #include "graftmatch/engine/stats_sink.hpp"
+#include "graftmatch/obs/trace.hpp"
 #include "graftmatch/runtime/atomics.hpp"
 #include "graftmatch/runtime/frontier_queue.hpp"
 #include "graftmatch/runtime/parallel.hpp"
@@ -272,6 +273,7 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
 
   while (true) {
     ++stats.phases;
+    obs::emit_begin(obs::names::kPhase, stats.phases);
     PhaseStats phase_row;
     phase_row.phase = stats.phases;
     const Timer phase_timer;
@@ -291,6 +293,7 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
     std::int64_t level = 0;
     bool candidates_fresh = false;
     bool bottom_up_banned = false;
+    bool last_bottom_up = false;
     while (!state.frontier.empty()) {
       const auto frontier_size =
           static_cast<std::int64_t>(state.frontier.size());
@@ -298,6 +301,13 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
           config.direction_optimizing && !bottom_up_banned &&
           engine::prefer_bottom_up(frontier_size, state.unvisited_y,
                                    config.alpha);
+      obs::emit_counter(obs::names::kFrontier, frontier_size,
+                        use_bottom_up ? 1 : 0);
+      if (level > 0 && use_bottom_up != last_bottom_up) {
+        obs::emit_instant(obs::names::kDirectionSwitch, level,
+                          use_bottom_up ? 1 : 0);
+      }
+      last_bottom_up = use_bottom_up;
 
       if (config.collect_frontier_trace) {
         stats.frontier_trace.push_back(
@@ -309,7 +319,7 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
       ++state.now;  // vertices joining during this pass get a new stamp
       phase_row.bottom_up_levels += use_bottom_up;
       if (use_bottom_up) {
-        const ScopedLap lap = sink.scoped(Step::kBottomUp);
+        const auto lap = sink.scoped(Step::kBottomUp);
         if (!candidates_fresh) {
           candidates.clear();
           engine::collect_if(ny, candidates, [&](vid_t y) {
@@ -327,7 +337,7 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
         }
         candidates.swap(failed_candidates);
       } else {
-        const ScopedLap lap = sink.scoped(Step::kTopDown);
+        const auto lap = sink.scoped(Step::kTopDown);
         top_down(state, stats.edges_traversed, newly_visited);
         // The candidate list stays a (stale but safe) superset of the
         // unvisited set across top-down levels: visits only shrink it,
@@ -344,7 +354,7 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
 
     // ---- Step 2: augment along every renewable tree's unique path.
     {
-      const ScopedLap lap = sink.scoped(Step::kStatistics);
+      const auto lap = sink.scoped(Step::kStatistics);
       renewable_roots.clear();
       engine::collect_if(nx, renewable_roots, [&](vid_t x) {
         // Renewable roots are exactly the still-unmatched roots whose
@@ -356,7 +366,7 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
       });
     }
 
-    sink.watch(Step::kAugment).start();
+    sink.start(Step::kAugment);
     {
       const auto roots = renewable_roots.items();
       const auto count = static_cast<std::int64_t>(roots.size());
@@ -395,7 +405,7 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
       for (const std::int64_t length : path_lengths) {
         ++stats.path_length_histogram[length];
       }
-      sink.watch(Step::kAugment).stop();
+      sink.stop(Step::kAugment);
 
       if (count == 0) {
         if (config.collect_phase_stats) {
@@ -403,6 +413,7 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
           phase_row.seconds = phase_timer.elapsed();
           stats.phase_stats.push_back(phase_row);
         }
+        obs::emit_end(obs::names::kPhase, stats.phases, 0);
         break;  // no augmenting path in this phase: maximum
       }
     }
@@ -412,7 +423,7 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
     // (tree found a path) and active, and count active X vertices.
     std::int64_t active_x_count = 0;
     {
-      const ScopedLap lap = sink.scoped(Step::kStatistics);
+      const auto lap = sink.scoped(Step::kStatistics);
       renewable_y.clear();
       active_y.clear();
       engine::for_each_index(
@@ -430,7 +441,7 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
           engine::count_if(nx, [&](vid_t x) { return state.in_active_tree(x); });
     }
 
-    sink.watch(Step::kGraft).start();
+    sink.start(Step::kGraft);
     // Free the renewable Y vertices so they can join other trees
     // (Algorithm 3 lines 16-17 / Algorithm 7 lines 6-7).
     {
@@ -451,6 +462,9 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
         config.tree_grafting &&
         static_cast<double>(active_x_count) >
             static_cast<double>(renewable_y.size()) / config.alpha;
+    obs::emit_instant(
+        graft_profitable ? obs::names::kGraftChosen : obs::names::kRebuildChosen,
+        active_x_count, static_cast<std::int64_t>(renewable_y.size()));
     phase_row.active_x = active_x_count;
     phase_row.renewable_y = static_cast<std::int64_t>(renewable_y.size());
     phase_row.grafted = graft_profitable;
@@ -499,13 +513,14 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
         return true;
       });
     }
-    sink.watch(Step::kGraft).stop();
+    sink.stop(Step::kGraft);
 
     if (config.collect_phase_stats) {
       phase_row.edges = stats.edges_traversed - phase_edges_before;
       phase_row.seconds = phase_timer.elapsed();
       stats.phase_stats.push_back(phase_row);
     }
+    obs::emit_end(obs::names::kPhase, stats.phases, phase_row.augmentations);
   }
 
   sink.finish(matching);

@@ -1,5 +1,6 @@
 #include "graftmatch/core/run_stats.hpp"
 
+#include <cmath>
 #include <iomanip>
 #include <sstream>
 
@@ -7,6 +8,17 @@
 
 namespace graftmatch {
 namespace {
+
+/// JSON has no NaN/Inf literals; raw-streaming a non-finite double
+/// (possible e.g. from a degenerate 0-second run) would corrupt the
+/// document. Emit 0 for anything non-finite.
+void append_number(std::ostringstream& out, double value) {
+  if (std::isfinite(value)) {
+    out << value;
+  } else {
+    out << 0;
+  }
+}
 
 void append_escaped(std::ostringstream& out, const std::string& text) {
   out << '"';
@@ -53,15 +65,36 @@ std::string run_stats_json(const RunStats& stats) {
       << ",\"total_path_edges\":" << stats.total_path_edges
       << ",\"initial_cardinality\":" << stats.initial_cardinality
       << ",\"final_cardinality\":" << stats.final_cardinality
-      << ",\"threads_used\":" << stats.threads_used
-      << ",\"seconds\":" << stats.seconds
-      << ",\"avg_path_length\":" << stats.avg_path_length()
-      << ",\"mteps\":" << stats.mteps();
+      << ",\"threads_used\":" << stats.threads_used << ",\"seconds\":";
+  append_number(out, stats.seconds);
+  out << ",\"avg_path_length\":";
+  append_number(out, stats.avg_path_length());
+  out << ",\"mteps\":";
+  append_number(out, stats.mteps());
   const StepSeconds& s = stats.step_seconds;
-  out << ",\"step_seconds\":{\"top_down\":" << s.top_down
-      << ",\"bottom_up\":" << s.bottom_up << ",\"augment\":" << s.augment
-      << ",\"graft\":" << s.graft << ",\"statistics\":" << s.statistics
-      << ",\"other\":" << s.other << "}";
+  out << ",\"step_seconds\":{\"top_down\":";
+  append_number(out, s.top_down);
+  out << ",\"bottom_up\":";
+  append_number(out, s.bottom_up);
+  out << ",\"augment\":";
+  append_number(out, s.augment);
+  out << ",\"graft\":";
+  append_number(out, s.graft);
+  out << ",\"statistics\":";
+  append_number(out, s.statistics);
+  out << ",\"other\":";
+  append_number(out, s.other);
+  out << "}";
+  if (stats.obs.collected) {
+    const ObsCounters& o = stats.obs;
+    out << ",\"obs\":{\"events\":" << o.events << ",\"dropped\":" << o.dropped
+        << ",\"levels\":" << o.levels
+        << ",\"bottom_up_levels\":" << o.bottom_up_levels
+        << ",\"direction_switches\":" << o.direction_switches
+        << ",\"grafts\":" << o.grafts << ",\"rebuilds\":" << o.rebuilds
+        << ",\"frontier_peak\":" << o.frontier_peak
+        << ",\"frontier_volume\":" << o.frontier_volume << "}";
+  }
   if (!stats.path_length_histogram.empty()) {
     out << ",\"path_length_histogram\":[";
     bool first = true;
@@ -83,7 +116,9 @@ std::string run_stats_json(const RunStats& stats) {
           << ",\"active_x\":" << p.active_x
           << ",\"renewable_y\":" << p.renewable_y
           << ",\"grafted\":" << (p.grafted ? "true" : "false")
-          << ",\"seconds\":" << p.seconds << "}";
+          << ",\"seconds\":";
+      append_number(out, p.seconds);
+      out << "}";
     }
     out << "]";
   }

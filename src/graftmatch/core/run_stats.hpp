@@ -85,6 +85,23 @@ struct FrontierSample {
   bool bottom_up = false;          ///< direction chosen for this level
 };
 
+/// Counters distilled from the structured trace (src/graftmatch/obs/)
+/// when a run executed with tracing armed. `collected` stays false on
+/// untraced runs and in GRAFTMATCH_TRACE=OFF builds; the other fields
+/// are then meaningless.
+struct ObsCounters {
+  bool collected = false;
+  std::int64_t events = 0;   ///< trace events captured across threads
+  std::int64_t dropped = 0;  ///< events lost to full per-thread rings
+  std::int64_t levels = 0;   ///< BFS levels (frontier samples) observed
+  std::int64_t bottom_up_levels = 0;
+  std::int64_t direction_switches = 0;  ///< mid-phase direction flips
+  std::int64_t grafts = 0;              ///< phases ending in a graft
+  std::int64_t rebuilds = 0;            ///< phases ending in a rebuild
+  std::int64_t frontier_peak = 0;       ///< max |F| over all levels
+  std::int64_t frontier_volume = 0;     ///< sum of |F| over all levels
+};
+
 /// Wall-clock seconds per algorithm step (Fig. 6's categories).
 struct StepSeconds {
   double top_down = 0.0;
@@ -117,6 +134,10 @@ struct RunStats {
 
   double seconds = 0.0;  ///< total wall time of the matching run
   StepSeconds step_seconds;
+
+  /// Trace-derived counters (see ObsCounters). Stamped by StatsSink
+  /// when the run owned an armed trace.
+  ObsCounters obs;
 
   /// Filled when RunConfig::collect_frontier_trace is set.
   std::vector<FrontierSample> frontier_trace;

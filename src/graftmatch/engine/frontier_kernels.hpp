@@ -31,6 +31,7 @@
 
 #include "graftmatch/engine/edge_partition.hpp"
 #include "graftmatch/graph/bipartite_graph.hpp"
+#include "graftmatch/obs/trace.hpp"
 #include "graftmatch/runtime/atomics.hpp"
 #include "graftmatch/runtime/frontier_queue.hpp"
 #include "graftmatch/runtime/parallel.hpp"
@@ -96,6 +97,7 @@ TraversalCounters for_each_frontier_edge(const Adjacency& adj,
                                          EdgePartition& partition,
                                          Filter&& filter, Visit&& visit) {
   if (serial_team()) {
+    const std::int64_t span_start = obs::timestamp();
     TraversalCounters totals;
     auto out = next.handle();
     for (const vid_t u : frontier) {
@@ -104,6 +106,8 @@ TraversalCounters for_each_frontier_edge(const Adjacency& adj,
       totals.edges += static_cast<std::int64_t>(nbrs.size());
       for (const vid_t v : nbrs) visit(u, v, out, totals);
     }
+    obs::emit_complete(obs::names::kKernelFrontierEdge, span_start,
+                       totals.edges, totals.visits);
     return totals;
   }
   const auto count = static_cast<std::int64_t>(frontier.size());
@@ -112,6 +116,7 @@ TraversalCounters for_each_frontier_edge(const Adjacency& adj,
   });
   TraversalCounters totals;
   parallel_region([&] {
+    const std::int64_t span_start = obs::timestamp();
     auto out = next.handle();
     TraversalCounters local;
     const EdgePartition::Range share =
@@ -133,6 +138,8 @@ TraversalCounters for_each_frontier_edge(const Adjacency& adj,
         }
       }
     }
+    obs::emit_complete(obs::names::kKernelFrontierEdge, span_start,
+                       local.edges, local.visits);
     fetch_add_relaxed(totals.edges, local.edges);
     fetch_add_relaxed(totals.visits, local.visits);
   });
@@ -154,6 +161,7 @@ TraversalCounters for_each_unvisited_reverse(const Adjacency& adj,
                                              EdgePartition& partition,
                                              Skip&& skip, TryEdge&& try_edge) {
   if (serial_team()) {
+    const std::int64_t span_start = obs::timestamp();
     TraversalCounters totals;
     auto out = next.handle();
     auto failed_out = failed.handle();
@@ -170,6 +178,8 @@ TraversalCounters for_each_unvisited_reverse(const Adjacency& adj,
       }
       if (!attached) failed_out.push(y);
     }
+    obs::emit_complete(obs::names::kKernelReverse, span_start, totals.edges,
+                       totals.visits);
     return totals;
   }
   const auto count = static_cast<std::int64_t>(candidates.size());
@@ -180,6 +190,7 @@ TraversalCounters for_each_unvisited_reverse(const Adjacency& adj,
   });
   TraversalCounters totals;
   parallel_region([&] {
+    const std::int64_t span_start = obs::timestamp();
     auto out = next.handle();
     auto failed_out = failed.handle();
     TraversalCounters local;
@@ -199,6 +210,8 @@ TraversalCounters for_each_unvisited_reverse(const Adjacency& adj,
       }
       if (!attached) failed_out.push(y);
     }
+    obs::emit_complete(obs::names::kKernelReverse, span_start, local.edges,
+                       local.visits);
     fetch_add_relaxed(totals.edges, local.edges);
     fetch_add_relaxed(totals.visits, local.visits);
   });
@@ -243,6 +256,7 @@ TraversalCounters for_each_chunked(std::span<const vid_t> items, int chunk,
   const auto step = static_cast<std::int64_t>(chunk > 0 ? chunk : 1);
   TraversalCounters totals;
   parallel_region([&] {
+    const std::int64_t span_start = obs::timestamp();
     auto handle = out.handle();
     TraversalCounters local;
 #pragma omp for schedule(dynamic, 1) nowait
@@ -253,6 +267,8 @@ TraversalCounters for_each_chunked(std::span<const vid_t> items, int chunk,
       }
     }
     handle.flush();
+    obs::emit_complete(obs::names::kKernelChunked, span_start, local.edges,
+                       local.visits);
     fetch_add_relaxed(totals.edges, local.edges);
     fetch_add_relaxed(totals.visits, local.visits);
   });

@@ -53,6 +53,11 @@
 #include "graftmatch/engine/registry.hpp"
 #include "graftmatch/engine/stats_sink.hpp"
 
+// Observability: structured tracing and Chrome trace export
+#include "graftmatch/obs/chrome_trace.hpp"
+#include "graftmatch/obs/summary.hpp"
+#include "graftmatch/obs/trace.hpp"
+
 // Verification
 #include "graftmatch/verify/koenig.hpp"
 #include "graftmatch/verify/validate.hpp"
@@ -63,5 +68,6 @@
 
 // Runtime utilities
 #include "graftmatch/runtime/affinity.hpp"
+#include "graftmatch/runtime/cli.hpp"
 #include "graftmatch/runtime/system_info.hpp"
 #include "graftmatch/runtime/timer.hpp"

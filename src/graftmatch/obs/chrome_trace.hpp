@@ -1,0 +1,23 @@
+// Chrome trace_event serialization of an obs::RunTrace.
+//
+// The output is the JSON Object Format of the Trace Event spec:
+// {"traceEvents":[...]} with B/E/X/C/i phase records plus process- and
+// thread-name metadata, loadable in chrome://tracing and Perfetto
+// (ui.perfetto.dev -> Open trace file). Timestamps are microseconds
+// with nanosecond precision preserved as fractional digits.
+#pragma once
+
+#include <string>
+
+#include "graftmatch/obs/trace.hpp"
+
+namespace graftmatch::obs {
+
+/// Render the trace as a self-contained Chrome trace JSON document.
+std::string chrome_trace_json(const RunTrace& trace);
+
+/// Write chrome_trace_json() to `path`. Returns false when the file
+/// cannot be opened or written.
+bool write_chrome_trace_file(const std::string& path, const RunTrace& trace);
+
+}  // namespace graftmatch::obs

@@ -1,0 +1,172 @@
+#include "graftmatch/obs/trace.hpp"
+
+#if GRAFTMATCH_TRACE_ENABLED
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <limits>
+#include <mutex>
+
+namespace graftmatch::obs {
+namespace {
+
+/// One thread's event ring. Owned exclusively by its registering thread
+/// between begin_run() and end_run(); the serial thread touches it only
+/// outside parallel regions (see the contract in trace.hpp).
+struct ThreadBuffer {
+  std::vector<Event> events;
+  std::int64_t dropped = 0;
+  std::int32_t tid = 0;
+};
+
+std::mutex& registry_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+/// Buffers live for the process lifetime: OpenMP pool threads persist
+/// across runs, and a leaked few-MB ring per thread beats any teardown
+/// race with threads that may still hold the thread_local pointer.
+std::vector<ThreadBuffer*>& registry() {
+  static std::vector<ThreadBuffer*> buffers;
+  return buffers;
+}
+
+std::atomic<bool> g_armed{false};
+/// Max events per thread ring; beyond it events are dropped (counted).
+std::size_t g_capacity = std::size_t{1} << 17;
+std::string g_run_algorithm;
+RunTrace g_last_run;
+
+ThreadBuffer& local_buffer() {
+  thread_local ThreadBuffer* buffer = nullptr;
+  if (buffer == nullptr) {
+    buffer = new ThreadBuffer;
+    const std::scoped_lock lock(registry_mutex());
+    buffer->tid = static_cast<std::int32_t>(registry().size());
+    registry().push_back(buffer);
+  }
+  return *buffer;
+}
+
+std::size_t capacity_from_env() {
+  const char* value = std::getenv("GRAFTMATCH_TRACE_CAPACITY");
+  if (value == nullptr) return std::size_t{1} << 17;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < 16) {
+    return std::size_t{1} << 17;
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+void push_event(ThreadBuffer& buffer, const EventName& name, EventKind kind,
+                std::int64_t ts_ns, std::int64_t dur_ns, std::int64_t arg0,
+                std::int64_t arg1) {
+  if (buffer.events.size() >= g_capacity) {
+    ++buffer.dropped;
+    return;
+  }
+  buffer.events.push_back(
+      {&name, kind, buffer.tid, ts_ns, dur_ns, arg0, arg1});
+}
+
+}  // namespace
+
+namespace detail {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void emit_now(const EventName& name, EventKind kind, std::int64_t arg0,
+              std::int64_t arg1) {
+  push_event(local_buffer(), name, kind, now_ns(), 0, arg0, arg1);
+}
+
+void emit_span(const EventName& name, std::int64_t start_ns,
+               std::int64_t arg0, std::int64_t arg1) {
+  push_event(local_buffer(), name, EventKind::kComplete, start_ns,
+             now_ns() - start_ns, arg0, arg1);
+}
+
+}  // namespace detail
+
+void arm() { g_armed.store(true, std::memory_order_relaxed); }
+void disarm() { g_armed.store(false, std::memory_order_relaxed); }
+bool armed() { return g_armed.load(std::memory_order_relaxed); }
+
+bool begin_run(const char* algorithm, std::int64_t threads) {
+  if (!armed()) return false;
+  if (detail::g_active.load(std::memory_order_relaxed)) {
+    return false;  // nested run: the outer owner's trace absorbs it
+  }
+  {
+    const std::scoped_lock lock(registry_mutex());
+    for (ThreadBuffer* buffer : registry()) {
+      buffer->events.clear();
+      buffer->dropped = 0;
+    }
+  }
+  g_capacity = capacity_from_env();
+  g_run_algorithm = algorithm != nullptr ? algorithm : "";
+  detail::g_active.store(true, std::memory_order_relaxed);
+  detail::emit_now(names::kRun, EventKind::kBegin, threads, 0);
+  return true;
+}
+
+void end_run() {
+  if (!detail::g_active.load(std::memory_order_relaxed)) return;
+  detail::emit_now(names::kRun, EventKind::kEnd, 0, 0);
+  detail::g_active.store(false, std::memory_order_relaxed);
+
+  RunTrace trace;
+  trace.algorithm = g_run_algorithm;
+  trace.collected = true;
+  const std::scoped_lock lock(registry_mutex());
+  std::size_t total = 0;
+  std::int64_t epoch = std::numeric_limits<std::int64_t>::max();
+  for (const ThreadBuffer* buffer : registry()) {
+    total += buffer->events.size();
+    trace.dropped += buffer->dropped;
+    if (!buffer->events.empty()) {
+      // Per-thread rings are emission-ordered, so the first event is
+      // the thread's earliest; the global minimum is the run begin.
+      epoch = std::min(epoch, buffer->events.front().ts_ns);
+      ++trace.thread_count;
+    }
+  }
+  trace.events.reserve(total);
+  for (const ThreadBuffer* buffer : registry()) {
+    for (Event event : buffer->events) {
+      event.ts_ns -= epoch;
+      trace.events.push_back(event);
+    }
+  }
+  g_last_run = std::move(trace);
+}
+
+const RunTrace& last_run() { return g_last_run; }
+
+}  // namespace graftmatch::obs
+
+#else  // GRAFTMATCH_TRACE_ENABLED == 0
+
+namespace graftmatch::obs {
+
+void arm() {}
+void disarm() {}
+bool armed() { return false; }
+bool begin_run(const char*, std::int64_t) { return false; }
+void end_run() {}
+const RunTrace& last_run() {
+  static const RunTrace empty;
+  return empty;
+}
+
+}  // namespace graftmatch::obs
+
+#endif  // GRAFTMATCH_TRACE_ENABLED

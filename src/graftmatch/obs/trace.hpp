@@ -1,0 +1,197 @@
+// Structured tracing: low-overhead per-thread event collection for the
+// traversal engine.
+//
+// The paper's evaluation lives on per-phase anatomy (Fig. 6 step
+// breakdowns, Fig. 8 frontier traces); end-of-run aggregates cannot
+// show a regression INSIDE a phase (e.g. the direction switch firing a
+// level late). This subsystem records phase/step begin-end spans,
+// per-level frontier counters, per-thread kernel spans, and decision
+// instants (direction switches, graft-vs-rebuild) into thread-private
+// rings, then flushes them at run end into a RunTrace that the Chrome
+// trace writer (chrome_trace.hpp), the summarizer (summary.hpp), and
+// RunStats::obs consume.
+//
+// Concurrency contract (matches parallel_region()'s happens-before
+// discipline, so the TSan tier stays suppression-free):
+//  * Each thread writes only its own ring; rings are registered once
+//    under a mutex and then touched exclusively by their owner.
+//  * The serial thread clears rings in begin_run() and snapshots them
+//    in end_run(), both while no parallel region is open; the region
+//    fork edge (release slot store -> acquire body load) orders the
+//    clear before any worker write, and the join edge orders every
+//    worker write before the snapshot.
+//  * The active() gate is a relaxed atomic: emitters only need to see
+//    a value, not synchronize through it.
+//
+// Cost model: compiled out entirely at GRAFTMATCH_TRACE_ENABLED=0
+// (every emit call is an empty constexpr-false branch). When compiled
+// in but not armed, each emission site costs one relaxed atomic load.
+// Events are emitted per LEVEL and per PHASE, never per edge, so even
+// armed runs stay within a few percent of untraced time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef GRAFTMATCH_TRACE_ENABLED
+#define GRAFTMATCH_TRACE_ENABLED 1
+#endif
+
+namespace graftmatch::obs {
+
+/// Static identity of an event type: the display name plus labels for
+/// the two payload slots (nullptr = slot unused). Emit sites pass the
+/// canonical constants from obs::names, so events carry one pointer
+/// instead of a string.
+struct EventName {
+  const char* name;
+  const char* arg0;
+  const char* arg1;
+};
+
+namespace names {
+/// Whole-run span, emitted by StatsSink (arg0 = threads).
+inline constexpr EventName kRun{"run", "threads", nullptr};
+/// One repeat-until phase of MS-BFS-Graft (arg0 = 1-based phase,
+/// arg1 on the End event = augmentations found).
+inline constexpr EventName kPhase{"phase", "phase", "augmentations"};
+/// Step spans, one per StatsSink lap. Names match engine::Step.
+inline constexpr EventName kTopDown{"top_down", nullptr, nullptr};
+inline constexpr EventName kBottomUp{"bottom_up", nullptr, nullptr};
+inline constexpr EventName kAugment{"augment", nullptr, nullptr};
+inline constexpr EventName kGraft{"graft", nullptr, nullptr};
+inline constexpr EventName kStatistics{"statistics", nullptr, nullptr};
+/// Per-level frontier counter (arg0 = |F|, arg1 = 1 for bottom-up).
+inline constexpr EventName kFrontier{"frontier", "size", "bottom_up"};
+/// Per-thread kernel spans from frontier_kernels.hpp (arg0 = edges
+/// scanned by that thread, arg1 = successful visits).
+inline constexpr EventName kKernelFrontierEdge{"kernel.frontier_edge",
+                                               "edges", "visits"};
+inline constexpr EventName kKernelReverse{"kernel.reverse", "edges",
+                                          "visits"};
+inline constexpr EventName kKernelChunked{"kernel.chunked", "edges",
+                                          "visits"};
+/// Direction flip within a phase (arg0 = level, arg1 = new direction).
+inline constexpr EventName kDirectionSwitch{"direction_switch", "level",
+                                            "bottom_up"};
+/// Step 3 decision instants (arg0 = |activeX|, arg1 = |renewableY|).
+inline constexpr EventName kGraftChosen{"graft_chosen", "active_x",
+                                        "renewable_y"};
+inline constexpr EventName kRebuildChosen{"rebuild_chosen", "active_x",
+                                          "renewable_y"};
+}  // namespace names
+
+/// Chrome trace_event phase kinds this subsystem emits.
+enum class EventKind : std::uint8_t {
+  kBegin,     ///< "B": span opens
+  kEnd,       ///< "E": span closes
+  kComplete,  ///< "X": span with duration, emitted once at its end
+  kCounter,   ///< "C": sampled value
+  kInstant,   ///< "i": point event
+};
+
+struct Event {
+  const EventName* name = nullptr;
+  EventKind kind = EventKind::kInstant;
+  std::int32_t tid = 0;     ///< ring registration order (0 = first emitter)
+  std::int64_t ts_ns = 0;   ///< relative to run begin after the snapshot
+  std::int64_t dur_ns = 0;  ///< kComplete only
+  std::int64_t arg0 = 0;
+  std::int64_t arg1 = 0;
+};
+
+/// The flushed result of one traced run: events grouped by thread
+/// (contiguous per tid, timestamp-ordered within a tid).
+struct RunTrace {
+  std::string algorithm;
+  std::vector<Event> events;
+  std::int64_t dropped = 0;  ///< events lost to full rings (see capacity)
+  int thread_count = 0;      ///< rings that contributed at least one event
+  bool collected = false;
+};
+
+/// Arm / disarm collection. Arming alone records nothing: the next
+/// StatsSink run (begin_run/end_run pair) collects. Ring capacity is
+/// re-read from GRAFTMATCH_TRACE_CAPACITY (events per thread, default
+/// 1<<17) at every begin_run().
+void arm();
+void disarm();
+bool armed();
+
+/// Run lifecycle, called by the engine's StatsSink. begin_run() returns
+/// true when this call owns the trace (armed, and no run already
+/// active -- a nested solver run records into its owner's trace);
+/// only the owner calls end_run(), which snapshots every ring into the
+/// trace returned by last_run().
+bool begin_run(const char* algorithm, std::int64_t threads);
+void end_run();
+const RunTrace& last_run();
+
+#if GRAFTMATCH_TRACE_ENABLED
+
+namespace detail {
+/// Collection gate. Relaxed everywhere: the fork/join edges of
+/// parallel_region() order the serial-thread flips against worker
+/// emissions, the atomic only keeps the flag itself race-free.
+inline std::atomic<bool> g_active{false};
+std::int64_t now_ns();
+void emit_now(const EventName& name, EventKind kind, std::int64_t arg0,
+              std::int64_t arg1);
+void emit_span(const EventName& name, std::int64_t start_ns,
+               std::int64_t arg0, std::int64_t arg1);
+}  // namespace detail
+
+constexpr bool compiled() noexcept { return true; }
+inline bool active() noexcept {
+  return detail::g_active.load(std::memory_order_relaxed);
+}
+/// Span start marker for emit_complete(); 0 when not collecting.
+inline std::int64_t timestamp() noexcept {
+  return active() ? detail::now_ns() : 0;
+}
+inline void emit_begin(const EventName& name, std::int64_t arg0 = 0,
+                       std::int64_t arg1 = 0) {
+  if (active()) detail::emit_now(name, EventKind::kBegin, arg0, arg1);
+}
+inline void emit_end(const EventName& name, std::int64_t arg0 = 0,
+                     std::int64_t arg1 = 0) {
+  if (active()) detail::emit_now(name, EventKind::kEnd, arg0, arg1);
+}
+inline void emit_counter(const EventName& name, std::int64_t arg0,
+                         std::int64_t arg1 = 0) {
+  if (active()) detail::emit_now(name, EventKind::kCounter, arg0, arg1);
+}
+inline void emit_instant(const EventName& name, std::int64_t arg0 = 0,
+                         std::int64_t arg1 = 0) {
+  if (active()) detail::emit_now(name, EventKind::kInstant, arg0, arg1);
+}
+/// Close a span opened with timestamp(). No-op when the start marker is
+/// 0 (collection was off when the span opened).
+inline void emit_complete(const EventName& name, std::int64_t start_ns,
+                          std::int64_t arg0 = 0, std::int64_t arg1 = 0) {
+  if (start_ns != 0 && active()) {
+    detail::emit_span(name, start_ns, arg0, arg1);
+  }
+}
+
+#else  // GRAFTMATCH_TRACE_ENABLED == 0: every emitter folds to nothing.
+
+constexpr bool compiled() noexcept { return false; }
+constexpr bool active() noexcept { return false; }
+constexpr std::int64_t timestamp() noexcept { return 0; }
+constexpr void emit_begin(const EventName&, std::int64_t = 0,
+                          std::int64_t = 0) noexcept {}
+constexpr void emit_end(const EventName&, std::int64_t = 0,
+                        std::int64_t = 0) noexcept {}
+constexpr void emit_counter(const EventName&, std::int64_t,
+                            std::int64_t = 0) noexcept {}
+constexpr void emit_instant(const EventName&, std::int64_t = 0,
+                            std::int64_t = 0) noexcept {}
+constexpr void emit_complete(const EventName&, std::int64_t,
+                             std::int64_t = 0, std::int64_t = 0) noexcept {}
+
+#endif  // GRAFTMATCH_TRACE_ENABLED
+
+}  // namespace graftmatch::obs

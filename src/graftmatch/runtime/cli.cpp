@@ -1,0 +1,82 @@
+#include "graftmatch/runtime/cli.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace graftmatch::cli {
+namespace {
+
+/// from_chars already rejects leading whitespace and '+'; the extra
+/// checks here reject empty tokens and trailing junk ("12x", "3.5GB").
+template <typename T>
+std::optional<T> parse_full(std::string_view text) noexcept {
+  if (text.empty()) return std::nullopt;
+  T value{};
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || end != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace
+
+std::optional<std::int64_t> try_parse_int(std::string_view text,
+                                          std::int64_t min,
+                                          std::int64_t max) noexcept {
+  const auto value = parse_full<std::int64_t>(text);
+  if (!value || *value < min || *value > max) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> try_parse_uint(std::string_view text) noexcept {
+  // from_chars<unsigned> accepts "-1" by wrapping; reject a sign up front.
+  if (!text.empty() && text.front() == '-') return std::nullopt;
+  return parse_full<std::uint64_t>(text);
+}
+
+std::optional<double> try_parse_double(std::string_view text, double min,
+                                       double max) noexcept {
+  const auto value = parse_full<double>(text);
+  // from_chars accepts "inf"/"nan" spellings; a finite range check
+  // rejects both along with genuine overflow.
+  if (!value || !std::isfinite(*value) || *value < min || *value > max) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::int64_t parse_int_arg(const char* flag, const char* text,
+                           std::int64_t min, std::int64_t max) {
+  if (const auto value = try_parse_int(text ? text : "", min, max)) {
+    return *value;
+  }
+  std::fprintf(stderr,
+               "error: %s expects an integer in [%lld, %lld], got '%s'\n",
+               flag, static_cast<long long>(min), static_cast<long long>(max),
+               text ? text : "");
+  std::exit(2);
+}
+
+std::uint64_t parse_uint_arg(const char* flag, const char* text) {
+  if (const auto value = try_parse_uint(text ? text : "")) return *value;
+  std::fprintf(stderr,
+               "error: %s expects a non-negative integer, got '%s'\n", flag,
+               text ? text : "");
+  std::exit(2);
+}
+
+double parse_double_arg(const char* flag, const char* text, double min,
+                        double max) {
+  if (const auto value = try_parse_double(text ? text : "", min, max)) {
+    return *value;
+  }
+  std::fprintf(stderr, "error: %s expects a number in [%g, %g], got '%s'\n",
+               flag, min, max, text ? text : "");
+  std::exit(2);
+}
+
+}  // namespace graftmatch::cli

@@ -1,0 +1,40 @@
+// Strict command-line number parsing shared by the examples and benches.
+//
+// The tools originally parsed flag values with std::atoi/std::atoll,
+// which silently turn garbage into 0 ("--threads banana" ran serial,
+// "--size 1e" ran the default size) and wrap on overflow. These helpers
+// parse with std::from_chars, require the whole token to be consumed,
+// enforce a caller-supplied range, and either return nullopt (try_*)
+// or print a usage-style diagnostic and exit(2) (parse_*_arg).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace graftmatch::cli {
+
+/// Parse a whole token as a decimal integer in [min, max]. Rejects
+/// empty tokens, leading whitespace or '+', trailing junk, and
+/// out-of-range values. Negative numbers are accepted when min < 0.
+std::optional<std::int64_t> try_parse_int(
+    std::string_view text, std::int64_t min = INT64_MIN,
+    std::int64_t max = INT64_MAX) noexcept;
+
+/// As try_parse_int for non-negative 64-bit values (seeds).
+std::optional<std::uint64_t> try_parse_uint(std::string_view text) noexcept;
+
+/// Parse a whole token as a finite double in [min, max]. Rejects the
+/// "inf"/"nan" spellings std::from_chars would otherwise accept.
+std::optional<double> try_parse_double(std::string_view text, double min,
+                                       double max) noexcept;
+
+/// Strict CLI-facing wrappers: on any parse or range failure they print
+/// "error: <flag> expects ..." to stderr and exit(2).
+std::int64_t parse_int_arg(const char* flag, const char* text,
+                           std::int64_t min, std::int64_t max);
+std::uint64_t parse_uint_arg(const char* flag, const char* text);
+double parse_double_arg(const char* flag, const char* text, double min,
+                        double max);
+
+}  // namespace graftmatch::cli

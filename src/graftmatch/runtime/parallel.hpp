@@ -62,19 +62,33 @@ namespace graftmatch {
 /// therefore assume a given call site is not re-entered concurrently
 /// from multiple host threads; the library itself never does so.
 /// Width of the team most recently opened by parallel_region() on any
-/// thread. A test probe: regression tests for RunConfig::threads pin a
-/// thread count, run a solver, and assert the regions it opened were
-/// that wide (see tests/test_engine_registry.cpp). Relaxed is enough --
-/// probing callers sequence the read after the solver returns.
+/// thread: the requested width before the region opens, overwritten
+/// from inside the region with the width the runtime actually granted
+/// (they differ under OMP_THREAD_LIMIT or nesting restrictions). A test
+/// probe: regression tests for RunConfig::threads pin a thread count,
+/// run a solver, and assert the regions it opened were that wide (see
+/// tests/test_engine_registry.cpp); the engine's StatsSink reads it to
+/// stamp RunStats::threads_used. Relaxed is enough -- probing callers
+/// sequence the read after the solver returns.
 inline std::atomic<int>& last_team_width() noexcept {
   static std::atomic<int> width{0};
   return width;
+}
+
+/// Count of parallel_region() calls issued so far (on any thread).
+/// StatsSink snapshots this at run start: if it moved by finish() time,
+/// at least one region ran and last_team_width() holds a granted width
+/// for this run rather than a stale or guessed value.
+inline std::atomic<std::uint64_t>& region_epoch() noexcept {
+  static std::atomic<std::uint64_t> epoch{0};
+  return epoch;
 }
 
 template <typename Fn>
 inline void parallel_region(int num_threads, Fn&& fn) {
   const int team = num_threads > 0 ? num_threads : omp_get_max_threads();
   last_team_width().store(team, std::memory_order_relaxed);
+  region_epoch().fetch_add(1, std::memory_order_relaxed);
 #if GRAFTMATCH_TSAN_ACTIVE
   using Body = std::remove_reference_t<Fn>;
   static std::atomic<Body*> slot{nullptr};
@@ -82,6 +96,10 @@ inline void parallel_region(int num_threads, Fn&& fn) {
   slot.store(std::addressof(fn), std::memory_order_release);
 #pragma omp parallel num_threads(team) default(none) shared(slot, joins)
   {
+    if (omp_get_thread_num() == 0) {
+      last_team_width().store(omp_get_num_threads(),
+                              std::memory_order_relaxed);
+    }
     Body& body = *slot.load(std::memory_order_acquire);
     body();
     joins.fetch_add(1, std::memory_order_release);
@@ -89,7 +107,13 @@ inline void parallel_region(int num_threads, Fn&& fn) {
   (void)joins.load(std::memory_order_acquire);
 #else
 #pragma omp parallel num_threads(team)
-  fn();
+  {
+    if (omp_get_thread_num() == 0) {
+      last_team_width().store(omp_get_num_threads(),
+                              std::memory_order_relaxed);
+    }
+    fn();
+  }
 #endif
 }
 

@@ -1,0 +1,132 @@
+// Tests for the strict CLI number parsing (runtime/cli.hpp): exact
+// acceptance/rejection cases plus a randomized differential check of
+// try_parse_int against a strtoll-based strict reference.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "graftmatch/runtime/cli.hpp"
+
+namespace graftmatch::cli {
+namespace {
+
+TEST(TryParseInt, AcceptsPlainDecimals) {
+  EXPECT_EQ(try_parse_int("0"), 0);
+  EXPECT_EQ(try_parse_int("42"), 42);
+  EXPECT_EQ(try_parse_int("-17"), -17);
+  EXPECT_EQ(try_parse_int("9223372036854775807"), INT64_MAX);
+  EXPECT_EQ(try_parse_int("-9223372036854775808"), INT64_MIN);
+}
+
+TEST(TryParseInt, RejectsGarbage) {
+  EXPECT_EQ(try_parse_int(""), std::nullopt);
+  EXPECT_EQ(try_parse_int("banana"), std::nullopt);
+  EXPECT_EQ(try_parse_int("12x"), std::nullopt);     // atoi: 12
+  EXPECT_EQ(try_parse_int("x12"), std::nullopt);
+  EXPECT_EQ(try_parse_int(" 12"), std::nullopt);     // atoi: 12
+  EXPECT_EQ(try_parse_int("12 "), std::nullopt);
+  EXPECT_EQ(try_parse_int("+12"), std::nullopt);
+  EXPECT_EQ(try_parse_int("1.5"), std::nullopt);
+  EXPECT_EQ(try_parse_int("0x10"), std::nullopt);
+  EXPECT_EQ(try_parse_int("--1"), std::nullopt);
+  EXPECT_EQ(try_parse_int("-"), std::nullopt);
+  EXPECT_EQ(try_parse_int("9223372036854775808"), std::nullopt);  // overflow
+  EXPECT_EQ(try_parse_int("-9223372036854775809"), std::nullopt);
+}
+
+TEST(TryParseInt, EnforcesRange) {
+  EXPECT_EQ(try_parse_int("5", 0, 10), 5);
+  EXPECT_EQ(try_parse_int("0", 0, 10), 0);
+  EXPECT_EQ(try_parse_int("10", 0, 10), 10);
+  EXPECT_EQ(try_parse_int("11", 0, 10), std::nullopt);
+  EXPECT_EQ(try_parse_int("-1", 0, 10), std::nullopt);
+}
+
+TEST(TryParseUint, RejectsNegativeAndWraps) {
+  EXPECT_EQ(try_parse_uint("0"), 0u);
+  EXPECT_EQ(try_parse_uint("18446744073709551615"), UINT64_MAX);
+  EXPECT_EQ(try_parse_uint("18446744073709551616"), std::nullopt);
+  // strtoull would wrap "-1" to UINT64_MAX; the strict parser refuses.
+  EXPECT_EQ(try_parse_uint("-1"), std::nullopt);
+  EXPECT_EQ(try_parse_uint("+1"), std::nullopt);
+  EXPECT_EQ(try_parse_uint("1e3"), std::nullopt);
+}
+
+TEST(TryParseDouble, AcceptsFiniteNumbers) {
+  EXPECT_EQ(try_parse_double("1.5", 0.0, 10.0), 1.5);
+  EXPECT_EQ(try_parse_double("2", 0.0, 10.0), 2.0);
+  EXPECT_EQ(try_parse_double("1e1", 0.0, 10.0), 10.0);
+  EXPECT_EQ(try_parse_double("0.004", 0.0, 10.0), 0.004);
+  EXPECT_EQ(try_parse_double("-0.5", -1.0, 1.0), -0.5);
+}
+
+TEST(TryParseDouble, RejectsNonFiniteAndJunk) {
+  // from_chars accepts these spellings; the finite-range check must not.
+  EXPECT_EQ(try_parse_double("inf", 0.0, 1e300), std::nullopt);
+  EXPECT_EQ(try_parse_double("-inf", -1e300, 1e300), std::nullopt);
+  EXPECT_EQ(try_parse_double("nan", 0.0, 1e300), std::nullopt);
+  EXPECT_EQ(try_parse_double("1e999", 0.0, 1e308), std::nullopt);
+  EXPECT_EQ(try_parse_double("", 0.0, 1.0), std::nullopt);
+  EXPECT_EQ(try_parse_double("1e", 0.0, 1e9), std::nullopt);  // atof: 1
+  EXPECT_EQ(try_parse_double("1.5GB", 0.0, 1e9), std::nullopt);
+  EXPECT_EQ(try_parse_double("0.5", 1.0, 2.0), std::nullopt);  // range
+}
+
+/// Strict reference parser built on strtoll: full consumption, no
+/// leading whitespace or '+', errno-based range detection.
+std::optional<std::int64_t> reference_parse(const std::string& text) {
+  if (text.empty() || std::isspace(static_cast<unsigned char>(text[0])) ||
+      text[0] == '+') {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno == ERANGE || end != text.c_str() + text.size() ||
+      end == text.c_str()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Differential fuzz: random token soup from a digit-heavy alphabet must
+// parse identically under try_parse_int and the strtoll reference.
+TEST(TryParseInt, FuzzAgainstStrtollReference) {
+  const char alphabet[] = "0123456789-+. xeE";
+  std::uint64_t rng = 0xfeedfacecafebeefULL;
+  int accepted = 0;
+  for (int iter = 0; iter < 10000; ++iter) {
+    const int length = static_cast<int>(splitmix64(rng) % 20);
+    std::string token;
+    for (int i = 0; i < length; ++i) {
+      token += alphabet[splitmix64(rng) % (sizeof alphabet - 1)];
+    }
+    const auto strict = try_parse_int(token);
+    const auto reference = reference_parse(token);
+    ASSERT_EQ(strict.has_value(), reference.has_value())
+        << "token '" << token << "'";
+    if (strict) {
+      ASSERT_EQ(*strict, *reference) << "token '" << token << "'";
+      ++accepted;
+    }
+  }
+  // The alphabet is digit-heavy on purpose: a meaningful fraction of
+  // tokens must exercise the accept path, not just rejections.
+  EXPECT_GT(accepted, 100);
+}
+
+}  // namespace
+}  // namespace graftmatch::cli

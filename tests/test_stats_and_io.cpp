@@ -1,7 +1,10 @@
 // Tests for RunStats (formatting, derived metrics, path-length
-// histograms), BipartiteGraph::from_csr, and matching serialization.
+// histograms, JSON robustness), BipartiteGraph::from_csr, and matching
+// serialization.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -13,6 +16,7 @@
 #include "graftmatch/gen/chung_lu.hpp"
 #include "graftmatch/graph/matching_io.hpp"
 #include "graftmatch/init/greedy.hpp"
+#include "json_check.hpp"
 
 namespace graftmatch {
 namespace {
@@ -52,6 +56,63 @@ TEST(RunStats, FormatContainsKeyFields) {
   EXPECT_NE(text.find("MS-BFS-Graft"), std::string::npos);
   EXPECT_NE(text.find("|M|=42"), std::string::npos);
   EXPECT_NE(text.find("phases=3"), std::string::npos);
+}
+
+TEST(RunStatsJson, RealRunIsStrictlyValid) {
+  ChungLuParams params;
+  params.nx = params.ny = 1000;
+  params.avg_degree = 5.0;
+  const BipartiteGraph g = generate_chung_lu(params);
+  Matching m = randomized_greedy(g, 1);
+  RunConfig config;
+  config.collect_phase_stats = true;
+  config.collect_frontier_trace = true;
+  config.collect_path_histogram = true;
+  const RunStats stats = ms_bfs_graft(g, m, config);
+  std::string error;
+  EXPECT_TRUE(testing::json_valid(run_stats_json(stats), &error)) << error;
+}
+
+// JSON has no NaN/Inf literals; non-finite doubles (a 0-second run, a
+// degenerate division) must never corrupt the document.
+TEST(RunStatsJson, NonFiniteFieldsStayValid) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  RunStats stats;
+  stats.algorithm = "degenerate";
+  stats.seconds = nan;
+  stats.step_seconds.top_down = inf;
+  stats.step_seconds.bottom_up = -inf;
+  stats.step_seconds.augment = nan;
+  stats.step_seconds.graft = inf;
+  stats.step_seconds.statistics = nan;
+  stats.step_seconds.other = inf;
+  PhaseStats phase;
+  phase.phase = 1;
+  phase.seconds = nan;
+  stats.phase_stats.push_back(phase);
+  // edges > 0 with seconds = NaN makes mteps() NaN too.
+  stats.edges_traversed = 100;
+  stats.augmentations = 1;
+  stats.total_path_edges = 3;
+
+  const std::string json = run_stats_json(stats);
+  std::string error;
+  EXPECT_TRUE(testing::json_valid(json, &error)) << error << "\n" << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+// Algorithm names flow into JSON verbatim; quotes, backslashes, and
+// control characters must come out escaped.
+TEST(RunStatsJson, EscapesAlgorithmString) {
+  RunStats stats;
+  stats.algorithm = "evil\"name\\with\nnewline\tand\x01" "control";
+  const std::string json = run_stats_json(stats);
+  std::string error;
+  EXPECT_TRUE(testing::json_valid(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("evil\\\"name\\\\with\\nnewline\\tand\\u0001control"),
+            std::string::npos);
 }
 
 // Every path-collecting algorithm: histogram totals must reconcile with
@@ -183,7 +244,7 @@ TEST(MatchingIo, RejectsCorruptInput) {
 TEST(MatchingIo, FileRoundTrip) {
   Matching m(4, 4);
   m.match(1, 3);
-  const std::string path = testing::TempDir() + "/graftmatch_matching.txt";
+  const std::string path = ::testing::TempDir() + "/graftmatch_matching.txt";
   write_matching_file(path, m);
   EXPECT_EQ(read_matching_file(path), m);
   EXPECT_THROW(read_matching_file("/nonexistent/m.txt"), std::runtime_error);
