@@ -33,7 +33,7 @@ double env_double(const char* name, double fallback) {
                "unknown argument '%s'\n"
                "usage: %s [--seed N] [--threads N] [--size F] [--runs N]\n"
                "          [--init %s]\n"
-               "          [--results-dir DIR]\n"
+               "          [--reduce none|d1|d1d2] [--results-dir DIR]\n"
                "Each flag overrides the matching GRAFTMATCH_* environment "
                "variable.\n",
                bad_arg, binary, inits.c_str());
@@ -52,6 +52,13 @@ void validate_flag_value(const char* flag, const char* value) {
     cli::parse_int_arg(flag, value, 1, 1000000);
   } else if (name == "--size") {
     cli::parse_double_arg(flag, value, 1e-9, 1e9);
+  } else if (name == "--reduce") {
+    ReduceMode mode;
+    if (!parse_reduce_mode(value, mode)) {
+      std::fprintf(stderr,
+                   "bad value '%s' for --reduce (none | d1 | d1d2)\n", value);
+      std::exit(2);
+    }
   }
   // --init and --results-dir take free-form strings.
 }
@@ -67,6 +74,7 @@ void apply_cli_overrides(int argc, char** argv) {
       {"--size", "GRAFTMATCH_SIZE"},
       {"--runs", "GRAFTMATCH_RUNS"},
       {"--init", "GRAFTMATCH_INIT"},
+      {"--reduce", "GRAFTMATCH_REDUCE"},
       {"--results-dir", "GRAFTMATCH_RESULTS_DIR"},
   };
   for (int i = 1; i < argc; ++i) {
@@ -119,6 +127,19 @@ std::string init_name() {
   return value != nullptr ? value : "rgreedy";
 }
 
+ReduceMode reduce_mode() {
+  const char* value = std::getenv("GRAFTMATCH_REDUCE");
+  if (value == nullptr) return ReduceMode::kNone;
+  ReduceMode mode;
+  if (!parse_reduce_mode(value, mode)) {
+    std::fprintf(stderr,
+                 "bad value '%s' for GRAFTMATCH_REDUCE (none | d1 | d1d2)\n",
+                 value);
+    std::exit(2);
+  }
+  return mode;
+}
+
 Matching make_initial_matching(const BipartiteGraph& g) {
   RunConfig config;
   config.seed = seed();
@@ -147,9 +168,11 @@ void print_header(const std::string& bench_name, const std::string& what) {
   const std::string threads =
       thread_override() > 0 ? std::to_string(thread_override()) : "default";
   std::printf(
-      "workload  : size factor %.3g, seed %llu, initializer %s, threads %s\n\n",
+      "workload  : size factor %.3g, seed %llu, initializer %s, threads %s, "
+      "reduce %s\n\n",
       size_factor(), static_cast<unsigned long long>(seed()),
-      init_name().c_str(), threads.c_str());
+      init_name().c_str(), threads.c_str(),
+      to_string(reduce_mode()).c_str());
 }
 
 std::vector<Workload> make_suite_workloads(bool with_matching_number) {
@@ -257,6 +280,28 @@ TimedResult time_matching_runs(
     Matching matching = initial;
     result.last = run(g, matching);
     result.seconds.push_back(result.last.seconds);
+  }
+  return result;
+}
+
+TimedResult time_reduced_runs(const BipartiteGraph& g, int runs,
+                              const std::string& solver, ReduceMode mode) {
+  TimedResult result;
+  RunConfig config;
+  config.seed = seed();
+  config.threads = thread_override();
+  config.reduce = mode;
+  const std::string init = init_name();
+  for (int r = 0; r < runs; ++r) {
+    Matching matching(g.num_x(), g.num_y());
+    const Timer timer;
+    try {
+      result.last = engine::run_reduced(solver, init, g, matching, config);
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "%s\n", error.what());
+      std::exit(2);
+    }
+    result.seconds.push_back(timer.elapsed());
   }
   return result;
 }

@@ -17,6 +17,11 @@
 //                         post-initialization workload the paper's
 //                         figures measure. bench_ablation_init
 //                         quantifies the difference explicitly.
+//   GRAFTMATCH_REDUCE  -- kernelization pre-pass: none (default) | d1 |
+//                         d1d2. Benches that honor it route runs
+//                         through engine::run_reduced;
+//                         bench_reduce_gain measures both arms
+//                         explicitly regardless of this knob.
 #pragma once
 
 #include <cstdint>
@@ -61,6 +66,10 @@ std::uint64_t seed();
 /// Name of the selected initializer (GRAFTMATCH_INIT). Any key of the
 /// engine's initializer registry is accepted.
 std::string init_name();
+
+/// Kernelization mode from GRAFTMATCH_REDUCE / --reduce (default
+/// kNone). Unknown values print an error and exit(2).
+ReduceMode reduce_mode();
 
 /// Build the selected initial matching for a graph via the engine's
 /// initializer registry (honoring the bench seed and thread override).
@@ -134,5 +143,14 @@ struct TimedResult {
 TimedResult time_matching_runs(
     const BipartiteGraph& g, int runs,
     const std::function<RunStats(const BipartiteGraph&, Matching&)>& run);
+
+/// Time `runs` END-TO-END executions of registry solver `solver`
+/// through engine::run_reduced with the given kernelization mode:
+/// reduce, initialize (GRAFTMATCH_INIT), solve the kernel, and
+/// reconstruct all fall inside the timed window, so the numbers answer
+/// "was the pre-pass worth it" rather than "is the kernel solve
+/// faster". kNone degenerates to init + solve on the original graph.
+TimedResult time_reduced_runs(const BipartiteGraph& g, int runs,
+                              const std::string& solver, ReduceMode mode);
 
 }  // namespace graftmatch::bench

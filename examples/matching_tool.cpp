@@ -9,6 +9,10 @@
 // Options:
 //   --algo NAME     any solver-registry key (default graft; see --list)
 //   --init NAME     any initializer-registry key (default rgreedy)
+//   --reduce MODE   kernelization pre-pass: none | d1 | d1d2 (default
+//                   none; also accepts --reduce=MODE). The solver runs
+//                   on the kernel; the matching is reconstructed and
+//                   verified on the original graph.
 //   --threads N     OpenMP threads (default: runtime default)
 //   --alpha A       direction/grafting threshold (default 5)
 //   --seed S        generator / initializer seed (default 1)
@@ -44,11 +48,12 @@ std::string joined_keys(const std::vector<std::string>& names) {
   std::fprintf(stderr,
                "usage: %s (--mtx FILE | --gen INSTANCE | --list) "
                "[--algo NAME] [--init NAME]\n"
-               "       [--threads N] [--alpha A] [--seed S] [--size F] "
-               "[--dm] [--phases] [--json]\n"
-               "       [--trace FILE] [--no-verify]\n"
+               "       [--reduce MODE] [--threads N] [--alpha A] [--seed S] "
+               "[--size F] [--dm]\n"
+               "       [--phases] [--json] [--trace FILE] [--no-verify]\n"
                "  --algo: %s\n"
-               "  --init: %s\n",
+               "  --init: %s\n"
+               "  --reduce: none | d1 | d1d2\n",
                argv0, joined_keys(engine::solver_names()).c_str(),
                joined_keys(engine::initializer_names()).c_str());
   std::exit(2);
@@ -113,6 +118,16 @@ int main(int argc, char** argv) {
     else if (arg == "--size") {
       size = cli::parse_double_arg("--size", next(), 0.0, 1e9);
     }
+    else if (arg == "--reduce" || arg.rfind("--reduce=", 0) == 0) {
+      const std::string value = arg == "--reduce" ? next() : arg.substr(9);
+      if (!parse_reduce_mode(value, config.reduce)) {
+        std::fprintf(stderr,
+                     "error: unknown --reduce mode \"%s\" "
+                     "(none | d1 | d1d2)\n",
+                     value.c_str());
+        return 2;
+      }
+    }
     else if (arg == "--trace") trace_path = next();
     else if (arg == "--dm") want_dm = true;
     else if (arg == "--phases") want_phases = true;
@@ -163,14 +178,39 @@ int main(int argc, char** argv) {
               format_graph_stats(compute_graph_stats(graph)).c_str());
 
   config.seed = seed;
-  const Timer init_timer;
-  Matching matching = make_initial(init, graph, config);
-  std::printf("init (%s): |M| = %lld in %s\n", init.c_str(),
-              static_cast<long long>(matching.cardinality()),
-              format_seconds(init_timer.elapsed()).c_str());
-
   config.collect_phase_stats = want_phases;
-  const RunStats stats = run_algorithm(algo, graph, matching, config);
+  Matching matching(graph.num_x(), graph.num_y());
+  RunStats stats;
+  if (config.reduce == ReduceMode::kNone) {
+    const Timer init_timer;
+    matching = make_initial(init, graph, config);
+    std::printf("init (%s): |M| = %lld in %s\n", init.c_str(),
+                static_cast<long long>(matching.cardinality()),
+                format_seconds(init_timer.elapsed()).c_str());
+    stats = run_algorithm(algo, graph, matching, config);
+  } else {
+    // run_reduced owns the whole pipeline: reduce, init + solve on the
+    // kernel, reconstruct on the original graph.
+    try {
+      stats = engine::run_reduced(algo, init, graph, matching, config);
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "%s\n", error.what());
+      return 2;
+    }
+    const ReduceCounters& r = stats.reduce;
+    std::printf("reduce (%s): kernel %lldx%lld with %lld edges, "
+                "forced %lld, folds %lld, %lld rounds in %s\n",
+                to_string(r.mode).c_str(),
+                static_cast<long long>(r.kernel_nx),
+                static_cast<long long>(r.kernel_ny),
+                static_cast<long long>(r.kernel_edges),
+                static_cast<long long>(r.forced_matches),
+                static_cast<long long>(r.folds),
+                static_cast<long long>(r.rounds),
+                format_seconds(r.reduce_seconds + r.compact_seconds +
+                               r.reconstruct_seconds)
+                    .c_str());
+  }
   if (want_json) {
     std::printf("%s\n", run_stats_json(stats).c_str());
   } else {

@@ -42,6 +42,28 @@ void append_escaped(std::ostringstream& out, const std::string& text) {
 
 }  // namespace
 
+std::string to_string(ReduceMode mode) {
+  switch (mode) {
+    case ReduceMode::kNone: return "none";
+    case ReduceMode::kDegree1: return "d1";
+    case ReduceMode::kDegree12: return "d1d2";
+  }
+  return "none";
+}
+
+bool parse_reduce_mode(const std::string& name, ReduceMode& mode) {
+  if (name == "none") {
+    mode = ReduceMode::kNone;
+  } else if (name == "d1") {
+    mode = ReduceMode::kDegree1;
+  } else if (name == "d1d2") {
+    mode = ReduceMode::kDegree12;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 std::string format_run_stats(const RunStats& stats) {
   std::ostringstream out;
   out << stats.algorithm << ": |M|=" << stats.final_cardinality << " (+"
@@ -51,6 +73,12 @@ std::string format_run_stats(const RunStats& stats) {
       << " avg_len=" << stats.avg_path_length() << " time="
       << format_seconds(stats.seconds) << " rate=" << stats.mteps()
       << " MTEPS";
+  if (stats.reduce.collected) {
+    out << " reduce=" << to_string(stats.reduce.mode) << "(kernel "
+        << stats.reduce.kernel_nx << "x" << stats.reduce.kernel_ny << ", "
+        << stats.reduce.kernel_edges << " edges, forced "
+        << stats.reduce.forced_matches << ")";
+  }
   return out.str();
 }
 
@@ -94,6 +122,26 @@ std::string run_stats_json(const RunStats& stats) {
         << ",\"grafts\":" << o.grafts << ",\"rebuilds\":" << o.rebuilds
         << ",\"frontier_peak\":" << o.frontier_peak
         << ",\"frontier_volume\":" << o.frontier_volume << "}";
+  }
+  if (stats.reduce.collected) {
+    const ReduceCounters& r = stats.reduce;
+    out << ",\"reduce\":{\"mode\":";
+    append_escaped(out, to_string(r.mode));
+    out << ",\"rounds\":" << r.rounds << ",\"isolated_x\":" << r.isolated_x
+        << ",\"isolated_y\":" << r.isolated_y
+        << ",\"forced_matches\":" << r.forced_matches
+        << ",\"folds\":" << r.folds
+        << ",\"vertices_removed\":" << r.vertices_removed
+        << ",\"edges_removed\":" << r.edges_removed
+        << ",\"kernel_nx\":" << r.kernel_nx
+        << ",\"kernel_ny\":" << r.kernel_ny
+        << ",\"kernel_edges\":" << r.kernel_edges << ",\"reduce_seconds\":";
+    append_number(out, r.reduce_seconds);
+    out << ",\"compact_seconds\":";
+    append_number(out, r.compact_seconds);
+    out << ",\"reconstruct_seconds\":";
+    append_number(out, r.reconstruct_seconds);
+    out << "}";
   }
   if (!stats.path_length_histogram.empty()) {
     out << ",\"path_length_histogram\":[";

@@ -17,6 +17,21 @@
 
 namespace graftmatch {
 
+/// Kernelization pre-pass selection (src/graftmatch/reduce/). The mode
+/// names match the `--reduce=` CLI values.
+enum class ReduceMode {
+  kNone,      ///< no preprocessing ("none")
+  kDegree1,   ///< isolated removal + pendant cascade ("d1")
+  kDegree12,  ///< d1 plus degree-2 X-vertex folds ("d1d2")
+};
+
+/// Canonical CLI name of a mode ("none" / "d1" / "d1d2").
+std::string to_string(ReduceMode mode);
+
+/// Inverse of to_string; returns false (leaving `mode` untouched) for
+/// unknown names.
+bool parse_reduce_mode(const std::string& name, ReduceMode& mode);
+
 /// Knobs common to all algorithms (each algorithm reads the subset that
 /// applies to it; defaults reproduce the paper's settings).
 struct RunConfig {
@@ -60,6 +75,11 @@ struct RunConfig {
 
   /// Seed for any tie-breaking randomness an algorithm may use.
   std::uint64_t seed = 1;
+
+  /// Kernelization pre-pass (engine::run_reduced): reduce the graph,
+  /// solve on the kernel, reconstruct onto the original. Solvers
+  /// themselves ignore this field; it is read by the engine driver.
+  ReduceMode reduce = ReduceMode::kNone;
 };
 
 /// Per-phase summary of an MS-BFS-Graft run (RunConfig::
@@ -102,6 +122,27 @@ struct ObsCounters {
   std::int64_t frontier_volume = 0;     ///< sum of |F| over all levels
 };
 
+/// Counters from the kernelization pre-pass (src/graftmatch/reduce/).
+/// `collected` stays false when no reduction ran; the other fields are
+/// then meaningless. Stamped by engine::run_reduced.
+struct ReduceCounters {
+  bool collected = false;
+  ReduceMode mode = ReduceMode::kNone;
+  std::int64_t rounds = 0;          ///< reduction rounds until fixpoint
+  std::int64_t isolated_x = 0;      ///< degree-0 X vertices removed
+  std::int64_t isolated_y = 0;      ///< degree-0 Y vertices removed
+  std::int64_t forced_matches = 0;  ///< pendant (degree-1) matches
+  std::int64_t folds = 0;           ///< degree-2 X-vertex folds
+  std::int64_t vertices_removed = 0;  ///< X+Y vertices not in the kernel
+  std::int64_t edges_removed = 0;     ///< original edges not in the kernel
+  std::int64_t kernel_nx = 0;
+  std::int64_t kernel_ny = 0;
+  std::int64_t kernel_edges = 0;
+  double reduce_seconds = 0.0;       ///< reduction rounds
+  double compact_seconds = 0.0;      ///< renumber + kernel CSR build
+  double reconstruct_seconds = 0.0;  ///< kernel matching -> original
+};
+
 /// Wall-clock seconds per algorithm step (Fig. 6's categories).
 struct StepSeconds {
   double top_down = 0.0;
@@ -138,6 +179,12 @@ struct RunStats {
   /// Trace-derived counters (see ObsCounters). Stamped by StatsSink
   /// when the run owned an armed trace.
   ObsCounters obs;
+
+  /// Kernelization counters (see ReduceCounters). Stamped by
+  /// engine::run_reduced when a reduction pre-pass ran; on reduced runs
+  /// the cardinalities above are in original-graph terms while
+  /// phases/edges/seconds describe the kernel solve.
+  ReduceCounters reduce;
 
   /// Filled when RunConfig::collect_frontier_trace is set.
   std::vector<FrontierSample> frontier_trace;

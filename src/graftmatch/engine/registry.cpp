@@ -1,5 +1,7 @@
 #include "graftmatch/engine/registry.hpp"
 
+#include <omp.h>
+
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -13,7 +15,11 @@
 #include "graftmatch/init/greedy.hpp"
 #include "graftmatch/init/karp_sipser.hpp"
 #include "graftmatch/init/parallel_karp_sipser.hpp"
+#include "graftmatch/obs/summary.hpp"
+#include "graftmatch/obs/trace.hpp"
+#include "graftmatch/reduce/reduce.hpp"
 #include "graftmatch/runtime/parallel.hpp"
+#include "graftmatch/runtime/timer.hpp"
 
 namespace graftmatch::engine {
 namespace {
@@ -170,6 +176,69 @@ Matching make_initial_matching(const std::string& name,
   // contract hold registry-wide).
   const ThreadCountGuard guard(config.threads);
   return init.make(g, config);
+}
+
+RunStats run_reduced(const std::string& solver_name,
+                     const std::string& initializer_name,
+                     const BipartiteGraph& g, Matching& matching,
+                     const RunConfig& config) {
+  const SolverInfo& solver = find_solver(solver_name);
+  if (config.reduce == ReduceMode::kNone) {
+    matching = make_initial_matching(initializer_name, g, config);
+    return solver.run(g, matching, config);
+  }
+
+  const ThreadCountGuard guard(config.threads);
+  // Own the trace run (when armed) so the reduce/compact/reconstruct
+  // spans emitted outside the solver land in the same trace; the
+  // solver's StatsSink then records into this run instead of opening
+  // its own, and the distilled counters are stamped here.
+  const std::string trace_name = "reduce+" + solver.name;
+  const bool owns_trace =
+      obs::begin_run(trace_name.c_str(), omp_get_max_threads());
+
+  reduce::Reduction reduction = reduce::reduce_graph(g, config.reduce);
+  // Identity reduction: solve on the original graph and skip the
+  // reconstruction pass entirely (the matching is already in
+  // original-graph terms).
+  const BipartiteGraph& solve_g = reduce::solve_graph(reduction, g);
+  Matching kernel_matching =
+      make_initial_matching(initializer_name, solve_g, config);
+  RunStats stats = solver.run(solve_g, kernel_matching, config);
+
+  if (reduction.identity) {
+    matching = std::move(kernel_matching);
+  } else {
+    const Timer timer;
+    matching = reduce::reconstruct_matching(g, reduction, kernel_matching);
+    reduction.stats.reconstruct_seconds = timer.elapsed();
+  }
+
+  stats.reduce = reduction.stats;
+  // Translate cardinalities to original-graph terms: each forced match
+  // and each fold contributes exactly one edge on top of the kernel
+  // matching, both before and after the solve, so the augmentation
+  // delta (final - initial) still describes the kernel solve.
+  stats.initial_cardinality +=
+      reduction.stats.forced_matches + reduction.stats.folds;
+  stats.final_cardinality = matching.cardinality();
+
+  if (owns_trace) {
+    obs::end_run();
+    const obs::TraceSummary summary = obs::summarize(obs::last_run());
+    ObsCounters& o = stats.obs;
+    o.collected = true;
+    o.events = summary.events;
+    o.dropped = summary.dropped;
+    o.levels = summary.levels;
+    o.bottom_up_levels = summary.bottom_up_levels;
+    o.direction_switches = summary.direction_switches;
+    o.grafts = summary.grafts;
+    o.rebuilds = summary.rebuilds;
+    o.frontier_peak = summary.frontier_peak;
+    o.frontier_volume = summary.frontier_volume;
+  }
+  return stats;
 }
 
 }  // namespace graftmatch::engine

@@ -73,4 +73,20 @@ Matching make_initial_matching(const std::string& name,
                                const BipartiteGraph& g,
                                const RunConfig& config);
 
+/// Composable end-to-end driver honoring RunConfig::reduce: run the
+/// kernelization pre-pass (src/graftmatch/reduce/), build the initial
+/// matching and solve on the kernel, then lift the kernel matching back
+/// to `g` via the reconstruction log. `matching` receives the final
+/// original-graph matching (its incoming value is ignored).
+///
+/// The returned stats describe the kernel solve (phases, edges,
+/// seconds) with cardinalities translated to original-graph terms and
+/// the pre-pass accounted in RunStats::reduce. With reduce == kNone
+/// this degenerates to make_initial_matching + solver (no copy, no
+/// reduce block), so drivers can route every run through it.
+RunStats run_reduced(const std::string& solver_name,
+                     const std::string& initializer_name,
+                     const BipartiteGraph& g, Matching& matching,
+                     const RunConfig& config);
+
 }  // namespace graftmatch::engine

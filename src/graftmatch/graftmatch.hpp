@@ -46,6 +46,9 @@
 #include "graftmatch/core/ms_bfs_graft.hpp"
 #include "graftmatch/core/run_stats.hpp"
 
+// Kernelization pre-pass (reductions + reconstruction)
+#include "graftmatch/reduce/reduce.hpp"
+
 // Traversal engine: shared frontier kernels, solver/initializer
 // registries, and the phase-scoped stats sink
 #include "graftmatch/engine/edge_partition.hpp"

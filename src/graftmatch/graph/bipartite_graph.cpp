@@ -9,6 +9,12 @@
 namespace graftmatch {
 namespace {
 
+// Below this many edges the counting sort runs serially: opening
+// parallel regions costs more than the work they would split, and the
+// reduce/ property tests build hundreds of thousands of tiny kernels.
+// Either path produces identical arrays.
+constexpr std::int64_t kSerialBuildThreshold = 1 << 12;
+
 // Counting-sort one CSR side from a deduplicated edge list.
 // key(e) selects the source vertex, value(e) the stored neighbor.
 template <typename Key, typename Value>
@@ -17,6 +23,26 @@ void build_side(const std::vector<Edge>& edges, vid_t n,
                 Key key, Value value) {
   offsets.assign(static_cast<std::size_t>(n) + 1, 0);
   const std::int64_t m = static_cast<std::int64_t>(edges.size());
+
+  if (m < kSerialBuildThreshold) {
+    for (const Edge& e : edges) {
+      ++offsets[static_cast<std::size_t>(key(e)) + 1];
+    }
+    for (std::size_t v = 0; v < static_cast<std::size_t>(n); ++v) {
+      offsets[v + 1] += offsets[v];
+    }
+    neighbors.resize(static_cast<std::size_t>(m));
+    std::vector<eid_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (const Edge& e : edges) {
+      neighbors[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(key(e))]++)] = value(e);
+    }
+    for (std::size_t v = 0; v < static_cast<std::size_t>(n); ++v) {
+      std::sort(neighbors.begin() + offsets[v],
+                neighbors.begin() + offsets[v + 1]);
+    }
+    return;
+  }
 
   parallel_region([&] {
 #pragma omp for schedule(static)
@@ -102,6 +128,122 @@ BipartiteGraph BipartiteGraph::from_csr(std::span<const eid_t> offsets,
     }
   }
   return from_edges(list);
+}
+
+BipartiteGraph BipartiteGraph::from_canonical_csr(
+    std::vector<eid_t> offsets, std::vector<vid_t> neighbors, vid_t ny) {
+  if (offsets.empty() || offsets.front() != 0 ||
+      offsets.back() != static_cast<eid_t>(neighbors.size())) {
+    throw std::invalid_argument(
+        "from_canonical_csr: offsets do not frame neighbors");
+  }
+  if (ny < 0) {
+    throw std::invalid_argument("from_canonical_csr: negative part size");
+  }
+  const vid_t nx = static_cast<vid_t>(offsets.size()) - 1;
+  const std::int64_t m = static_cast<std::int64_t>(neighbors.size());
+
+  // Validate per row: nondecreasing offsets, strictly ascending
+  // neighbors in range. The flag merges with relaxed stores; the
+  // region's join edge orders them before the serial read.
+  std::atomic<bool> malformed{false};
+  const auto check_row = [&](vid_t x) {
+    const eid_t begin = offsets[static_cast<std::size_t>(x)];
+    const eid_t end = offsets[static_cast<std::size_t>(x) + 1];
+    if (begin > end) {
+      malformed.store(true, std::memory_order_relaxed);
+      return;
+    }
+    vid_t previous = -1;
+    for (eid_t k = begin; k < end; ++k) {
+      const vid_t y = neighbors[static_cast<std::size_t>(k)];
+      if (y <= previous || y >= ny) {
+        malformed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      previous = y;
+    }
+  };
+  if (m < kSerialBuildThreshold) {
+    for (vid_t x = 0; x < nx; ++x) check_row(x);
+  } else {
+    parallel_region([&] {
+#pragma omp for schedule(static)
+      for (std::int64_t x = 0; x < nx; ++x) {
+        check_row(static_cast<vid_t>(x));
+      }
+    });
+  }
+  if (malformed.load(std::memory_order_relaxed)) {
+    throw std::invalid_argument(
+        "from_canonical_csr: rows must be sorted, duplicate-free, in range");
+  }
+
+  BipartiteGraph g;
+  g.nx_ = nx;
+  g.ny_ = ny;
+  g.x_offsets_ = std::move(offsets);
+  g.x_neighbors_ = std::move(neighbors);
+
+  // Derive the Y side with the same counting-sort pattern as
+  // build_side, iterating rows of the adopted X CSR.
+  g.y_offsets_.assign(static_cast<std::size_t>(ny) + 1, 0);
+  g.y_neighbors_.resize(static_cast<std::size_t>(m));
+  if (m < kSerialBuildThreshold) {
+    for (const vid_t y : g.x_neighbors_) {
+      ++g.y_offsets_[static_cast<std::size_t>(y) + 1];
+    }
+    for (std::size_t v = 0; v < static_cast<std::size_t>(ny); ++v) {
+      g.y_offsets_[v + 1] += g.y_offsets_[v];
+    }
+    std::vector<eid_t> cursor(g.y_offsets_.begin(), g.y_offsets_.end() - 1);
+    for (vid_t x = 0; x < nx; ++x) {
+      for (const vid_t y : g.neighbors_of_x(x)) {
+        g.y_neighbors_[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(y)]++)] = x;
+      }
+    }
+    // X rows are scanned in ascending order, so each Y row is already
+    // sorted; no per-row sort needed on the serial path.
+    return g;
+  }
+
+  parallel_region([&] {
+#pragma omp for schedule(static)
+    for (std::int64_t k = 0; k < m; ++k) {
+      fetch_add_relaxed(
+          g.y_offsets_[static_cast<std::size_t>(
+                           g.x_neighbors_[static_cast<std::size_t>(k)]) + 1],
+          eid_t{1});
+    }
+  });
+  for (std::size_t v = 0; v < static_cast<std::size_t>(ny); ++v) {
+    g.y_offsets_[v + 1] += g.y_offsets_[v];
+  }
+  std::vector<eid_t> cursor(g.y_offsets_.begin(), g.y_offsets_.end() - 1);
+  parallel_region([&] {
+#pragma omp for schedule(static)
+    for (std::int64_t x = 0; x < nx; ++x) {
+      for (const vid_t y : g.neighbors_of_x(static_cast<vid_t>(x))) {
+        const eid_t slot =
+            fetch_add_relaxed(cursor[static_cast<std::size_t>(y)], eid_t{1});
+        g.y_neighbors_[static_cast<std::size_t>(slot)] =
+            static_cast<vid_t>(x);
+      }
+    }
+  });
+  // Separate region: the sort reads slots other threads scattered, and
+  // only the region join edge makes that handoff TSan-visible.
+  parallel_region([&] {
+#pragma omp for schedule(dynamic, 1024)
+    for (std::int64_t y = 0; y < ny; ++y) {
+      std::sort(
+          g.y_neighbors_.begin() + g.y_offsets_[static_cast<std::size_t>(y)],
+          g.y_neighbors_.begin() +
+              g.y_offsets_[static_cast<std::size_t>(y) + 1]);
+    }
+  });
+  return g;
 }
 
 bool BipartiteGraph::has_edge(vid_t x, vid_t y) const noexcept {

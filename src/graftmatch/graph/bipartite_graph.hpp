@@ -32,6 +32,16 @@ class BipartiteGraph {
   static BipartiteGraph from_csr(std::span<const eid_t> offsets,
                                  std::span<const vid_t> neighbors, vid_t ny);
 
+  /// Build from an already-canonical X-side CSR: offsets framing
+  /// neighbors, every row sorted strictly ascending, ids in [0, ny).
+  /// The arrays are adopted without a canonicalization sort (the
+  /// validation and the derived Y side are O(n + m), parallel), which
+  /// is what the kernel compaction in reduce/ relies on. Throws
+  /// std::invalid_argument when the input is not canonical.
+  static BipartiteGraph from_canonical_csr(std::vector<eid_t> offsets,
+                                           std::vector<vid_t> neighbors,
+                                           vid_t ny);
+
   vid_t num_x() const noexcept { return nx_; }
   vid_t num_y() const noexcept { return ny_; }
   vid_t num_vertices() const noexcept { return nx_ + ny_; }

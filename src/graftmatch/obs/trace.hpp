@@ -81,6 +81,17 @@ inline constexpr EventName kGraftChosen{"graft_chosen", "active_x",
                                         "renewable_y"};
 inline constexpr EventName kRebuildChosen{"rebuild_chosen", "active_x",
                                           "renewable_y"};
+/// Kernelization pre-pass spans (src/graftmatch/reduce/). The whole
+/// pipeline (arg0 = ReduceMode as int), one span per reduction round
+/// (arg0 = 1-based round, arg1 on the End event = ops applied), the
+/// kernel compaction (arg0 = kernel edges), and the matching
+/// reconstruction (arg0 = forced matches replayed).
+inline constexpr EventName kReduce{"reduce", "mode", nullptr};
+inline constexpr EventName kReduceRound{"reduce.round", "round", "ops"};
+inline constexpr EventName kReduceCompact{"reduce.compact", "kernel_edges",
+                                          nullptr};
+inline constexpr EventName kReduceReconstruct{"reduce.reconstruct", "forced",
+                                              nullptr};
 }  // namespace names
 
 /// Chrome trace_event phase kinds this subsystem emits.

@@ -11,13 +11,19 @@
 
 #include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "graftmatch/baselines/hopcroft_karp.hpp"
 #include "graftmatch/graph/bipartite_graph.hpp"
+#include "graftmatch/graph/matching.hpp"
 #include "graftmatch/graph/mm_io.hpp"
 #include "graftmatch/graph/transforms.hpp"
+#include "graftmatch/reduce/reduce.hpp"
 #include "graftmatch/runtime/prng.hpp"
+#include "graftmatch/verify/koenig.hpp"
+#include "graftmatch/verify/validate.hpp"
 
 namespace graftmatch {
 namespace {
@@ -140,6 +146,61 @@ TEST(Fuzz, PermutationComposesToIdentity) {
     const BipartiteGraph there = permute(g, perm_x, perm_y);
     const BipartiteGraph back = permute(there, inv_x, inv_y);
     ASSERT_EQ(back.to_edges().edges, g.to_edges().edges)
+        << "case seed " << seed;
+  }
+}
+
+TEST(Fuzz, ReductionRoundTripPreservesMaximumMatching) {
+  // Full kernelization round trip on arbitrary graphs: reduce, solve
+  // the kernel, reconstruct, verify on the original. Failure messages
+  // carry the case seed AND the reduction log summary, so a reproducer
+  // pins down both the input graph and the pipeline state it reached.
+  CaseSeeds seeds(0x606);
+  for (int round = 0; round < 150; ++round) {
+    const std::uint64_t seed = seeds.next();
+    Xoshiro256 rng(seed);
+    const BipartiteGraph g = BipartiteGraph::from_edges(random_edge_list(rng));
+    Matching direct(g.num_x(), g.num_y());
+    hopcroft_karp(g, direct);
+    for (const ReduceMode mode :
+         {ReduceMode::kDegree1, ReduceMode::kDegree12}) {
+      const reduce::Reduction red = reduce::reduce_graph(g, mode);
+      const BipartiteGraph& kernel = reduce::solve_graph(red, g);
+      Matching kernel_m(kernel.num_x(), kernel.num_y());
+      hopcroft_karp(kernel, kernel_m);
+      const Matching lifted = reduce::reconstruct_matching(g, red, kernel_m);
+      const std::string ctx =
+          "case seed " + std::to_string(seed) + " " + reduce::debug_summary(red);
+      ASSERT_TRUE(is_valid_matching(g, lifted)) << ctx;
+      ASSERT_EQ(lifted.cardinality(), direct.cardinality()) << ctx;
+      ASSERT_TRUE(is_maximum_matching(g, lifted)) << ctx;
+    }
+  }
+}
+
+TEST(Fuzz, ReconstructRejectsMismatchedDimensions) {
+  // Handing reconstruct_matching a matching that does not fit the
+  // kernel (or a graph that does not fit the reduction) must be a clean
+  // invalid_argument, never a crash or a silent wrong answer.
+  CaseSeeds seeds(0x707);
+  for (int round = 0; round < 50; ++round) {
+    const std::uint64_t seed = seeds.next();
+    Xoshiro256 rng(seed);
+    const BipartiteGraph g = BipartiteGraph::from_edges(random_edge_list(rng));
+    const reduce::Reduction red =
+        reduce::reduce_graph(g, ReduceMode::kDegree1);
+    // For an identity reduction the kernel is the original graph, so a
+    // +1/+2 offset from its dimensions is still a mismatch either way.
+    const BipartiteGraph& kernel = reduce::solve_graph(red, g);
+    const Matching wrong(kernel.num_x() + 1, kernel.num_y() + 2);
+    EXPECT_THROW(reduce::reconstruct_matching(g, red, wrong),
+                 std::invalid_argument)
+        << "case seed " << seed;
+    const BipartiteGraph other =
+        BipartiteGraph::from_edges({g.num_x() + 1, g.num_y(), {}});
+    const Matching kernel_m(kernel.num_x(), kernel.num_y());
+    EXPECT_THROW(reduce::reconstruct_matching(other, red, kernel_m),
+                 std::invalid_argument)
         << "case seed " << seed;
   }
 }

@@ -13,9 +13,11 @@
 #include "graftmatch/baselines/ss_bfs.hpp"
 #include "graftmatch/baselines/ss_dfs.hpp"
 #include "graftmatch/core/ms_bfs_graft.hpp"
+#include "graftmatch/engine/registry.hpp"
 #include "graftmatch/gen/chung_lu.hpp"
 #include "graftmatch/graph/matching_io.hpp"
 #include "graftmatch/init/greedy.hpp"
+#include "graftmatch/obs/trace.hpp"
 #include "json_check.hpp"
 
 namespace graftmatch {
@@ -71,6 +73,50 @@ TEST(RunStatsJson, RealRunIsStrictlyValid) {
   const RunStats stats = ms_bfs_graft(g, m, config);
   std::string error;
   EXPECT_TRUE(testing::json_valid(run_stats_json(stats), &error)) << error;
+}
+
+// A reduced run must emit the `reduce` block next to `obs`, both
+// strictly valid; an unreduced run must emit neither key.
+TEST(RunStatsJson, ReduceBlockIsStrictlyValid) {
+  ChungLuParams params;
+  params.nx = params.ny = 800;
+  params.avg_degree = 2.0;  // sparse, so pendant reductions actually fire
+  params.seed = 9;
+  const BipartiteGraph g = generate_chung_lu(params);
+
+  obs::arm();
+  Matching m;
+  RunConfig config;
+  config.reduce = ReduceMode::kDegree1;
+  config.collect_path_histogram = true;
+  const RunStats stats = engine::run_reduced("graft", "greedy", g, m, config);
+  obs::disarm();
+
+  ASSERT_TRUE(stats.reduce.collected);
+  ASSERT_TRUE(stats.obs.collected);
+  EXPECT_GT(stats.reduce.forced_matches, 0);
+  const std::string json = run_stats_json(stats);
+  std::string error;
+  EXPECT_TRUE(testing::json_valid(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"reduce\":{\"mode\":\"d1\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"forced_matches\":"), std::string::npos);
+  EXPECT_NE(json.find("\"reconstruct_seconds\":"), std::string::npos);
+  EXPECT_NE(json.find("\"obs\":{"), std::string::npos);
+
+  // Non-finite timings inside the reduce block must stay valid JSON.
+  RunStats degenerate = stats;
+  degenerate.reduce.reduce_seconds = std::numeric_limits<double>::quiet_NaN();
+  degenerate.reduce.compact_seconds = std::numeric_limits<double>::infinity();
+  const std::string bad = run_stats_json(degenerate);
+  EXPECT_TRUE(testing::json_valid(bad, &error)) << error << "\n" << bad;
+  EXPECT_EQ(bad.find("nan"), std::string::npos);
+  EXPECT_EQ(bad.find("inf"), std::string::npos);
+
+  RunStats plain;
+  const std::string without = run_stats_json(plain);
+  EXPECT_TRUE(testing::json_valid(without, &error)) << error;
+  EXPECT_EQ(without.find("\"reduce\""), std::string::npos);
 }
 
 // JSON has no NaN/Inf literals; non-finite doubles (a 0-second run, a
