@@ -18,23 +18,31 @@ int main(int argc, char** argv) {
 
   const int runs = run_count(3);
   const std::vector<Workload> workloads = make_suite_workloads(false);
-  CsvWriter csv("fig4_search_rate",
-                {"instance", "class", "graft_mteps", "pf_mteps"});
+  CsvWriter csv("fig4_search_rate", {"instance", "class", "graft_mteps",
+                                     "pf_mteps", "cardinality"});
 
   std::printf("%-18s %-11s %14s %14s %8s\n", "instance", "class",
               "Graft MTEPS", "PF MTEPS", "ratio");
   std::printf("%s\n", std::string(70, '-').c_str());
 
+  // Consistency gate: both solvers compute MAXIMUM matchings, so their
+  // cardinalities must agree on every instance. A perf number from a
+  // run that got the answer wrong is worse than no number, so CI treats
+  // a mismatch as a hard failure (nonzero exit).
+  int mismatches = 0;
   for (const Workload& w : workloads) {
     RunConfig config;  // all threads
     double graft_rate = 0.0;
     double pf_rate = 0.0;
+    std::int64_t graft_cardinality = 0;
+    std::int64_t pf_cardinality = 0;
     {
       const TimedResult timed = time_matching_runs(
           w.graph, runs, [&](const BipartiteGraph& g, Matching& m) {
             return ms_bfs_graft(g, m, config);
           });
       graft_rate = timed.last.mteps();
+      graft_cardinality = timed.last.final_cardinality;
     }
     {
       const TimedResult timed = time_matching_runs(
@@ -42,16 +50,31 @@ int main(int argc, char** argv) {
             return pothen_fan(g, m, config);
           });
       pf_rate = timed.last.mteps();
+      pf_cardinality = timed.last.final_cardinality;
+    }
+    if (graft_cardinality != pf_cardinality) {
+      ++mismatches;
+      std::fprintf(stderr,
+                   "CARDINALITY MISMATCH on %s: ms_bfs_graft=%lld "
+                   "pothen_fan=%lld\n",
+                   w.name.c_str(),
+                   static_cast<long long>(graft_cardinality),
+                   static_cast<long long>(pf_cardinality));
     }
     std::printf("%-18s %-11s %14.2f %14.2f %7.2fx\n", w.name.c_str(),
                 to_string(w.graph_class).c_str(), graft_rate, pf_rate,
                 pf_rate > 0 ? graft_rate / pf_rate : 0.0);
     csv.row({w.name, to_string(w.graph_class), CsvWriter::cell(graft_rate),
-             CsvWriter::cell(pf_rate)});
+             CsvWriter::cell(pf_rate), CsvWriter::cell(graft_cardinality)});
   }
   std::printf("csv: %s\n", csv.path().c_str());
 
   std::printf("\nratio > 1 means MS-BFS-Graft searches faster; the paper "
               "reports 2-12x with the\nlargest ratios on the web class.\n");
+  if (mismatches != 0) {
+    std::fprintf(stderr, "%d instance(s) failed the cardinality gate\n",
+                 mismatches);
+    return 1;
+  }
   return 0;
 }

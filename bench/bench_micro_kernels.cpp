@@ -1,13 +1,23 @@
 // Micro-kernel benchmarks (google-benchmark): the runtime-substrate
 // primitives the matching kernels are built from, plus small end-to-end
 // algorithm runs for quick regression tracking.
+//
+// Results additionally land in $GRAFTMATCH_RESULTS_DIR/micro_kernels.csv
+// (one row per benchmark), so the byte-array-vs-bitmap kernel choice in
+// the bottom-up inner loop is a recorded measurement, not an assertion.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_common.hpp"
+#include "graftmatch/engine/frontier_kernels.hpp"
 #include "graftmatch/graftmatch.hpp"
 #include "graftmatch/runtime/alias_table.hpp"
 #include "graftmatch/runtime/atomics.hpp"
+#include "graftmatch/runtime/epoch_array.hpp"
 #include "graftmatch/runtime/frontier_queue.hpp"
 
 namespace {
@@ -179,6 +189,199 @@ void BM_KoenigCertificate(benchmark::State& state) {
 }
 BENCHMARK(BM_KoenigCertificate)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------
+// Bottom-up eligibility representations: byte arrays vs packed bitmap.
+//
+// The bottom-up inner loop asks, per reverse edge, "does x sit in an
+// active tree". The pre-epoch layout answered with two DEPENDENT loads
+// (root_of[x], then leaf_of[that root]); the current kernel answers
+// with one bit test against the per-pass active_x bitmap. These entries
+// measure exactly that load chain over a real reverse-CSR scan so the
+// representation choice stays a recorded number. State is read-only per
+// iteration (no claims), isolating the eligibility cost from the
+// attach/queue machinery measured elsewhere.
+struct BottomUpScenario {
+  BipartiteGraph graph;
+  std::vector<vid_t> root_of;        // byte/word layout: x -> its root
+  std::vector<vid_t> leaf_of;        // byte/word layout: root -> leaf
+  AtomicBitmap active;               // packed layout: one bit per x
+  std::vector<std::uint8_t> visited; // byte layout: one byte per y
+  AtomicBitmap visited_bits;         // packed layout: one bit per y
+};
+
+// `active_every`: 1-in-N X vertices are in a live tree (the bottom-up
+// sweep runs when frontiers are LARGE, but per-edge hit rates stay well
+// below 1; 1/8 is representative of mid-phase road/web instances).
+// `visited_every`: 1-in-N Y vertices already visited.
+const BottomUpScenario& bottom_up_scenario() {
+  static const BottomUpScenario s = [] {
+    BottomUpScenario out;
+    WebCrawlParams params;
+    params.nx = params.ny = 1 << 16;
+    params.seed = 9;
+    out.graph = generate_webcrawl(params);
+    const vid_t nx = out.graph.num_x();
+    const vid_t ny = out.graph.num_y();
+    out.root_of.assign(static_cast<std::size_t>(nx), kInvalidVertex);
+    out.leaf_of.assign(static_cast<std::size_t>(nx), kInvalidVertex);
+    out.active.reset(static_cast<std::size_t>(nx));
+    out.visited.assign(static_cast<std::size_t>(ny), 0);
+    out.visited_bits.reset(static_cast<std::size_t>(ny));
+    Xoshiro256 rng(41);
+    for (vid_t x = 0; x < nx; ++x) {
+      if (rng.below(8) != 0) continue;
+      const auto root = static_cast<vid_t>(rng.below(
+          static_cast<std::uint64_t>(nx)));
+      out.root_of[static_cast<std::size_t>(x)] = root;
+      // Half the referenced trees are dead (their root has a leaf):
+      // the byte layout must pay the second load to find out.
+      const bool dead = rng.below(2) == 0;
+      out.leaf_of[static_cast<std::size_t>(root)] =
+          dead ? root : kInvalidVertex;
+      if (!dead) out.active.set_serial(static_cast<std::size_t>(x));
+    }
+    for (vid_t y = 0; y < ny; ++y) {
+      if (rng.below(4) == 0) continue;  // 3-in-4 visited
+      out.visited[static_cast<std::size_t>(y)] = 1;
+      out.visited_bits.set_serial(static_cast<std::size_t>(y));
+    }
+    return out;
+  }();
+  return s;
+}
+
+// Byte/word layout: eligibility is root_of[x] (load 1) being valid and
+// leaf_of[root] (dependent load 2) being clear -- the pre-epoch
+// in_active_tree chain, inlined.
+void BM_BottomUpEligibilityByteArrays(benchmark::State& state) {
+  const BottomUpScenario& s = bottom_up_scenario();
+  const engine::Adjacency adj = engine::y_adjacency(s.graph);
+  const vid_t ny = s.graph.num_y();
+  std::int64_t edges = 0;
+  for (auto _ : state) {
+    std::int64_t attached = 0;
+    edges = 0;
+    for (vid_t y = 0; y < ny; ++y) {
+      if (s.visited[static_cast<std::size_t>(y)] != 0) continue;
+      for (const vid_t x : adj.of(y)) {
+        ++edges;
+        const vid_t root = s.root_of[static_cast<std::size_t>(x)];
+        if (root == kInvalidVertex) continue;
+        if (s.leaf_of[static_cast<std::size_t>(root)] != kInvalidVertex) {
+          continue;
+        }
+        ++attached;
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(attached);
+  }
+  state.SetItemsProcessed(state.iterations() * edges);
+}
+BENCHMARK(BM_BottomUpEligibilityByteArrays)->Unit(benchmark::kMillisecond);
+
+// Packed layout: the same scan with eligibility collapsed to one
+// active_x bit test and visited packed to one bit per y.
+void BM_BottomUpEligibilityBitmap(benchmark::State& state) {
+  const BottomUpScenario& s = bottom_up_scenario();
+  const engine::Adjacency adj = engine::y_adjacency(s.graph);
+  const vid_t ny = s.graph.num_y();
+  std::int64_t edges = 0;
+  for (auto _ : state) {
+    std::int64_t attached = 0;
+    edges = 0;
+    for (vid_t y = 0; y < ny; ++y) {
+      if (s.visited_bits.test(static_cast<std::size_t>(y))) continue;
+      for (const vid_t x : adj.of(y)) {
+        ++edges;
+        if (!s.active.test(static_cast<std::size_t>(x))) continue;
+        ++attached;
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(attached);
+  }
+  state.SetItemsProcessed(state.iterations() * edges);
+}
+BENCHMARK(BM_BottomUpEligibilityBitmap)->Unit(benchmark::kMillisecond);
+
+// Candidate compaction: rebuild the bottom-up candidate list (all
+// unvisited y) from each representation. Byte layout tests every
+// element through collect_if; packed layout iterates zero bits with
+// count-trailing-zeros, skipping all-ones words in one compare.
+void BM_CompactUnvisitedByteArray(benchmark::State& state) {
+  const BottomUpScenario& s = bottom_up_scenario();
+  const vid_t ny = s.graph.num_y();
+  FrontierQueue<vid_t> out(static_cast<std::size_t>(ny));
+  for (auto _ : state) {
+    out.clear();
+    engine::collect_if(ny, out, [&](vid_t y) {
+      return s.visited[static_cast<std::size_t>(y)] == 0;
+    });
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ny));
+}
+BENCHMARK(BM_CompactUnvisitedByteArray);
+
+void BM_CompactUnvisitedBitmap(benchmark::State& state) {
+  const BottomUpScenario& s = bottom_up_scenario();
+  const vid_t ny = s.graph.num_y();
+  FrontierQueue<vid_t> out(static_cast<std::size_t>(ny));
+  for (auto _ : state) {
+    out.clear();
+    engine::for_each_zero_bit(s.visited_bits.words(),
+                              static_cast<std::int64_t>(ny), out,
+                              [](std::int64_t y, auto& handle) {
+                                handle.push(static_cast<vid_t>(y));
+                              });
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ny));
+}
+BENCHMARK(BM_CompactUnvisitedBitmap);
+
+// Console output plus a CSV artifact: every per-iteration run lands as
+// one row in $GRAFTMATCH_RESULTS_DIR/micro_kernels.csv so CI can diff
+// the byte-vs-bitmap numbers across commits.
+class CsvTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      double items_per_second = 0.0;
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) items_per_second = it->second;
+      rows_.push_back({run.benchmark_name(),
+                       bench::CsvWriter::cell(run.GetAdjustedRealTime()),
+                       benchmark::GetTimeUnitString(run.time_unit),
+                       bench::CsvWriter::cell(items_per_second),
+                       bench::CsvWriter::cell(
+                           static_cast<std::int64_t>(run.iterations))});
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);  // consumes --benchmark_* flags
+  graftmatch::bench::apply_cli_overrides(argc, argv);
+  CsvTeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  graftmatch::bench::CsvWriter csv(
+      "micro_kernels",
+      {"benchmark", "real_time", "time_unit", "items_per_sec", "iterations"});
+  for (const auto& row : reporter.rows()) csv.row(row);
+  std::printf("CSV artifact: %s\n", csv.path().c_str());
+  return 0;
+}

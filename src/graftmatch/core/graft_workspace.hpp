@@ -1,0 +1,149 @@
+// Reusable, NUMA-aware per-vertex workspace for MS-BFS-Graft.
+//
+// GraftState used to allocate (and serially zero-fill) every per-vertex
+// array on each call, which (a) faulted all pages on the calling thread
+// -- the opposite of the Graph500-style first-touch placement the paper
+// relies on -- and (b) made bench min-of-runs and the diff suite pay
+// the allocation + page-fault tax on every run. The workspace owns all
+// of that state instead:
+//
+//  * plain value arrays (parent, root_x, root_y, leaf) live in
+//    FirstTouchBuffer so the parallel fill after a (re)allocation is
+//    the true first touch of each page;
+//  * validity is epoch-versioned (EpochStamps) so binding the workspace
+//    to a same-sized problem costs O(1) epoch bumps, not O(n) clears;
+//  * visited and the active-tree membership are word-packed bitmaps
+//    whose full clears touch 1/64th of the memory of a byte array.
+//
+// A workspace may be reused back-to-back across runs and across graphs
+// (prepare() re-binds it; dimensions may change freely). It is NOT
+// thread-safe: one workspace serves one solver call at a time. The
+// 3-argument ms_bfs_graft() overload keeps a thread_local workspace per
+// host thread, so concurrent solver calls from different host threads
+// never share one.
+#pragma once
+
+#include <cstdint>
+
+#include "graftmatch/engine/edge_partition.hpp"
+#include "graftmatch/runtime/epoch_array.hpp"
+#include "graftmatch/runtime/frontier_queue.hpp"
+#include "graftmatch/types.hpp"
+
+namespace graftmatch {
+
+struct GraftWorkspace {
+  // --- per-X-vertex state ---
+  FirstTouchBuffer<vid_t> root_x;  ///< tree root; valid iff root_stamp
+  FirstTouchBuffer<vid_t> leaf;    ///< per root: augmenting-path end
+  /// Forest-epoch stamps, both bumped on every rebuild (and at run
+  /// start): root_stamp validates root_x entries, leaf_stamp validates
+  /// leaf entries. A bump IS the forest teardown -- no array is
+  /// cleared. Within an epoch a valid leaf entry persists as a
+  /// tombstone on its (by then matched) ex-root, exactly like the
+  /// never-cleared leaf array of the non-epoch implementation.
+  EpochStamps root_stamp;
+  EpochStamps leaf_stamp;
+  /// One bit per X vertex: eligible bottom-up parent (joined the forest
+  /// at a previous pass of a tree that was active at that pass's
+  /// boundary). Replaces the x_join_time timestamp array AND the
+  /// two dependent loads of in_active_tree() in the bottom-up inner
+  /// loop with a single bit test. Maintained at pass boundaries
+  /// (publish) and at the graft step (renewable trees' bits drop).
+  AtomicBitmap active_x;
+
+  // --- per-Y-vertex state ---
+  FirstTouchBuffer<vid_t> parent;  ///< tree parent; valid iff visited
+  FirstTouchBuffer<vid_t> root_y;  ///< tree root; valid iff visited
+  AtomicBitmap visited;
+  /// Candidate-pool membership: valid iff the Y vertex is physically in
+  /// `pool` (see the pool maintenance contract in ms_bfs_graft.cpp).
+  EpochStamps pool_stamp;
+
+  // --- frontiers and incremental bookkeeping lists ---
+  FrontierQueue<vid_t> frontier{0};  ///< current frontier (X vertices)
+  FrontierQueue<vid_t> next{0};      ///< next frontier being built
+  /// Bottom-up candidate pool, double-buffered with its failed list.
+  /// Built lazily from the visited-bitmap complement when a bottom-up
+  /// pass needs one, maintained incrementally between builds, and
+  /// dropped whole on rebuild.
+  FrontierQueue<vid_t> pool{0};
+  FrontierQueue<vid_t> pool_failed{0};
+  /// Y vertices claimed during the current phase (tracked by the
+  /// traversal kernels) and Y vertices carried over from earlier phases
+  /// (the active trees). Their union is exactly the forest's Y set, so
+  /// classification sweeps them instead of [0, ny).
+  FrontierQueue<vid_t> touched_y{0};
+  FrontierQueue<vid_t> carry_y{0};
+  FrontierQueue<vid_t> renewable_y{0};  ///< classification output
+  FrontierQueue<vid_t> active_y{0};     ///< classification output
+  /// Still-unmatched tree roots, maintained across phases (augmented
+  /// roots leave; a matched vertex never becomes unmatched again), so
+  /// renewable-root collection and rebuild re-rooting are O(|roots|)
+  /// instead of O(nx).
+  FrontierQueue<vid_t> roots{0};
+  FrontierQueue<vid_t> roots_scratch{0};
+  FrontierQueue<vid_t> renewable_roots{0};
+
+  engine::EdgePartition partition;  ///< per-level edge-balance scratch
+
+  vid_t nx = -1;
+  vid_t ny = -1;
+  std::int64_t prepared_runs = 0;  ///< how many runs bound this workspace
+
+  /// Bind the workspace to an (nx, ny)-sized problem. Returns true when
+  /// the arrays were warm (same dimensions as the previous run) and
+  /// re-binding cost only epoch bumps plus two bitmap clears; false
+  /// when dimensions changed and every array was (re)allocated and
+  /// parallel-first-touched.
+  bool prepare(vid_t nx_in, vid_t ny_in) {
+    const bool warm = nx == nx_in && ny == ny_in;
+    nx = nx_in;
+    ny = ny_in;
+    const auto ux = static_cast<std::size_t>(nx);
+    const auto uy = static_cast<std::size_t>(ny);
+    if (warm) {
+      root_stamp.bump();
+      leaf_stamp.bump();
+      pool_stamp.bump();
+      visited.clear_all();
+      active_x.clear_all();
+    } else {
+      root_x.resize_uninit(ux);
+      leaf.resize_uninit(ux);
+      parent.resize_uninit(uy);
+      root_y.resize_uninit(uy);
+      root_stamp.reset(ux);
+      leaf_stamp.reset(ux);
+      pool_stamp.reset(uy);
+      visited.reset(uy);
+      active_x.reset(ux);
+      frontier.ensure_capacity(ux + 1);
+      next.ensure_capacity(ux + 1);
+      pool.ensure_capacity(uy);
+      pool_failed.ensure_capacity(uy);
+      touched_y.ensure_capacity(uy);
+      carry_y.ensure_capacity(uy);
+      renewable_y.ensure_capacity(uy);
+      active_y.ensure_capacity(uy);
+      roots.ensure_capacity(ux);
+      roots_scratch.ensure_capacity(ux);
+      renewable_roots.ensure_capacity(ux);
+    }
+    frontier.clear();
+    next.clear();
+    pool.clear();
+    pool_failed.clear();
+    touched_y.clear();
+    carry_y.clear();
+    renewable_y.clear();
+    active_y.clear();
+    roots.clear();
+    roots_scratch.clear();
+    renewable_roots.clear();
+    ++prepared_runs;
+    return warm;
+  }
+};
+
+}  // namespace graftmatch

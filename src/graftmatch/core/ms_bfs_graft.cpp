@@ -10,6 +10,7 @@
 #include "graftmatch/engine/stats_sink.hpp"
 #include "graftmatch/obs/trace.hpp"
 #include "graftmatch/runtime/atomics.hpp"
+#include "graftmatch/runtime/epoch_array.hpp"
 #include "graftmatch/runtime/frontier_queue.hpp"
 #include "graftmatch/runtime/parallel.hpp"
 #include "graftmatch/runtime/timer.hpp"
@@ -19,53 +20,92 @@ namespace {
 
 using engine::Step;
 
-/// All per-run state of Algorithm 3, bundled so the step functions
-/// (top-down, bottom-up, augment, graft) can share it without long
-/// parameter lists.
+// Phase-bookkeeping scheme (the "epoch" design; containers in
+// runtime/epoch_array.hpp, storage in core/graft_workspace.hpp):
+//
+//  * Forest validity is epoch-versioned. root_x[x] is meaningful iff
+//    root_stamp marks x; leaf[r] iff leaf_stamp marks r. Both stamps
+//    share the FOREST epoch, bumped on every rebuild, so tearing all
+//    trees down is O(1) instead of an O(nx) root_x clear. Within an
+//    epoch, a valid leaf entry on a (by now matched) ex-root persists
+//    as a tombstone -- exactly the semantics the non-epoch code got
+//    from never clearing the leaf array -- so in_active_tree() keeps
+//    reporting those trees dead.
+//
+//  * visited is a word-packed atomic bitmap; parent[y]/root_y[y] are
+//    meaningful iff y's bit is set (freeing a Y vertex clears only the
+//    bit and leaves the values stale).
+//
+//  * active_x is the per-pass eligible-parent bitmap. Bits are set at
+//    pass boundaries (publish_frontier) for the new frontier's members
+//    and dropped when their tree dies, so the bottom-up inner loop
+//    rejects the common case -- x not in any active tree at the last
+//    boundary -- with ONE bit load instead of the old x_join_time
+//    timestamp compare plus in_active_tree()'s two dependent loads.
+//    Setting bits only at pass boundaries is also what keeps the
+//    search level-synchronous (vertices joining during a pass are not
+//    eligible parents within it). The bit cannot see trees that died
+//    MID-pass, and attaching a candidate to a dead tree would waste it
+//    for the phase, so bit-positive vertices confirm through the
+//    root/leaf chain before claiming (see bottom_up's try_edge).
+//
+//  * Bottom-up candidates live in a persistent pool instead of being
+//    recollected with an O(ny) sweep per phase. The pool is built
+//    lazily from the visited-bitmap complement (word-level ctz
+//    compaction) when a bottom-up pass needs it, then maintained
+//    incrementally under the invariant "pool_stamp marks y <=> y is
+//    physically in the pool": membership ends ONLY inside a pool scan
+//    (which clears the stamp of every entry it drops, visited or
+//    attached), and freed Y vertices are re-inserted iff unstamped.
+//    The pool is therefore always a superset of the unvisited set,
+//    which is all bottom_up needs. A rebuild frees the whole forest's
+//    Y set at once; rather than pay O(|forest|) reinserting it, the
+//    rebuild drops the pool and the next build's stamp bump retires
+//    the stale memberships in O(1).
+//
+//  * Classification sweeps are incremental: the traversal kernels
+//    track every Y vertex claimed this phase (touched_y); together
+//    with the carried members of surviving active trees (carry_y) the
+//    list covers the forest's Y set exactly, so the renewable/active
+//    split scans O(|forest Y|) per phase instead of O(ny). The X side
+//    needs no list at all: an active tree is its root plus the
+//    (distinct) mates of its active Y members, so |activeX| is derived
+//    as |surviving roots| + |activeY|. The still-unmatched roots list
+//    makes renewable-root collection and rebuild re-rooting O(|roots|).
+
+/// Per-run view: graph/matching references plus the reusable workspace.
 struct GraftState {
   const BipartiteGraph& g;
   std::vector<vid_t>& mate_x;
   std::vector<vid_t>& mate_y;
+  GraftWorkspace& ws;
 
-  std::vector<std::uint8_t> visited;  ///< per Y vertex, one tree each
-  std::vector<vid_t> parent;          ///< tree parent of each Y vertex
-  std::vector<vid_t> root_x;          ///< tree root of each X vertex
-  std::vector<vid_t> root_y;          ///< tree root of each Y vertex
-  std::vector<vid_t> leaf;            ///< per root: augmenting-path end
-  /// Logical timestamp at which each X vertex joined its tree. Bottom-up
-  /// passes attach only to vertices stamped BEFORE the current pass so
-  /// the search stays level-synchronous (a sequential bottom-up scan
-  /// would otherwise cascade within one pass and grow DFS-shaped trees
-  /// with long augmenting paths).
-  std::vector<std::int64_t> x_join_time;
-  std::int64_t now = 0;               ///< current pass timestamp
+  std::int64_t unvisited_y = 0;  ///< for the direction heuristic
+  bool pool_built = false;       ///< bottom-up candidate pool exists
+  /// One-thread team (evaluated after the ThreadCountGuard pins the
+  /// width): bitmap writes then skip the locked RMW the shared-word
+  /// layout otherwise requires. A fetch_or/fetch_and per visit is the
+  /// one place the packed layout loses to byte arrays' plain stores,
+  /// and on a serial team it buys nothing.
+  const bool serial;
 
-  FrontierQueue<vid_t> frontier;      ///< current frontier (X vertices)
-  FrontierQueue<vid_t> next;          ///< next frontier being built
-
-  engine::EdgePartition partition;    ///< per-level edge-balance scratch
-
-  std::int64_t unvisited_y = 0;       ///< for the direction heuristic
-
-  explicit GraftState(const BipartiteGraph& graph, Matching& matching)
+  GraftState(const BipartiteGraph& graph, Matching& matching,
+             GraftWorkspace& workspace)
       : g(graph),
         mate_x(matching.mate_x()),
         mate_y(matching.mate_y()),
-        visited(static_cast<std::size_t>(graph.num_y()), 0),
-        parent(static_cast<std::size_t>(graph.num_y()), kInvalidVertex),
-        root_x(static_cast<std::size_t>(graph.num_x()), kInvalidVertex),
-        root_y(static_cast<std::size_t>(graph.num_y()), kInvalidVertex),
-        leaf(static_cast<std::size_t>(graph.num_x()), kInvalidVertex),
-        x_join_time(static_cast<std::size_t>(graph.num_x()), -1),
-        frontier(static_cast<std::size_t>(graph.num_x()) + 1),
-        next(static_cast<std::size_t>(graph.num_x()) + 1),
-        unvisited_y(graph.num_y()) {}
+        ws(workspace),
+        unvisited_y(graph.num_y()),
+        serial(engine::serial_team()) {}
 
   /// x belongs to a tree in which no augmenting path has been found.
+  /// The acquire pairs with update_pointers' stamp_release: a valid
+  /// stamp implies root_x[x] holds the published root, never garbage.
   bool in_active_tree(vid_t x) const noexcept {
-    const vid_t r = relaxed_load(root_x[static_cast<std::size_t>(x)]);
-    return r != kInvalidVertex &&
-           relaxed_load(leaf[static_cast<std::size_t>(r)]) == kInvalidVertex;
+    const auto xi = static_cast<std::size_t>(x);
+    if (!ws.root_stamp.valid_acquire(xi)) return false;
+    const vid_t r = relaxed_load(ws.root_x[xi]);
+    return !ws.leaf_stamp.valid(static_cast<std::size_t>(r));
   }
 };
 
@@ -75,38 +115,49 @@ struct GraftState {
 /// handle for the next frontier.
 template <typename Out>
 inline void update_pointers(GraftState& state, vid_t x, vid_t y, Out& out) {
-  state.parent[static_cast<std::size_t>(y)] = x;
-  const vid_t root = relaxed_load(state.root_x[static_cast<std::size_t>(x)]);
-  relaxed_store(state.root_y[static_cast<std::size_t>(y)], root);
-  const vid_t mate = relaxed_load(state.mate_y[static_cast<std::size_t>(y)]);
+  GraftWorkspace& ws = state.ws;
+  const auto yi = static_cast<std::size_t>(y);
+  ws.parent[yi] = x;  // y is claimed exactly once; plain store
+  const vid_t root = relaxed_load(ws.root_x[static_cast<std::size_t>(x)]);
+  relaxed_store(ws.root_y[yi], root);
+  const vid_t mate = relaxed_load(state.mate_y[yi]);
   if (mate != kInvalidVertex) {
-    relaxed_store(state.root_x[static_cast<std::size_t>(mate)], root);
-    relaxed_store(state.x_join_time[static_cast<std::size_t>(mate)],
-                  state.now);
+    const auto mi = static_cast<std::size_t>(mate);
+    relaxed_store(ws.root_x[mi], root);
+    ws.root_stamp.stamp_release(mi);  // publishes the root store above
     out.push(mate);
   } else {
     // Augmenting path discovered: root .. y. Benign race (paper
     // Sec. III-B): concurrent discoveries in one tree overwrite each
-    // other; the last write wins and exactly one path survives.
-    relaxed_store(state.leaf[static_cast<std::size_t>(root)], y);
+    // other; the last write wins and exactly one path survives. The
+    // release stamp publishes whichever leaf value a valid stamp gates.
+    relaxed_store(ws.leaf[static_cast<std::size_t>(root)], y);
+    ws.leaf_stamp.stamp_release(static_cast<std::size_t>(root));
   }
 }
 
 /// Algorithm 4: top-down level. Scans the adjacency of every frontier
 /// X vertex via the edge-balanced kernel (a hub's adjacency may be
 /// split across threads; claims are atomic, so that is safe); claims
-/// unvisited Y vertices atomically.
+/// unvisited Y vertices atomically and tracks them in touched_y.
 void top_down(GraftState& state, std::int64_t& edges,
               std::int64_t& newly_visited) {
+  GraftWorkspace& ws = state.ws;
   const engine::TraversalCounters counters = engine::for_each_frontier_edge(
-      engine::x_adjacency(state.g), state.frontier.items(), state.next,
-      state.partition,
+      engine::x_adjacency(state.g), ws.frontier.items(), ws.next, ws.touched_y,
+      ws.partition,
       // The tree may have turned renewable after x was enqueued; such
       // frontier vertices must not keep growing it (Algorithm 4).
       [&](vid_t x) { return state.in_active_tree(x); },
-      [&](vid_t x, vid_t y, auto& out, engine::TraversalCounters& local) {
-        if (!claim_flag(state.visited[static_cast<std::size_t>(y)])) return;
+      [&](vid_t x, vid_t y, auto& out, auto& track,
+          engine::TraversalCounters& local) {
+        const auto yi = static_cast<std::size_t>(y);
+        if (!(state.serial ? ws.visited.claim_serial(yi)
+                           : ws.visited.claim(yi))) {
+          return;
+        }
         ++local.visits;
+        track.push(y);
         update_pointers(state, x, y, out);
       });
   edges += counters.edges;
@@ -114,34 +165,51 @@ void top_down(GraftState& state, std::int64_t& edges,
 }
 
 /// Algorithm 6: bottom-up step over the Y vertices in `candidates`
-/// (either the unvisited Y vertices during BFS, or renewableY during
-/// grafting). Each candidate claims itself into the first active tree
-/// found among its neighbors; the item-granular kernel guarantees each
-/// y is owned by exactly one thread, so visited needs no atomics.
-/// Candidates that did not attach land in `failed` so the next
-/// bottom-up level of the same phase skips already-attached vertices
-/// (callers that do not need the list pass a scratch queue).
+/// (the candidate pool during BFS, or renewableY during grafting).
+/// Each candidate claims itself into the first eligible tree found
+/// among its neighbors; the item-granular kernel guarantees each y is
+/// owned by exactly one thread, so its visited bit is set without a
+/// claim. Candidates that did not attach land in `failed`. Only pool
+/// scans end pool membership, so only they clear pool stamps
+/// (`pool_scan`); the graft scan runs over renewableY and must leave
+/// the stamps of entries still physically in the pool alone.
 void bottom_up(GraftState& state, std::span<const vid_t> candidates,
                std::int64_t& edges, std::int64_t& newly_visited,
-               FrontierQueue<vid_t>& failed) {
+               FrontierQueue<vid_t>& failed, bool pool_scan) {
+  GraftWorkspace& ws = state.ws;
   const engine::TraversalCounters counters =
       engine::for_each_unvisited_reverse(
-          engine::y_adjacency(state.g), candidates, state.next, failed,
-          state.partition,
+          engine::y_adjacency(state.g), candidates, ws.next, failed,
+          ws.touched_y, ws.partition,
           [&](vid_t y) {
-            return state.visited[static_cast<std::size_t>(y)] != 0;
+            if (!ws.visited.test(static_cast<std::size_t>(y))) return false;
+            if (pool_scan) ws.pool_stamp.clear(static_cast<std::size_t>(y));
+            return true;
           },
-          [&](vid_t y, vid_t x, auto& out) {
-            // Only vertices that joined a tree before this pass are
-            // valid parents (level-synchronous semantics; x_join_time).
-            if (relaxed_load(
-                    state.x_join_time[static_cast<std::size_t>(x)]) >=
-                state.now) {
+          [&](vid_t y, vid_t x, auto& out, auto& track) {
+            // One bit load replaces the x_join_time >= now compare plus
+            // in_active_tree()'s first load: the bit is set only at
+            // pass boundaries, for members of then-active trees, so it
+            // rejects non-forest vertices with a single test.
+            if (!ws.active_x.test(static_cast<std::size_t>(x))) return false;
+            // The bit cannot see mid-pass tree deaths; attaching y to a
+            // tree whose augmenting path was already found wastes it
+            // for the phase, so trees that died since the boundary pay
+            // the root/leaf load chain here, on bit-positive x only.
+            // Racing a concurrent leaf discovery is the same benign
+            // race the leaf store itself documents.
+            const vid_t root =
+                relaxed_load(ws.root_x[static_cast<std::size_t>(x)]);
+            if (ws.leaf_stamp.valid(static_cast<std::size_t>(root))) {
               return false;
             }
-            if (!state.in_active_tree(x)) return false;
-            relaxed_store(state.visited[static_cast<std::size_t>(y)],
-                          std::uint8_t{1});
+            if (state.serial) {
+              ws.visited.set_serial(static_cast<std::size_t>(y));
+            } else {
+              ws.visited.set(static_cast<std::size_t>(y));
+            }
+            if (pool_scan) ws.pool_stamp.clear(static_cast<std::size_t>(y));
+            track.push(y);
             update_pointers(state, x, y, out);
             return true;  // stop exploring y's neighbors once attached
           });
@@ -149,79 +217,159 @@ void bottom_up(GraftState& state, std::span<const vid_t> candidates,
   newly_visited += counters.visits;
 }
 
+/// Install the freshly built frontier for the next pass: when bottom-up
+/// can run, set every member's eligible-parent bit. Bits are published
+/// only here -- at pass boundaries -- which is what keeps the search
+/// level-synchronous (vertices joining during a pass are not eligible
+/// parents within it). No X-side membership list is kept: the
+/// |activeX| statistic is derived from the Y-side classification and
+/// the surviving roots (every non-root member of an active tree is the
+/// mate of exactly one of its Y vertices).
+void publish_frontier(GraftState& state, bool mark_active) {
+  if (!mark_active) return;
+  GraftWorkspace& ws = state.ws;
+  const std::span<const vid_t> members = ws.frontier.items();
+  if (state.serial) {
+    // Runs once per LEVEL; a plain bit loop beats kernel dispatch on a
+    // one-thread team.
+    for (const vid_t x : members) {
+      ws.active_x.set_serial(static_cast<std::size_t>(x));
+    }
+    return;
+  }
+  const auto count = static_cast<std::int64_t>(members.size());
+  parallel_region([&] {
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < count; ++i) {
+      ws.active_x.set(
+          static_cast<std::size_t>(members[static_cast<std::size_t>(i)]));
+    }
+  });
+}
+
+/// Re-insert freed Y vertices into the bottom-up candidate pool. Under
+/// the stamp <=> membership invariant an unstamped vertex is guaranteed
+/// physically absent, so appending it cannot create a duplicate (which
+/// would hand one y to two threads in the item-granular kernel). Items
+/// are distinct and each is handled by exactly one thread, so the
+/// check-then-stamp needs no atomics.
+void refill_pool(GraftState& state, std::span<const vid_t> freed,
+                 RunStats& stats) {
+  GraftWorkspace& ws = state.ws;
+  const auto before = static_cast<std::int64_t>(ws.pool.size());
+  engine::for_each_item(freed, ws.pool, [&](vid_t y, auto& handle) {
+    const auto yi = static_cast<std::size_t>(y);
+    if (ws.pool_stamp.valid(yi)) return;
+    ws.pool_stamp.stamp(yi);
+    handle.push(y);
+  });
+  stats.bookkeeping.pool_reinserts +=
+      static_cast<std::int64_t>(ws.pool.size()) - before;
+}
+
 // O(n + m) audit of the alternating-forest invariants (RunConfig::
 // check_invariants). Called at the end of Step 1, when the BFS forest is
-// complete and augmentation has not yet modified the matching.
+// complete and augmentation has not yet modified the matching. Under
+// the epoch scheme, freed or never-visited slots legitimately hold
+// stale values, so every check gates on the validity bit/stamp exactly
+// the way the algorithm does -- and the audit additionally proves the
+// epoch bookkeeping itself (pool stamps match the pool contents, every
+// unvisited Y is a pool candidate, eligible-parent bits stay inside
+// the forest).
 void assert_forest_invariants(const GraftState& state) {
   const auto fail = [](const std::string& what) {
     throw std::logic_error("ms_bfs_graft invariant violated: " + what);
   };
   const BipartiteGraph& g = state.g;
+  const GraftWorkspace& ws = state.ws;
   const vid_t nx = g.num_x();
   const vid_t ny = g.num_y();
 
   for (vid_t y = 0; y < ny; ++y) {
     const auto yi = static_cast<std::size_t>(y);
-    if (!state.visited[yi]) {
-      if (state.root_y[yi] != kInvalidVertex) {
-        fail("unvisited Y vertex carries a root pointer");
+    if (!ws.visited.test(yi)) {
+      // Stale parent/root values are fine here (gated by the bit), but
+      // every unvisited Y must be a bottom-up candidate.
+      if (state.pool_built && !ws.pool_stamp.valid(yi)) {
+        fail("unvisited Y vertex missing from the candidate pool");
       }
       continue;
     }
-    const vid_t x = state.parent[yi];
+    const vid_t x = ws.parent[yi];
     if (x == kInvalidVertex) fail("visited Y vertex without parent");
     if (!g.has_edge(x, y)) fail("parent pointer is not an edge");
-    const vid_t root = state.root_y[yi];
+    const vid_t root = ws.root_y[yi];
     if (root == kInvalidVertex) fail("visited Y vertex without root");
-    if (state.root_x[static_cast<std::size_t>(root)] != root) {
+    const auto ri = static_cast<std::size_t>(root);
+    if (!ws.root_stamp.valid(ri) || ws.root_x[ri] != root) {
       fail("root of a visited Y vertex is not self-rooted");
     }
-    if (state.mate_x[static_cast<std::size_t>(root)] != kInvalidVertex &&
-        state.leaf[static_cast<std::size_t>(root)] == kInvalidVertex) {
+    if (state.mate_x[ri] != kInvalidVertex && !ws.leaf_stamp.valid(ri)) {
       fail("active tree rooted at a matched vertex");
     }
-    if (state.root_x[static_cast<std::size_t>(x)] != root) {
+    const auto xi = static_cast<std::size_t>(x);
+    if (!ws.root_stamp.valid(xi) || ws.root_x[xi] != root) {
       fail("parent and child disagree on the tree root");
     }
     // Alternation: a non-root parent entered the tree through its mate.
     if (x != root) {
-      const vid_t x_mate = state.mate_x[static_cast<std::size_t>(x)];
+      const vid_t x_mate = state.mate_x[xi];
       if (x_mate == kInvalidVertex) {
         fail("non-root unmatched X vertex inside a tree");
       }
-      if (!state.visited[static_cast<std::size_t>(x_mate)]) {
+      if (!ws.visited.test(static_cast<std::size_t>(x_mate))) {
         fail("tree X vertex whose mate is not in the forest");
       }
-      if (state.root_y[static_cast<std::size_t>(x_mate)] != root) {
+      if (ws.root_y[static_cast<std::size_t>(x_mate)] != root) {
         fail("X vertex and its mate lie in different trees");
       }
     }
     // The matched partner of y (if any) joined the same tree.
     const vid_t mate = state.mate_y[yi];
-    if (mate != kInvalidVertex &&
-        state.root_x[static_cast<std::size_t>(mate)] != root) {
-      fail("matched pair split across trees");
+    if (mate != kInvalidVertex) {
+      const auto mi = static_cast<std::size_t>(mate);
+      if (!ws.root_stamp.valid(mi) || ws.root_x[mi] != root) {
+        fail("matched pair split across trees");
+      }
+    }
+  }
+
+  if (state.pool_built) {
+    // stamp <=> physical membership, both directions at once: together
+    // with the superset check above, equal counts prove every stamped
+    // vertex sits in the pool exactly once and the pool holds no
+    // unstamped entry.
+    std::int64_t stamped = 0;
+    for (vid_t y = 0; y < ny; ++y) {
+      stamped += ws.pool_stamp.valid(static_cast<std::size_t>(y)) ? 1 : 0;
+    }
+    if (stamped != static_cast<std::int64_t>(ws.pool.size())) {
+      fail("candidate-pool stamps disagree with the pool contents");
     }
   }
 
   // Leaf pointers of unmatched roots mark genuine augmenting paths.
   for (vid_t x = 0; x < nx; ++x) {
     const auto xi = static_cast<std::size_t>(x);
-    if (state.mate_x[xi] != kInvalidVertex || state.root_x[xi] != x) {
+    if (ws.active_x.test(xi) && !ws.root_stamp.valid(xi)) {
+      fail("eligible-parent bit on an X vertex outside the forest");
+    }
+    if (state.mate_x[xi] != kInvalidVertex || !ws.root_stamp.valid(xi) ||
+        ws.root_x[xi] != x) {
       continue;  // not an unmatched root this phase
     }
-    const vid_t leaf = state.leaf[xi];
-    if (leaf == kInvalidVertex) continue;
+    if (!ws.leaf_stamp.valid(xi)) continue;
+    const vid_t leaf = ws.leaf[xi];
     const auto li = static_cast<std::size_t>(leaf);
-    if (!state.visited[li]) fail("leaf pointer to an unvisited Y vertex");
+    if (!ws.visited.test(li)) fail("leaf pointer to an unvisited Y vertex");
     if (state.mate_y[li] != kInvalidVertex) fail("leaf Y vertex is matched");
-    if (state.root_y[li] != x) fail("leaf belongs to a different tree");
+    if (ws.root_y[li] != x) fail("leaf belongs to a different tree");
     // Walk the augmenting path back to the root; it must alternate and
     // terminate without cycles.
     vid_t y = leaf;
     std::int64_t steps = 0;
     while (true) {
-      const vid_t px = state.parent[static_cast<std::size_t>(y)];
+      const vid_t px = ws.parent[static_cast<std::size_t>(y)];
       if (px == kInvalidVertex) fail("augmenting path breaks at parent");
       if (px == x) break;
       y = state.mate_x[static_cast<std::size_t>(px)];
@@ -234,7 +382,7 @@ void assert_forest_invariants(const GraftState& state) {
 }  // namespace
 
 RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
-                      const RunConfig& config) {
+                      const RunConfig& config, GraftWorkspace& workspace) {
   if (!(config.alpha > 0.0)) {
     throw std::invalid_argument("ms_bfs_graft: alpha must be positive");
   }
@@ -251,25 +399,32 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
 
   const vid_t nx = g.num_x();
   const vid_t ny = g.num_y();
-  GraftState state(g, matching);
+  GraftWorkspace& ws = workspace;
+  const bool warm = ws.prepare(nx, ny);
+  obs::emit_instant(obs::names::kWorkspacePrepared, warm ? 1 : 0,
+                    ws.prepared_runs);
+  stats.bookkeeping.collected = true;
+  stats.bookkeeping.workspace_warm = warm;
 
-  // Reusable scratch: unvisited-Y candidate lists for bottom-up levels
-  // (double-buffered: failed candidates of one level feed the next),
-  // renewable/active classifications for the graft step.
-  FrontierQueue<vid_t> candidates(static_cast<std::size_t>(ny));
-  FrontierQueue<vid_t> failed_candidates(static_cast<std::size_t>(ny));
-  FrontierQueue<vid_t> renewable_y(static_cast<std::size_t>(ny));
-  FrontierQueue<vid_t> active_y(static_cast<std::size_t>(ny));
-  FrontierQueue<vid_t> renewable_roots(static_cast<std::size_t>(nx));
+  GraftState state(g, matching, ws);
+  // The eligible-parent bits feed the bottom-up kernel, which runs for
+  // direction-optimized BFS levels AND for the graft scan; only the
+  // plain MS-BFS baseline can skip maintaining them.
+  const bool mark_active = config.direction_optimizing || config.tree_grafting;
 
-  // Initial frontier: every unmatched X vertex roots its own tree.
-  for (vid_t x = 0; x < nx; ++x) {
-    if (state.mate_x[static_cast<std::size_t>(x)] == kInvalidVertex) {
-      state.root_x[static_cast<std::size_t>(x)] = x;
-      state.x_join_time[static_cast<std::size_t>(x)] = state.now;
-      state.frontier.push(x);
-    }
-  }
+  // Initial frontier: every unmatched X vertex roots its own tree. The
+  // predicate's writes target the tested slot only, so the parallel
+  // collect is race-free; the roots list doubles as the maintained
+  // unmatched-roots set.
+  engine::collect_if(nx, ws.frontier, [&](vid_t x) {
+    const auto xi = static_cast<std::size_t>(x);
+    if (state.mate_x[xi] != kInvalidVertex) return false;
+    ws.root_x[xi] = x;
+    ws.root_stamp.stamp(xi);
+    return true;
+  });
+  ws.roots.append(ws.frontier.items());
+  publish_frontier(state, mark_active);
 
   while (true) {
     ++stats.phases;
@@ -284,19 +439,16 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
     // Direction choice follows the paper (top-down when |F| <
     // numUnvisitedY / alpha), with two refinements that bound the cost
     // of bottom-up on graphs with a large permanently-unreachable Y
-    // mass: (a) within a phase, each bottom-up level rescans only the
-    // candidates that failed to attach at the previous bottom-up level
-    // (visits only shrink the unvisited set, so the failed list stays a
-    // superset of it); (b) once a bottom-up level attaches almost
-    // nothing, the leftover candidates are overwhelmingly unreachable
-    // this phase, so bottom-up is disabled for the rest of the phase.
+    // mass: (a) each bottom-up level rescans only the pool survivors of
+    // the previous scan (the pool stays a superset of the unvisited
+    // set); (b) once a bottom-up level attaches almost nothing, the
+    // leftover candidates are overwhelmingly unreachable this phase, so
+    // bottom-up is disabled for the rest of the phase.
     std::int64_t level = 0;
-    bool candidates_fresh = false;
     bool bottom_up_banned = false;
     bool last_bottom_up = false;
-    while (!state.frontier.empty()) {
-      const auto frontier_size =
-          static_cast<std::int64_t>(state.frontier.size());
+    while (!ws.frontier.empty()) {
+      const auto frontier_size = static_cast<std::int64_t>(ws.frontier.size());
       const bool use_bottom_up =
           config.direction_optimizing && !bottom_up_banned &&
           engine::prefer_bottom_up(frontier_size, state.unvisited_y,
@@ -315,37 +467,45 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
       }
 
       std::int64_t newly_visited = 0;
-      state.next.clear();
-      ++state.now;  // vertices joining during this pass get a new stamp
+      ws.next.clear();
       phase_row.bottom_up_levels += use_bottom_up;
       if (use_bottom_up) {
         const auto lap = sink.scoped(Step::kBottomUp);
-        if (!candidates_fresh) {
-          candidates.clear();
-          engine::collect_if(ny, candidates, [&](vid_t y) {
-            return !state.visited[static_cast<std::size_t>(y)];
-          });
-          candidates_fresh = true;
+        if (!state.pool_built) {
+          // O(ny) candidate-pool build from the visited bitmap's
+          // complement (word-level ctz compaction), run lazily: once
+          // here and again only after a rebuild dropped the pool.
+          // Between builds the pool is maintained incrementally.
+          ws.pool.clear();
+          ws.pool_stamp.bump();
+          engine::for_each_zero_bit(
+              ws.visited.words(), ny, ws.pool,
+              [&](std::int64_t y, auto& handle) {
+                ws.pool_stamp.stamp(static_cast<std::size_t>(y));
+                handle.push(static_cast<vid_t>(y));
+              });
+          state.pool_built = true;
+          ++stats.bookkeeping.pool_builds;
+          obs::emit_instant(obs::names::kPoolBuild,
+                            static_cast<std::int64_t>(ws.pool.size()));
         }
-        failed_candidates.clear();
-        bottom_up(state, candidates.items(), stats.edges_traversed,
-                  newly_visited, failed_candidates);
+        ws.pool_failed.clear();
+        bottom_up(state, ws.pool.items(), stats.edges_traversed,
+                  newly_visited, ws.pool_failed, /*pool_scan=*/true);
         // Low yield: the survivors are (almost all) unreachable this
         // phase; stop paying to rescan them.
-        if (8 * newly_visited < static_cast<std::int64_t>(candidates.size())) {
+        if (8 * newly_visited < static_cast<std::int64_t>(ws.pool.size())) {
           bottom_up_banned = true;
         }
-        candidates.swap(failed_candidates);
+        ws.pool.swap(ws.pool_failed);
       } else {
         const auto lap = sink.scoped(Step::kTopDown);
         top_down(state, stats.edges_traversed, newly_visited);
-        // The candidate list stays a (stale but safe) superset of the
-        // unvisited set across top-down levels: visits only shrink it,
-        // and bottom_up() skips visited entries.
       }
       state.unvisited_y -= newly_visited;
-      state.frontier.clear();
-      state.frontier.swap(state.next);
+      ws.frontier.clear();
+      ws.frontier.swap(ws.next);
+      publish_frontier(state, mark_active);
       ++level;
     }
     phase_row.levels = level;
@@ -353,22 +513,31 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
     if (config.check_invariants) assert_forest_invariants(state);
 
     // ---- Step 2: augment along every renewable tree's unique path.
+    // Renewable roots are exactly the roots-list members whose leaf was
+    // stamped this phase (the list holds only still-unmatched roots,
+    // and an unmatched root with a valid leaf always augmented the
+    // phase the leaf was set), collected in O(|roots|), not O(nx).
     {
       const auto lap = sink.scoped(Step::kStatistics);
-      renewable_roots.clear();
-      engine::collect_if(nx, renewable_roots, [&](vid_t x) {
-        // Renewable roots are exactly the still-unmatched roots whose
-        // leaf pointer was set this phase (stale leaves from earlier
-        // phases belong to matched ex-roots).
-        return state.mate_x[static_cast<std::size_t>(x)] == kInvalidVertex &&
-               state.root_x[static_cast<std::size_t>(x)] == x &&
-               state.leaf[static_cast<std::size_t>(x)] != kInvalidVertex;
-      });
+      ws.renewable_roots.clear();
+      ws.roots_scratch.clear();
+      engine::for_each_item(
+          std::span<const vid_t>(ws.roots.items()), ws.renewable_roots,
+          ws.roots_scratch, [&](vid_t x, auto& renewable_out, auto& keep_out) {
+            if (ws.leaf_stamp.valid(static_cast<std::size_t>(x))) {
+              renewable_out.push(x);
+            } else {
+              keep_out.push(x);
+            }
+          });
+      // Augmented roots become matched and never unmatched again, so
+      // the survivors list is next phase's roots list.
+      ws.roots.swap(ws.roots_scratch);
     }
 
     sink.start(Step::kAugment);
     {
-      const auto roots = renewable_roots.items();
+      const auto roots = ws.renewable_roots.items();
       const auto count = static_cast<std::int64_t>(roots.size());
       std::int64_t path_edges_total = 0;
       std::vector<std::int64_t> path_lengths;
@@ -381,10 +550,10 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
 #pragma omp for schedule(dynamic, 8)
         for (std::int64_t i = 0; i < count; ++i) {
           const vid_t r = roots[static_cast<std::size_t>(i)];
-          vid_t y = state.leaf[static_cast<std::size_t>(r)];
+          vid_t y = ws.leaf[static_cast<std::size_t>(r)];
           std::int64_t path_edges = 0;
           while (y != kInvalidVertex) {
-            const vid_t x = state.parent[static_cast<std::size_t>(y)];
+            const vid_t x = ws.parent[static_cast<std::size_t>(y)];
             const vid_t next_y = state.mate_x[static_cast<std::size_t>(x)];
             state.mate_x[static_cast<std::size_t>(x)] = y;
             state.mate_y[static_cast<std::size_t>(y)] = x;
@@ -419,99 +588,175 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
     }
 
     // ---- Step 3: rebuild the frontier (Algorithm 7).
-    // Statistics (lines 2-4): classify Y vertices into renewable
-    // (tree found a path) and active, and count active X vertices.
+    // Statistics (lines 2-4): classify the forest's Y vertices into
+    // renewable (tree found a path) and active, and count active X
+    // vertices -- sweeping carry + touched lists (exactly the forest)
+    // instead of the full vertex ranges.
     std::int64_t active_x_count = 0;
     {
       const auto lap = sink.scoped(Step::kStatistics);
-      renewable_y.clear();
-      active_y.clear();
-      engine::for_each_index(
-          ny, renewable_y, active_y,
-          [&](vid_t y, auto& renewable_out, auto& active_out) {
-            const vid_t r = state.root_y[static_cast<std::size_t>(y)];
-            if (r == kInvalidVertex) return;
-            if (state.leaf[static_cast<std::size_t>(r)] != kInvalidVertex) {
-              renewable_out.push(y);
-            } else {
-              active_out.push(y);
-            }
-          });
+      ws.renewable_y.clear();
+      ws.active_y.clear();
+      const auto classify = [&](vid_t y, auto& renewable_out,
+                                auto& active_out) {
+        const vid_t r = ws.root_y[static_cast<std::size_t>(y)];
+        if (ws.leaf_stamp.valid(static_cast<std::size_t>(r))) {
+          renewable_out.push(y);
+        } else {
+          active_out.push(y);
+        }
+      };
+      engine::for_each_item(std::span<const vid_t>(ws.carry_y.items()),
+                            ws.renewable_y, ws.active_y, classify);
+      engine::for_each_item(std::span<const vid_t>(ws.touched_y.items()),
+                            ws.renewable_y, ws.active_y, classify);
+      stats.bookkeeping.classified_y +=
+          static_cast<std::int64_t>(ws.carry_y.size() + ws.touched_y.size());
+
+      // |activeX| needs no X-side sweep at all: an active tree is its
+      // root plus the mates of its Y members, the mates are distinct
+      // (they come from a matching), and a tree is active iff its Y
+      // members classified active -- so the count is the surviving
+      // roots (the list already dropped this phase's renewable roots)
+      // plus the active Y vertices.
       active_x_count =
-          engine::count_if(nx, [&](vid_t x) { return state.in_active_tree(x); });
+          static_cast<std::int64_t>(ws.roots.size() + ws.active_y.size());
+      stats.bookkeeping.counted_x += active_x_count;
     }
 
     sink.start(Step::kGraft);
     // Free the renewable Y vertices so they can join other trees
-    // (Algorithm 3 lines 16-17 / Algorithm 7 lines 6-7).
+    // (Algorithm 3 lines 16-17 / Algorithm 7 lines 6-7) and dismantle
+    // the dead trees' eligible-parent bits: every non-root member is
+    // some renewable Y's post-augmentation mate, and the roots are in
+    // renewable_roots.
     {
-      const auto items = renewable_y.items();
-      const auto count = static_cast<std::int64_t>(items.size());
-      parallel_region([&] {
-#pragma omp for schedule(static)
-        for (std::int64_t i = 0; i < count; ++i) {
-          const vid_t y = items[static_cast<std::size_t>(i)];
-          state.visited[static_cast<std::size_t>(y)] = 0;
-          state.root_y[static_cast<std::size_t>(y)] = kInvalidVertex;
+      const auto renewables = ws.renewable_y.items();
+      const auto renewable_count =
+          static_cast<std::int64_t>(renewables.size());
+      const auto dead_roots = ws.renewable_roots.items();
+      const auto dead_root_count =
+          static_cast<std::int64_t>(dead_roots.size());
+      if (state.serial) {
+        for (std::int64_t i = 0; i < renewable_count; ++i) {
+          const vid_t y = renewables[static_cast<std::size_t>(i)];
+          const auto yi = static_cast<std::size_t>(y);
+          ws.visited.clear_serial(yi);
+          if (mark_active) {
+            const vid_t m = state.mate_y[yi];
+            if (m != kInvalidVertex) {
+              ws.active_x.clear_serial(static_cast<std::size_t>(m));
+            }
+          }
         }
-      });
-      state.unvisited_y += count;
+        if (mark_active) {
+          for (std::int64_t i = 0; i < dead_root_count; ++i) {
+            ws.active_x.clear_serial(
+                static_cast<std::size_t>(dead_roots[static_cast<std::size_t>(i)]));
+          }
+        }
+      } else {
+        parallel_region([&] {
+#pragma omp for schedule(static) nowait
+          for (std::int64_t i = 0; i < renewable_count; ++i) {
+            const vid_t y = renewables[static_cast<std::size_t>(i)];
+            const auto yi = static_cast<std::size_t>(y);
+            ws.visited.clear(yi);
+            if (mark_active) {
+              const vid_t m = state.mate_y[yi];
+              if (m != kInvalidVertex) {
+                ws.active_x.clear(static_cast<std::size_t>(m));
+              }
+            }
+          }
+          if (mark_active) {
+#pragma omp for schedule(static)
+            for (std::int64_t i = 0; i < dead_root_count; ++i) {
+              ws.active_x.clear(static_cast<std::size_t>(
+                  dead_roots[static_cast<std::size_t>(i)]));
+            }
+          }
+        });
+      }
+      state.unvisited_y += renewable_count;
     }
 
     const bool graft_profitable =
         config.tree_grafting &&
         static_cast<double>(active_x_count) >
-            static_cast<double>(renewable_y.size()) / config.alpha;
+            static_cast<double>(ws.renewable_y.size()) / config.alpha;
     obs::emit_instant(
         graft_profitable ? obs::names::kGraftChosen : obs::names::kRebuildChosen,
-        active_x_count, static_cast<std::int64_t>(renewable_y.size()));
+        active_x_count, static_cast<std::int64_t>(ws.renewable_y.size()));
     phase_row.active_x = active_x_count;
-    phase_row.renewable_y = static_cast<std::int64_t>(renewable_y.size());
+    phase_row.renewable_y = static_cast<std::int64_t>(ws.renewable_y.size());
     phase_row.grafted = graft_profitable;
 
-    state.frontier.clear();
-    state.next.clear();
+    ws.frontier.clear();
+    ws.next.clear();
     if (graft_profitable) {
-      // Graft: re-attach renewable Y vertices (and their mates) onto
-      // active trees; the attached mates form the next frontier.
+      // Graft: carry the surviving active trees' bookkeeping into the
+      // next phase, then re-attach renewable Y vertices (and their
+      // mates) onto active trees; the attached mates form the next
+      // frontier. Unattached renewables go back into the candidate
+      // pool (they are unvisited again).
+      ws.carry_y.swap(ws.active_y);
+      ws.touched_y.clear();
       std::int64_t newly_visited = 0;
-      ++state.now;  // grafted mates must not recursively receive grafts
-      failed_candidates.clear();  // scratch; graft ignores the failed list
-      bottom_up(state, renewable_y.items(), stats.edges_traversed,
-                newly_visited, failed_candidates);
+      ws.pool_failed.clear();  // scratch: the graft's failed list
+      bottom_up(state, ws.renewable_y.items(), stats.edges_traversed,
+                newly_visited, ws.pool_failed, /*pool_scan=*/false);
       state.unvisited_y -= newly_visited;
-      state.frontier.swap(state.next);
+      if (state.pool_built) refill_pool(state, ws.pool_failed.items(), stats);
+      ws.frontier.swap(ws.next);
+      publish_frontier(state, mark_active);
     } else {
       // Rebuild: destroy all trees and restart from the unmatched
-      // X vertices (Algorithm 7 lines 10-15).
+      // X vertices (Algorithm 7 lines 10-15). Freeing the active Y
+      // vertices plus two epoch bumps IS the teardown -- no O(nx)
+      // root_x clear.
       {
-        const auto items = active_y.items();
+        const auto items = ws.active_y.items();
         const auto count = static_cast<std::int64_t>(items.size());
-        parallel_region([&] {
-#pragma omp for schedule(static)
+        if (state.serial) {
           for (std::int64_t i = 0; i < count; ++i) {
-            const vid_t y = items[static_cast<std::size_t>(i)];
-            state.visited[static_cast<std::size_t>(y)] = 0;
-            state.root_y[static_cast<std::size_t>(y)] = kInvalidVertex;
+            ws.visited.clear_serial(
+                static_cast<std::size_t>(items[static_cast<std::size_t>(i)]));
           }
-        });
+        } else {
+          parallel_region([&] {
+#pragma omp for schedule(static)
+            for (std::int64_t i = 0; i < count; ++i) {
+              ws.visited.clear(
+                  static_cast<std::size_t>(items[static_cast<std::size_t>(i)]));
+            }
+          });
+        }
         state.unvisited_y += count;
       }
-      parallel_region([&] {
-#pragma omp for schedule(static)
-        for (vid_t x = 0; x < nx; ++x) {
-          state.root_x[static_cast<std::size_t>(x)] = kInvalidVertex;
-        }
-      });
-      engine::collect_if(nx, state.frontier, [&](vid_t x) {
-        if (state.mate_x[static_cast<std::size_t>(x)] != kInvalidVertex) {
-          return false;
-        }
-        state.root_x[static_cast<std::size_t>(x)] = x;
-        state.x_join_time[static_cast<std::size_t>(x)] = state.now;
-        state.leaf[static_cast<std::size_t>(x)] = kInvalidVertex;
-        return true;
-      });
+      // A rebuild frees the WHOLE forest's Y set. Refilling the pool
+      // with it would cost O(|forest|) per rebuild for candidates a
+      // later bottom-up pass may never scan (rebuild-heavy instances
+      // tend never to switch direction again). Drop the pool instead:
+      // if bottom-up does run again it rebuilds from the visited
+      // bitmap's complement, and that build's pool_stamp.bump()
+      // retires every stale membership stamp in O(1).
+      state.pool_built = false;
+      ws.root_stamp.bump();
+      ws.leaf_stamp.bump();
+      stats.bookkeeping.epoch_bumps += 2;
+      if (mark_active) ws.active_x.clear_all();
+      ws.carry_y.clear();
+      ws.touched_y.clear();
+      // Re-root the surviving unmatched roots: O(|roots|), not O(nx).
+      engine::for_each_item(std::span<const vid_t>(ws.roots.items()),
+                            ws.frontier, [&](vid_t x, auto& handle) {
+                              const auto xi = static_cast<std::size_t>(x);
+                              ws.root_x[xi] = x;
+                              ws.root_stamp.stamp(xi);
+                              handle.push(x);
+                            });
+      publish_frontier(state, mark_active);
     }
     sink.stop(Step::kGraft);
 
@@ -525,6 +770,16 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
 
   sink.finish(matching);
   return stats;
+}
+
+RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
+                      const RunConfig& config) {
+  // One workspace per host thread: repeated runs (bench min-of-runs,
+  // the diff corpus, back-to-back phases of a driver) reuse warm,
+  // first-touched arrays, and concurrent solver calls from different
+  // host threads never share state.
+  thread_local GraftWorkspace workspace;
+  return ms_bfs_graft(g, matching, config, workspace);
 }
 
 RunStats ms_bfs(const BipartiteGraph& g, Matching& matching,

@@ -23,6 +23,7 @@
 // ablation measures against.
 #pragma once
 
+#include "graftmatch/core/graft_workspace.hpp"
 #include "graftmatch/core/run_stats.hpp"
 #include "graftmatch/graph/bipartite_graph.hpp"
 #include "graftmatch/graph/matching.hpp"
@@ -31,8 +32,16 @@ namespace graftmatch {
 
 /// Grow `matching` to maximum cardinality with MS-BFS-Graft.
 /// Deterministic result cardinality regardless of thread count.
+/// Per-vertex state lives in a thread_local GraftWorkspace, so repeated
+/// calls from one host thread reuse warm, first-touched arrays (bench
+/// min-of-runs and the diff suite stop re-faulting pages).
 RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
                       const RunConfig& config = {});
+
+/// As above with an explicit workspace (reusable across runs and across
+/// graphs; see core/graft_workspace.hpp for the reuse contract).
+RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
+                      const RunConfig& config, GraftWorkspace& workspace);
 
 /// Plain MS-BFS baseline (no grafting, no direction optimization).
 RunStats ms_bfs(const BipartiteGraph& g, Matching& matching,

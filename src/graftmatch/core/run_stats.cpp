@@ -143,6 +143,16 @@ std::string run_stats_json(const RunStats& stats) {
     append_number(out, r.reconstruct_seconds);
     out << "}";
   }
+  if (stats.bookkeeping.collected) {
+    const BookkeepingCounters& b = stats.bookkeeping;
+    out << ",\"bookkeeping\":{\"workspace_warm\":"
+        << (b.workspace_warm ? "true" : "false")
+        << ",\"pool_builds\":" << b.pool_builds
+        << ",\"pool_reinserts\":" << b.pool_reinserts
+        << ",\"classified_y\":" << b.classified_y
+        << ",\"counted_x\":" << b.counted_x
+        << ",\"epoch_bumps\":" << b.epoch_bumps << "}";
+  }
   if (!stats.path_length_histogram.empty()) {
     out << ",\"path_length_histogram\":[";
     bool first = true;

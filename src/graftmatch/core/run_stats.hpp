@@ -122,6 +122,26 @@ struct ObsCounters {
   std::int64_t frontier_volume = 0;     ///< sum of |F| over all levels
 };
 
+/// Counters from MS-BFS-Graft's epoch-versioned phase bookkeeping
+/// (runtime/epoch_array.hpp + the GraftWorkspace). They quantify how
+/// much full-range sweeping the incremental scheme avoided: the
+/// classification sweeps scale with `classified_y`/`counted_x` (the
+/// vertices phases actually touched) instead of phases * (nx + ny), the
+/// candidate pool is built lazily per direction-switch streak
+/// (`pool_builds`), maintained by re-inserting freed vertices
+/// (`pool_reinserts`) and dropped whole on rebuild, and every rebuild
+/// tears the forest down with two epoch bumps (`epoch_bumps`) instead
+/// of an O(nx) clear. `collected` stays false for non-graft algorithms.
+struct BookkeepingCounters {
+  bool collected = false;
+  bool workspace_warm = false;   ///< arrays reused from a previous run
+  std::int64_t pool_builds = 0;  ///< full O(ny) candidate-pool builds
+  std::int64_t pool_reinserts = 0;  ///< freed Ys re-inserted into the pool
+  std::int64_t classified_y = 0;    ///< forest Ys classified (all phases)
+  std::int64_t counted_x = 0;       ///< forest Xs counted (all phases)
+  std::int64_t epoch_bumps = 0;     ///< O(1) forest invalidations
+};
+
 /// Counters from the kernelization pre-pass (src/graftmatch/reduce/).
 /// `collected` stays false when no reduction ran; the other fields are
 /// then meaningless. Stamped by engine::run_reduced.
@@ -185,6 +205,10 @@ struct RunStats {
   /// the cardinalities above are in original-graph terms while
   /// phases/edges/seconds describe the kernel solve.
   ReduceCounters reduce;
+
+  /// Epoch-bookkeeping counters (see BookkeepingCounters). Stamped by
+  /// ms_bfs_graft.
+  BookkeepingCounters bookkeeping;
 
   /// Filled when RunConfig::collect_frontier_trace is set.
   std::vector<FrontierSample> frontier_trace;

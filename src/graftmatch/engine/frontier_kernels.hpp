@@ -24,6 +24,7 @@
 
 #include <omp.h>
 
+#include <bit>
 #include <cstdint>
 #include <mutex>
 #include <span>
@@ -84,27 +85,43 @@ inline bool prefer_bottom_up(std::int64_t frontier_size,
 /// the serial search rate on uniform-degree graphs, see bench_fig4).
 inline bool serial_team() noexcept { return omp_get_max_threads() == 1; }
 
+/// Out-queue adapter for the kernels' one-thread fast paths: pushes go
+/// straight through the queue's serial cursor instead of the Handle's
+/// L1 buffer, whose flush would copy every item a second time for no
+/// contention benefit.
+struct DirectPush {
+  FrontierQueue<vid_t>& queue;
+  void push(const vid_t& item) noexcept { queue.push(item); }
+};
+
 /// Top-down level: scan every adjacency entry of every frontier vertex,
 /// split at EDGE granularity over the team. `filter(u)` gates a whole
 /// vertex (evaluated per fragment on split vertices); `visit(u, v, out,
-/// counters)` runs per edge and must be thread-safe (claim atomically;
-/// bump counters.visits on success; push follow-ups into `out`).
-/// Returns the summed counters; edges counts only filtered-in vertices.
+/// track, counters)` runs per edge and must be thread-safe (claim
+/// atomically; bump counters.visits on success; push follow-ups into
+/// `out`). `track` is a second thread-private handle on `touched`:
+/// callbacks push every vertex they claim so the caller can later
+/// classify only vertices the phase actually reached instead of
+/// sweeping the full range (the epoch-bookkeeping contract,
+/// runtime/epoch_array.hpp). Returns the summed counters; edges counts
+/// only filtered-in vertices.
 template <typename Filter, typename Visit>
 TraversalCounters for_each_frontier_edge(const Adjacency& adj,
                                          std::span<const vid_t> frontier,
                                          FrontierQueue<vid_t>& next,
+                                         FrontierQueue<vid_t>& touched,
                                          EdgePartition& partition,
                                          Filter&& filter, Visit&& visit) {
   if (serial_team()) {
     const std::int64_t span_start = obs::timestamp();
     TraversalCounters totals;
-    auto out = next.handle();
+    DirectPush out{next};
+    DirectPush track{touched};
     for (const vid_t u : frontier) {
       if (!filter(u)) continue;
       const auto nbrs = adj.of(u);
       totals.edges += static_cast<std::int64_t>(nbrs.size());
-      for (const vid_t v : nbrs) visit(u, v, out, totals);
+      for (const vid_t v : nbrs) visit(u, v, out, track, totals);
     }
     obs::emit_complete(obs::names::kKernelFrontierEdge, span_start,
                        totals.edges, totals.visits);
@@ -118,6 +135,7 @@ TraversalCounters for_each_frontier_edge(const Adjacency& adj,
   parallel_region([&] {
     const std::int64_t span_start = obs::timestamp();
     auto out = next.handle();
+    auto track = touched.handle();
     TraversalCounters local;
     const EdgePartition::Range share =
         partition.edge_range(omp_get_thread_num(), omp_get_num_threads());
@@ -134,7 +152,7 @@ TraversalCounters for_each_frontier_edge(const Adjacency& adj,
         if (take <= 0 || !filter(u)) continue;
         local.edges += take;
         for (std::int64_t k = offset; k < offset + take; ++k) {
-          visit(u, nbrs[static_cast<std::size_t>(k)], out, local);
+          visit(u, nbrs[static_cast<std::size_t>(k)], out, track, local);
         }
       }
     }
@@ -150,27 +168,32 @@ TraversalCounters for_each_frontier_edge(const Adjacency& adj,
 /// split at ITEM granularity (edge-balanced, but an item never spans
 /// threads -- its state is written without atomics and its scan breaks
 /// on the first attach). `skip(y)` drops already-done candidates;
-/// `try_edge(y, x, out)` attempts one attachment and returns true to
-/// stop scanning y. Candidates that neither skip nor attach are pushed
-/// to `failed` (callers that do not need the list pass a scratch queue).
+/// `try_edge(y, x, out, track)` attempts one attachment and returns
+/// true to stop scanning y (`track` is a thread-private handle on
+/// `touched`; callbacks push every vertex they attach, same contract as
+/// for_each_frontier_edge). Candidates that neither skip nor attach are
+/// pushed to `failed` (callers that do not need the list pass a scratch
+/// queue).
 template <typename Skip, typename TryEdge>
 TraversalCounters for_each_unvisited_reverse(const Adjacency& adj,
                                              std::span<const vid_t> candidates,
                                              FrontierQueue<vid_t>& next,
                                              FrontierQueue<vid_t>& failed,
+                                             FrontierQueue<vid_t>& touched,
                                              EdgePartition& partition,
                                              Skip&& skip, TryEdge&& try_edge) {
   if (serial_team()) {
     const std::int64_t span_start = obs::timestamp();
     TraversalCounters totals;
-    auto out = next.handle();
-    auto failed_out = failed.handle();
+    DirectPush out{next};
+    DirectPush failed_out{failed};
+    DirectPush track{touched};
     for (const vid_t y : candidates) {
       if (skip(y)) continue;
       bool attached = false;
       for (const vid_t x : adj.of(y)) {
         ++totals.edges;
-        if (try_edge(y, x, out)) {
+        if (try_edge(y, x, out, track)) {
           ++totals.visits;
           attached = true;
           break;
@@ -193,6 +216,7 @@ TraversalCounters for_each_unvisited_reverse(const Adjacency& adj,
     const std::int64_t span_start = obs::timestamp();
     auto out = next.handle();
     auto failed_out = failed.handle();
+    auto track = touched.handle();
     TraversalCounters local;
     const EdgePartition::Range share =
         partition.item_range(omp_get_thread_num(), omp_get_num_threads());
@@ -202,7 +226,7 @@ TraversalCounters for_each_unvisited_reverse(const Adjacency& adj,
       bool attached = false;
       for (const vid_t x : adj.of(y)) {
         ++local.edges;
-        if (try_edge(y, x, out)) {
+        if (try_edge(y, x, out, track)) {
           ++local.visits;
           attached = true;
           break;
@@ -227,7 +251,7 @@ void for_each_work_item(std::span<const vid_t> items, WeightFn&& weight,
                         FrontierQueue<vid_t>& out, EdgePartition& partition,
                         Body&& body) {
   if (serial_team()) {
-    auto handle = out.handle();
+    DirectPush handle{out};
     for (const vid_t id : items) body(id, handle);
     return;
   }
@@ -279,6 +303,11 @@ TraversalCounters for_each_chunked(std::span<const vid_t> items, int chunk,
 /// thread-private out-queue: `body(v, handle)`.
 template <typename Body>
 void for_each_index(vid_t count, FrontierQueue<vid_t>& out, Body&& body) {
+  if (serial_team()) {
+    DirectPush handle{out};
+    for (vid_t v = 0; v < count; ++v) body(v, handle);
+    return;
+  }
   parallel_region([&] {
     auto handle = out.handle();
 #pragma omp for schedule(static)
@@ -291,6 +320,12 @@ void for_each_index(vid_t count, FrontierQueue<vid_t>& out, Body&& body) {
 template <typename Body>
 void for_each_index(vid_t count, FrontierQueue<vid_t>& first,
                     FrontierQueue<vid_t>& second, Body&& body) {
+  if (serial_team()) {
+    DirectPush first_handle{first};
+    DirectPush second_handle{second};
+    for (vid_t v = 0; v < count; ++v) body(v, first_handle, second_handle);
+    return;
+  }
   parallel_region([&] {
     auto first_handle = first.handle();
     auto second_handle = second.handle();
@@ -304,6 +339,11 @@ void for_each_index(vid_t count, FrontierQueue<vid_t>& first,
 template <typename Body>
 void for_each_index_dynamic(vid_t count, int chunk, FrontierQueue<vid_t>& out,
                             Body&& body) {
+  if (serial_team()) {
+    DirectPush handle{out};
+    for (vid_t v = 0; v < count; ++v) body(v, handle);
+    return;
+  }
   parallel_region([&] {
     auto handle = out.handle();
 #pragma omp for schedule(dynamic, chunk)
@@ -324,6 +364,11 @@ void collect_if(vid_t count, FrontierQueue<vid_t>& out, Pred&& pred) {
 /// Parallel count of pred(v) over [0, count).
 template <typename Pred>
 std::int64_t count_if(vid_t count, Pred&& pred) {
+  if (serial_team()) {
+    std::int64_t total = 0;
+    for (vid_t v = 0; v < count; ++v) total += pred(v) ? 1 : 0;
+    return total;
+  }
   std::int64_t total = 0;
   parallel_region([&] {
     std::int64_t local = 0;
@@ -332,6 +377,94 @@ std::int64_t count_if(vid_t count, Pred&& pred) {
     fetch_add_relaxed(total, local);
   });
   return total;
+}
+
+/// Statically scheduled sweep over an explicit item list with a
+/// thread-private out-queue: `body(v, handle)`. The incremental
+/// counterpart of for_each_index for phase bookkeeping that must scale
+/// with the vertices a phase touched, not with the whole vertex range.
+/// Items are assumed uniform-cost (use for_each_work_item when they are
+/// not).
+template <typename Body>
+void for_each_item(std::span<const vid_t> items, FrontierQueue<vid_t>& out,
+                   Body&& body) {
+  if (serial_team()) {
+    DirectPush handle{out};
+    for (const vid_t v : items) body(v, handle);
+    return;
+  }
+  const auto count = static_cast<std::int64_t>(items.size());
+  parallel_region([&] {
+    auto handle = out.handle();
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < count; ++i) {
+      body(items[static_cast<std::size_t>(i)], handle);
+    }
+  });
+}
+
+/// As above with two out-queues (renewable/active classification over
+/// the touched-vertex lists): `body(v, first_handle, second_handle)`.
+template <typename Body>
+void for_each_item(std::span<const vid_t> items, FrontierQueue<vid_t>& first,
+                   FrontierQueue<vid_t>& second, Body&& body) {
+  if (serial_team()) {
+    DirectPush first_handle{first};
+    DirectPush second_handle{second};
+    for (const vid_t v : items) body(v, first_handle, second_handle);
+    return;
+  }
+  const auto count = static_cast<std::int64_t>(items.size());
+  parallel_region([&] {
+    auto first_handle = first.handle();
+    auto second_handle = second.handle();
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < count; ++i) {
+      body(items[static_cast<std::size_t>(i)], first_handle, second_handle);
+    }
+  });
+}
+
+/// Word-level candidate compaction over a packed bitmap
+/// (runtime/epoch_array.hpp AtomicBitmap::words()): calls `body(v,
+/// handle)` for every ZERO bit v < bit_count, iterating set bits of the
+/// complemented word with count-trailing-zeros instead of testing all
+/// 64 positions. This is how the bottom-up candidate list is rebuilt
+/// from the visited bitmap: one cache line yields 512 candidates, and
+/// words that are all-ones (fully visited regions) cost a single
+/// compare.
+template <typename Body>
+void for_each_zero_bit(std::span<const std::uint64_t> words,
+                       std::int64_t bit_count, FrontierQueue<vid_t>& out,
+                       Body&& body) {
+  constexpr std::int64_t kBits = 64;
+  const auto word_count = static_cast<std::int64_t>(words.size());
+  const auto scan_word = [&](std::int64_t w, auto& handle) {
+    std::uint64_t holes = ~words[static_cast<std::size_t>(w)];
+    if (holes == 0) return;
+    const std::int64_t base = w * kBits;
+    if (base + kBits > bit_count) {
+      // Tail word: mask off the padding bits past bit_count.
+      const auto live = static_cast<std::uint64_t>(bit_count - base);
+      holes &= live >= 64 ? ~std::uint64_t{0}
+                          : ((std::uint64_t{1} << live) - 1);
+    }
+    while (holes != 0) {
+      const int bit = std::countr_zero(holes);
+      holes &= holes - 1;  // clear lowest set bit
+      body(base + bit, handle);
+    }
+  };
+  if (serial_team()) {
+    DirectPush handle{out};
+    for (std::int64_t w = 0; w < word_count; ++w) scan_word(w, handle);
+    return;
+  }
+  parallel_region([&] {
+    auto handle = out.handle();
+#pragma omp for schedule(static)
+    for (std::int64_t w = 0; w < word_count; ++w) scan_word(w, handle);
+  });
 }
 
 /// Work-stealing sweep over search roots for depth-first solvers whose

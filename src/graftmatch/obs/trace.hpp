@@ -81,6 +81,13 @@ inline constexpr EventName kGraftChosen{"graft_chosen", "active_x",
                                         "renewable_y"};
 inline constexpr EventName kRebuildChosen{"rebuild_chosen", "active_x",
                                           "renewable_y"};
+/// Epoch-bookkeeping instants (runtime/epoch_array.hpp): workspace
+/// binding at run start (arg0 = 1 when the arrays were warm-reused from
+/// a previous run, arg1 = runs prepared so far on this workspace) and
+/// the one-time O(ny) candidate-pool build (arg0 = pool size).
+inline constexpr EventName kWorkspacePrepared{"workspace_prepared", "warm",
+                                              "runs"};
+inline constexpr EventName kPoolBuild{"pool_build", "candidates", nullptr};
 /// Kernelization pre-pass spans (src/graftmatch/reduce/). The whole
 /// pipeline (arg0 = ReduceMode as int), one span per reduction round
 /// (arg0 = 1-based round, arg1 on the End event = ops applied), the

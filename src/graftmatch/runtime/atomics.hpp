@@ -98,6 +98,38 @@ inline T relaxed_load(const T& location) noexcept {
   return std::atomic_ref<const T>(location).load(std::memory_order_relaxed);
 }
 
+/// Atomically claim one bit of a packed flag word: set `mask`'s bit and
+/// report whether this call performed the 0 -> 1 transition. The
+/// claim_flag contract on word-packed bitmaps (runtime/epoch_array.hpp);
+/// the acq_rel fetch_or publishes the winner's subsequent tree-pointer
+/// writes the same way claim_flag's exchange does.
+inline bool claim_bit(std::uint64_t& word, std::uint64_t mask) noexcept {
+  // Same cheap non-atomic pre-check as claim_flag (paper Sec. III-B).
+  if (std::atomic_ref<std::uint64_t>(word).load(std::memory_order_relaxed) &
+      mask) {
+    return false;
+  }
+  stress::maybe_yield();  // widen the check-then-claim window under stress
+  return (std::atomic_ref<std::uint64_t>(word).fetch_or(
+              mask, std::memory_order_acq_rel) &
+          mask) == 0;
+}
+
+/// Atomic fetch-or / fetch-and with relaxed ordering (bitmap bits whose
+/// owners need no publication beyond the enclosing region join).
+template <typename T>
+inline T fetch_or_relaxed(T& location, T bits) noexcept {
+  static_assert(std::atomic_ref<T>::is_always_lock_free);
+  return std::atomic_ref<T>(location).fetch_or(bits,
+                                               std::memory_order_relaxed);
+}
+template <typename T>
+inline T fetch_and_relaxed(T& location, T bits) noexcept {
+  static_assert(std::atomic_ref<T>::is_always_lock_free);
+  return std::atomic_ref<T>(location).fetch_and(bits,
+                                                std::memory_order_relaxed);
+}
+
 /// Atomic fetch-add with relaxed ordering (counters, queue cursors).
 template <typename T>
 inline T fetch_add_relaxed(T& location, T delta) noexcept {

@@ -19,6 +19,7 @@
 //   std::span<vid_t> frontier = next.items();
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <span>
@@ -83,6 +84,16 @@ class FrontierQueue {
     storage_[at] = item;
   }
 
+  /// Serial bulk append: one copy, no per-item handle traffic. For
+  /// one-thread teams and serial sections between parallel regions.
+  void append(std::span<const T> items_to_add) noexcept {
+    assert(static_cast<std::size_t>(cursor_) + items_to_add.size() <=
+           storage_.size());
+    std::copy(items_to_add.begin(), items_to_add.end(),
+              storage_.begin() + cursor_);
+    cursor_ += static_cast<std::ptrdiff_t>(items_to_add.size());
+  }
+
   /// Items pushed since the last reset. Only valid after all handles
   /// have flushed and the parallel region has joined.
   std::span<T> items() noexcept {
@@ -100,6 +111,15 @@ class FrontierQueue {
 
   /// Forget the contents; storage is reused.
   void clear() noexcept { cursor_ = 0; }
+
+  /// Grow the backing storage to at least `capacity` and clear. Used by
+  /// reusable workspaces (core/graft_workspace.hpp) when the bound
+  /// problem's dimensions change; never shrinks, so repeated runs on
+  /// same-size graphs reallocate nothing.
+  void ensure_capacity(std::size_t capacity) {
+    if (storage_.size() < capacity) storage_.resize(capacity);
+    cursor_ = 0;
+  }
 
   /// Swap contents with another queue (for current/next frontier flips).
   void swap(FrontierQueue& other) noexcept {

@@ -158,16 +158,25 @@ T exclusive_prefix_sum(std::vector<T>& values) {
 /// First-touch initialization: write `value` to every element from inside
 /// a parallel loop so pages are faulted in by the threads that will use
 /// them (the NUMA placement technique the paper relies on via numactl;
-/// on a single socket this degenerates to a parallel fill).
+/// on a single socket this degenerates to a parallel fill). For pages
+/// that are genuinely untouched, pair with storage that was allocated
+/// without a serial value-initialization pass (see FirstTouchBuffer in
+/// runtime/epoch_array.hpp) -- std::vector's resize zero-fills serially
+/// and would fault every page on the constructing thread first.
 template <typename T>
-void first_touch_fill(std::vector<T>& data, const T& value) {
-  const std::int64_t n = static_cast<std::int64_t>(data.size());
+void first_touch_fill(T* data, std::size_t count, const T& value) {
+  const std::int64_t n = static_cast<std::int64_t>(count);
   parallel_region([&] {
 #pragma omp for schedule(static)
     for (std::int64_t i = 0; i < n; ++i) {
       data[static_cast<std::size_t>(i)] = value;
     }
   });
+}
+
+template <typename T>
+void first_touch_fill(std::vector<T>& data, const T& value) {
+  first_touch_fill(data.data(), data.size(), value);
 }
 
 }  // namespace graftmatch

@@ -119,6 +119,53 @@ TEST(RunStatsJson, ReduceBlockIsStrictlyValid) {
   EXPECT_EQ(without.find("\"reduce\""), std::string::npos);
 }
 
+// A real MS-BFS-Graft run emits the `bookkeeping` block (workspace
+// warmth, incremental-sweep counters); hand-built stats without it must
+// omit the key entirely.
+TEST(RunStatsJson, BookkeepingBlockIsStrictlyValid) {
+  ChungLuParams params;
+  params.nx = params.ny = 1200;
+  params.avg_degree = 4.0;
+  params.seed = 13;
+  const BipartiteGraph g = generate_chung_lu(params);
+
+  RunConfig config;
+  RunStats stats;
+  {
+    Matching m(g.num_x(), g.num_y());
+    stats = ms_bfs_graft(g, m, config);
+  }
+  ASSERT_TRUE(stats.bookkeeping.collected);
+  const std::string json = run_stats_json(stats);
+  std::string error;
+  EXPECT_TRUE(testing::json_valid(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"bookkeeping\":{\"workspace_warm\":"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"classified_y\":"), std::string::npos);
+  EXPECT_NE(json.find("\"epoch_bumps\":"), std::string::npos);
+  // The incremental classification sweeps visit forest members only;
+  // their volume is bounded by runs over the whole vertex range.
+  EXPECT_GE(stats.bookkeeping.classified_y, 0);
+  EXPECT_GE(stats.bookkeeping.counted_x, 0);
+
+  // Same thread, same dimensions: the thread_local workspace is warm.
+  {
+    Matching m(g.num_x(), g.num_y());
+    const RunStats again = ms_bfs_graft(g, m, config);
+    EXPECT_TRUE(again.bookkeeping.workspace_warm);
+    const std::string warm_json = run_stats_json(again);
+    EXPECT_TRUE(testing::json_valid(warm_json, &error)) << error;
+    EXPECT_NE(warm_json.find("\"workspace_warm\":true"), std::string::npos)
+        << warm_json;
+  }
+
+  RunStats plain;
+  const std::string without = run_stats_json(plain);
+  EXPECT_TRUE(testing::json_valid(without, &error)) << error;
+  EXPECT_EQ(without.find("\"bookkeeping\""), std::string::npos);
+}
+
 // JSON has no NaN/Inf literals; non-finite doubles (a 0-second run, a
 // degenerate division) must never corrupt the document.
 TEST(RunStatsJson, NonFiniteFieldsStayValid) {
