@@ -33,7 +33,9 @@ double env_double(const char* name, double fallback) {
                "unknown argument '%s'\n"
                "usage: %s [--seed N] [--threads N] [--size F] [--runs N]\n"
                "          [--init %s]\n"
-               "          [--reduce none|d1|d1d2] [--results-dir DIR]\n"
+               "          [--reduce none|d1|d1d2] [--shard none|dm] "
+               "[--solver NAME]\n"
+               "          [--only SUBSTR] [--results-dir DIR]\n"
                "Each flag overrides the matching GRAFTMATCH_* environment "
                "variable.\n",
                bad_arg, binary, inits.c_str());
@@ -59,8 +61,16 @@ void validate_flag_value(const char* flag, const char* value) {
                    "bad value '%s' for --reduce (none | d1 | d1d2)\n", value);
       std::exit(2);
     }
+  } else if (name == "--shard") {
+    ShardMode mode;
+    if (!parse_shard_mode(value, mode)) {
+      std::fprintf(stderr, "bad value '%s' for --shard (none | dm)\n", value);
+      std::exit(2);
+    }
   }
-  // --init and --results-dir take free-form strings.
+  // --init, --solver, --only, and --results-dir take free-form
+  // strings; the registry lookups validate the names where they are
+  // consumed.
 }
 
 }  // namespace
@@ -75,6 +85,9 @@ void apply_cli_overrides(int argc, char** argv) {
       {"--runs", "GRAFTMATCH_RUNS"},
       {"--init", "GRAFTMATCH_INIT"},
       {"--reduce", "GRAFTMATCH_REDUCE"},
+      {"--shard", "GRAFTMATCH_SHARD"},
+      {"--solver", "GRAFTMATCH_SOLVER"},
+      {"--only", "GRAFTMATCH_ONLY"},
       {"--results-dir", "GRAFTMATCH_RESULTS_DIR"},
   };
   for (int i = 1; i < argc; ++i) {
@@ -127,6 +140,17 @@ std::string init_name() {
   return value != nullptr ? value : "rgreedy";
 }
 
+std::string solver_name(const std::string& fallback) {
+  const char* value = std::getenv("GRAFTMATCH_SOLVER");
+  return value != nullptr ? value : fallback;
+}
+
+bool instance_selected(const std::string& name) {
+  const char* filter = std::getenv("GRAFTMATCH_ONLY");
+  if (filter == nullptr || filter[0] == '\0') return true;
+  return name.find(filter) != std::string::npos;
+}
+
 ReduceMode reduce_mode() {
   const char* value = std::getenv("GRAFTMATCH_REDUCE");
   if (value == nullptr) return ReduceMode::kNone;
@@ -134,6 +158,18 @@ ReduceMode reduce_mode() {
   if (!parse_reduce_mode(value, mode)) {
     std::fprintf(stderr,
                  "bad value '%s' for GRAFTMATCH_REDUCE (none | d1 | d1d2)\n",
+                 value);
+    std::exit(2);
+  }
+  return mode;
+}
+
+ShardMode shard_mode() {
+  const char* value = std::getenv("GRAFTMATCH_SHARD");
+  if (value == nullptr) return ShardMode::kNone;
+  ShardMode mode;
+  if (!parse_shard_mode(value, mode)) {
+    std::fprintf(stderr, "bad value '%s' for GRAFTMATCH_SHARD (none | dm)\n",
                  value);
     std::exit(2);
   }
@@ -169,10 +205,10 @@ void print_header(const std::string& bench_name, const std::string& what) {
       thread_override() > 0 ? std::to_string(thread_override()) : "default";
   std::printf(
       "workload  : size factor %.3g, seed %llu, initializer %s, threads %s, "
-      "reduce %s\n\n",
+      "reduce %s, shard %s\n\n",
       size_factor(), static_cast<unsigned long long>(seed()),
-      init_name().c_str(), threads.c_str(),
-      to_string(reduce_mode()).c_str());
+      init_name().c_str(), threads.c_str(), to_string(reduce_mode()).c_str(),
+      to_string(shard_mode()).c_str());
 }
 
 std::vector<Workload> make_suite_workloads(bool with_matching_number) {
@@ -284,19 +320,21 @@ TimedResult time_matching_runs(
   return result;
 }
 
-TimedResult time_reduced_runs(const BipartiteGraph& g, int runs,
-                              const std::string& solver, ReduceMode mode) {
+TimedResult time_sharded_runs(const BipartiteGraph& g, int runs,
+                              const std::string& solver, ReduceMode reduce,
+                              ShardMode shard) {
   TimedResult result;
   RunConfig config;
   config.seed = seed();
   config.threads = thread_override();
-  config.reduce = mode;
+  config.reduce = reduce;
+  config.shard = shard;
   const std::string init = init_name();
   for (int r = 0; r < runs; ++r) {
     Matching matching(g.num_x(), g.num_y());
     const Timer timer;
     try {
-      result.last = engine::run_reduced(solver, init, g, matching, config);
+      result.last = engine::run_sharded(solver, init, g, matching, config);
     } catch (const std::invalid_argument& error) {
       std::fprintf(stderr, "%s\n", error.what());
       std::exit(2);
@@ -304,6 +342,11 @@ TimedResult time_reduced_runs(const BipartiteGraph& g, int runs,
     result.seconds.push_back(timer.elapsed());
   }
   return result;
+}
+
+TimedResult time_reduced_runs(const BipartiteGraph& g, int runs,
+                              const std::string& solver, ReduceMode mode) {
+  return time_sharded_runs(g, runs, solver, mode, shard_mode());
 }
 
 }  // namespace graftmatch::bench

@@ -22,6 +22,18 @@
 //                         through engine::run_reduced;
 //                         bench_reduce_gain measures both arms
 //                         explicitly regardless of this knob.
+//   GRAFTMATCH_SHARD   -- sharded execution: none (default) | dm.
+//                         Benches that time through time_reduced_runs
+//                         pick it up (the runs route through
+//                         engine::run_sharded); bench_shard_gain
+//                         measures both arms explicitly regardless.
+//   GRAFTMATCH_SOLVER  -- registry solver for benches with a
+//                         configurable solver (bench_shard_gain);
+//                         figure benches that reproduce a specific
+//                         algorithm ignore it.
+//   GRAFTMATCH_ONLY    -- substring filter on instance names; benches
+//                         that honor it skip non-matching workloads
+//                         (empty/unset = run everything).
 #pragma once
 
 #include <cstdint>
@@ -67,9 +79,23 @@ std::uint64_t seed();
 /// engine's initializer registry is accepted.
 std::string init_name();
 
+/// Name of the selected solver (GRAFTMATCH_SOLVER / --solver) for
+/// benches whose solver is configurable; `fallback` is the bench's
+/// default. Any key of the engine's solver registry is accepted
+/// (validated where the name is consumed).
+std::string solver_name(const std::string& fallback);
+
+/// Substring filter on instance names from GRAFTMATCH_ONLY / --only.
+/// Returns true when `name` should run (empty filter matches all).
+bool instance_selected(const std::string& name);
+
 /// Kernelization mode from GRAFTMATCH_REDUCE / --reduce (default
 /// kNone). Unknown values print an error and exit(2).
 ReduceMode reduce_mode();
+
+/// Sharding mode from GRAFTMATCH_SHARD / --shard (default kNone).
+/// Unknown values print an error and exit(2).
+ShardMode shard_mode();
 
 /// Build the selected initial matching for a graph via the engine's
 /// initializer registry (honoring the bench seed and thread override).
@@ -150,6 +176,14 @@ TimedResult time_matching_runs(
 /// reconstruct all fall inside the timed window, so the numbers answer
 /// "was the pre-pass worth it" rather than "is the kernel solve
 /// faster". kNone degenerates to init + solve on the original graph.
+/// Same window with an explicit sharding arm: the runs route through
+/// engine::run_sharded, so decompose/extract/solve/stitch all land
+/// inside the timing. time_reduced_runs forwards here with the
+/// GRAFTMATCH_SHARD mode, so every bench built on it honors --shard.
+TimedResult time_sharded_runs(const BipartiteGraph& g, int runs,
+                              const std::string& solver, ReduceMode reduce,
+                              ShardMode shard);
+
 TimedResult time_reduced_runs(const BipartiteGraph& g, int runs,
                               const std::string& solver, ReduceMode mode);
 

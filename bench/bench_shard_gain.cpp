@@ -1,0 +1,158 @@
+// Sharding gain: does Dulmage-Mendelsohn block decomposition pay for
+// itself END TO END?
+//
+// For every suite instance plus an explicitly block-rich SBM (disjoint
+// communities, no inter-block edges), compares
+//   baseline: init + MS-BFS-Graft on the whole graph
+//   sharded : init + DM classification + per-block solves + stitch
+// with identical initializer/seed/thread settings, both arms timed
+// wall-to-wall through engine::run_sharded. Reports the block census,
+// per-stage sharding times, and the end-to-end speedup; the CSV
+// artifact (bench_shard_gain.csv) is the sharding-stats record CI
+// uploads. Both arms must agree on the matching cardinality -- a
+// mismatch exits non-zero, so the smoke run doubles as a correctness
+// gate.
+//
+// Expectation (see docs/SHARDING.md): graphs that decompose into many
+// frozen-plus-small-deficient blocks (road-shaped, the SBM islands)
+// should gain -- the per-block searches never rescan the saturated
+// bulk -- while single-block graphs should pay only the one
+// classification pass (the monolithic fallback keeps that overhead to
+// a few percent).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace graftmatch;
+
+/// Best-of-N wall time (least noisy estimator on a shared machine; see
+/// bench_reduce_gain).
+double best_seconds(const std::vector<double>& seconds) {
+  return *std::min_element(seconds.begin(), seconds.end());
+}
+
+/// The block-rich extreme: disconnected SBM communities, each sparse
+/// enough to stay deficient after initialization. Scaled like the suite
+/// instances so --size works uniformly.
+bench::Workload make_island_workload(double factor, std::uint64_t seed) {
+  SbmParams params;
+  params.rows_per_block = std::max<vid_t>(
+      64, static_cast<vid_t>(static_cast<double>(1 << 11) * factor));
+  params.cols_per_block = params.rows_per_block;
+  params.blocks = 32;
+  params.in_degree = 3.0;
+  params.out_degree = 0.0;
+  params.seed = seed;
+  bench::Workload w;
+  w.name = "sbm-islands";
+  w.paper_name = "(block-rich synthetic)";
+  w.graph_class = GraphClass::kScaleFree;
+  w.graph = generate_sbm(params);
+  return w;
+}
+
+/// The frozen-bulk extreme: row-surplus communities whose columns the
+/// initializer saturates, leaving permanent free rows. Half the rows
+/// stay unmatched, so the seed pre-gate aborts the classification a
+/// fraction of a scan in and the run falls back to the monolithic
+/// solve -- this instance pins the gate's overhead (parity expected),
+/// not a sharding win.
+bench::Workload make_frozen_island_workload(double factor,
+                                            std::uint64_t seed) {
+  SbmParams params;
+  params.rows_per_block = std::max<vid_t>(
+      64, static_cast<vid_t>(static_cast<double>(1 << 11) * factor));
+  params.cols_per_block = std::max<vid_t>(32, params.rows_per_block / 2);
+  params.blocks = 32;
+  params.in_degree = 4.0;
+  params.out_degree = 0.0;
+  params.seed = seed + 1;
+  bench::Workload w;
+  w.name = "sbm-frozen";
+  w.paper_name = "(frozen-bulk synthetic)";
+  w.graph_class = GraphClass::kScaleFree;
+  w.graph = generate_sbm(params);
+  return w;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace graftmatch::bench;
+  bench_entry(argc, argv, "bench_shard_gain",
+              "DM-sharded solving gain (end-to-end --shard=none vs dm, "
+              "MS-BFS-Graft)");
+
+  const int runs = run_count(3);
+  const std::string solver = solver_name("graft");
+  std::printf("solver    : %s\n\n", solver.c_str());
+  CsvWriter csv("bench_shard_gain",
+                {"instance", "class", "nx", "ny", "edges", "blocks_total",
+                 "blocks_solved", "blocks_frozen", "fallback", "solved_wide",
+                 "solved_pooled", "largest_block_edges", "decompose_seconds",
+                 "extract_seconds", "solve_seconds", "stitch_seconds",
+                 "base_seconds", "sharded_seconds", "speedup", "cardinality"});
+
+  std::vector<Workload> workloads = make_suite_workloads(false);
+  workloads.push_back(make_island_workload(size_factor(), seed()));
+  workloads.push_back(make_frozen_island_workload(size_factor(), seed()));
+
+  bool all_consistent = true;
+  std::printf("%-18s %11s %8s %8s %11s %11s %8s\n", "instance", "edges",
+              "blocks", "solved", "base", "sharded", "speedup");
+  for (const Workload& w : workloads) {
+    if (!instance_selected(w.name)) continue;
+    const TimedResult base = time_sharded_runs(w.graph, runs, solver,
+                                               ReduceMode::kNone,
+                                               ShardMode::kNone);
+    const double base_seconds = best_seconds(base.seconds);
+    const TimedResult arm = time_sharded_runs(w.graph, runs, solver,
+                                              ReduceMode::kNone,
+                                              ShardMode::kDm);
+    const double arm_seconds = best_seconds(arm.seconds);
+    const ShardCounters& sh = arm.last.shard;
+    const double speedup = arm_seconds > 0.0 ? base_seconds / arm_seconds : 0.0;
+    if (arm.last.final_cardinality != base.last.final_cardinality) {
+      std::fprintf(stderr,
+                   "CARDINALITY MISMATCH on %s: sharded %lld vs baseline "
+                   "%lld\n",
+                   w.name.c_str(),
+                   static_cast<long long>(arm.last.final_cardinality),
+                   static_cast<long long>(base.last.final_cardinality));
+      all_consistent = false;
+    }
+    std::printf("%-18s %11lld %8lld %8lld %11s %11s %7.2fx%s\n",
+                w.name.c_str(),
+                static_cast<long long>(w.graph.num_edges()),
+                static_cast<long long>(sh.blocks_total),
+                static_cast<long long>(sh.blocks_solved),
+                format_seconds(base_seconds).c_str(),
+                format_seconds(arm_seconds).c_str(), speedup,
+                sh.fallback ? " (fallback)" : "");
+    csv.row({w.name, to_string(w.graph_class),
+             CsvWriter::cell(static_cast<std::int64_t>(w.graph.num_x())),
+             CsvWriter::cell(static_cast<std::int64_t>(w.graph.num_y())),
+             CsvWriter::cell(w.graph.num_edges()),
+             CsvWriter::cell(sh.blocks_total),
+             CsvWriter::cell(sh.blocks_solved),
+             CsvWriter::cell(sh.blocks_frozen),
+             CsvWriter::cell(static_cast<std::int64_t>(sh.fallback ? 1 : 0)),
+             CsvWriter::cell(sh.solved_wide),
+             CsvWriter::cell(sh.solved_pooled),
+             CsvWriter::cell(sh.largest_block_edges),
+             CsvWriter::cell(sh.decompose_seconds),
+             CsvWriter::cell(sh.extract_seconds),
+             CsvWriter::cell(sh.solve_seconds),
+             CsvWriter::cell(sh.stitch_seconds),
+             CsvWriter::cell(base_seconds), CsvWriter::cell(arm_seconds),
+             CsvWriter::cell(speedup),
+             CsvWriter::cell(arm.last.final_cardinality)});
+  }
+  std::printf("\ncsv: %s\n", csv.path().c_str());
+  return all_consistent ? 0 : 1;
+}

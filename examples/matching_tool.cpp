@@ -13,6 +13,11 @@
 //                   none; also accepts --reduce=MODE). The solver runs
 //                   on the kernel; the matching is reconstructed and
 //                   verified on the original graph.
+//   --shard MODE    sharded execution: none | dm (default none; also
+//                   accepts --shard=MODE). dm partitions the graph into
+//                   independent Dulmage-Mendelsohn blocks, solves the
+//                   deficient blocks concurrently, and stitches.
+//                   Composes with --reduce (the kernel is sharded).
 //   --threads N     OpenMP threads (default: runtime default)
 //   --alpha A       direction/grafting threshold (default 5)
 //   --seed S        generator / initializer seed (default 1)
@@ -48,12 +53,14 @@ std::string joined_keys(const std::vector<std::string>& names) {
   std::fprintf(stderr,
                "usage: %s (--mtx FILE | --gen INSTANCE | --list) "
                "[--algo NAME] [--init NAME]\n"
-               "       [--reduce MODE] [--threads N] [--alpha A] [--seed S] "
-               "[--size F] [--dm]\n"
-               "       [--phases] [--json] [--trace FILE] [--no-verify]\n"
+               "       [--reduce MODE] [--shard MODE] [--threads N] "
+               "[--alpha A] [--seed S]\n"
+               "       [--size F] [--dm] [--phases] [--json] [--trace FILE] "
+               "[--no-verify]\n"
                "  --algo: %s\n"
                "  --init: %s\n"
-               "  --reduce: none | d1 | d1d2\n",
+               "  --reduce: none | d1 | d1d2\n"
+               "  --shard: none | dm\n",
                argv0, joined_keys(engine::solver_names()).c_str(),
                joined_keys(engine::initializer_names()).c_str());
   std::exit(2);
@@ -128,6 +135,15 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
+    else if (arg == "--shard" || arg.rfind("--shard=", 0) == 0) {
+      const std::string value = arg == "--shard" ? next() : arg.substr(8);
+      if (!parse_shard_mode(value, config.shard)) {
+        std::fprintf(stderr,
+                     "error: unknown --shard mode \"%s\" (none | dm)\n",
+                     value.c_str());
+        return 2;
+      }
+    }
     else if (arg == "--trace") trace_path = next();
     else if (arg == "--dm") want_dm = true;
     else if (arg == "--phases") want_phases = true;
@@ -181,7 +197,7 @@ int main(int argc, char** argv) {
   config.collect_phase_stats = want_phases;
   Matching matching(graph.num_x(), graph.num_y());
   RunStats stats;
-  if (config.reduce == ReduceMode::kNone) {
+  if (config.reduce == ReduceMode::kNone && config.shard == ShardMode::kNone) {
     const Timer init_timer;
     matching = make_initial(init, graph, config);
     std::printf("init (%s): |M| = %lld in %s\n", init.c_str(),
@@ -189,27 +205,65 @@ int main(int argc, char** argv) {
                 format_seconds(init_timer.elapsed()).c_str());
     stats = run_algorithm(algo, graph, matching, config);
   } else {
-    // run_reduced owns the whole pipeline: reduce, init + solve on the
-    // kernel, reconstruct on the original graph.
+    // run_sharded owns the whole pipeline: reduce, init + (sharded)
+    // solve on the kernel, reconstruct on the original graph.
     try {
-      stats = engine::run_reduced(algo, init, graph, matching, config);
+      stats = engine::run_sharded(algo, init, graph, matching, config);
     } catch (const std::invalid_argument& error) {
       std::fprintf(stderr, "%s\n", error.what());
       return 2;
     }
-    const ReduceCounters& r = stats.reduce;
-    std::printf("reduce (%s): kernel %lldx%lld with %lld edges, "
-                "forced %lld, folds %lld, %lld rounds in %s\n",
-                to_string(r.mode).c_str(),
-                static_cast<long long>(r.kernel_nx),
-                static_cast<long long>(r.kernel_ny),
-                static_cast<long long>(r.kernel_edges),
-                static_cast<long long>(r.forced_matches),
-                static_cast<long long>(r.folds),
-                static_cast<long long>(r.rounds),
-                format_seconds(r.reduce_seconds + r.compact_seconds +
-                               r.reconstruct_seconds)
-                    .c_str());
+    if (stats.reduce.collected) {
+      const ReduceCounters& r = stats.reduce;
+      std::printf("reduce (%s): kernel %lldx%lld with %lld edges, "
+                  "forced %lld, folds %lld, %lld rounds in %s\n",
+                  to_string(r.mode).c_str(),
+                  static_cast<long long>(r.kernel_nx),
+                  static_cast<long long>(r.kernel_ny),
+                  static_cast<long long>(r.kernel_edges),
+                  static_cast<long long>(r.forced_matches),
+                  static_cast<long long>(r.folds),
+                  static_cast<long long>(r.rounds),
+                  format_seconds(r.reduce_seconds + r.compact_seconds +
+                                 r.reconstruct_seconds)
+                      .c_str());
+    }
+    if (stats.shard.collected) {
+      const ShardCounters& sh = stats.shard;
+      if (sh.fallback) {
+        // largest_block_edges == 0 means the payoff gate aborted before
+        // the census finished; a positive value means the census found
+        // one dominant deficient block.
+        if (sh.largest_block_edges > 0) {
+          std::printf("shard (%s): monolithic fallback (1 deficient block "
+                      "with %lld of %lld edges)\n",
+                      to_string(sh.mode).c_str(),
+                      static_cast<long long>(sh.largest_block_edges),
+                      static_cast<long long>(graph.num_edges()));
+        } else {
+          std::printf("shard (%s): monolithic fallback (payoff gate "
+                      "aborted the classification: deficient region too "
+                      "large or too concentrated)\n",
+                      to_string(sh.mode).c_str());
+        }
+      } else {
+        std::printf("shard (%s): %lld blocks (H %lld | S %lld | V %lld), "
+                    "%lld frozen, %lld solved (%lld wide, %lld pooled) "
+                    "in %s\n",
+                    to_string(sh.mode).c_str(),
+                    static_cast<long long>(sh.blocks_total),
+                    static_cast<long long>(sh.blocks_h),
+                    static_cast<long long>(sh.blocks_s),
+                    static_cast<long long>(sh.blocks_v),
+                    static_cast<long long>(sh.blocks_frozen),
+                    static_cast<long long>(sh.blocks_solved),
+                    static_cast<long long>(sh.solved_wide),
+                    static_cast<long long>(sh.solved_pooled),
+                    format_seconds(sh.decompose_seconds + sh.extract_seconds +
+                                   sh.solve_seconds + sh.stitch_seconds)
+                        .c_str());
+      }
+    }
   }
   if (want_json) {
     std::printf("%s\n", run_stats_json(stats).c_str());

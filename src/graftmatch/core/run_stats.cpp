@@ -64,6 +64,25 @@ bool parse_reduce_mode(const std::string& name, ReduceMode& mode) {
   return true;
 }
 
+std::string to_string(ShardMode mode) {
+  switch (mode) {
+    case ShardMode::kNone: return "none";
+    case ShardMode::kDm: return "dm";
+  }
+  return "none";
+}
+
+bool parse_shard_mode(const std::string& name, ShardMode& mode) {
+  if (name == "none") {
+    mode = ShardMode::kNone;
+  } else if (name == "dm") {
+    mode = ShardMode::kDm;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 std::string format_run_stats(const RunStats& stats) {
   std::ostringstream out;
   out << stats.algorithm << ": |M|=" << stats.final_cardinality << " (+"
@@ -78,6 +97,16 @@ std::string format_run_stats(const RunStats& stats) {
         << stats.reduce.kernel_nx << "x" << stats.reduce.kernel_ny << ", "
         << stats.reduce.kernel_edges << " edges, forced "
         << stats.reduce.forced_matches << ")";
+  }
+  if (stats.shard.collected) {
+    out << " shard=" << to_string(stats.shard.mode);
+    if (stats.shard.fallback) {
+      out << "(fallback)";
+    } else {
+      out << "(" << stats.shard.blocks_solved << "/"
+          << stats.shard.blocks_total << " blocks solved, "
+          << stats.shard.blocks_frozen << " frozen)";
+    }
   }
   return out.str();
 }
@@ -141,6 +170,31 @@ std::string run_stats_json(const RunStats& stats) {
     append_number(out, r.compact_seconds);
     out << ",\"reconstruct_seconds\":";
     append_number(out, r.reconstruct_seconds);
+    out << "}";
+  }
+  if (stats.shard.collected) {
+    const ShardCounters& sh = stats.shard;
+    out << ",\"shard\":{\"mode\":";
+    append_escaped(out, to_string(sh.mode));
+    out << ",\"fallback\":" << (sh.fallback ? "true" : "false")
+        << ",\"blocks_total\":" << sh.blocks_total
+        << ",\"blocks_solved\":" << sh.blocks_solved
+        << ",\"blocks_frozen\":" << sh.blocks_frozen
+        << ",\"blocks_h\":" << sh.blocks_h
+        << ",\"blocks_s\":" << sh.blocks_s
+        << ",\"blocks_v\":" << sh.blocks_v
+        << ",\"solved_wide\":" << sh.solved_wide
+        << ",\"solved_pooled\":" << sh.solved_pooled
+        << ",\"largest_block_edges\":" << sh.largest_block_edges
+        << ",\"frozen_matched\":" << sh.frozen_matched
+        << ",\"decompose_seconds\":";
+    append_number(out, sh.decompose_seconds);
+    out << ",\"extract_seconds\":";
+    append_number(out, sh.extract_seconds);
+    out << ",\"solve_seconds\":";
+    append_number(out, sh.solve_seconds);
+    out << ",\"stitch_seconds\":";
+    append_number(out, sh.stitch_seconds);
     out << "}";
   }
   if (stats.bookkeeping.collected) {

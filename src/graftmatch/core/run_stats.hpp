@@ -32,6 +32,20 @@ std::string to_string(ReduceMode mode);
 /// unknown names.
 bool parse_reduce_mode(const std::string& name, ReduceMode& mode);
 
+/// Sharded-execution selection (src/graftmatch/shard/). The mode names
+/// match the `--shard=` CLI values.
+enum class ShardMode {
+  kNone,  ///< monolithic solve ("none")
+  kDm,    ///< Dulmage-Mendelsohn block sharding ("dm")
+};
+
+/// Canonical CLI name of a mode ("none" / "dm").
+std::string to_string(ShardMode mode);
+
+/// Inverse of to_string; returns false (leaving `mode` untouched) for
+/// unknown names.
+bool parse_shard_mode(const std::string& name, ShardMode& mode);
+
 /// Knobs common to all algorithms (each algorithm reads the subset that
 /// applies to it; defaults reproduce the paper's settings).
 struct RunConfig {
@@ -80,6 +94,13 @@ struct RunConfig {
   /// solve on the kernel, reconstruct onto the original. Solvers
   /// themselves ignore this field; it is read by the engine driver.
   ReduceMode reduce = ReduceMode::kNone;
+
+  /// Sharded execution (engine::run_sharded): partition the graph into
+  /// independent Dulmage-Mendelsohn blocks, solve the deficient blocks
+  /// concurrently, and stitch. Solvers themselves ignore this field; it
+  /// is read by the engine driver. Composes with `reduce` (the kernel
+  /// is what gets sharded).
+  ShardMode shard = ShardMode::kNone;
 };
 
 /// Per-phase summary of an MS-BFS-Graft run (RunConfig::
@@ -163,6 +184,39 @@ struct ReduceCounters {
   double reconstruct_seconds = 0.0;  ///< kernel matching -> original
 };
 
+/// Counters from the sharded execution path (src/graftmatch/shard/).
+/// `collected` stays false when no sharded run happened; the other
+/// fields are then meaningless. Stamped by engine::run_sharded.
+///
+/// A "block" is one connected component of the subgraph induced by one
+/// coarse DM class (H / S / V of the approximate decomposition built
+/// from the initializer's matching). Blocks with no unmatched row or no
+/// unmatched column are provably maximum already and are frozen (their
+/// initializer edges pass straight through to the stitched matching);
+/// only the rest are extracted and solved.
+struct ShardCounters {
+  bool collected = false;
+  ShardMode mode = ShardMode::kNone;
+  /// The plan degenerated (zero solvable blocks, or one dominant block
+  /// covering most of the graph): the solver ran monolithically on the
+  /// original graph, continuing from the initializer's matching.
+  bool fallback = false;
+  std::int64_t blocks_total = 0;   ///< components across all classes
+  std::int64_t blocks_solved = 0;  ///< extracted and solved to maximum
+  std::int64_t blocks_frozen = 0;  ///< provably maximum, skipped
+  std::int64_t blocks_h = 0;       ///< components in the horizontal class
+  std::int64_t blocks_s = 0;       ///< components in the square class
+  std::int64_t blocks_v = 0;       ///< components in the vertical class
+  std::int64_t solved_wide = 0;    ///< blocks solved with the full team
+  std::int64_t solved_pooled = 0;  ///< blocks solved via the 1-thread pool
+  std::int64_t largest_block_edges = 0;  ///< over the solvable blocks
+  std::int64_t frozen_matched = 0;  ///< initializer edges passed through
+  double decompose_seconds = 0.0;   ///< init reach + component labeling
+  double extract_seconds = 0.0;     ///< sub-CSR builds + index remapping
+  double solve_seconds = 0.0;       ///< all per-block solves (wall clock)
+  double stitch_seconds = 0.0;      ///< remap back + audit
+};
+
 /// Wall-clock seconds per algorithm step (Fig. 6's categories).
 struct StepSeconds {
   double top_down = 0.0;
@@ -209,6 +263,11 @@ struct RunStats {
   /// Epoch-bookkeeping counters (see BookkeepingCounters). Stamped by
   /// ms_bfs_graft.
   BookkeepingCounters bookkeeping;
+
+  /// Sharded-execution counters (see ShardCounters). Stamped by
+  /// engine::run_sharded when a sharded run happened; phases/edges/
+  /// augmentations are then summed over the per-block solves.
+  ShardCounters shard;
 
   /// Filled when RunConfig::collect_frontier_trace is set.
   std::vector<FrontierSample> frontier_trace;

@@ -89,4 +89,26 @@ RunStats run_reduced(const std::string& solver_name,
                      const BipartiteGraph& g, Matching& matching,
                      const RunConfig& config);
 
+/// Superset driver honoring RunConfig::shard on top of run_reduced:
+/// build the initial matching, classify the graph into independent
+/// Dulmage-Mendelsohn blocks (src/graftmatch/shard/), solve the
+/// deficient blocks -- large ones one at a time with the full thread
+/// team, small ones concurrently across a one-thread-per-block pool --
+/// and stitch the per-block results into `matching`, auditing validity
+/// and cardinality consistency (plus a Koenig maximality certificate
+/// under RunConfig::check_invariants). Composes with the reduce
+/// pre-pass: the kernel graph is what gets sharded. Falls back to the
+/// monolithic solver when one block dominates, and skips the solve
+/// entirely when the initializer already produced a maximum matching.
+///
+/// With shard == kNone this is exactly run_reduced (no decomposition,
+/// no shard block in the stats), so drivers can route every run
+/// through it. The returned stats aggregate the per-block solves and
+/// account the decompose/extract/solve/stitch pipeline in
+/// RunStats::shard.
+RunStats run_sharded(const std::string& solver_name,
+                     const std::string& initializer_name,
+                     const BipartiteGraph& g, Matching& matching,
+                     const RunConfig& config);
+
 }  // namespace graftmatch::engine

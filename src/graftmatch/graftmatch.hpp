@@ -49,6 +49,9 @@
 // Kernelization pre-pass (reductions + reconstruction)
 #include "graftmatch/reduce/reduce.hpp"
 
+// Dulmage-Mendelsohn block sharding (classification + extraction)
+#include "graftmatch/shard/shard.hpp"
+
 // Traversal engine: shared frontier kernels, solver/initializer
 // registries, and the phase-scoped stats sink
 #include "graftmatch/engine/edge_partition.hpp"

@@ -99,6 +99,15 @@ inline constexpr EventName kReduceCompact{"reduce.compact", "kernel_edges",
                                           nullptr};
 inline constexpr EventName kReduceReconstruct{"reduce.reconstruct", "forced",
                                               nullptr};
+/// DM-sharded execution spans (src/graftmatch/shard/). Decomposition +
+/// block extraction (arg0 = blocks found, arg1 = blocks needing a
+/// solve), one span per solved block (arg0 = block index, arg1 = block
+/// edges), and the stitch + audit (arg0 = stitched cardinality).
+inline constexpr EventName kShardDecompose{"shard.decompose", "blocks",
+                                           "solvable"};
+inline constexpr EventName kShardBlock{"shard.block", "block", "edges"};
+inline constexpr EventName kShardStitch{"shard.stitch", "cardinality",
+                                        nullptr};
 }  // namespace names
 
 /// Chrome trace_event phase kinds this subsystem emits.

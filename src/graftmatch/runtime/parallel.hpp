@@ -60,7 +60,12 @@ namespace graftmatch {
 ///
 /// The slot is per call site (one static per lambda type). TSan builds
 /// therefore assume a given call site is not re-entered concurrently
-/// from multiple host threads; the library itself never does so.
+/// from multiple host threads -- EXCEPT at team width 1, which skips
+/// the slot entirely (the encountering thread runs the body itself, so
+/// there is no frame handoff to hide) and is safe to enter from any
+/// number of host threads at once. Wider regions are only ever opened
+/// from the serial thread; concurrent host threads (the shard/ block
+/// pool) pin their width to 1 via ThreadCountGuard first.
 /// Width of the team most recently opened by parallel_region() on any
 /// thread: the requested width before the region opens, overwritten
 /// from inside the region with the width the runtime actually granted
@@ -90,6 +95,18 @@ inline void parallel_region(int num_threads, Fn&& fn) {
   last_team_width().store(team, std::memory_order_relaxed);
   region_epoch().fetch_add(1, std::memory_order_relaxed);
 #if GRAFTMATCH_TSAN_ACTIVE
+  if (team == 1) {
+    // A one-thread team is executed by the encountering thread itself:
+    // libgomp never hands the capture frame to a reused pool thread, so
+    // the false-positive the slot mechanism works around cannot occur
+    // and plain capture is TSan-clean. Taking this branch also lifts
+    // the slot's one-host-thread-per-call-site restriction for
+    // one-wide regions, which the sharded small-block pool relies on
+    // (its workers pin threads=1 and then call solvers concurrently).
+#pragma omp parallel num_threads(1)
+    { fn(); }
+    return;
+  }
   using Body = std::remove_reference_t<Fn>;
   static std::atomic<Body*> slot{nullptr};
   static std::atomic<std::uint64_t> joins{0};

@@ -1,0 +1,163 @@
+// Sharded-solve concurrency stress (ctest labels: stress shard).
+//
+// The engine's pooled block solve runs one solver instance per host
+// thread, each pinned to an OpenMP width of 1, pulling blocks off a
+// shared atomic cursor. This harness drives that pool -- and the
+// wide-block path next to it -- under randomized thread counts,
+// oversubscription, and (in GRAFTMATCH_STRESS_HOOKS builds) scheduling
+// jitter inside the runtime's race windows, with the Koenig audit on.
+// Designed to run under ThreadSanitizer: `cmake -DGRAFTMATCH_SAN=tsan`
+// then `ctest -L stress` (see docs/TESTING.md).
+//
+// Every randomized trial derives its seed from a fixed master seed via
+// a splitmix64 stream and prints that seed on failure, so any CI log is
+// enough to replay a failing schedule's inputs.
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <cstdint>
+
+#include "graftmatch/baselines/hopcroft_karp.hpp"
+#include "graftmatch/engine/registry.hpp"
+#include "graftmatch/gen/sbm.hpp"
+#include "graftmatch/graftmatch.hpp"
+#include "graftmatch/runtime/parallel.hpp"
+#include "graftmatch/runtime/prng.hpp"
+#include "graftmatch/verify/koenig.hpp"
+#include "graftmatch/verify/validate.hpp"
+
+namespace graftmatch {
+namespace {
+
+constexpr std::uint64_t kMasterSeed = 0x5417DULL;
+
+class StressEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override { stress::set_yield_period(16); }
+  void TearDown() override { stress::set_yield_period(0); }
+};
+[[maybe_unused]] const auto* const kEnv =
+    ::testing::AddGlobalTestEnvironment(new StressEnvironment);
+
+int random_thread_count(Xoshiro256& rng) {
+  const int hw = omp_get_num_procs();
+  return 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(2 * hw)));
+}
+
+/// Many small islands: every component sits far under the engine's
+/// payoff cap, so the run always takes the extract/solve/stitch path
+/// and (with enough host threads) fills the one-thread-per-block pool.
+BipartiteGraph many_islands(std::uint64_t seed, vid_t side = 48,
+                            vid_t blocks = 48) {
+  SbmParams params;
+  params.rows_per_block = side;
+  params.cols_per_block = side;
+  params.blocks = blocks;
+  params.in_degree = 3.0;
+  params.out_degree = 0.0;
+  params.seed = seed;
+  return generate_sbm(params);
+}
+
+TEST(ShardStress, PooledBlockSolvesCertifyUnderRandomSchedules) {
+  const BipartiteGraph g = many_islands(3);
+  Matching reference(g.num_x(), g.num_y());
+  hopcroft_karp(g, reference);
+  const std::int64_t nu = reference.cardinality();
+
+  std::uint64_t stream = kMasterSeed;
+  for (int trial = 0; trial < 16; ++trial) {
+    const std::uint64_t seed = splitmix64_next(stream);
+    Xoshiro256 rng(seed);
+    RunConfig config;
+    config.threads = random_thread_count(rng);
+    config.shard = ShardMode::kDm;
+    config.seed = 1 + rng.below(1000);
+    config.check_invariants = true;
+    const char* const solvers[] = {"graft", "pf", "hk"};
+    const std::string solver = solvers[rng.below(3)];
+    const std::string init = rng.below(2) == 0 ? "rgreedy" : "ks";
+    Matching m;
+    const RunStats stats = engine::run_sharded(solver, init, g, m, config);
+    ASSERT_EQ(validate_matching(g, m), "")
+        << "trial seed " << seed << " solver " << solver;
+    ASSERT_EQ(m.cardinality(), nu)
+        << "trial seed " << seed << " solver " << solver << " threads "
+        << config.threads;
+    ASSERT_TRUE(is_maximum_matching(g, m)) << "trial seed " << seed;
+    ASSERT_FALSE(stats.shard.fallback) << "trial seed " << seed;
+    // A deficient start must be repaired by block solves, not by some
+    // hidden monolithic pass. (Karp-Sipser occasionally starts maximum
+    // on these islands; then zero blocks is the right answer.)
+    if (stats.initial_cardinality < nu) {
+      ASSERT_GT(stats.shard.blocks_solved, 0) << "trial seed " << seed;
+    }
+  }
+}
+
+TEST(ShardStress, SkewedBlockMixDrivesWideAndPooledPathsTogether) {
+  // One dominant-but-under-cap island next to a swarm of small ones:
+  // the engine sends the big block through the wide path while the
+  // pool drains the rest, so both solve paths run in one trial.
+  std::uint64_t stream = kMasterSeed ^ 0x51E3;
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::uint64_t seed = splitmix64_next(stream);
+    Xoshiro256 rng(seed);
+    SbmParams params;
+    params.rows_per_block = 40;
+    params.cols_per_block = 40;
+    params.blocks = 40;
+    params.in_degree = 3.0;
+    params.out_degree = 0.0;
+    params.seed = seed;
+    const BipartiteGraph g = generate_sbm(params);
+
+    Matching reference(g.num_x(), g.num_y());
+    hopcroft_karp(g, reference);
+
+    RunConfig config;
+    config.threads = random_thread_count(rng);
+    config.shard = ShardMode::kDm;
+    config.check_invariants = true;
+    Matching m;
+    const RunStats stats =
+        engine::run_sharded("graft", "rgreedy", g, m, config);
+    ASSERT_EQ(m.cardinality(), reference.cardinality())
+        << "trial seed " << seed << " threads " << config.threads;
+    ASSERT_TRUE(is_maximum_matching(g, m)) << "trial seed " << seed;
+    ASSERT_EQ(stats.shard.solved_wide + stats.shard.solved_pooled,
+              stats.shard.blocks_solved)
+        << "trial seed " << seed;
+  }
+}
+
+TEST(ShardStress, CardinalityDeterministicAcrossSchedules) {
+  // The sharded driver inherits MS-BFS-Graft's determinism claim: with
+  // the algorithm seed fixed, the final cardinality must not depend on
+  // the thread count or which pool worker solves which block.
+  const BipartiteGraph g = many_islands(7, 40, 40);
+  RunConfig first_config;
+  first_config.threads = 1;
+  first_config.shard = ShardMode::kDm;
+  first_config.seed = 11;
+  Matching first;
+  engine::run_sharded("graft", "ks", g, first, first_config);
+  const std::int64_t reference = first.cardinality();
+
+  std::uint64_t stream = kMasterSeed ^ 0xDE7;
+  for (int trial = 0; trial < 24; ++trial) {
+    const std::uint64_t seed = splitmix64_next(stream);
+    Xoshiro256 rng(seed);
+    RunConfig config;
+    config.threads = random_thread_count(rng);
+    config.shard = ShardMode::kDm;
+    config.seed = 11;  // fixed algorithm seed: cardinality must not move
+    Matching m;
+    engine::run_sharded("graft", "ks", g, m, config);
+    ASSERT_EQ(m.cardinality(), reference)
+        << "trial seed " << seed << " threads " << config.threads;
+  }
+}
+
+}  // namespace
+}  // namespace graftmatch

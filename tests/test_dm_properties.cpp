@@ -1,0 +1,455 @@
+// Property battery for the Dulmage-Mendelsohn / BTF layer (dm/).
+//
+// The coarse decomposition is CANONICAL: the H/S/V classes do not
+// depend on which maximum matching induced them. That makes a strong
+// oracle cheap -- this file recomputes the classes from scratch with an
+// independent alternating-reach implementation seeded by an independent
+// maximum matching (Kuhn's algorithm on small graphs, Hopcroft-Karp on
+// fuzz graphs), and requires dm_decompose (which picks its own matching
+// via MS-BFS-Graft) to land on the identical partition. On top of that
+// sit the structural invariants every legal decomposition must satisfy:
+//
+//   * every vertex in exactly one class;
+//   * edges never point "downhill" (rank H=0 < S=1 < V=2: an edge
+//     (row, col) always has rank(row) <= rank(col), the zero blocks of
+//     the coarse block-triangular form);
+//   * matched pairs never straddle a class;
+//   * H rows, V cols, and the whole S part are saturated;
+//   * the surplus identities |V_R|-|V_C| = nx - nu, |H_C|-|H_R| = ny - nu;
+//   * structural rank == the oracle matching number;
+//   * BTF permutations are genuine permutations with consistent block
+//     boundaries, and verify_btf accepts the result.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "graftmatch/baselines/hopcroft_karp.hpp"
+#include "graftmatch/dm/btf.hpp"
+#include "graftmatch/dm/dulmage_mendelsohn.hpp"
+#include "graftmatch/gen/chung_lu.hpp"
+#include "graftmatch/gen/erdos_renyi.hpp"
+#include "graftmatch/gen/planted.hpp"
+#include "graftmatch/gen/sbm.hpp"
+#include "graftmatch/gen/webcrawl.hpp"
+#include "graftmatch/graftmatch.hpp"
+#include "graftmatch/runtime/parallel.hpp"
+
+// Sanitized builds run the exhaustive enumeration 10-20x slower;
+// subsample the 4x4 cell there (deterministically) instead of timing
+// out. GRAFTMATCH_TSAN_ACTIVE comes from runtime/parallel.hpp.
+#if GRAFTMATCH_TSAN_ACTIVE || defined(__SANITIZE_ADDRESS__)
+#define GRAFTMATCH_DM_EXH_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define GRAFTMATCH_DM_EXH_SANITIZED 1
+#endif
+#endif
+#ifndef GRAFTMATCH_DM_EXH_SANITIZED
+#define GRAFTMATCH_DM_EXH_SANITIZED 0
+#endif
+
+namespace graftmatch {
+namespace {
+
+// ---------------------------------------------------------------------
+// Independent reference: alternating reach over mate arrays, sharing no
+// code with dm_decompose (which walks a CSR with epoch marks).
+// ---------------------------------------------------------------------
+
+struct RefClasses {
+  std::vector<int> row_class;  // 0 = H, 1 = S, 2 = V
+  std::vector<int> col_class;
+};
+
+/// Classify from any MAXIMUM matching: V = alternating reach from
+/// unmatched rows (row -> col via any edge, col -> row via the matched
+/// edge), H = the mirror reach from unmatched cols, S = the rest. With
+/// a maximum matching the two reaches cannot collide (a collision would
+/// be an augmenting path).
+RefClasses reference_classes(const BipartiteGraph& g, const Matching& m) {
+  const auto nx = static_cast<std::size_t>(g.num_x());
+  const auto ny = static_cast<std::size_t>(g.num_y());
+  RefClasses ref;
+  ref.row_class.assign(nx, 1);
+  ref.col_class.assign(ny, 1);
+
+  std::vector<vid_t> stack;
+  for (vid_t x = 0; x < g.num_x(); ++x) {
+    if (!m.is_matched_x(x)) {
+      ref.row_class[static_cast<std::size_t>(x)] = 2;
+      stack.push_back(x);
+    }
+  }
+  while (!stack.empty()) {
+    const vid_t x = stack.back();
+    stack.pop_back();
+    for (const vid_t y : g.neighbors_of_x(x)) {
+      if (ref.col_class[static_cast<std::size_t>(y)] == 2) continue;
+      ref.col_class[static_cast<std::size_t>(y)] = 2;
+      const vid_t mate = m.mate_of_y(y);
+      if (mate != kInvalidVertex &&
+          ref.row_class[static_cast<std::size_t>(mate)] != 2) {
+        ref.row_class[static_cast<std::size_t>(mate)] = 2;
+        stack.push_back(mate);
+      }
+    }
+  }
+  for (vid_t y = 0; y < g.num_y(); ++y) {
+    if (!m.is_matched_y(y) && ref.col_class[static_cast<std::size_t>(y)] == 1) {
+      ref.col_class[static_cast<std::size_t>(y)] = 0;
+      stack.push_back(y);
+    }
+  }
+  while (!stack.empty()) {
+    const vid_t y = stack.back();
+    stack.pop_back();
+    for (const vid_t x : g.neighbors_of_y(y)) {
+      if (ref.row_class[static_cast<std::size_t>(x)] != 1) continue;
+      ref.row_class[static_cast<std::size_t>(x)] = 0;
+      const vid_t mate = m.mate_of_x(x);
+      if (mate != kInvalidVertex &&
+          ref.col_class[static_cast<std::size_t>(mate)] == 1) {
+        ref.col_class[static_cast<std::size_t>(mate)] = 0;
+        stack.push_back(mate);
+      }
+    }
+  }
+  return ref;
+}
+
+int rank_of(DmBlock b) { return static_cast<int>(b); }
+
+/// Every structural invariant of a legal coarse decomposition, checked
+/// against an oracle matching number.
+void check_coarse_invariants(const BipartiteGraph& g,
+                             const DmDecomposition& dm, std::int64_t nu) {
+  ASSERT_EQ(static_cast<vid_t>(dm.row_block.size()), g.num_x());
+  ASSERT_EQ(static_cast<vid_t>(dm.col_block.size()), g.num_y());
+  EXPECT_EQ(dm.structural_rank(), nu);
+  EXPECT_TRUE(is_valid_matching(g, dm.matching));
+  EXPECT_TRUE(is_maximum_matching(g, dm.matching));
+
+  // Exactly-once classification: the three tallies partition each side.
+  EXPECT_EQ(dm.rows_in(DmBlock::kHorizontal) + dm.rows_in(DmBlock::kSquare) +
+                dm.rows_in(DmBlock::kVertical),
+            static_cast<std::int64_t>(g.num_x()));
+  EXPECT_EQ(dm.cols_in(DmBlock::kHorizontal) + dm.cols_in(DmBlock::kSquare) +
+                dm.cols_in(DmBlock::kVertical),
+            static_cast<std::int64_t>(g.num_y()));
+
+  // Zero blocks of the coarse BTF: no edge points downhill.
+  for (vid_t x = 0; x < g.num_x(); ++x) {
+    for (const vid_t y : g.neighbors_of_x(x)) {
+      ASSERT_LE(rank_of(dm.row_block[static_cast<std::size_t>(x)]),
+                rank_of(dm.col_block[static_cast<std::size_t>(y)]))
+          << "edge (" << x << "," << y << ") points downhill";
+    }
+  }
+
+  // Matched pairs co-travel; saturation per class.
+  for (vid_t x = 0; x < g.num_x(); ++x) {
+    const DmBlock bx = dm.row_block[static_cast<std::size_t>(x)];
+    const vid_t y = dm.matching.mate_of_x(x);
+    if (y != kInvalidVertex) {
+      ASSERT_EQ(rank_of(bx), rank_of(dm.col_block[static_cast<std::size_t>(y)]))
+          << "matched pair (" << x << "," << y << ") straddles classes";
+    } else {
+      ASSERT_EQ(bx, DmBlock::kVertical) << "unmatched row " << x
+                                        << " must be vertical";
+    }
+  }
+  for (vid_t y = 0; y < g.num_y(); ++y) {
+    if (!dm.matching.is_matched_y(y)) {
+      ASSERT_EQ(dm.col_block[static_cast<std::size_t>(y)],
+                DmBlock::kHorizontal)
+          << "unmatched col " << y << " must be horizontal";
+    }
+  }
+
+  // Square part perfectly matched; surplus identities pin the H/V sizes
+  // to the deficiency on each side.
+  EXPECT_EQ(dm.rows_in(DmBlock::kSquare), dm.cols_in(DmBlock::kSquare));
+  EXPECT_EQ(dm.rows_in(DmBlock::kVertical) - dm.cols_in(DmBlock::kVertical),
+            static_cast<std::int64_t>(g.num_x()) - nu);
+  EXPECT_EQ(dm.cols_in(DmBlock::kHorizontal) - dm.rows_in(DmBlock::kHorizontal),
+            static_cast<std::int64_t>(g.num_y()) - nu);
+}
+
+void check_same_partition(const DmDecomposition& dm, const RefClasses& ref) {
+  for (std::size_t x = 0; x < ref.row_class.size(); ++x) {
+    ASSERT_EQ(rank_of(dm.row_block[x]), ref.row_class[x]) << "row " << x;
+  }
+  for (std::size_t y = 0; y < ref.col_class.size(); ++y) {
+    ASSERT_EQ(rank_of(dm.col_block[y]), ref.col_class[y]) << "col " << y;
+  }
+}
+
+/// Permutation validity + block boundary consistency, beyond what
+/// verify_btf (which focuses on zero-structure) asserts.
+void check_btf_shape(const BipartiteGraph& g, const BlockTriangularForm& btf) {
+  const auto nx = static_cast<std::size_t>(g.num_x());
+  const auto ny = static_cast<std::size_t>(g.num_y());
+  ASSERT_EQ(btf.row_perm.size(), nx);
+  ASSERT_EQ(btf.col_perm.size(), ny);
+  std::vector<std::uint8_t> seen_row(nx, 0);
+  for (const vid_t r : btf.row_perm) {
+    ASSERT_LT(static_cast<std::size_t>(r), nx);
+    ASSERT_FALSE(seen_row[static_cast<std::size_t>(r)])
+        << "row " << r << " appears twice";
+    seen_row[static_cast<std::size_t>(r)] = 1;
+  }
+  std::vector<std::uint8_t> seen_col(ny, 0);
+  for (const vid_t c : btf.col_perm) {
+    ASSERT_LT(static_cast<std::size_t>(c), ny);
+    ASSERT_FALSE(seen_col[static_cast<std::size_t>(c)])
+        << "col " << c << " appears twice";
+    seen_col[static_cast<std::size_t>(c)] = 1;
+  }
+
+  ASSERT_GE(btf.square_row_begin, 0);
+  ASSERT_LE(btf.square_row_begin, btf.square_row_end);
+  ASSERT_LE(btf.square_row_end, static_cast<std::int64_t>(nx));
+  ASSERT_GE(btf.square_col_begin, 0);
+  ASSERT_LE(btf.square_col_begin, btf.square_col_end);
+  ASSERT_LE(btf.square_col_end, static_cast<std::int64_t>(ny));
+  const std::int64_t square =
+      btf.square_row_end - btf.square_row_begin;
+  ASSERT_EQ(square, btf.square_col_end - btf.square_col_begin);
+
+  // Block offsets: monotone, spanning exactly the square part.
+  ASSERT_GE(btf.block_offsets.size(), 1u);
+  ASSERT_EQ(btf.block_offsets.front(), 0);
+  ASSERT_EQ(btf.block_offsets.back(), square);
+  for (std::size_t b = 1; b < btf.block_offsets.size(); ++b) {
+    ASSERT_LT(btf.block_offsets[b - 1], btf.block_offsets[b]);
+  }
+
+  // The permutation segments agree with the coarse classes.
+  const DmDecomposition& dm = btf.decomposition();
+  for (std::size_t i = 0; i < nx; ++i) {
+    const DmBlock expected =
+        static_cast<std::int64_t>(i) < btf.square_row_begin
+            ? DmBlock::kHorizontal
+            : (static_cast<std::int64_t>(i) < btf.square_row_end
+                   ? DmBlock::kSquare
+                   : DmBlock::kVertical);
+    ASSERT_EQ(dm.row_block[static_cast<std::size_t>(btf.row_perm[i])],
+              expected)
+        << "permuted row position " << i;
+  }
+  for (std::size_t i = 0; i < ny; ++i) {
+    const DmBlock expected =
+        static_cast<std::int64_t>(i) < btf.square_col_begin
+            ? DmBlock::kHorizontal
+            : (static_cast<std::int64_t>(i) < btf.square_col_end
+                   ? DmBlock::kSquare
+                   : DmBlock::kVertical);
+    ASSERT_EQ(dm.col_block[static_cast<std::size_t>(btf.col_perm[i])],
+              expected)
+        << "permuted col position " << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Fuzz corpus: one graph per generator family x seed, small enough for
+// the O(n m) checks to stay fast but structurally diverse (communities,
+// power laws, planted bottlenecks, near-regular noise).
+// ---------------------------------------------------------------------
+
+std::vector<BipartiteGraph> fuzz_corpus(std::uint64_t seed) {
+  std::vector<BipartiteGraph> graphs;
+  {
+    SbmParams p;
+    p.rows_per_block = 96;
+    p.cols_per_block = 96;
+    p.blocks = 6;
+    p.in_degree = 3.0;
+    p.out_degree = 0.4;
+    p.seed = seed;
+    graphs.push_back(generate_sbm(p));
+  }
+  {
+    SbmParams p;  // disconnected islands with row surplus
+    p.rows_per_block = 80;
+    p.cols_per_block = 48;
+    p.blocks = 8;
+    p.in_degree = 2.5;
+    p.out_degree = 0.0;
+    p.seed = seed + 1;
+    graphs.push_back(generate_sbm(p));
+  }
+  {
+    WebCrawlParams p;
+    p.nx = 600;
+    p.ny = 500;
+    p.avg_degree = 4.0;
+    p.gamma = 1.9;
+    p.stub_fraction = 0.5;
+    p.hub_count = 16;
+    p.seed = seed + 2;
+    graphs.push_back(generate_webcrawl(p));
+  }
+  {
+    PlantedParams p;
+    p.matched_pairs = 512;
+    p.surplus_rows = 64;
+    p.bottleneck = 16;
+    p.noise_degree = 3.0;
+    p.seed = seed + 3;
+    graphs.push_back(generate_planted(p).graph);
+  }
+  {
+    ChungLuParams p;
+    p.nx = 700;
+    p.ny = 650;
+    p.avg_degree = 2.0;  // sparse: large H and V parts
+    p.seed = seed + 4;
+    graphs.push_back(generate_chung_lu(p));
+  }
+  {
+    ErdosRenyiParams p;
+    p.nx = 400;
+    p.ny = 520;
+    p.edges = 2000;  // ~5 per row: mixed saturated/deficient regions
+    p.seed = seed + 5;
+    graphs.push_back(generate_erdos_renyi(p));
+  }
+  return graphs;
+}
+
+std::int64_t hk_oracle(const BipartiteGraph& g, Matching* out = nullptr) {
+  Matching m(g.num_x(), g.num_y());
+  hopcroft_karp(g, m);
+  const std::int64_t nu = m.cardinality();
+  if (out != nullptr) *out = std::move(m);
+  return nu;
+}
+
+class DmProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DmProperties, CoarseInvariantsOnFuzzCorpus) {
+  for (const BipartiteGraph& g : fuzz_corpus(GetParam())) {
+    const std::int64_t nu = hk_oracle(g);
+    const DmDecomposition dm = dm_decompose(g);
+    check_coarse_invariants(g, dm, nu);
+  }
+}
+
+TEST_P(DmProperties, CanonicalAcrossMatchings) {
+  // dm_decompose picks its own maximum matching (MS-BFS-Graft from
+  // Karp-Sipser); the reference reach runs from Hopcroft-Karp's. The
+  // partitions must be identical anyway, and so must the explicit
+  // matching-reuse overload's.
+  for (const BipartiteGraph& g : fuzz_corpus(GetParam() + 100)) {
+    Matching hk_matching;
+    hk_oracle(g, &hk_matching);
+    const RefClasses ref = reference_classes(g, hk_matching);
+    check_same_partition(dm_decompose(g), ref);
+    check_same_partition(dm_decompose(g, hk_matching), ref);
+  }
+}
+
+TEST_P(DmProperties, BtfShapeOnFuzzCorpus) {
+  for (const BipartiteGraph& g : fuzz_corpus(GetParam() + 200)) {
+    const BlockTriangularForm btf = block_triangular_form(g);
+    check_btf_shape(g, btf);
+    EXPECT_TRUE(verify_btf(g, btf));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DmProperties,
+                         ::testing::Values(31, 32, 33, 34));
+
+// ---------------------------------------------------------------------
+// Exhaustive small graphs: every bipartite graph up to 3x3 and a full
+// 4x4 sweep, against a from-scratch Kuhn maximum matching. Degenerate
+// shapes (empty graphs, isolated vertices, stars, complete blocks) are
+// hit by construction.
+// ---------------------------------------------------------------------
+
+int kuhn_try(const std::vector<std::vector<int>>& adj, int x,
+             std::vector<int>& mate_y, std::vector<char>& seen) {
+  for (const int y : adj[static_cast<std::size_t>(x)]) {
+    if (seen[static_cast<std::size_t>(y)]) continue;
+    seen[static_cast<std::size_t>(y)] = 1;
+    if (mate_y[static_cast<std::size_t>(y)] < 0 ||
+        kuhn_try(adj, mate_y[static_cast<std::size_t>(y)], mate_y, seen)) {
+      mate_y[static_cast<std::size_t>(y)] = x;
+      return 1;
+    }
+  }
+  return 0;
+}
+
+Matching kuhn_matching(int nx, int ny,
+                       const std::vector<std::vector<int>>& adj) {
+  std::vector<int> mate_y(static_cast<std::size_t>(ny), -1);
+  std::vector<char> seen;
+  for (int x = 0; x < nx; ++x) {
+    seen.assign(static_cast<std::size_t>(ny), 0);
+    kuhn_try(adj, x, mate_y, seen);
+  }
+  Matching m(nx, ny);
+  for (int y = 0; y < ny; ++y) {
+    if (mate_y[static_cast<std::size_t>(y)] >= 0) {
+      m.match(mate_y[static_cast<std::size_t>(y)], y);
+    }
+  }
+  return m;
+}
+
+class ExhaustiveDmCell : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(ExhaustiveDmCell, EveryGraphMatchesBruteForce) {
+  const auto [nx, ny] = GetParam();
+  const int bits = nx * ny;
+#if GRAFTMATCH_DM_EXH_SANITIZED
+  // Prime stride keeps the subsample spread across edge patterns.
+  const std::uint64_t stride = bits >= 12 ? 97 : 1;
+#else
+  const std::uint64_t stride = 1;
+#endif
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << bits);
+       mask += stride) {
+    std::vector<std::vector<int>> adj(static_cast<std::size_t>(nx));
+    EdgeList list;
+    list.nx = nx;
+    list.ny = ny;
+    for (int bit = 0; bit < bits; ++bit) {
+      if ((mask >> bit) & 1u) {
+        const int x = bit / ny;
+        const int y = bit % ny;
+        adj[static_cast<std::size_t>(x)].push_back(y);
+        list.edges.push_back({x, y});
+      }
+    }
+    const BipartiteGraph g = BipartiteGraph::from_edges(list);
+    const Matching reference = kuhn_matching(nx, ny, adj);
+    const RefClasses ref = reference_classes(g, reference);
+
+    const DmDecomposition dm = dm_decompose(g);
+    ASSERT_EQ(dm.structural_rank(), reference.cardinality())
+        << "nx=" << nx << " ny=" << ny << " mask=" << mask;
+    {
+      SCOPED_TRACE(::testing::Message()
+                   << "nx=" << nx << " ny=" << ny << " mask=" << mask);
+      check_same_partition(dm, ref);
+      check_coarse_invariants(g, dm, reference.cardinality());
+      const BlockTriangularForm btf = block_triangular_form(g, dm);
+      check_btf_shape(g, btf);
+      ASSERT_TRUE(verify_btf(g, btf));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cells, ExhaustiveDmCell,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(1, 3),
+                      std::make_tuple(3, 1), std::make_tuple(2, 2),
+                      std::make_tuple(2, 3), std::make_tuple(3, 2),
+                      std::make_tuple(3, 3), std::make_tuple(4, 4)));
+
+}  // namespace
+}  // namespace graftmatch
