@@ -1,0 +1,200 @@
+// Closed-loop load generator for the matching service (serve/).
+//
+// Loads a small roster once (each graph's maximum cardinality computed
+// by the serial Hopcroft-Karp oracle at load time), then drives an
+// in-process MatchServer with 1..C concurrent closed-loop clients: each
+// client thread blocks on solve(), records the latency, and immediately
+// issues the next request over the roster round-robin. Reported per
+// client count: requests/s, p50/p99 latency, and the speedup over the
+// single-client run -- the number that shows per-worker sessions
+// actually run concurrently instead of serializing on shared runtime
+// state.
+//
+// Every response is checked: ok must be set and the served cardinality
+// must equal the roster oracle (the server audits this too when
+// check_cardinality is on; the bench re-checks client-side so a broken
+// audit cannot hide). Any failure makes the bench exit nonzero, so the
+// CI smoke run doubles as a correctness gate.
+//
+// Knobs (on top of the usual bench env/CLI, see bench_common.hpp):
+//   GRAFTMATCH_CLIENTS -- max concurrent clients (default
+//                         min(4, hardware threads))
+//   GRAFTMATCH_RUNS    -- requests per client per level (default 24)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using graftmatch::serve::GraphRoster;
+using graftmatch::serve::MatchRequest;
+using graftmatch::serve::MatchResponse;
+using graftmatch::serve::MatchServer;
+using graftmatch::serve::ServerOptions;
+
+int max_clients() {
+  if (const char* env = std::getenv("GRAFTMATCH_CLIENTS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::min(4u, std::max(2u, hw)));
+}
+
+double percentile(std::vector<double> sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted_ms.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_ms.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_ms[lo] + (sorted_ms[hi] - sorted_ms[lo]) * frac;
+}
+
+struct LevelResult {
+  int clients = 0;
+  std::int64_t requests = 0;
+  double seconds = 0.0;
+  double rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::int64_t failures = 0;
+};
+
+LevelResult run_level(const GraphRoster& roster, int clients,
+                      int requests_per_client) {
+  ServerOptions options;
+  options.workers = clients;
+  options.solver_threads = 1;
+  options.queue_capacity = static_cast<std::size_t>(clients) * 4 + 8;
+  MatchServer server(roster, options);
+
+  std::vector<std::vector<double>> latencies_ms(
+      static_cast<std::size_t>(clients));
+  std::atomic<std::int64_t> failures{0};
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      std::vector<double>& mine = latencies_ms[static_cast<std::size_t>(c)];
+      mine.reserve(static_cast<std::size_t>(requests_per_client));
+      for (int r = 0; r < requests_per_client; ++r) {
+        // Round-robin with a per-client offset so concurrent clients
+        // hit different graphs most of the time.
+        const auto index =
+            static_cast<std::size_t>(r + c) % roster.size();
+        MatchRequest request;
+        request.graph = roster.at(index).name;
+        const auto start = std::chrono::steady_clock::now();
+        const MatchResponse response = server.solve(std::move(request));
+        const auto stop = std::chrono::steady_clock::now();
+        mine.push_back(
+            std::chrono::duration<double, std::milli>(stop - start).count());
+        const bool good =
+            response.ok && !response.rejected &&
+            response.cardinality == roster.at(index).maximum_cardinality;
+        if (!good) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          if (!response.error.empty()) {
+            std::cerr << "bench_serve: request failed: " << response.error
+                      << "\n";
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : client_threads) thread.join();
+  const auto wall_stop = std::chrono::steady_clock::now();
+  server.stop();
+
+  LevelResult result;
+  result.clients = clients;
+  result.requests =
+      static_cast<std::int64_t>(clients) * requests_per_client;
+  result.seconds =
+      std::chrono::duration<double>(wall_stop - wall_start).count();
+  result.rps = result.seconds > 0.0
+                   ? static_cast<double>(result.requests) / result.seconds
+                   : 0.0;
+  std::vector<double> all_ms;
+  for (const auto& mine : latencies_ms) {
+    all_ms.insert(all_ms.end(), mine.begin(), mine.end());
+  }
+  std::sort(all_ms.begin(), all_ms.end());
+  result.p50_ms = percentile(all_ms, 0.50);
+  result.p99_ms = percentile(all_ms, 0.99);
+  result.failures = failures.load();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace graftmatch;
+  bench::bench_entry(argc, argv, "bench_serve",
+                     "matching-as-a-service throughput/latency, closed-loop "
+                     "clients against an in-process MatchServer");
+
+  // A small, shape-diverse roster; the serving point is many solves
+  // over a fixed graph set, not one big solve.
+  const std::vector<std::string> roster_names = {
+      "kkt_power-like", "rmat-like", "amazon-like"};
+  const GraphRoster roster =
+      GraphRoster::from_suite(roster_names, bench::size_factor(),
+                              bench::seed());
+  std::cout << "roster: " << roster.size() << " graphs";
+  for (const auto& entry : roster.entries()) {
+    std::cout << "  " << entry.name << " (max " << entry.maximum_cardinality
+              << ")";
+  }
+  std::cout << "\n\n";
+
+  const int clients_max = max_clients();
+  const int requests_per_client = bench::run_count(24);
+
+  bench::CsvWriter csv("bench_serve",
+                       {"clients", "requests", "seconds", "rps", "p50_ms",
+                        "p99_ms", "failures", "speedup_vs_1"});
+
+  std::cout << "clients   req/s     p50 ms    p99 ms    speedup   failures\n";
+  double single_client_rps = 0.0;
+  double best_speedup = 0.0;
+  std::int64_t total_failures = 0;
+  for (int clients = 1; clients <= clients_max; ++clients) {
+    const LevelResult level = run_level(roster, clients, requests_per_client);
+    if (clients == 1) single_client_rps = level.rps;
+    const double speedup =
+        single_client_rps > 0.0 ? level.rps / single_client_rps : 0.0;
+    if (clients >= 2) best_speedup = std::max(best_speedup, speedup);
+    total_failures += level.failures;
+    std::printf("%7d   %7.1f   %7.2f   %7.2f   %6.2fx   %8lld\n",
+                level.clients, level.rps, level.p50_ms, level.p99_ms, speedup,
+                static_cast<long long>(level.failures));
+    csv.row({bench::CsvWriter::cell(static_cast<std::int64_t>(level.clients)),
+             bench::CsvWriter::cell(level.requests),
+             bench::CsvWriter::cell(level.seconds),
+             bench::CsvWriter::cell(level.rps),
+             bench::CsvWriter::cell(level.p50_ms),
+             bench::CsvWriter::cell(level.p99_ms),
+             bench::CsvWriter::cell(level.failures),
+             bench::CsvWriter::cell(speedup)});
+  }
+
+  std::cout << "\nbest multi-client speedup over 1 client: " << best_speedup
+            << "x\n";
+  std::cout << "artifact: " << csv.path() << "\n";
+  if (total_failures > 0) {
+    std::cerr << "bench_serve: " << total_failures
+              << " request(s) failed the cardinality/ok gate\n";
+    return 1;
+  }
+  return 0;
+}

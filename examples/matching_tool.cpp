@@ -175,13 +175,18 @@ int main(int argc, char** argv) {
     }
   }
   if (mtx_path.empty() == gen_name.empty()) usage(argv[0]);
+  // The tool runs under its own session: the trace written at the end
+  // comes from this session's sink, not from whatever the process-wide
+  // default session last collected.
+  SessionContext session;
+  const SessionScope session_scope(session);
   if (!trace_path.empty()) {
     if (!obs::compiled()) {
       std::fprintf(stderr,
                    "error: --trace requires a GRAFTMATCH_TRACE=ON build\n");
       return 2;
     }
-    obs::arm();
+    session.trace().arm();
   }
 
   BipartiteGraph graph;
@@ -272,7 +277,7 @@ int main(int argc, char** argv) {
   }
 
   if (!trace_path.empty()) {
-    const obs::RunTrace& trace = obs::last_run();
+    const obs::RunTrace& trace = session.trace().last_run();
     if (!trace.collected) {
       std::fprintf(stderr, "error: the run produced no trace\n");
       return 1;

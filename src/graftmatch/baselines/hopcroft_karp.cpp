@@ -7,6 +7,7 @@
 #include "graftmatch/engine/frontier_kernels.hpp"
 #include "graftmatch/engine/stats_sink.hpp"
 #include "graftmatch/init/karp_sipser.hpp"
+#include "graftmatch/runtime/context.hpp"
 #include "graftmatch/runtime/timer.hpp"
 
 namespace graftmatch {
@@ -16,10 +17,11 @@ constexpr std::int64_t kInfinity = std::numeric_limits<std::int64_t>::max();
 
 }  // namespace
 
-RunStats hopcroft_karp(const BipartiteGraph& g, Matching& matching,
-                       const RunConfig& config) {
+RunStats hopcroft_karp(SessionContext& session, const BipartiteGraph& g,
+                       Matching& matching, const RunConfig& config) {
+  const SessionScope scope(session);
   RunStats stats;
-  engine::StatsSink sink(stats, "HK", matching, /*parallel=*/false);
+  engine::StatsSink sink(session, stats, "HK", matching, /*parallel=*/false);
 
   const vid_t nx = g.num_x();
   const engine::Adjacency adj = engine::x_adjacency(g);
@@ -138,6 +140,11 @@ RunStats hopcroft_karp(const BipartiteGraph& g, Matching& matching,
 
   sink.finish(matching);
   return stats;
+}
+
+RunStats hopcroft_karp(const BipartiteGraph& g, Matching& matching,
+                       const RunConfig& config) {
+  return hopcroft_karp(ambient_session(), g, matching, config);
 }
 
 std::int64_t maximum_matching_cardinality(const BipartiteGraph& g) {

@@ -13,6 +13,11 @@
 
 namespace graftmatch {
 
+class SessionContext;
+
+RunStats hopcroft_karp(SessionContext& session, const BipartiteGraph& g,
+                       Matching& matching, const RunConfig& config = {});
+/// Ambient-session convenience (runtime/context.hpp).
 RunStats hopcroft_karp(const BipartiteGraph& g, Matching& matching,
                        const RunConfig& config = {});
 

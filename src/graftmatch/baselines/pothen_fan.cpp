@@ -9,6 +9,7 @@
 #include "graftmatch/engine/stats_sink.hpp"
 #include "graftmatch/runtime/aligned.hpp"
 #include "graftmatch/runtime/atomics.hpp"
+#include "graftmatch/runtime/context.hpp"
 #include "graftmatch/runtime/parallel.hpp"
 #include "graftmatch/runtime/timer.hpp"
 
@@ -28,11 +29,13 @@ struct DfsWorkspace {
 
 }  // namespace
 
-RunStats pothen_fan(const BipartiteGraph& g, Matching& matching,
-                    const RunConfig& config) {
+RunStats pothen_fan(SessionContext& session, const BipartiteGraph& g,
+                    Matching& matching, const RunConfig& config) {
+  const SessionScope scope(session);
   const ThreadCountGuard thread_guard(config.threads);
   RunStats stats;
-  engine::StatsSink sink(stats, "Pothen-Fan", matching, /*parallel=*/true);
+  engine::StatsSink sink(session, stats, "Pothen-Fan", matching,
+                         /*parallel=*/true);
 
   const vid_t nx = g.num_x();
   const vid_t ny = g.num_y();
@@ -210,6 +213,11 @@ RunStats pothen_fan(const BipartiteGraph& g, Matching& matching,
 
   sink.finish(matching);
   return stats;
+}
+
+RunStats pothen_fan(const BipartiteGraph& g, Matching& matching,
+                    const RunConfig& config) {
+  return pothen_fan(ambient_session(), g, matching, config);
 }
 
 }  // namespace graftmatch

@@ -13,9 +13,14 @@
 
 namespace graftmatch {
 
+class SessionContext;
+
 /// Grow `matching` to maximum cardinality with Pothen-Fan.
 /// Honors config.threads (<=0 keeps the OpenMP default) and
 /// config.pf_fairness.
+RunStats pothen_fan(SessionContext& session, const BipartiteGraph& g,
+                    Matching& matching, const RunConfig& config = {});
+/// Ambient-session convenience (runtime/context.hpp).
 RunStats pothen_fan(const BipartiteGraph& g, Matching& matching,
                     const RunConfig& config = {});
 

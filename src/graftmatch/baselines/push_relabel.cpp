@@ -6,6 +6,7 @@
 #include "graftmatch/engine/frontier_kernels.hpp"
 #include "graftmatch/engine/stats_sink.hpp"
 #include "graftmatch/runtime/atomics.hpp"
+#include "graftmatch/runtime/context.hpp"
 #include "graftmatch/runtime/frontier_queue.hpp"
 #include "graftmatch/runtime/parallel.hpp"
 #include "graftmatch/runtime/timer.hpp"
@@ -35,11 +36,12 @@ class SpinGuard {
 
 }  // namespace
 
-RunStats push_relabel(const BipartiteGraph& g, Matching& matching,
-                      const RunConfig& config) {
+RunStats push_relabel(SessionContext& session, const BipartiteGraph& g,
+                      Matching& matching, const RunConfig& config) {
+  const SessionScope scope(session);
   const ThreadCountGuard thread_guard(config.threads);
   RunStats stats;
-  engine::StatsSink sink(stats, "PR", matching, /*parallel=*/true);
+  engine::StatsSink sink(session, stats, "PR", matching, /*parallel=*/true);
 
   const vid_t nx = g.num_x();
   const vid_t ny = g.num_y();
@@ -183,6 +185,11 @@ RunStats push_relabel(const BipartiteGraph& g, Matching& matching,
   stats.augmentations = stats.final_cardinality - stats.initial_cardinality;
   stats.total_path_edges = stats.augmentations;
   return stats;
+}
+
+RunStats push_relabel(const BipartiteGraph& g, Matching& matching,
+                      const RunConfig& config) {
+  return push_relabel(ambient_session(), g, matching, config);
 }
 
 }  // namespace graftmatch

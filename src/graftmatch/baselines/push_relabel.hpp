@@ -23,6 +23,11 @@
 
 namespace graftmatch {
 
+class SessionContext;
+
+RunStats push_relabel(SessionContext& session, const BipartiteGraph& g,
+                      Matching& matching, const RunConfig& config = {});
+/// Ambient-session convenience (runtime/context.hpp).
 RunStats push_relabel(const BipartiteGraph& g, Matching& matching,
                       const RunConfig& config = {});
 

@@ -4,14 +4,17 @@
 
 #include "graftmatch/engine/frontier_kernels.hpp"
 #include "graftmatch/engine/stats_sink.hpp"
+#include "graftmatch/runtime/context.hpp"
 #include "graftmatch/runtime/timer.hpp"
 
 namespace graftmatch {
 
-RunStats ss_bfs(const BipartiteGraph& g, Matching& matching,
-                const RunConfig& config) {
+RunStats ss_bfs(SessionContext& session, const BipartiteGraph& g,
+                Matching& matching, const RunConfig& config) {
+  const SessionScope scope(session);
   RunStats stats;
-  engine::StatsSink sink(stats, "SS-BFS", matching, /*parallel=*/false);
+  engine::StatsSink sink(session, stats, "SS-BFS", matching,
+                         /*parallel=*/false);
 
   const vid_t nx = g.num_x();
   const vid_t ny = g.num_y();
@@ -84,6 +87,11 @@ RunStats ss_bfs(const BipartiteGraph& g, Matching& matching,
 
   sink.finish(matching);
   return stats;
+}
+
+RunStats ss_bfs(const BipartiteGraph& g, Matching& matching,
+                const RunConfig& config) {
+  return ss_bfs(ambient_session(), g, matching, config);
 }
 
 }  // namespace graftmatch

@@ -13,8 +13,13 @@
 
 namespace graftmatch {
 
+class SessionContext;
+
 /// Grow `matching` to maximum cardinality. Returns run statistics
 /// (phases == number of augmenting-path searches).
+RunStats ss_bfs(SessionContext& session, const BipartiteGraph& g,
+                Matching& matching, const RunConfig& config = {});
+/// Ambient-session convenience (runtime/context.hpp).
 RunStats ss_bfs(const BipartiteGraph& g, Matching& matching,
                 const RunConfig& config = {});
 

@@ -4,14 +4,17 @@
 #include <vector>
 
 #include "graftmatch/engine/stats_sink.hpp"
+#include "graftmatch/runtime/context.hpp"
 #include "graftmatch/runtime/timer.hpp"
 
 namespace graftmatch {
 
-RunStats ss_dfs(const BipartiteGraph& g, Matching& matching,
-                const RunConfig& config) {
+RunStats ss_dfs(SessionContext& session, const BipartiteGraph& g,
+                Matching& matching, const RunConfig& config) {
+  const SessionScope scope(session);
   RunStats stats;
-  engine::StatsSink sink(stats, "SS-DFS", matching, /*parallel=*/false);
+  engine::StatsSink sink(session, stats, "SS-DFS", matching,
+                         /*parallel=*/false);
 
   const vid_t nx = g.num_x();
   const vid_t ny = g.num_y();
@@ -83,6 +86,11 @@ RunStats ss_dfs(const BipartiteGraph& g, Matching& matching,
 
   sink.finish(matching);
   return stats;
+}
+
+RunStats ss_dfs(const BipartiteGraph& g, Matching& matching,
+                const RunConfig& config) {
+  return ss_dfs(ambient_session(), g, matching, config);
 }
 
 }  // namespace graftmatch

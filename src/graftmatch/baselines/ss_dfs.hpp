@@ -11,6 +11,11 @@
 
 namespace graftmatch {
 
+class SessionContext;
+
+RunStats ss_dfs(SessionContext& session, const BipartiteGraph& g,
+                Matching& matching, const RunConfig& config = {});
+/// Ambient-session convenience (runtime/context.hpp).
 RunStats ss_dfs(const BipartiteGraph& g, Matching& matching,
                 const RunConfig& config = {});
 

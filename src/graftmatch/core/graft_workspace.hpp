@@ -17,10 +17,12 @@
 //
 // A workspace may be reused back-to-back across runs and across graphs
 // (prepare() re-binds it; dimensions may change freely). It is NOT
-// thread-safe: one workspace serves one solver call at a time. The
-// 3-argument ms_bfs_graft() overload keeps a thread_local workspace per
-// host thread, so concurrent solver calls from different host threads
-// never share one.
+// thread-safe: one workspace serves one solver call at a time.
+// Workspaces normally live in a session's WorkspacePool
+// (runtime/context.hpp): ms_bfs_graft() leases one for the duration of
+// the run and hands it back on return, so concurrent solver calls get
+// disjoint workspaces, warm arrays are reused LIFO across runs, and
+// nothing stays pinned to a host thread.
 #pragma once
 
 #include <cstdint>

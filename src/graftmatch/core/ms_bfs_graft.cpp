@@ -10,6 +10,7 @@
 #include "graftmatch/engine/stats_sink.hpp"
 #include "graftmatch/obs/trace.hpp"
 #include "graftmatch/runtime/atomics.hpp"
+#include "graftmatch/runtime/context.hpp"
 #include "graftmatch/runtime/epoch_array.hpp"
 #include "graftmatch/runtime/frontier_queue.hpp"
 #include "graftmatch/runtime/parallel.hpp"
@@ -381,17 +382,19 @@ void assert_forest_invariants(const GraftState& state) {
 
 }  // namespace
 
-RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
-                      const RunConfig& config, GraftWorkspace& workspace) {
+RunStats ms_bfs_graft(SessionContext& session, const BipartiteGraph& g,
+                      Matching& matching, const RunConfig& config,
+                      GraftWorkspace& workspace) {
   if (!(config.alpha > 0.0)) {
     throw std::invalid_argument("ms_bfs_graft: alpha must be positive");
   }
+  const SessionScope scope(session);
   const ThreadCountGuard thread_guard(config.threads);
   if (config.pin != PinPolicy::kNone) pin_openmp_threads(config.pin);
 
   RunStats stats;
   engine::StatsSink sink(
-      stats,
+      session, stats,
       config.tree_grafting
           ? (config.direction_optimizing ? "MS-BFS-Graft" : "MS-BFS+Graft")
           : (config.direction_optimizing ? "MS-BFS+DirOpt" : "MS-BFS"),
@@ -772,21 +775,40 @@ RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
   return stats;
 }
 
+RunStats ms_bfs_graft(SessionContext& session, const BipartiteGraph& g,
+                      Matching& matching, const RunConfig& config) {
+  // Lease a workspace from the session's pool: repeated runs (bench
+  // min-of-runs, the diff corpus, back-to-back requests on a server
+  // session) reuse warm, first-touched arrays, concurrent sessions
+  // never share state, and -- unlike the thread_local this replaced --
+  // the workspace is handed back when the run ends instead of staying
+  // pinned to the host thread for the process lifetime.
+  WorkspaceLease lease(session.workspaces());
+  RunStats stats = ms_bfs_graft(session, g, matching, config, lease.get());
+  lease.release();
+  return stats;
+}
+
+RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
+                      const RunConfig& config, GraftWorkspace& workspace) {
+  return ms_bfs_graft(ambient_session(), g, matching, config, workspace);
+}
+
 RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
                       const RunConfig& config) {
-  // One workspace per host thread: repeated runs (bench min-of-runs,
-  // the diff corpus, back-to-back phases of a driver) reuse warm,
-  // first-touched arrays, and concurrent solver calls from different
-  // host threads never share state.
-  thread_local GraftWorkspace workspace;
-  return ms_bfs_graft(g, matching, config, workspace);
+  return ms_bfs_graft(ambient_session(), g, matching, config);
+}
+
+RunStats ms_bfs(SessionContext& session, const BipartiteGraph& g,
+                Matching& matching, RunConfig config) {
+  config.direction_optimizing = false;
+  config.tree_grafting = false;
+  return ms_bfs_graft(session, g, matching, config);
 }
 
 RunStats ms_bfs(const BipartiteGraph& g, Matching& matching,
                 RunConfig config) {
-  config.direction_optimizing = false;
-  config.tree_grafting = false;
-  return ms_bfs_graft(g, matching, config);
+  return ms_bfs(ambient_session(), g, matching, std::move(config));
 }
 
 }  // namespace graftmatch

@@ -30,20 +30,33 @@
 
 namespace graftmatch {
 
+class SessionContext;
+
 /// Grow `matching` to maximum cardinality with MS-BFS-Graft.
 /// Deterministic result cardinality regardless of thread count.
-/// Per-vertex state lives in a thread_local GraftWorkspace, so repeated
-/// calls from one host thread reuse warm, first-touched arrays (bench
-/// min-of-runs and the diff suite stop re-faulting pages).
-RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
-                      const RunConfig& config = {});
+/// Per-vertex state comes from `session`'s warm-workspace pool (see
+/// runtime/context.hpp): the run leases a workspace and hands it back
+/// before returning, so repeated runs in one session reuse warm,
+/// first-touched arrays and nothing is pinned per host thread.
+RunStats ms_bfs_graft(SessionContext& session, const BipartiteGraph& g,
+                      Matching& matching, const RunConfig& config = {});
 
 /// As above with an explicit workspace (reusable across runs and across
 /// graphs; see core/graft_workspace.hpp for the reuse contract).
+RunStats ms_bfs_graft(SessionContext& session, const BipartiteGraph& g,
+                      Matching& matching, const RunConfig& config,
+                      GraftWorkspace& workspace);
+
+/// Ambient-session conveniences: as above under the calling thread's
+/// ambient session (the process default when none is bound).
+RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
+                      const RunConfig& config = {});
 RunStats ms_bfs_graft(const BipartiteGraph& g, Matching& matching,
                       const RunConfig& config, GraftWorkspace& workspace);
 
 /// Plain MS-BFS baseline (no grafting, no direction optimization).
+RunStats ms_bfs(SessionContext& session, const BipartiteGraph& g,
+                Matching& matching, RunConfig config = {});
 RunStats ms_bfs(const BipartiteGraph& g, Matching& matching,
                 RunConfig config = {});
 

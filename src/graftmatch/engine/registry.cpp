@@ -36,70 +36,77 @@ std::vector<SolverInfo> build_solvers() {
        "multi-source BFS with direction optimization and tree grafting "
        "(the paper's algorithm)",
        true,
-       [](const BipartiteGraph& g, Matching& m, const RunConfig& c) {
-         return ms_bfs_graft(g, m, c);
-       }});
+       [](SessionContext& s, const BipartiteGraph& g, Matching& m,
+          const RunConfig& c) { return ms_bfs_graft(s, g, m, c); }});
   solvers.push_back(
       {"msbfs", "MS-BFS",
        "plain multi-source BFS with frontier rebuilding (Azad et al.)", true,
-       [](const BipartiteGraph& g, Matching& m, const RunConfig& c) {
-         return ms_bfs(g, m, c);
-       }});
+       [](SessionContext& s, const BipartiteGraph& g, Matching& m,
+          const RunConfig& c) { return ms_bfs(s, g, m, c); }});
   solvers.push_back(
       {"pf", "Pothen-Fan",
        "multithreaded Pothen-Fan DFS with lookahead and fairness", true,
-       [](const BipartiteGraph& g, Matching& m, const RunConfig& c) {
-         return pothen_fan(g, m, c);
-       }});
+       [](SessionContext& s, const BipartiteGraph& g, Matching& m,
+          const RunConfig& c) { return pothen_fan(s, g, m, c); }});
   solvers.push_back(
       {"pr", "PR", "parallel push-relabel with global relabeling", true,
-       [](const BipartiteGraph& g, Matching& m, const RunConfig& c) {
-         return push_relabel(g, m, c);
-       }});
+       [](SessionContext& s, const BipartiteGraph& g, Matching& m,
+          const RunConfig& c) { return push_relabel(s, g, m, c); }});
   solvers.push_back(
       {"hk", "HK", "serial Hopcroft-Karp (shortest augmenting phases)", false,
-       [](const BipartiteGraph& g, Matching& m, const RunConfig& c) {
-         return hopcroft_karp(g, m, c);
-       }});
+       [](SessionContext& s, const BipartiteGraph& g, Matching& m,
+          const RunConfig& c) { return hopcroft_karp(s, g, m, c); }});
   solvers.push_back(
       {"ssbfs", "SS-BFS", "serial single-source BFS augmentation", false,
-       [](const BipartiteGraph& g, Matching& m, const RunConfig& c) {
-         return ss_bfs(g, m, c);
-       }});
+       [](SessionContext& s, const BipartiteGraph& g, Matching& m,
+          const RunConfig& c) { return ss_bfs(s, g, m, c); }});
   solvers.push_back(
       {"ssdfs", "SS-DFS", "serial single-source DFS augmentation", false,
-       [](const BipartiteGraph& g, Matching& m, const RunConfig& c) {
-         return ss_dfs(g, m, c);
-       }});
+       [](SessionContext& s, const BipartiteGraph& g, Matching& m,
+          const RunConfig& c) { return ss_dfs(s, g, m, c); }});
   return solvers;
 }
 
+// Initializer bodies take no session parameter; binding the session as
+// ambient for the duration of the call routes everything they touch
+// (parallel regions, trace emissions, stress jitter) to it.
 std::vector<InitializerInfo> build_initializers() {
   std::vector<InitializerInfo> inits;
   inits.push_back({"none", "empty matching (no initialization)", false,
-                   [](const BipartiteGraph& g, const RunConfig&) {
+                   [](SessionContext&, const BipartiteGraph& g,
+                      const RunConfig&) {
                      return Matching(g.num_x(), g.num_y());
                    }});
   inits.push_back({"greedy", "deterministic greedy maximal matching", false,
-                   [](const BipartiteGraph& g, const RunConfig&) {
+                   [](SessionContext& s, const BipartiteGraph& g,
+                      const RunConfig&) {
+                     const SessionScope scope(s);
                      return greedy_maximal(g);
                    }});
   inits.push_back({"rgreedy", "randomized-order greedy maximal matching",
                    false,
-                   [](const BipartiteGraph& g, const RunConfig& c) {
+                   [](SessionContext& s, const BipartiteGraph& g,
+                      const RunConfig& c) {
+                     const SessionScope scope(s);
                      return randomized_greedy(g, c.seed);
                    }});
   inits.push_back({"ks", "serial Karp-Sipser (degree-1 rule + random rule)",
                    false,
-                   [](const BipartiteGraph& g, const RunConfig& c) {
+                   [](SessionContext& s, const BipartiteGraph& g,
+                      const RunConfig& c) {
+                     const SessionScope scope(s);
                      return karp_sipser(g, c.seed);
                    }});
   inits.push_back({"ksr1", "serial Karp-Sipser, degree-1 rule only", false,
-                   [](const BipartiteGraph& g, const RunConfig&) {
+                   [](SessionContext& s, const BipartiteGraph& g,
+                      const RunConfig&) {
+                     const SessionScope scope(s);
                      return karp_sipser_rule1(g);
                    }});
   inits.push_back({"pks", "parallel Karp-Sipser (Azad et al. style)", true,
-                   [](const BipartiteGraph& g, const RunConfig& c) {
+                   [](SessionContext& s, const BipartiteGraph& g,
+                      const RunConfig& c) {
+                     const SessionScope scope(s);
                      return parallel_karp_sipser(g, c.seed, c.threads);
                    }});
   return inits;
@@ -171,7 +178,8 @@ std::vector<std::string> initializer_names() {
   return names;
 }
 
-Matching make_initial_matching(const std::string& name,
+Matching make_initial_matching(SessionContext& session,
+                               const std::string& name,
                                const BipartiteGraph& g,
                                const RunConfig& config) {
   const InitializerInfo& init = find_initializer(name);
@@ -180,15 +188,22 @@ Matching make_initial_matching(const std::string& name,
   // argument (parallel_karp_sipser takes one, but the guard makes the
   // contract hold registry-wide).
   const ThreadCountGuard guard(config.threads);
-  return init.make(g, config);
+  return init.make(session, g, config);
+}
+
+Matching make_initial_matching(const std::string& name,
+                               const BipartiteGraph& g,
+                               const RunConfig& config) {
+  return make_initial_matching(ambient_session(), name, g, config);
 }
 
 namespace {
 
-/// Close the owned trace run and stamp the distilled counters.
-void distill_obs(RunStats& stats) {
-  obs::end_run();
-  const obs::TraceSummary summary = obs::summarize(obs::last_run());
+/// Close the session's owned trace run and stamp the distilled counters.
+void distill_obs(SessionContext& session, RunStats& stats) {
+  session.trace().end_run();
+  const obs::TraceSummary summary =
+      obs::summarize(session.trace().last_run());
   ObsCounters& o = stats.obs;
   o.collected = true;
   o.events = summary.events;
@@ -214,13 +229,14 @@ using KernelSolveFn = std::function<RunStats(const BipartiteGraph& g,
 /// emitted outside the solver land in the same trace; nested StatsSinks
 /// record into this run instead of opening their own, and the distilled
 /// counters are stamped here.
-RunStats reduce_pipeline(const BipartiteGraph& g, Matching& matching,
-                         const RunConfig& config,
+RunStats reduce_pipeline(SessionContext& session, const BipartiteGraph& g,
+                         Matching& matching, const RunConfig& config,
                          const std::string& trace_name,
                          const KernelSolveFn& solve_kernel) {
+  const SessionScope scope(session);
   const ThreadCountGuard guard(config.threads);
   const bool owns_trace =
-      obs::begin_run(trace_name.c_str(), omp_get_max_threads());
+      session.trace().begin_run(trace_name.c_str(), omp_get_max_threads());
 
   reduce::Reduction reduction = reduce::reduce_graph(g, config.reduce);
   // Identity reduction: solve on the original graph and skip the
@@ -247,7 +263,7 @@ RunStats reduce_pipeline(const BipartiteGraph& g, Matching& matching,
       reduction.stats.forced_matches + reduction.stats.folds;
   stats.final_cardinality = matching.cardinality();
 
-  if (owns_trace) distill_obs(stats);
+  if (owns_trace) distill_obs(session, stats);
   return stats;
 }
 
@@ -269,16 +285,18 @@ void accumulate_block(RunStats& total, const RunStats& block) {
 /// per-block solves, stitch, audit. See engine::run_sharded for the
 /// contract; this is the kernel-solve half (the reduce pre-pass and
 /// trace ownership live in the callers).
-RunStats solve_sharded_graph(const SolverInfo& solver,
+RunStats solve_sharded_graph(SessionContext& session,
+                             const SolverInfo& solver,
                              const std::string& initializer_name,
                              const BipartiteGraph& g, Matching& matching,
                              const RunConfig& config) {
+  const SessionScope scope(session);
   const Timer total_timer;
   ShardCounters counters;
   counters.collected = true;
   counters.mode = ShardMode::kDm;
 
-  matching = make_initial_matching(initializer_name, g, config);
+  matching = make_initial_matching(session, initializer_name, g, config);
   const std::int64_t initial_cardinality = matching.cardinality();
 
   // Saturating one side is a maximality certificate: no augmenting path
@@ -340,7 +358,7 @@ RunStats solve_sharded_graph(const SolverInfo& solver,
     // initializer's matching instead.
     counters.fallback = true;
     const Timer solve_timer;
-    stats = solver.run(g, matching, config);
+    stats = solver.run(session, g, matching, config);
     counters.solve_seconds = solve_timer.elapsed();
   } else if (solvable == 0) {
     // No component has a free vertex on both sides, so no augmenting
@@ -377,7 +395,8 @@ RunStats solve_sharded_graph(const SolverInfo& solver,
                       static_cast<std::int64_t>(i),
                       blocks[i].graph.num_edges());
       Matching local = std::move(blocks[i].initial);
-      accumulate_block(stats, solver.run(blocks[i].graph, local, config));
+      accumulate_block(stats,
+                       solver.run(session, blocks[i].graph, local, config));
       solved[i] = std::move(local);
       obs::emit_end(obs::names::kShardBlock, static_cast<std::int64_t>(i));
     }
@@ -406,7 +425,7 @@ RunStats solve_sharded_graph(const SolverInfo& solver,
                           blocks[i].graph.num_edges());
           Matching local = std::move(blocks[i].initial);
           pooled_stats[slot] =
-              solver.run(blocks[i].graph, local, pool_config);
+              solver.run(session, blocks[i].graph, local, pool_config);
           solved[i] = std::move(local);
           obs::emit_end(obs::names::kShardBlock,
                         static_cast<std::int64_t>(i));
@@ -459,50 +478,77 @@ RunStats solve_sharded_graph(const SolverInfo& solver,
 
 }  // namespace
 
-RunStats run_reduced(const std::string& solver_name,
+RunStats run_reduced(SessionContext& session,
+                     const std::string& solver_name,
                      const std::string& initializer_name,
                      const BipartiteGraph& g, Matching& matching,
                      const RunConfig& config) {
   const SolverInfo& solver = find_solver(solver_name);
   if (config.reduce == ReduceMode::kNone) {
-    matching = make_initial_matching(initializer_name, g, config);
-    return solver.run(g, matching, config);
+    matching = make_initial_matching(session, initializer_name, g, config);
+    return solver.run(session, g, matching, config);
   }
   return reduce_pipeline(
-      g, matching, config, "reduce+" + solver.name,
+      session, g, matching, config, "reduce+" + solver.name,
       [&](const BipartiteGraph& solve_g, Matching& kernel_matching) {
         kernel_matching =
-            make_initial_matching(initializer_name, solve_g, config);
-        return solver.run(solve_g, kernel_matching, config);
+            make_initial_matching(session, initializer_name, solve_g, config);
+        return solver.run(session, solve_g, kernel_matching, config);
       });
+}
+
+RunStats run_reduced(const std::string& solver_name,
+                     const std::string& initializer_name,
+                     const BipartiteGraph& g, Matching& matching,
+                     const RunConfig& config) {
+  return run_reduced(ambient_session(), solver_name, initializer_name, g,
+                     matching, config);
+}
+
+RunStats run_sharded(SessionContext& session,
+                     const std::string& solver_name,
+                     const std::string& initializer_name,
+                     const BipartiteGraph& g, Matching& matching,
+                     const RunConfig& config) {
+  if (config.shard == ShardMode::kNone) {
+    return run_reduced(session, solver_name, initializer_name, g, matching,
+                       config);
+  }
+  const SolverInfo& solver = find_solver(solver_name);
+  const auto sharded_solve = [&](const BipartiteGraph& solve_g,
+                                 Matching& solve_matching) {
+    return solve_sharded_graph(session, solver, initializer_name, solve_g,
+                               solve_matching, config);
+  };
+  if (config.reduce == ReduceMode::kNone) {
+    const SessionScope scope(session);
+    const ThreadCountGuard guard(config.threads);
+    const std::string trace_name = "shard+" + solver.name;
+    const bool owns_trace =
+        session.trace().begin_run(trace_name.c_str(), omp_get_max_threads());
+    RunStats stats = sharded_solve(g, matching);
+    if (owns_trace) distill_obs(session, stats);
+    return stats;
+  }
+  // Reduce first, shard the kernel: the decomposition then runs on the
+  // graph the solver actually sees.
+  return reduce_pipeline(session, g, matching, config,
+                         "reduce+shard+" + solver.name, sharded_solve);
 }
 
 RunStats run_sharded(const std::string& solver_name,
                      const std::string& initializer_name,
                      const BipartiteGraph& g, Matching& matching,
                      const RunConfig& config) {
-  if (config.shard == ShardMode::kNone) {
-    return run_reduced(solver_name, initializer_name, g, matching, config);
-  }
-  const SolverInfo& solver = find_solver(solver_name);
-  const auto sharded_solve = [&](const BipartiteGraph& solve_g,
-                                 Matching& solve_matching) {
-    return solve_sharded_graph(solver, initializer_name, solve_g,
-                               solve_matching, config);
-  };
-  if (config.reduce == ReduceMode::kNone) {
-    const ThreadCountGuard guard(config.threads);
-    const std::string trace_name = "shard+" + solver.name;
-    const bool owns_trace =
-        obs::begin_run(trace_name.c_str(), omp_get_max_threads());
-    RunStats stats = sharded_solve(g, matching);
-    if (owns_trace) distill_obs(stats);
-    return stats;
-  }
-  // Reduce first, shard the kernel: the decomposition then runs on the
-  // graph the solver actually sees.
-  return reduce_pipeline(g, matching, config,
-                         "reduce+shard+" + solver.name, sharded_solve);
+  return run_sharded(ambient_session(), solver_name, initializer_name, g,
+                     matching, config);
+}
+
+RunStats run(SessionContext& session, const std::string& solver_name,
+             const std::string& initializer_name, const BipartiteGraph& g,
+             Matching& matching, const RunConfig& config) {
+  return run_sharded(session, solver_name, initializer_name, g, matching,
+                     config);
 }
 
 }  // namespace graftmatch::engine

@@ -17,12 +17,16 @@
 #include "graftmatch/core/run_stats.hpp"
 #include "graftmatch/graph/bipartite_graph.hpp"
 #include "graftmatch/graph/matching.hpp"
+#include "graftmatch/runtime/context.hpp"
 
 namespace graftmatch::engine {
 
 /// Runs one matching algorithm: grows `matching` in place on `g` under
-/// `config` and returns the run's stats.
-using SolverFn = std::function<RunStats(const BipartiteGraph& g,
+/// `config` and returns the run's stats. The session receives the run's
+/// probe state, trace, and workspace traffic (runtime/context.hpp);
+/// entries bind it as the ambient session for the duration of the call.
+using SolverFn = std::function<RunStats(SessionContext& session,
+                                        const BipartiteGraph& g,
                                         Matching& matching,
                                         const RunConfig& config)>;
 
@@ -31,20 +35,43 @@ struct SolverInfo {
   std::string display_name;  ///< paper label, e.g. "MS-BFS-Graft"
   std::string description;   ///< one-line summary for --list output
   bool parallel = false;     ///< honors RunConfig::threads beyond 1
-  SolverFn run;
+  SolverFn solve;
+
+  /// Run under an explicit session.
+  RunStats run(SessionContext& session, const BipartiteGraph& g,
+               Matching& matching, const RunConfig& config) const {
+    return solve(session, g, matching, config);
+  }
+  /// Run under the calling thread's ambient session -- the pre-session
+  /// call shape every one-shot driver uses.
+  RunStats run(const BipartiteGraph& g, Matching& matching,
+               const RunConfig& config) const {
+    return solve(ambient_session(), g, matching, config);
+  }
 };
 
 /// Builds an initial matching on `g`. Reads RunConfig::seed and
 /// RunConfig::threads (every entry honors `threads`, including the
 /// serial heuristics, which simply never open a region).
-using InitializerFn =
-    std::function<Matching(const BipartiteGraph& g, const RunConfig& config)>;
+using InitializerFn = std::function<Matching(SessionContext& session,
+                                             const BipartiteGraph& g,
+                                             const RunConfig& config)>;
 
 struct InitializerInfo {
   std::string name;         ///< registry key, e.g. "ks"
   std::string description;  ///< one-line summary for --list output
   bool parallel = false;
-  InitializerFn make;
+  InitializerFn build;
+
+  /// Build under an explicit session.
+  Matching make(SessionContext& session, const BipartiteGraph& g,
+                const RunConfig& config) const {
+    return build(session, g, config);
+  }
+  /// Build under the calling thread's ambient session.
+  Matching make(const BipartiteGraph& g, const RunConfig& config) const {
+    return build(ambient_session(), g, config);
+  }
 };
 
 /// All registered solvers, in presentation order (paper algorithm
@@ -68,7 +95,13 @@ const InitializerInfo* find_initializer_or_null(const std::string& name);
 std::vector<std::string> solver_names();
 std::vector<std::string> initializer_names();
 
-/// Convenience: find_initializer(name).make(g, config).
+/// Convenience: find_initializer(name).make(session, g, config), with
+/// RunConfig::threads bound for the duration.
+Matching make_initial_matching(SessionContext& session,
+                               const std::string& name,
+                               const BipartiteGraph& g,
+                               const RunConfig& config);
+/// Ambient-session convenience.
 Matching make_initial_matching(const std::string& name,
                                const BipartiteGraph& g,
                                const RunConfig& config);
@@ -84,6 +117,12 @@ Matching make_initial_matching(const std::string& name,
 /// the pre-pass accounted in RunStats::reduce. With reduce == kNone
 /// this degenerates to make_initial_matching + solver (no copy, no
 /// reduce block), so drivers can route every run through it.
+RunStats run_reduced(SessionContext& session,
+                     const std::string& solver_name,
+                     const std::string& initializer_name,
+                     const BipartiteGraph& g, Matching& matching,
+                     const RunConfig& config);
+/// Ambient-session convenience.
 RunStats run_reduced(const std::string& solver_name,
                      const std::string& initializer_name,
                      const BipartiteGraph& g, Matching& matching,
@@ -106,9 +145,23 @@ RunStats run_reduced(const std::string& solver_name,
 /// through it. The returned stats aggregate the per-block solves and
 /// account the decompose/extract/solve/stitch pipeline in
 /// RunStats::shard.
+RunStats run_sharded(SessionContext& session,
+                     const std::string& solver_name,
+                     const std::string& initializer_name,
+                     const BipartiteGraph& g, Matching& matching,
+                     const RunConfig& config);
+/// Ambient-session convenience.
 RunStats run_sharded(const std::string& solver_name,
                      const std::string& initializer_name,
                      const BipartiteGraph& g, Matching& matching,
                      const RunConfig& config);
+
+/// The canonical end-to-end entry point: run_sharded under an explicit
+/// session (the full RunConfig surface -- reduce, shard, threads,
+/// invariant checks -- honored). The serving layer routes every request
+/// through this; one-shot drivers use the ambient conveniences above.
+RunStats run(SessionContext& session, const std::string& solver_name,
+             const std::string& initializer_name, const BipartiteGraph& g,
+             Matching& matching, const RunConfig& config);
 
 }  // namespace graftmatch::engine

@@ -28,6 +28,7 @@
 #include "graftmatch/graph/matching.hpp"
 #include "graftmatch/obs/summary.hpp"
 #include "graftmatch/obs/trace.hpp"
+#include "graftmatch/runtime/context.hpp"
 #include "graftmatch/runtime/parallel.hpp"
 #include "graftmatch/runtime/timer.hpp"
 
@@ -38,22 +39,32 @@ enum class Step { kTopDown, kBottomUp, kAugment, kGraft, kStatistics };
 
 class StatsSink {
  public:
-  /// Stamps the run header into `stats` and starts the run timer.
+  /// Stamps the run header into `stats` and starts the run timer; the
+  /// trace run, the region-epoch snapshot, and the width probe all
+  /// target `session`, so concurrent sessions fill disjoint RunStats.
   /// Construct AFTER any ThreadCountGuard so `parallel` solvers record
   /// the thread count their regions will actually use.
-  StatsSink(RunStats& stats, std::string algorithm, const Matching& initial,
-            bool parallel)
+  StatsSink(SessionContext& session, RunStats& stats, std::string algorithm,
+            const Matching& initial, bool parallel)
       : stats_(stats),
-        epoch_at_start_(region_epoch().load(std::memory_order_relaxed)) {
+        session_(session),
+        epoch_at_start_(
+            session.region_epoch().load(std::memory_order_relaxed)) {
     stats_.algorithm = std::move(algorithm);
     stats_.initial_cardinality = initial.cardinality();
     // Guard value only: finish() replaces it with the width the runtime
     // actually granted once any parallel region has run (they disagree
     // under OMP_THREAD_LIMIT or nested-parallelism restrictions).
     stats_.threads_used = parallel ? omp_get_max_threads() : 1;
-    owns_trace_ =
-        obs::begin_run(stats_.algorithm.c_str(), stats_.threads_used);
+    owns_trace_ = session.trace().begin_run(stats_.algorithm.c_str(),
+                                            stats_.threads_used);
   }
+
+  /// Ambient-session compatibility ctor for pre-session call sites.
+  StatsSink(RunStats& stats, std::string algorithm, const Matching& initial,
+            bool parallel)
+      : StatsSink(ambient_session(), stats, std::move(algorithm), initial,
+                  parallel) {}
 
   /// The accumulating stopwatch behind one step category, for direct
   /// reads; prefer start()/stop() for timing so trace spans stay
@@ -108,16 +119,19 @@ class StatsSink {
     s.other = 0.0;
     s.other = std::max(0.0, stats_.seconds - s.total());
 
-    if (region_epoch().load(std::memory_order_relaxed) != epoch_at_start_) {
+    if (session_.region_epoch().load(std::memory_order_relaxed) !=
+        epoch_at_start_) {
       // At least one parallel region ran during this run; the probe
       // holds the width the runtime granted it.
-      const int granted = last_team_width().load(std::memory_order_relaxed);
+      const int granted =
+          session_.team_width().load(std::memory_order_relaxed);
       if (granted > 0) stats_.threads_used = granted;
     }
 
     if (owns_trace_) {
-      obs::end_run();
-      const obs::TraceSummary summary = obs::summarize(obs::last_run());
+      session_.trace().end_run();
+      const obs::TraceSummary summary =
+          obs::summarize(session_.trace().last_run());
       ObsCounters& o = stats_.obs;
       o.collected = true;
       o.events = summary.events;
@@ -145,6 +159,7 @@ class StatsSink {
   }
 
   RunStats& stats_;
+  SessionContext& session_;
   Timer timer_;
   std::array<Stopwatch, 5> watches_;
   std::uint64_t epoch_at_start_ = 0;

@@ -64,6 +64,14 @@
 #include "graftmatch/obs/summary.hpp"
 #include "graftmatch/obs/trace.hpp"
 
+// Serving: session contexts and the matching-as-a-service core
+#include "graftmatch/runtime/context.hpp"
+#include "graftmatch/serve/bounded_queue.hpp"
+#include "graftmatch/serve/protocol.hpp"
+#include "graftmatch/serve/roster.hpp"
+#include "graftmatch/serve/server.hpp"
+#include "graftmatch/serve/uds.hpp"
+
 // Verification
 #include "graftmatch/verify/koenig.hpp"
 #include "graftmatch/verify/validate.hpp"

@@ -1,53 +1,20 @@
 #include "graftmatch/obs/trace.hpp"
 
+#include "graftmatch/runtime/context.hpp"
+
 #if GRAFTMATCH_TRACE_ENABLED
 
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <limits>
-#include <mutex>
 
 namespace graftmatch::obs {
 namespace {
 
-/// One thread's event ring. Owned exclusively by its registering thread
-/// between begin_run() and end_run(); the serial thread touches it only
-/// outside parallel regions (see the contract in trace.hpp).
-struct ThreadBuffer {
-  std::vector<Event> events;
-  std::int64_t dropped = 0;
-  std::int32_t tid = 0;
-};
-
-std::mutex& registry_mutex() {
-  static std::mutex mutex;
-  return mutex;
-}
-
-/// Buffers live for the process lifetime: OpenMP pool threads persist
-/// across runs, and a leaked few-MB ring per thread beats any teardown
-/// race with threads that may still hold the thread_local pointer.
-std::vector<ThreadBuffer*>& registry() {
-  static std::vector<ThreadBuffer*> buffers;
-  return buffers;
-}
-
-std::atomic<bool> g_armed{false};
-/// Max events per thread ring; beyond it events are dropped (counted).
-std::size_t g_capacity = std::size_t{1} << 17;
-std::string g_run_algorithm;
-RunTrace g_last_run;
-
-ThreadBuffer& local_buffer() {
-  thread_local ThreadBuffer* buffer = nullptr;
-  if (buffer == nullptr) {
-    buffer = new ThreadBuffer;
-    const std::scoped_lock lock(registry_mutex());
-    buffer->tid = static_cast<std::int32_t>(registry().size());
-    registry().push_back(buffer);
-  }
-  return *buffer;
+std::uint64_t next_sink_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::size_t capacity_from_env() {
@@ -61,18 +28,120 @@ std::size_t capacity_from_env() {
   return static_cast<std::size_t>(parsed);
 }
 
-void push_event(ThreadBuffer& buffer, const EventName& name, EventKind kind,
-                std::int64_t ts_ns, std::int64_t dur_ns, std::int64_t arg0,
-                std::int64_t arg1) {
-  if (buffer.events.size() >= g_capacity) {
+}  // namespace
+
+/// One thread's event ring within one sink. Owned exclusively by its
+/// registering thread between begin_run() and end_run(); the run owner
+/// touches it only outside parallel regions (contract in trace.hpp).
+struct TraceSink::ThreadBuffer {
+  std::vector<Event> events;
+  std::int64_t dropped = 0;
+  std::int32_t tid = 0;
+};
+
+TraceSink::TraceSink() : id_(next_sink_id()), capacity_(capacity_from_env()) {}
+TraceSink::~TraceSink() = default;
+
+TraceSink::ThreadBuffer& TraceSink::local_buffer() {
+  // Per-thread cache of (sink id -> ring) mappings. Keyed by the
+  // monotonically-unique sink id, never the sink address: a destroyed
+  // sink's address can be reused by a new sink, but its id cannot, so a
+  // stale entry is inert rather than aliasing. Entries are tiny and a
+  // thread only accumulates one per sink it ever emits into (in
+  // practice: the default session plus its own server session), so the
+  // vector stays short; the eviction cap is a backstop for pathological
+  // session churn. Rings themselves are owned by the sink and die with
+  // it -- the cache holds non-owning pointers that are only ever
+  // dereferenced after an id match against a live sink (`this`).
+  struct CacheEntry {
+    std::uint64_t sink_id;
+    ThreadBuffer* buffer;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const CacheEntry& entry : cache) {
+    if (entry.sink_id == id_) return *entry.buffer;
+  }
+  auto owned = std::make_unique<ThreadBuffer>();
+  ThreadBuffer* buffer = owned.get();
+  {
+    const std::scoped_lock lock(registry_mutex_);
+    buffer->tid = static_cast<std::int32_t>(buffers_.size());
+    buffers_.push_back(std::move(owned));
+  }
+  if (cache.size() >= 64) {
+    // Evict the entry with the lowest sink id -- the oldest sink, the
+    // one most likely already destroyed. Eviction only costs a
+    // re-registration (a fresh ring, hence a fresh tid) if that sink is
+    // ever emitted into again.
+    cache.erase(std::min_element(
+        cache.begin(), cache.end(), [](const auto& a, const auto& b) {
+          return a.sink_id < b.sink_id;
+        }));
+  }
+  cache.push_back({id_, buffer});
+  return *buffer;
+}
+
+bool TraceSink::begin_run(const char* algorithm, std::int64_t threads) {
+  if (!armed()) return false;
+  if (active_.exchange(true, std::memory_order_relaxed)) {
+    return false;  // nested run: the outer owner's trace absorbs it
+  }
+  {
+    const std::scoped_lock lock(registry_mutex_);
+    for (const auto& buffer : buffers_) {
+      buffer->events.clear();
+      buffer->dropped = 0;
+    }
+  }
+  capacity_ = capacity_from_env();
+  run_algorithm_ = algorithm != nullptr ? algorithm : "";
+  emit(names::kRun, EventKind::kBegin, detail::now_ns(), 0, threads, 0);
+  return true;
+}
+
+void TraceSink::end_run() {
+  if (!active_.load(std::memory_order_relaxed)) return;
+  emit(names::kRun, EventKind::kEnd, detail::now_ns(), 0, 0, 0);
+  active_.store(false, std::memory_order_relaxed);
+
+  RunTrace trace;
+  trace.algorithm = run_algorithm_;
+  trace.collected = true;
+  const std::scoped_lock lock(registry_mutex_);
+  std::size_t total = 0;
+  std::int64_t epoch = std::numeric_limits<std::int64_t>::max();
+  for (const auto& buffer : buffers_) {
+    total += buffer->events.size();
+    trace.dropped += buffer->dropped;
+    if (!buffer->events.empty()) {
+      // Per-thread rings are emission-ordered, so the first event is
+      // the thread's earliest; the global minimum is the run begin.
+      epoch = std::min(epoch, buffer->events.front().ts_ns);
+      ++trace.thread_count;
+    }
+  }
+  trace.events.reserve(total);
+  for (const auto& buffer : buffers_) {
+    for (Event event : buffer->events) {
+      event.ts_ns -= epoch;
+      trace.events.push_back(event);
+    }
+  }
+  last_run_ = std::move(trace);
+}
+
+void TraceSink::emit(const EventName& name, EventKind kind,
+                     std::int64_t ts_ns, std::int64_t dur_ns,
+                     std::int64_t arg0, std::int64_t arg1) {
+  ThreadBuffer& buffer = local_buffer();
+  if (buffer.events.size() >= capacity_) {
     ++buffer.dropped;
     return;
   }
-  buffer.events.push_back(
-      {&name, kind, buffer.tid, ts_ns, dur_ns, arg0, arg1});
+  buffer.events.push_back({&name, kind, buffer.tid, ts_ns, dur_ns, arg0,
+                           arg1});
 }
-
-}  // namespace
 
 namespace detail {
 
@@ -84,72 +153,34 @@ std::int64_t now_ns() {
 
 void emit_now(const EventName& name, EventKind kind, std::int64_t arg0,
               std::int64_t arg1) {
-  push_event(local_buffer(), name, kind, now_ns(), 0, arg0, arg1);
+  TraceSink& sink = ambient_session().trace();
+  if (!sink.collecting()) return;
+  sink.emit(name, kind, now_ns(), 0, arg0, arg1);
 }
 
 void emit_span(const EventName& name, std::int64_t start_ns,
                std::int64_t arg0, std::int64_t arg1) {
-  push_event(local_buffer(), name, EventKind::kComplete, start_ns,
-             now_ns() - start_ns, arg0, arg1);
+  TraceSink& sink = ambient_session().trace();
+  if (!sink.collecting()) return;
+  sink.emit(name, EventKind::kComplete, start_ns, now_ns() - start_ns, arg0,
+            arg1);
 }
 
 }  // namespace detail
 
-void arm() { g_armed.store(true, std::memory_order_relaxed); }
-void disarm() { g_armed.store(false, std::memory_order_relaxed); }
-bool armed() { return g_armed.load(std::memory_order_relaxed); }
+bool active() noexcept { return ambient_session().trace().collecting(); }
+
+void arm() { ambient_session().trace().arm(); }
+void disarm() { ambient_session().trace().disarm(); }
+bool armed() { return ambient_session().trace().armed(); }
 
 bool begin_run(const char* algorithm, std::int64_t threads) {
-  if (!armed()) return false;
-  if (detail::g_active.load(std::memory_order_relaxed)) {
-    return false;  // nested run: the outer owner's trace absorbs it
-  }
-  {
-    const std::scoped_lock lock(registry_mutex());
-    for (ThreadBuffer* buffer : registry()) {
-      buffer->events.clear();
-      buffer->dropped = 0;
-    }
-  }
-  g_capacity = capacity_from_env();
-  g_run_algorithm = algorithm != nullptr ? algorithm : "";
-  detail::g_active.store(true, std::memory_order_relaxed);
-  detail::emit_now(names::kRun, EventKind::kBegin, threads, 0);
-  return true;
+  return ambient_session().trace().begin_run(algorithm, threads);
 }
 
-void end_run() {
-  if (!detail::g_active.load(std::memory_order_relaxed)) return;
-  detail::emit_now(names::kRun, EventKind::kEnd, 0, 0);
-  detail::g_active.store(false, std::memory_order_relaxed);
+void end_run() { ambient_session().trace().end_run(); }
 
-  RunTrace trace;
-  trace.algorithm = g_run_algorithm;
-  trace.collected = true;
-  const std::scoped_lock lock(registry_mutex());
-  std::size_t total = 0;
-  std::int64_t epoch = std::numeric_limits<std::int64_t>::max();
-  for (const ThreadBuffer* buffer : registry()) {
-    total += buffer->events.size();
-    trace.dropped += buffer->dropped;
-    if (!buffer->events.empty()) {
-      // Per-thread rings are emission-ordered, so the first event is
-      // the thread's earliest; the global minimum is the run begin.
-      epoch = std::min(epoch, buffer->events.front().ts_ns);
-      ++trace.thread_count;
-    }
-  }
-  trace.events.reserve(total);
-  for (const ThreadBuffer* buffer : registry()) {
-    for (Event event : buffer->events) {
-      event.ts_ns -= epoch;
-      trace.events.push_back(event);
-    }
-  }
-  g_last_run = std::move(trace);
-}
-
-const RunTrace& last_run() { return g_last_run; }
+const RunTrace& last_run() { return ambient_session().trace().last_run(); }
 
 }  // namespace graftmatch::obs
 

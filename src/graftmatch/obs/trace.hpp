@@ -11,27 +11,45 @@
 // trace writer (chrome_trace.hpp), the summarizer (summary.hpp), and
 // RunStats::obs consume.
 //
+// Ownership model: every ring, the armed/active flags, and the flushed
+// RunTrace belong to a TraceSink. Each SessionContext
+// (runtime/context.hpp) owns one sink, so two sessions tracing
+// concurrently in one process never see each other's events. The
+// free-function API below (arm/begin_run/emit_*/last_run) is the
+// emission surface the solvers use; it routes to the AMBIENT session's
+// sink -- the session bound to the calling thread by SessionScope and
+// propagated into OpenMP teams by parallel_region(), falling back to
+// the process-wide default session when no binding is active. One-shot
+// drivers that never create a session therefore keep today's behavior
+// (one de-facto global trace), while sessions get full isolation.
+//
 // Concurrency contract (matches parallel_region()'s happens-before
 // discipline, so the TSan tier stays suppression-free):
 //  * Each thread writes only its own ring; rings are registered once
-//    under a mutex and then touched exclusively by their owner.
-//  * The serial thread clears rings in begin_run() and snapshots them
-//    in end_run(), both while no parallel region is open; the region
-//    fork edge (release slot store -> acquire body load) orders the
-//    clear before any worker write, and the join edge orders every
-//    worker write before the snapshot.
+//    per (sink, thread) under the sink's mutex and then touched
+//    exclusively by their owner.
+//  * The thread that owns the run clears rings in begin_run() and
+//    snapshots them in end_run(), both while no parallel region is
+//    open; the region fork edge (release slot store -> acquire body
+//    load) orders the clear before any worker write, and the join edge
+//    orders every worker write before the snapshot.
 //  * The active() gate is a relaxed atomic: emitters only need to see
 //    a value, not synchronize through it.
+//  * Distinct sinks share nothing but the thread-slot counter, so
+//    concurrent sessions may trace concurrently.
 //
 // Cost model: compiled out entirely at GRAFTMATCH_TRACE_ENABLED=0
 // (every emit call is an empty constexpr-false branch). When compiled
-// in but not armed, each emission site costs one relaxed atomic load.
-// Events are emitted per LEVEL and per PHASE, never per edge, so even
-// armed runs stay within a few percent of untraced time.
+// in but not armed, each emission site costs one ambient-session lookup
+// plus one relaxed atomic load. Events are emitted per LEVEL and per
+// PHASE, never per edge, so even armed runs stay within a few percent
+// of untraced time.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -108,6 +126,11 @@ inline constexpr EventName kShardDecompose{"shard.decompose", "blocks",
 inline constexpr EventName kShardBlock{"shard.block", "block", "edges"};
 inline constexpr EventName kShardStitch{"shard.stitch", "cardinality",
                                         nullptr};
+/// Serving-layer spans (src/graftmatch/serve/): one span per request a
+/// server worker executes (arg0 = roster entry index, arg1 on the End
+/// event = matched cardinality).
+inline constexpr EventName kServeRequest{"serve.request", "roster_entry",
+                                         "cardinality"};
 }  // namespace names
 
 /// Chrome trace_event phase kinds this subsystem emits.
@@ -139,19 +162,100 @@ struct RunTrace {
   bool collected = false;
 };
 
-/// Arm / disarm collection. Arming alone records nothing: the next
-/// StatsSink run (begin_run/end_run pair) collects. Ring capacity is
-/// re-read from GRAFTMATCH_TRACE_CAPACITY (events per thread, default
-/// 1<<17) at every begin_run().
+#if GRAFTMATCH_TRACE_ENABLED
+
+/// One session's trace collector: the armed/active flags, the
+/// per-thread event rings, and the flushed RunTrace of the most recent
+/// run. A sink must outlive every run recorded into it (a
+/// SessionContext owns its sink for exactly that reason).
+///
+/// begin_run()/end_run() are called by the thread that owns the run (an
+/// engine StatsSink or driver), never concurrently with each other on
+/// one sink; emit() may be called from any thread bound to the owning
+/// session, including every thread of an open parallel team.
+class TraceSink {
+ public:
+  TraceSink();
+  ~TraceSink();
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Arm / disarm collection. Arming alone records nothing: the next
+  /// begin_run/end_run pair collects. Ring capacity is re-read from
+  /// GRAFTMATCH_TRACE_CAPACITY (events per thread, default 1<<17) at
+  /// every begin_run().
+  void arm() noexcept { armed_.store(true, std::memory_order_relaxed); }
+  void disarm() noexcept { armed_.store(false, std::memory_order_relaxed); }
+  bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Run lifecycle. begin_run() returns true when this call owns the
+  /// trace (armed, and no run already active on this sink -- a nested
+  /// solver run records into its owner's trace); only the owner calls
+  /// end_run(), which snapshots every ring into last_run().
+  bool begin_run(const char* algorithm, std::int64_t threads);
+  void end_run();
+  const RunTrace& last_run() const noexcept { return last_run_; }
+
+  /// Collection in progress (between an owning begin_run and its
+  /// end_run). Relaxed: the fork/join edges of parallel_region() order
+  /// the owner's flips against worker emissions.
+  bool collecting() const noexcept {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  /// Append one event to the calling thread's ring (drop-counted once
+  /// the ring is full). Callers gate on collecting().
+  void emit(const EventName& name, EventKind kind, std::int64_t ts_ns,
+            std::int64_t dur_ns, std::int64_t arg0, std::int64_t arg1);
+
+ private:
+  struct ThreadBuffer;
+  ThreadBuffer& local_buffer();
+
+  /// Process-unique sink identity; keys the thread-local ring cache so
+  /// a stale cache entry can never alias a new sink at a reused
+  /// address.
+  const std::uint64_t id_;
+  std::atomic<bool> armed_{false};
+  std::atomic<bool> active_{false};
+  std::size_t capacity_;
+  std::string run_algorithm_;
+  RunTrace last_run_;
+  mutable std::mutex registry_mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+#else  // GRAFTMATCH_TRACE_ENABLED == 0: the sink is an empty shell so
+       // SessionContext keeps a uniform shape across build modes.
+
+class TraceSink {
+ public:
+  void arm() noexcept {}
+  void disarm() noexcept {}
+  bool armed() const noexcept { return false; }
+  bool begin_run(const char*, std::int64_t) { return false; }
+  void end_run() {}
+  const RunTrace& last_run() const noexcept {
+    static const RunTrace empty;
+    return empty;
+  }
+  bool collecting() const noexcept { return false; }
+  void emit(const EventName&, EventKind, std::int64_t, std::int64_t,
+            std::int64_t, std::int64_t) {}
+};
+
+#endif  // GRAFTMATCH_TRACE_ENABLED
+
+/// Ambient-session compatibility surface: each call resolves the
+/// calling thread's bound session (SessionScope / parallel_region
+/// propagation; the process default session when unbound) and operates
+/// on that session's sink. One-shot drivers and the existing tests use
+/// these; session-aware code calls the TraceSink methods directly.
 void arm();
 void disarm();
 bool armed();
-
-/// Run lifecycle, called by the engine's StatsSink. begin_run() returns
-/// true when this call owns the trace (armed, and no run already
-/// active -- a nested solver run records into its owner's trace);
-/// only the owner calls end_run(), which snapshots every ring into the
-/// trace returned by last_run().
 bool begin_run(const char* algorithm, std::int64_t threads);
 void end_run();
 const RunTrace& last_run();
@@ -159,11 +263,9 @@ const RunTrace& last_run();
 #if GRAFTMATCH_TRACE_ENABLED
 
 namespace detail {
-/// Collection gate. Relaxed everywhere: the fork/join edges of
-/// parallel_region() order the serial-thread flips against worker
-/// emissions, the atomic only keeps the flag itself race-free.
-inline std::atomic<bool> g_active{false};
 std::int64_t now_ns();
+/// Append to the ambient session's sink; no-ops unless that sink is
+/// collecting.
 void emit_now(const EventName& name, EventKind kind, std::int64_t arg0,
               std::int64_t arg1);
 void emit_span(const EventName& name, std::int64_t start_ns,
@@ -171,36 +273,33 @@ void emit_span(const EventName& name, std::int64_t start_ns,
 }  // namespace detail
 
 constexpr bool compiled() noexcept { return true; }
-inline bool active() noexcept {
-  return detail::g_active.load(std::memory_order_relaxed);
-}
+/// True when the ambient session's sink is collecting.
+bool active() noexcept;
 /// Span start marker for emit_complete(); 0 when not collecting.
 inline std::int64_t timestamp() noexcept {
   return active() ? detail::now_ns() : 0;
 }
 inline void emit_begin(const EventName& name, std::int64_t arg0 = 0,
                        std::int64_t arg1 = 0) {
-  if (active()) detail::emit_now(name, EventKind::kBegin, arg0, arg1);
+  detail::emit_now(name, EventKind::kBegin, arg0, arg1);
 }
 inline void emit_end(const EventName& name, std::int64_t arg0 = 0,
                      std::int64_t arg1 = 0) {
-  if (active()) detail::emit_now(name, EventKind::kEnd, arg0, arg1);
+  detail::emit_now(name, EventKind::kEnd, arg0, arg1);
 }
 inline void emit_counter(const EventName& name, std::int64_t arg0,
                          std::int64_t arg1 = 0) {
-  if (active()) detail::emit_now(name, EventKind::kCounter, arg0, arg1);
+  detail::emit_now(name, EventKind::kCounter, arg0, arg1);
 }
 inline void emit_instant(const EventName& name, std::int64_t arg0 = 0,
                          std::int64_t arg1 = 0) {
-  if (active()) detail::emit_now(name, EventKind::kInstant, arg0, arg1);
+  detail::emit_now(name, EventKind::kInstant, arg0, arg1);
 }
 /// Close a span opened with timestamp(). No-op when the start marker is
 /// 0 (collection was off when the span opened).
 inline void emit_complete(const EventName& name, std::int64_t start_ns,
                           std::int64_t arg0 = 0, std::int64_t arg1 = 0) {
-  if (start_ns != 0 && active()) {
-    detail::emit_span(name, start_ns, arg0, arg1);
-  }
+  if (start_ns != 0) detail::emit_span(name, start_ns, arg0, arg1);
 }
 
 #else  // GRAFTMATCH_TRACE_ENABLED == 0: every emitter folds to nothing.

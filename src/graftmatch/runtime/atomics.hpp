@@ -41,13 +41,21 @@ inline std::atomic<std::uint32_t>& yield_period_ref() noexcept {
 }
 
 /// Enable (period > 0) or disable (period == 0) jitter process-wide.
+/// Sessions may override per-session via SessionContext::
+/// set_yield_period (runtime/context.hpp); threads bound to such a
+/// session use the override, everyone else uses this value.
 inline void set_yield_period(std::uint32_t period) noexcept {
   yield_period_ref().store(period, std::memory_order_relaxed);
 }
 
+/// The period in force for the calling thread: the ambient session's
+/// override when one is set, else the process-wide period above.
+/// Defined in runtime/context.cpp (this header stays below context.hpp
+/// in the include order).
+std::uint32_t effective_yield_period() noexcept;
+
 inline void maybe_yield() noexcept {
-  const std::uint32_t period =
-      yield_period_ref().load(std::memory_order_relaxed);
+  const std::uint32_t period = effective_yield_period();
   if (period == 0) return;
   // Per-thread splitmix64 stream, seeded from the TLS slot address so
   // threads diverge without coordination.

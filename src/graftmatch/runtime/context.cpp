@@ -1,0 +1,131 @@
+#include "graftmatch/runtime/context.hpp"
+
+#include "graftmatch/core/graft_workspace.hpp"
+#include "graftmatch/runtime/atomics.hpp"
+
+namespace graftmatch {
+namespace {
+
+std::uint64_t next_session_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// The calling thread's binding. A plain pointer, not an owner: the
+/// bound SessionContext must outlive the scope that bound it, which
+/// SessionScope's stack discipline guarantees.
+thread_local SessionContext* t_ambient_session = nullptr;
+
+}  // namespace
+
+WorkspacePool::WorkspacePool() = default;
+
+// Out of line because ~unique_ptr<GraftWorkspace> needs the complete
+// type, which only this translation unit sees.
+WorkspacePool::~WorkspacePool() = default;
+
+GraftWorkspace* WorkspacePool::acquire() {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (!idle_.empty()) {
+      GraftWorkspace* workspace = idle_.back().release();
+      idle_.pop_back();
+      ++outstanding_;
+      return workspace;
+    }
+    ++outstanding_;
+    ++created_;
+  }
+  // Allocate outside the lock: a cold workspace is big and its arrays
+  // get sized by prepare() anyway, so there is nothing to protect.
+  return new GraftWorkspace;
+}
+
+void WorkspacePool::release(GraftWorkspace* workspace) {
+  if (workspace == nullptr) return;
+  std::unique_ptr<GraftWorkspace> owned(workspace);
+  const std::scoped_lock lock(mutex_);
+  --outstanding_;
+  if (idle_.size() < max_idle_) {
+    // LIFO: the next acquire() gets the warmest workspace.
+    idle_.push_back(std::move(owned));
+  }
+}
+
+void WorkspacePool::trim() {
+  std::vector<std::unique_ptr<GraftWorkspace>> drop;
+  const std::scoped_lock lock(mutex_);
+  drop.swap(idle_);
+}
+
+void WorkspacePool::set_max_idle(std::size_t max_idle) {
+  const std::scoped_lock lock(mutex_);
+  max_idle_ = max_idle;
+  if (idle_.size() > max_idle_) idle_.resize(max_idle_);
+}
+
+std::size_t WorkspacePool::max_idle() const {
+  const std::scoped_lock lock(mutex_);
+  return max_idle_;
+}
+
+std::size_t WorkspacePool::idle() const {
+  const std::scoped_lock lock(mutex_);
+  return idle_.size();
+}
+
+std::size_t WorkspacePool::outstanding() const {
+  const std::scoped_lock lock(mutex_);
+  return outstanding_;
+}
+
+std::size_t WorkspacePool::created() const {
+  const std::scoped_lock lock(mutex_);
+  return created_;
+}
+
+SessionContext::SessionContext() : id_(next_session_id()) {}
+SessionContext::~SessionContext() = default;
+
+SessionContext& default_session() {
+  // Function-local static: constructed on first use from any thread,
+  // leaked at exit order-safely via the magic-static mechanism.
+  static SessionContext session;
+  return session;
+}
+
+SessionContext& ambient_session() noexcept {
+  SessionContext* bound = t_ambient_session;
+  return bound != nullptr ? *bound : default_session();
+}
+
+bool has_ambient_session() noexcept { return t_ambient_session != nullptr; }
+
+namespace detail {
+
+SessionContext* exchange_ambient_session(SessionContext* session) noexcept {
+  SessionContext* previous = t_ambient_session;
+  t_ambient_session = session;
+  return previous;
+}
+
+}  // namespace detail
+
+}  // namespace graftmatch
+
+#if defined(GRAFTMATCH_STRESS_HOOKS)
+
+namespace graftmatch::stress {
+
+std::uint32_t effective_yield_period() noexcept {
+  const std::uint32_t session_period =
+      ambient_session().yield_period_override();
+  if (session_period != SessionContext::kInheritYieldPeriod) {
+    return session_period;
+  }
+  return yield_period_ref().load(std::memory_order_relaxed);
+}
+
+}  // namespace graftmatch::stress
+
+#endif  // GRAFTMATCH_STRESS_HOOKS

@@ -4,11 +4,14 @@
 #include <omp.h>
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <type_traits>
 #include <vector>
 
+#include "graftmatch/runtime/context.hpp"
 #include "graftmatch/types.hpp"
 
 #if defined(__SANITIZE_THREAD__)
@@ -24,10 +27,42 @@
 
 namespace graftmatch {
 
+/// Width of the team most recently opened by parallel_region() under
+/// the calling thread's AMBIENT SESSION (runtime/context.hpp): the
+/// requested width before the region opens, overwritten from inside the
+/// region with the width the runtime actually granted (they differ
+/// under OMP_THREAD_LIMIT or nesting restrictions). A test probe:
+/// regression tests for RunConfig::threads pin a thread count, run a
+/// solver, and assert the regions it opened were that wide (see
+/// tests/test_engine_registry.cpp); the engine's StatsSink reads it to
+/// stamp RunStats::threads_used. Relaxed is enough -- probing callers
+/// sequence the read after the solver returns. Unbound threads resolve
+/// to the default session, so pre-session callers see exactly the old
+/// process-global behavior; concurrent sessions each probe their own.
+inline std::atomic<int>& last_team_width() noexcept {
+  return ambient_session().team_width();
+}
+
+/// Count of parallel_region() calls issued so far under the calling
+/// thread's ambient session. StatsSink snapshots this at run start: if
+/// it moved by finish() time, at least one region ran and
+/// last_team_width() holds a granted width for this run rather than a
+/// stale or guessed value.
+inline std::atomic<std::uint64_t>& region_epoch() noexcept {
+  return ambient_session().region_epoch();
+}
+
 /// Runs `fn()` on every thread of an OpenMP parallel team. This is the
 /// library's only way to open a parallel region; `#pragma omp for`
 /// inside `fn` binds to the team as an orphaned worksharing construct.
 /// `num_threads <= 0` uses the runtime default.
+///
+/// Session propagation: the opener's ambient session (see
+/// runtime/context.hpp) is re-bound on every team thread before `fn`
+/// runs, so emission sites deep inside the body (obs::emit_*,
+/// stress::maybe_yield, nested width probes) resolve to the session
+/// that opened the region, not to whatever the pool thread was last
+/// bound to. The binding is scoped to the region.
 ///
 /// Why a wrapper instead of a bare `#pragma omp parallel`: GCC's
 /// libgomp is not TSan-instrumented, so the synchronization that hands
@@ -58,79 +93,59 @@ namespace graftmatch {
 /// accumulate into shared counters with fetch_add (or a std::mutex)
 /// instead of using either clause.
 ///
-/// The slot is per call site (one static per lambda type). TSan builds
-/// therefore assume a given call site is not re-entered concurrently
-/// from multiple host threads -- EXCEPT at team width 1, which skips
-/// the slot entirely (the encountering thread runs the body itself, so
-/// there is no frame handoff to hide) and is safe to enter from any
-/// number of host threads at once. Wider regions are only ever opened
-/// from the serial thread; concurrent host threads (the shard/ block
-/// pool) pin their width to 1 via ThreadCountGuard first.
-/// Width of the team most recently opened by parallel_region() on any
-/// thread: the requested width before the region opens, overwritten
-/// from inside the region with the width the runtime actually granted
-/// (they differ under OMP_THREAD_LIMIT or nesting restrictions). A test
-/// probe: regression tests for RunConfig::threads pin a thread count,
-/// run a solver, and assert the regions it opened were that wide (see
-/// tests/test_engine_registry.cpp); the engine's StatsSink reads it to
-/// stamp RunStats::threads_used. Relaxed is enough -- probing callers
-/// sequence the read after the solver returns.
-inline std::atomic<int>& last_team_width() noexcept {
-  static std::atomic<int> width{0};
-  return width;
-}
-
-/// Count of parallel_region() calls issued so far (on any thread).
-/// StatsSink snapshots this at run start: if it moved by finish() time,
-/// at least one region ran and last_team_width() holds a granted width
-/// for this run rather than a stale or guessed value.
-inline std::atomic<std::uint64_t>& region_epoch() noexcept {
-  static std::atomic<std::uint64_t> epoch{0};
-  return epoch;
-}
-
+/// The slot is per call site (one static per lambda type). Team width 1
+/// skips the slot entirely (the encountering thread runs the body
+/// itself, so there is no frame handoff to hide) and is safe to enter
+/// from any number of host threads at once -- this is the serving
+/// layer's default shape (solver_threads = 1 per worker session) and
+/// what the shard/ block pool relies on. Wider regions serialize
+/// concurrent openers of the SAME call site through a per-call-site
+/// mutex in TSan builds only, so two sessions may open wide regions
+/// concurrently without cross-publishing bodies; release builds take
+/// no lock (libgomp hands each `#pragma omp parallel` its own frame,
+/// the slot mechanism is not used, and teams are independent).
 template <typename Fn>
 inline void parallel_region(int num_threads, Fn&& fn) {
+  SessionContext& session = ambient_session();
   const int team = num_threads > 0 ? num_threads : omp_get_max_threads();
-  last_team_width().store(team, std::memory_order_relaxed);
-  region_epoch().fetch_add(1, std::memory_order_relaxed);
+  session.team_width().store(team, std::memory_order_relaxed);
+  session.region_epoch().fetch_add(1, std::memory_order_relaxed);
+  auto body = [&session, &fn] {
+    const SessionScope bind(session);
+    if (omp_get_thread_num() == 0) {
+      session.team_width().store(omp_get_num_threads(),
+                                 std::memory_order_relaxed);
+    }
+    fn();
+  };
 #if GRAFTMATCH_TSAN_ACTIVE
   if (team == 1) {
     // A one-thread team is executed by the encountering thread itself:
     // libgomp never hands the capture frame to a reused pool thread, so
     // the false-positive the slot mechanism works around cannot occur
     // and plain capture is TSan-clean. Taking this branch also lifts
-    // the slot's one-host-thread-per-call-site restriction for
-    // one-wide regions, which the sharded small-block pool relies on
-    // (its workers pin threads=1 and then call solvers concurrently).
+    // the slot's one-opener-per-call-site restriction for one-wide
+    // regions, keeping them fully concurrent across host threads.
 #pragma omp parallel num_threads(1)
-    { fn(); }
+    { body(); }
     return;
   }
-  using Body = std::remove_reference_t<Fn>;
+  using Body = decltype(body);
+  static std::mutex site_mutex;
   static std::atomic<Body*> slot{nullptr};
   static std::atomic<std::uint64_t> joins{0};
-  slot.store(std::addressof(fn), std::memory_order_release);
+  const std::scoped_lock site_lock(site_mutex);
+  slot.store(std::addressof(body), std::memory_order_release);
 #pragma omp parallel num_threads(team) default(none) shared(slot, joins)
   {
-    if (omp_get_thread_num() == 0) {
-      last_team_width().store(omp_get_num_threads(),
-                              std::memory_order_relaxed);
-    }
-    Body& body = *slot.load(std::memory_order_acquire);
-    body();
+    Body& published = *slot.load(std::memory_order_acquire);
+    published();
     joins.fetch_add(1, std::memory_order_release);
   }
   (void)joins.load(std::memory_order_acquire);
 #else
 #pragma omp parallel num_threads(team)
-  {
-    if (omp_get_thread_num() == 0) {
-      last_team_width().store(omp_get_num_threads(),
-                              std::memory_order_relaxed);
-    }
-    fn();
-  }
+  { body(); }
 #endif
 }
 
@@ -142,20 +157,50 @@ inline void parallel_region(Fn&& fn) {
 
 /// Scoped override of the OpenMP thread count; restores the previous
 /// value on destruction. `threads <= 0` leaves the runtime default.
+///
+/// Nesting contract: active guards on one thread must be destroyed in
+/// LIFO order (stack scoping gives this for free), and nothing else may
+/// change the thread count while a guard is active -- otherwise the
+/// restores replay stale values in some interleaving and the last
+/// writer wins. Debug builds assert both: the guard records its depth
+/// in a thread_local nesting counter at construction and checks at
+/// destruction that it is the innermost active guard and that the
+/// value it applied is still in force. The OpenMP nthreads-var is a
+/// per-thread ICV, so guards on different host threads (the shard/
+/// block pool, serve/ workers) never interact.
 class ThreadCountGuard {
  public:
   explicit ThreadCountGuard(int threads) noexcept
-      : previous_(omp_get_max_threads()), active_(threads > 0) {
-    if (active_) omp_set_num_threads(threads);
+      : previous_(omp_get_max_threads()),
+        applied_(threads),
+        active_(threads > 0) {
+    if (active_) {
+      omp_set_num_threads(threads);
+      depth_ = ++nesting_depth();
+    }
   }
   ~ThreadCountGuard() {
-    if (active_) omp_set_num_threads(previous_);
+    if (active_) {
+      assert(nesting_depth() == depth_ &&
+             "ThreadCountGuard destroyed out of LIFO order");
+      assert(omp_get_max_threads() == applied_ &&
+             "thread count changed behind an active ThreadCountGuard");
+      --nesting_depth();
+      omp_set_num_threads(previous_);
+    }
   }
   ThreadCountGuard(const ThreadCountGuard&) = delete;
   ThreadCountGuard& operator=(const ThreadCountGuard&) = delete;
 
  private:
+  static int& nesting_depth() noexcept {
+    thread_local int depth = 0;
+    return depth;
+  }
+
   int previous_;
+  int applied_;
+  int depth_ = 0;
   bool active_;
 };
 

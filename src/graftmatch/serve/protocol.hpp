@@ -1,0 +1,72 @@
+// Wire protocol of the matching service: length-prefixed key=value
+// frames.
+//
+// One request or response is a single frame: a 4-byte little-endian
+// payload length followed by the payload, which is newline-separated
+// `key=value` lines (values may contain '='; they may not contain
+// newlines -- the encoder replaces any with spaces). The format is
+// deliberately trivial: `printf '...' | socat - UNIX:/path` can drive a
+// server, every field is inspectable in a hexdump, and adding a field
+// never breaks an old peer (unknown keys are skipped, missing keys keep
+// their defaults).
+//
+// The same encode/decode pair backs the Unix-domain-socket front end
+// (serve/uds.hpp) and the protocol tests (which run it over a
+// socketpair without any server).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace graftmatch::serve {
+
+/// One matching request. `graph` names a roster entry; the rest select
+/// how to solve it (registry keys and engine modes, all validated
+/// server-side so a bad request yields an error response, not a crash).
+struct MatchRequest {
+  std::string graph;
+  std::string solver = "graft";
+  std::string initializer = "ks";
+  /// OpenMP width for this request's solver regions; <= 0 uses the
+  /// server's configured per-request default.
+  int threads = 0;
+  std::string reduce = "none";  ///< ReduceMode key (run_stats.hpp)
+  std::string shard = "none";   ///< ShardMode key
+};
+
+struct MatchResponse {
+  bool ok = false;
+  std::string error;  ///< set when !ok (unknown graph/solver, audit fail)
+  /// True when the request was turned away by admission control (queue
+  /// full); the client may retry, nothing was solved.
+  bool rejected = false;
+  std::string graph;
+  std::string solver;
+  std::string initializer;
+  std::int64_t cardinality = 0;  ///< matched cardinality this run found
+  std::int64_t maximum = 0;      ///< roster oracle (load-time Hopcroft-Karp)
+  double seconds = 0.0;          ///< solver wall time, server-side
+  std::uint64_t session = 0;     ///< id of the session that served it
+  int threads = 0;               ///< solver width actually used
+};
+
+std::string encode_request(const MatchRequest& request);
+bool decode_request(const std::string& payload, MatchRequest& request,
+                    std::string& error);
+
+std::string encode_response(const MatchResponse& response);
+bool decode_response(const std::string& payload, MatchResponse& response,
+                     std::string& error);
+
+/// Frame cap: a request/response is a handful of short lines, so
+/// anything near this is a corrupt or hostile peer.
+inline constexpr std::size_t kMaxFrameBytes = std::size_t{1} << 20;
+
+/// Blocking frame I/O on a connected stream socket (UDS or socketpair).
+/// write_frame returns false on any short write / peer reset;
+/// read_frame returns false on clean EOF, error, or an oversized
+/// length prefix. Both retry EINTR.
+bool write_frame(int fd, const std::string& payload);
+bool read_frame(int fd, std::string& payload);
+
+}  // namespace graftmatch::serve

@@ -1,0 +1,39 @@
+#include "graftmatch/serve/roster.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "graftmatch/baselines/hopcroft_karp.hpp"
+#include "graftmatch/gen/suite.hpp"
+
+namespace graftmatch::serve {
+
+void GraphRoster::add(std::string name, BipartiteGraph graph) {
+  if (find(name) != nullptr) {
+    throw std::invalid_argument("GraphRoster: duplicate entry \"" + name +
+                                "\"");
+  }
+  RosterEntry entry;
+  entry.name = std::move(name);
+  entry.maximum_cardinality = maximum_matching_cardinality(graph);
+  entry.graph = std::move(graph);
+  entries_.push_back(std::move(entry));
+}
+
+GraphRoster GraphRoster::from_suite(std::span<const std::string> names,
+                                    double size_factor, std::uint64_t seed) {
+  GraphRoster roster;
+  for (const std::string& name : names) {
+    roster.add(name, suite_instance(name).factory(size_factor, seed));
+  }
+  return roster;
+}
+
+const RosterEntry* GraphRoster::find(const std::string& name) const {
+  for (const RosterEntry& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace graftmatch::serve

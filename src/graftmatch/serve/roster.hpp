@@ -1,0 +1,52 @@
+// Graph roster: the load-once graph store of the serving layer.
+//
+// A matching service answers many requests over a fixed set of graphs
+// (marketplaces re-match the same rider/driver universe; sparse solvers
+// re-permute the same matrices), so the expensive parts -- building the
+// CSR and computing each graph's maximum-matching cardinality with the
+// serial Hopcroft-Karp oracle -- happen exactly once, at load time.
+// Requests then reference graphs by name, and every response can be
+// audited against the precomputed oracle for free (the
+// cardinality-consistency gate in MatchServer and bench_serve).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graftmatch/graph/bipartite_graph.hpp"
+
+namespace graftmatch::serve {
+
+struct RosterEntry {
+  std::string name;
+  BipartiteGraph graph;
+  /// Maximum-matching cardinality, from the serial Hopcroft-Karp oracle
+  /// at load time. Every served response must reach exactly this.
+  std::int64_t maximum_cardinality = 0;
+};
+
+class GraphRoster {
+ public:
+  /// Add a graph under `name` (must be unique); computes the oracle
+  /// cardinality now so serving never pays for it.
+  void add(std::string name, BipartiteGraph graph);
+
+  /// Load benchmark-suite instances by name (gen/suite.hpp), e.g.
+  /// {"rmat-like", "wb-edu-like"}; `size_factor` and `seed` are the
+  /// suite factory knobs. Throws std::out_of_range on an unknown name.
+  static GraphRoster from_suite(std::span<const std::string> names,
+                                double size_factor, std::uint64_t seed);
+
+  const RosterEntry* find(const std::string& name) const;
+  const RosterEntry& at(std::size_t index) const { return entries_.at(index); }
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  std::span<const RosterEntry> entries() const noexcept { return entries_; }
+
+ private:
+  std::vector<RosterEntry> entries_;
+};
+
+}  // namespace graftmatch::serve

@@ -1,0 +1,168 @@
+#include "graftmatch/serve/server.hpp"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "graftmatch/core/run_stats.hpp"
+#include "graftmatch/engine/registry.hpp"
+#include "graftmatch/graph/matching.hpp"
+#include "graftmatch/obs/trace.hpp"
+
+namespace graftmatch::serve {
+
+MatchServer::MatchServer(const GraphRoster& roster, ServerOptions options)
+    : roster_(roster),
+      options_(options),
+      queue_(options.queue_capacity) {
+  if (options_.autostart) start();
+}
+
+MatchServer::~MatchServer() { stop(); }
+
+void MatchServer::start() {
+  if (started_ || stopped_) return;
+  started_ = true;
+  const int workers = options_.workers > 0 ? options_.workers : 1;
+  sessions_.reserve(static_cast<std::size_t>(workers));
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    sessions_.push_back(std::make_unique<SessionContext>());
+    SessionContext& session = *sessions_.back();
+    workers_.emplace_back([this, &session] { worker_loop(session); });
+  }
+}
+
+void MatchServer::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  queue_.close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+bool MatchServer::try_submit(MatchRequest request,
+                             std::future<MatchResponse>& response) {
+  Task task;
+  task.request = std::move(request);
+  std::future<MatchResponse> pending = task.promise.get_future();
+  if (!queue_.try_push(std::move(task))) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  response = std::move(pending);
+  return true;
+}
+
+MatchResponse MatchServer::solve(MatchRequest request) {
+  const std::string graph = request.graph;
+  std::future<MatchResponse> pending;
+  if (!try_submit(std::move(request), pending)) {
+    MatchResponse response;
+    response.ok = false;
+    response.rejected = true;
+    response.graph = graph;
+    response.error = "server at capacity (queue full or stopped)";
+    return response;
+  }
+  return pending.get();
+}
+
+ServerCounters MatchServer::counters() const {
+  ServerCounters counters;
+  counters.accepted = accepted_.load(std::memory_order_relaxed);
+  counters.rejected = rejected_.load(std::memory_order_relaxed);
+  counters.completed = completed_.load(std::memory_order_relaxed);
+  counters.failed = failed_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+void MatchServer::worker_loop(SessionContext& session) {
+  Task task;
+  while (queue_.pop(task)) {
+    MatchResponse response;
+    try {
+      response = handle(session, task.request);
+    } catch (const std::exception& e) {
+      response = MatchResponse{};
+      response.graph = task.request.graph;
+      response.error = e.what();
+    }
+    response.session = session.id();
+    if (response.ok) {
+      completed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    task.promise.set_value(std::move(response));
+    task = Task{};  // drop the fulfilled promise before blocking again
+  }
+}
+
+MatchResponse MatchServer::handle(SessionContext& session,
+                                  const MatchRequest& request) {
+  MatchResponse response;
+  response.graph = request.graph;
+  response.solver = request.solver;
+  response.initializer = request.initializer;
+
+  const RosterEntry* entry = roster_.find(request.graph);
+  if (entry == nullptr) {
+    response.error = "unknown graph \"" + request.graph + "\"";
+    return response;
+  }
+  response.maximum = entry->maximum_cardinality;
+  if (engine::find_solver_or_null(request.solver) == nullptr) {
+    response.error = "unknown solver \"" + request.solver + "\"";
+    return response;
+  }
+  if (engine::find_initializer_or_null(request.initializer) == nullptr) {
+    response.error = "unknown initializer \"" + request.initializer + "\"";
+    return response;
+  }
+
+  RunConfig config;
+  if (!parse_reduce_mode(request.reduce, config.reduce)) {
+    response.error = "unknown reduce mode \"" + request.reduce + "\"";
+    return response;
+  }
+  if (!parse_shard_mode(request.shard, config.shard)) {
+    response.error = "unknown shard mode \"" + request.shard + "\"";
+    return response;
+  }
+  config.threads =
+      request.threads > 0 ? request.threads : options_.solver_threads;
+  response.threads = config.threads;
+
+  const SessionScope scope(session);
+  const std::size_t entry_index =
+      static_cast<std::size_t>(entry - roster_.entries().data());
+  const std::int64_t span_start = obs::timestamp();
+
+  Matching matching;
+  const RunStats stats = engine::run(session, request.solver,
+                                     request.initializer, entry->graph,
+                                     matching, config);
+
+  obs::emit_complete(obs::names::kServeRequest, span_start,
+                     static_cast<std::int64_t>(entry_index),
+                     stats.final_cardinality);
+
+  response.cardinality = stats.final_cardinality;
+  response.seconds = stats.seconds;
+  if (options_.check_cardinality &&
+      stats.final_cardinality != entry->maximum_cardinality) {
+    response.error = "cardinality audit failed: served " +
+                     std::to_string(stats.final_cardinality) +
+                     ", oracle says " +
+                     std::to_string(entry->maximum_cardinality);
+    return response;
+  }
+  response.ok = true;
+  return response;
+}
+
+}  // namespace graftmatch::serve

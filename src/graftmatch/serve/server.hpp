@@ -1,0 +1,121 @@
+// MatchServer: the concurrent matching-as-a-service core.
+//
+// A bounded pool of worker threads, each owning one long-lived
+// SessionContext, drains a bounded request queue. Sessions are the
+// point: a worker's width probe, trace sink, and warm workspace pool
+// persist across requests (so repeat solves of same-shaped graphs skip
+// allocation) and never touch another worker's -- the isolation that
+// runtime/context.hpp exists to provide. Admission control is the
+// queue's capacity: when it is full, try_submit() fails and solve()
+// returns a `rejected` response instead of queueing unbounded latency.
+//
+// Every response is audited against the roster's load-time
+// Hopcroft-Karp oracle (ServerOptions::check_cardinality): a served
+// matching that is not maximum is a bug, and the server says so rather
+// than returning it as a success.
+//
+// Transport-free by design: this header is the in-process API
+// (try_submit/solve), used directly by bench_serve and the tests; the
+// Unix-domain-socket front end (serve/uds.hpp) is a thin framing layer
+// over the same solve() call.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "graftmatch/runtime/context.hpp"
+#include "graftmatch/serve/bounded_queue.hpp"
+#include "graftmatch/serve/protocol.hpp"
+#include "graftmatch/serve/roster.hpp"
+
+namespace graftmatch::serve {
+
+struct ServerOptions {
+  /// Worker threads, each with its own long-lived SessionContext. Total
+  /// solver parallelism is workers * per-request width, so the useful
+  /// shapes are many 1-wide sessions (throughput) or few wide ones
+  /// (latency on big graphs).
+  int workers = 2;
+  /// Admission bound: requests queued but not yet picked up. Full queue
+  /// => reject.
+  std::size_t queue_capacity = 64;
+  /// Default per-request solver width when MatchRequest::threads <= 0.
+  int solver_threads = 1;
+  /// Start workers in the constructor. Tests set false to fill the
+  /// queue deterministically before anything drains it.
+  bool autostart = true;
+  /// Audit each response's cardinality against the roster oracle and
+  /// fail the response on mismatch.
+  bool check_cardinality = true;
+};
+
+/// Monotonic totals since construction. accepted counts requests that
+/// entered the queue; completed + failed partition the accepted ones
+/// that finished (failed = error response or audit mismatch, not
+/// rejection).
+struct ServerCounters {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+};
+
+class MatchServer {
+ public:
+  /// The roster must outlive the server; graphs are served by
+  /// reference, never copied per request.
+  explicit MatchServer(const GraphRoster& roster, ServerOptions options = {});
+  ~MatchServer();
+  MatchServer(const MatchServer&) = delete;
+  MatchServer& operator=(const MatchServer&) = delete;
+
+  /// Spin up the worker pool (idempotent; a no-op after stop()).
+  void start();
+  /// Close admission, drain the backlog, join the workers. Pending
+  /// accepted requests still get real responses.
+  void stop();
+
+  /// Non-blocking submit. On acceptance, `response` is a future the
+  /// serving worker fulfills; returns false (future untouched) when the
+  /// queue is full or the server is stopped.
+  bool try_submit(MatchRequest request, std::future<MatchResponse>& response);
+
+  /// Blocking convenience: submit and wait. A full queue yields an
+  /// immediate response with rejected=true rather than blocking, so
+  /// closed-loop clients feel backpressure as a fast failure.
+  MatchResponse solve(MatchRequest request);
+
+  const GraphRoster& roster() const noexcept { return roster_; }
+  const ServerOptions& options() const noexcept { return options_; }
+  ServerCounters counters() const;
+  std::size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  struct Task {
+    MatchRequest request;
+    std::promise<MatchResponse> promise;
+  };
+
+  void worker_loop(SessionContext& session);
+  MatchResponse handle(SessionContext& session, const MatchRequest& request);
+
+  const GraphRoster& roster_;
+  const ServerOptions options_;
+  BoundedQueue<Task> queue_;
+  /// One session per worker, stable addresses (workers hold references
+  /// across their whole lifetime).
+  std::vector<std::unique_ptr<SessionContext>> sessions_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+};
+
+}  // namespace graftmatch::serve

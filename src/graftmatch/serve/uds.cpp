@@ -1,0 +1,176 @@
+#include "graftmatch/serve/uds.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace graftmatch::serve {
+namespace {
+
+bool fill_sockaddr(const std::string& path, sockaddr_un& addr,
+                   std::string& error) {
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    error = "socket path empty or longer than sockaddr_un allows: " + path;
+    return false;
+  }
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+std::string errno_string(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+UdsServer::UdsServer(MatchServer& server, std::string socket_path)
+    : server_(server), socket_path_(std::move(socket_path)) {}
+
+UdsServer::~UdsServer() { stop(); }
+
+bool UdsServer::start(std::string& error) {
+  if (listen_fd_ >= 0) return true;
+  sockaddr_un addr;
+  if (!fill_sockaddr(socket_path_, addr, error)) return false;
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = errno_string("socket");
+    return false;
+  }
+  ::unlink(socket_path_.c_str());  // stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    error = errno_string("bind " + socket_path_);
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 16) < 0) {
+    error = errno_string("listen " + socket_path_);
+    ::close(fd);
+    ::unlink(socket_path_.c_str());
+    return false;
+  }
+  // Nonblocking listener: the accept loop polls with a timeout so
+  // stop() never waits on a connection that never comes.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
+  listen_fd_ = fd;
+  stopping_ = false;
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void UdsServer::stop() {
+  if (listen_fd_ < 0) return;
+  stopping_ = true;
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    // Cut live connections so their blocking read_frame calls return.
+    const std::scoped_lock lock(connections_mutex_);
+    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> threads;
+  {
+    const std::scoped_lock lock(connections_mutex_);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(socket_path_.c_str());
+}
+
+void UdsServer::accept_loop() {
+  while (!stopping_) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stopping_
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    const std::scoped_lock lock(connections_mutex_);
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void UdsServer::serve_connection(int fd) {
+  std::string payload;
+  while (read_frame(fd, payload)) {
+    MatchRequest request;
+    MatchResponse response;
+    std::string error;
+    if (decode_request(payload, request, error)) {
+      response = server_.solve(std::move(request));
+    } else {
+      response.ok = false;
+      response.error = "bad request: " + error;
+    }
+    if (!write_frame(fd, encode_response(response))) break;
+  }
+  ::close(fd);
+  const std::scoped_lock lock(connections_mutex_);
+  for (int& tracked : connection_fds_) {
+    if (tracked == fd) {
+      tracked = connection_fds_.back();
+      connection_fds_.pop_back();
+      break;
+    }
+  }
+}
+
+UdsClient::~UdsClient() { close(); }
+
+bool UdsClient::connect(const std::string& socket_path, std::string& error) {
+  if (fd_ >= 0) close();
+  sockaddr_un addr;
+  if (!fill_sockaddr(socket_path, addr, error)) return false;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = errno_string("socket");
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    error = errno_string("connect " + socket_path);
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+void UdsClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool UdsClient::request(const MatchRequest& request, MatchResponse& response,
+                        std::string& error) {
+  if (fd_ < 0) {
+    error = "not connected";
+    return false;
+  }
+  if (!write_frame(fd_, encode_request(request))) {
+    error = "failed to write request frame";
+    return false;
+  }
+  std::string payload;
+  if (!read_frame(fd_, payload)) {
+    error = "connection closed before a response arrived";
+    return false;
+  }
+  return decode_response(payload, response, error);
+}
+
+}  // namespace graftmatch::serve

@@ -1,0 +1,86 @@
+// Unix-domain-socket front end for MatchServer.
+//
+// A deliberately thin layer: UdsServer accepts stream connections on a
+// filesystem socket and, per connection, loops read_frame -> decode ->
+// MatchServer::solve -> encode -> write_frame. All concurrency policy
+// (worker pool, admission control, cardinality audit) lives in
+// MatchServer; this file only moves frames. Each connection gets its
+// own thread because a connection is a session of blocking
+// request/response exchanges and MatchServer::solve already applies
+// backpressure via rejected responses.
+//
+// Shutdown: the accept loop polls with a short timeout so stop() can
+// ask it to exit, and open connection fds are shutdown() so blocked
+// reads return; every spawned thread is joined before stop() returns.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graftmatch/serve/protocol.hpp"
+#include "graftmatch/serve/server.hpp"
+
+namespace graftmatch::serve {
+
+class UdsServer {
+ public:
+  /// `server` must outlive this object. The socket is not created until
+  /// start().
+  UdsServer(MatchServer& server, std::string socket_path);
+  ~UdsServer();
+  UdsServer(const UdsServer&) = delete;
+  UdsServer& operator=(const UdsServer&) = delete;
+
+  /// Bind + listen on the socket path (unlinking any stale socket
+  /// first) and launch the accept loop. Returns false with `error` set
+  /// on any socket-layer failure.
+  bool start(std::string& error);
+
+  /// Stop accepting, cut open connections, join all threads, unlink
+  /// the socket. Idempotent.
+  void stop();
+
+  const std::string& socket_path() const noexcept { return socket_path_; }
+  bool running() const noexcept { return listen_fd_ >= 0; }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  MatchServer& server_;
+  const std::string socket_path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex connections_mutex_;
+  std::vector<int> connection_fds_;
+  std::vector<std::thread> connection_threads_;
+};
+
+/// Blocking client for one connection's worth of request/response
+/// exchanges. Not thread-safe; use one client per thread.
+class UdsClient {
+ public:
+  UdsClient() = default;
+  ~UdsClient();
+  UdsClient(const UdsClient&) = delete;
+  UdsClient& operator=(const UdsClient&) = delete;
+
+  bool connect(const std::string& socket_path, std::string& error);
+  void close();
+  bool connected() const noexcept { return fd_ >= 0; }
+
+  /// One round trip. Returns false (with `error` set) on transport or
+  /// decode failure; a server-side failure is a successful round trip
+  /// with response.ok == false.
+  bool request(const MatchRequest& request, MatchResponse& response,
+               std::string& error);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace graftmatch::serve

@@ -182,7 +182,14 @@ std::vector<SolverSpec> solver_roster(std::vector<int> thread_counts) {
   const InitFn init_ks = [](const BipartiteGraph& g) {
     return karp_sipser(g, /*seed=*/7);
   };
-  const engine::SolverFn graft_run = engine::find_solver("graft").run;
+  // Registry entries live in a function-local static vector, so the
+  // pointer stays valid for the process lifetime; the run() member
+  // resolves the ambient session like every one-shot call shape.
+  const engine::SolverInfo* graft_solver = &engine::find_solver("graft");
+  const auto graft_run = [graft_solver](const BipartiteGraph& g, Matching& m,
+                                        const RunConfig& config) {
+    return graft_solver->run(g, m, config);
+  };
 
   // MS-BFS-Graft across the Fig. 7 ablation grid x thread counts.
   // (dir_opt=0, graft=0) is the plain MS-BFS baseline.
@@ -240,7 +247,11 @@ std::vector<SolverSpec> solver_roster(std::vector<int> thread_counts) {
     } else {
       counts.push_back(0);
     }
-    const engine::SolverFn run = solver.run;
+    const engine::SolverInfo* info = &solver;
+    const auto run = [info](const BipartiteGraph& g, Matching& m,
+                            const RunConfig& config) {
+      return info->run(g, m, config);
+    };
     for (const int threads : counts) {
       const std::string name =
           solver.parallel

@@ -1,0 +1,249 @@
+// Session-isolation stress harness (ctest labels: stress serve).
+//
+// Many SessionContexts solving concurrently in one process -- each on
+// its own host thread, with randomized OpenMP widths, randomized
+// per-session yield-jitter overrides, and traces armed on some
+// sessions but not others -- while a MatchServer hammers the same
+// engine through its own worker sessions. Designed to run under
+// ThreadSanitizer (cmake -DGRAFTMATCH_SAN=tsan; ctest -L stress),
+// where any cross-session sharing of probe atomics, trace rings, or
+// workspace pools surfaces as a data race, suppression-free.
+//
+// Every randomized trial derives its seed from a fixed master seed and
+// prints it on failure so CI logs are enough to replay the schedule's
+// inputs.
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graftmatch/baselines/hopcroft_karp.hpp"
+#include "graftmatch/engine/registry.hpp"
+#include "graftmatch/gen/planted.hpp"
+#include "graftmatch/obs/trace.hpp"
+#include "graftmatch/runtime/atomics.hpp"
+#include "graftmatch/runtime/context.hpp"
+#include "graftmatch/runtime/prng.hpp"
+#include "graftmatch/serve/roster.hpp"
+#include "graftmatch/serve/server.hpp"
+
+namespace graftmatch {
+namespace {
+
+constexpr std::uint64_t kMasterSeed = 0x5E551011ULL;
+
+class StressEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override { stress::set_yield_period(16); }
+  void TearDown() override { stress::set_yield_period(0); }
+};
+[[maybe_unused]] const auto* const kEnv =
+    ::testing::AddGlobalTestEnvironment(new StressEnvironment);
+
+BipartiteGraph planted(std::uint64_t seed, std::int64_t pairs) {
+  PlantedParams params;
+  params.matched_pairs = pairs;
+  params.surplus_rows = 40;
+  params.bottleneck = 10;
+  params.noise_degree = 3.0;
+  params.seed = seed;
+  return generate_planted(params).graph;
+}
+
+int random_width(Xoshiro256& rng) {
+  const int hw = omp_get_num_procs();
+  return 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(2 * hw)));
+}
+
+// The core claim under maximum scheduling pressure: S sessions, each on
+// its own host thread with its own width/jitter/trace configuration,
+// repeatedly solving distinct graphs -- every run must reach its own
+// oracle and every armed session must flush its own trace.
+TEST(SessionStress, ConcurrentSessionsSolveIsolated) {
+  constexpr int kSessions = 4;
+  constexpr int kRunsPerSession = 6;
+
+  std::vector<BipartiteGraph> graphs;
+  std::vector<std::int64_t> oracles;
+  for (int s = 0; s < kSessions; ++s) {
+    graphs.push_back(
+        planted(kMasterSeed + static_cast<std::uint64_t>(s),
+                500 + 60 * s));
+    oracles.push_back(maximum_matching_cardinality(graphs.back()));
+  }
+
+  std::atomic<int> wrong{0};
+  std::vector<std::string> failures(kSessions);
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kSessions; ++s) {
+    threads.emplace_back([&, s] {
+      Xoshiro256 rng(kMasterSeed ^ static_cast<std::uint64_t>(s * 7919));
+      SessionContext session;
+      const SessionScope bind(session);
+      const bool armed = (s % 2) == 0;
+      if (armed) session.trace().arm();
+      // Exercise all three jitter states: disabled, aggressive, and
+      // inherit-the-process-period.
+      if (s % 3 == 0) session.set_yield_period(4);
+      else if (s % 3 == 1) session.clear_yield_period();
+      else session.set_yield_period(0);
+
+      for (int run = 0; run < kRunsPerSession; ++run) {
+        RunConfig config;
+        config.threads = random_width(rng);
+        config.seed = rng();
+        Matching matching(graphs[static_cast<std::size_t>(s)].num_x(),
+                          graphs[static_cast<std::size_t>(s)].num_y());
+        const RunStats stats =
+            engine::run(session, "graft", "rgreedy",
+                        graphs[static_cast<std::size_t>(s)], matching,
+                        config);
+        if (stats.final_cardinality != oracles[static_cast<std::size_t>(s)]) {
+          wrong.fetch_add(1);
+          failures[static_cast<std::size_t>(s)] =
+              "run " + std::to_string(run) + " width " +
+              std::to_string(config.threads) + ": got " +
+              std::to_string(stats.final_cardinality) + " want " +
+              std::to_string(oracles[static_cast<std::size_t>(s)]);
+        }
+        if (session.workspaces().outstanding() != 0) {
+          wrong.fetch_add(1);
+          failures[static_cast<std::size_t>(s)] = "leaked workspace lease";
+        }
+      }
+      if (obs::compiled() && armed &&
+          !session.trace().last_run().collected) {
+        wrong.fetch_add(1);
+        failures[static_cast<std::size_t>(s)] = "armed session lost trace";
+      }
+      if (!armed && session.trace().last_run().collected) {
+        wrong.fetch_add(1);
+        failures[static_cast<std::size_t>(s)] = "unarmed session collected";
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int s = 0; s < kSessions; ++s) {
+    EXPECT_TRUE(failures[static_cast<std::size_t>(s)].empty())
+        << "session " << s << ": " << failures[static_cast<std::size_t>(s)];
+  }
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_FALSE(default_session().trace().last_run().collected)
+      << "something emitted into the process default session";
+}
+
+// Sessions interleaved with the ambient default path: threads that
+// never bind a session keep using default_session() while bound
+// threads run beside them; both populations must stay correct.
+TEST(SessionStress, BoundAndUnboundThreadsCoexist) {
+  const BipartiteGraph bound_graph = planted(kMasterSeed ^ 0xB0, 450);
+  const BipartiteGraph unbound_graph = planted(kMasterSeed ^ 0xC1, 350);
+  const std::int64_t bound_oracle = maximum_matching_cardinality(bound_graph);
+  const std::int64_t unbound_oracle =
+      maximum_matching_cardinality(unbound_graph);
+
+  std::atomic<int> wrong{0};
+  constexpr int kPairs = 3;
+  constexpr int kRuns = 4;
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kPairs; ++p) {
+    threads.emplace_back([&, p] {  // bound
+      Xoshiro256 rng(kMasterSeed ^ static_cast<std::uint64_t>(0xAB0 + p));
+      SessionContext session;
+      const SessionScope bind(session);
+      for (int run = 0; run < kRuns; ++run) {
+        RunConfig config;
+        config.threads = random_width(rng);
+        Matching m(bound_graph.num_x(), bound_graph.num_y());
+        const RunStats stats =
+            engine::run(session, "graft", "ks", bound_graph, m, config);
+        if (stats.final_cardinality != bound_oracle) wrong.fetch_add(1);
+      }
+    });
+    threads.emplace_back([&, p] {  // unbound: ambient = default session
+      Xoshiro256 rng(kMasterSeed ^ static_cast<std::uint64_t>(0xCD0 + p));
+      for (int run = 0; run < kRuns; ++run) {
+        RunConfig config;
+        config.threads = random_width(rng);
+        Matching m(unbound_graph.num_x(), unbound_graph.num_y());
+        const RunStats stats =
+            engine::run_sharded("pf", "greedy", unbound_graph, m, config);
+        if (stats.final_cardinality != unbound_oracle) wrong.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(wrong.load(), 0);
+}
+
+// The serving layer under concurrent load with mixed request shapes:
+// every well-formed request must come back with the oracle cardinality
+// regardless of which solver/mode it chose, and malformed ones must
+// come back as error responses while the counters stay consistent.
+TEST(SessionStress, MatchServerUnderConcurrentMixedLoad) {
+  serve::GraphRoster roster;
+  roster.add("alpha", planted(kMasterSeed ^ 0xA1, 420));
+  roster.add("beta", planted(kMasterSeed ^ 0xB2, 360));
+  roster.add("gamma", planted(kMasterSeed ^ 0xC3, 300));
+
+  serve::ServerOptions options;
+  options.workers = 4;
+  options.queue_capacity = 32;
+  serve::MatchServer server(roster, options);
+
+  const char* const solvers[] = {"graft", "pf", "hk"};
+  const char* const reduces[] = {"none", "d1"};
+  const char* const shards[] = {"none", "dm"};
+
+  constexpr int kClients = 6;
+  constexpr int kRequestsPerClient = 8;
+  std::atomic<int> wrong{0};
+  std::atomic<int> expected_failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Xoshiro256 rng(kMasterSeed ^ static_cast<std::uint64_t>(0x5EED + c));
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        serve::MatchRequest request;
+        const bool malformed = rng.below(8) == 0;
+        if (malformed) {
+          request.graph = "no-such-graph";
+          expected_failures.fetch_add(1);
+        } else {
+          const auto& entry = roster.at(rng.below(roster.size()));
+          request.graph = entry.name;
+          request.solver = solvers[rng.below(3)];
+          request.reduce = reduces[rng.below(2)];
+          request.shard = shards[rng.below(2)];
+          request.threads = 1 + static_cast<int>(rng.below(2));
+        }
+        const serve::MatchResponse response = server.solve(std::move(request));
+        if (malformed) {
+          if (response.ok || response.error.empty()) wrong.fetch_add(1);
+        } else if (!response.ok ||
+                   response.cardinality != response.maximum) {
+          wrong.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  server.stop();
+
+  EXPECT_EQ(wrong.load(), 0);
+  const serve::ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.accepted + counters.rejected,
+            static_cast<std::uint64_t>(kClients * kRequestsPerClient));
+  EXPECT_EQ(counters.completed + counters.failed, counters.accepted);
+  EXPECT_EQ(counters.failed,
+            static_cast<std::uint64_t>(expected_failures.load()));
+  EXPECT_EQ(counters.rejected, 0u)
+      << "closed-loop clients never outrun a queue deeper than the client "
+         "count";
+}
+
+}  // namespace
+}  // namespace graftmatch

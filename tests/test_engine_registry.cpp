@@ -34,7 +34,7 @@ TEST(Registry, EnumeratesSolversAndInitializers) {
   for (const engine::SolverInfo& solver : engine::solver_registry()) {
     EXPECT_FALSE(solver.name.empty());
     EXPECT_FALSE(solver.display_name.empty());
-    EXPECT_TRUE(solver.run != nullptr) << solver.name;
+    EXPECT_TRUE(solver.solve != nullptr) << solver.name;
     EXPECT_TRUE(solver_keys.insert(solver.name).second)
         << "duplicate solver key " << solver.name;
     EXPECT_EQ(&engine::find_solver(solver.name), &solver);
@@ -44,7 +44,7 @@ TEST(Registry, EnumeratesSolversAndInitializers) {
 
   std::set<std::string> init_keys;
   for (const engine::InitializerInfo& init : engine::initializer_registry()) {
-    EXPECT_TRUE(init.make != nullptr) << init.name;
+    EXPECT_TRUE(init.build != nullptr) << init.name;
     EXPECT_TRUE(init_keys.insert(init.name).second)
         << "duplicate initializer key " << init.name;
     EXPECT_EQ(&engine::find_initializer(init.name), &init);

@@ -1,0 +1,448 @@
+// Tests for the serving layer (src/graftmatch/serve/): the bounded
+// admission queue, the key=value wire protocol and its framing, the
+// graph roster with its load-time oracle, the MatchServer lifecycle
+// (admission control, per-session workers, cardinality audit, error
+// responses), and the Unix-domain-socket front end running end to end.
+//
+// Carries the `serve` label so CI can select the serving battery on
+// its own (the TSan leg runs it alongside the stress tier).
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graftmatch/baselines/hopcroft_karp.hpp"
+#include "graftmatch/gen/planted.hpp"
+#include "graftmatch/serve/bounded_queue.hpp"
+#include "graftmatch/serve/protocol.hpp"
+#include "graftmatch/serve/roster.hpp"
+#include "graftmatch/serve/server.hpp"
+#include "graftmatch/serve/uds.hpp"
+
+namespace graftmatch::serve {
+namespace {
+
+BipartiteGraph planted(std::uint64_t seed, std::int64_t pairs = 400) {
+  PlantedParams params;
+  params.matched_pairs = pairs;
+  params.surplus_rows = 32;
+  params.bottleneck = 8;
+  params.noise_degree = 3.0;
+  params.seed = seed;
+  return generate_planted(params).graph;
+}
+
+GraphRoster small_roster() {
+  GraphRoster roster;
+  roster.add("alpha", planted(11, 400));
+  roster.add("beta", planted(12, 300));
+  return roster;
+}
+
+TEST(BoundedQueue, RejectsWhenFull) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3)) << "at capacity";
+  EXPECT_EQ(queue.size(), 2u);
+
+  int out = 0;
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.try_push(3)) << "space freed by pop";
+}
+
+TEST(BoundedQueue, CloseDrainsBacklogThenReportsClosed) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  queue.close();
+  EXPECT_FALSE(queue.try_push(3)) << "closed queues admit nothing";
+
+  int out = 0;
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(queue.pop(out)) << "closed and drained";
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> queue(1);
+  std::thread consumer([&] {
+    int out = 0;
+    EXPECT_FALSE(queue.pop(out));
+  });
+  queue.close();
+  consumer.join();
+}
+
+TEST(Protocol, RequestRoundTrip) {
+  MatchRequest request;
+  request.graph = "alpha";
+  request.solver = "pf";
+  request.initializer = "greedy";
+  request.threads = 3;
+  request.reduce = "d1";
+  request.shard = "dm";
+
+  MatchRequest decoded;
+  std::string error;
+  ASSERT_TRUE(decode_request(encode_request(request), decoded, error))
+      << error;
+  EXPECT_EQ(decoded.graph, "alpha");
+  EXPECT_EQ(decoded.solver, "pf");
+  EXPECT_EQ(decoded.initializer, "greedy");
+  EXPECT_EQ(decoded.threads, 3);
+  EXPECT_EQ(decoded.reduce, "d1");
+  EXPECT_EQ(decoded.shard, "dm");
+}
+
+TEST(Protocol, RequestDefaultsAndUnknownKeys) {
+  MatchRequest decoded;
+  std::string error;
+  // Minimal payload with an unknown key a newer peer might send.
+  ASSERT_TRUE(decode_request("graph=g\nfuture_knob=7\n", decoded, error))
+      << error;
+  EXPECT_EQ(decoded.graph, "g");
+  EXPECT_EQ(decoded.solver, "graft");
+  EXPECT_EQ(decoded.initializer, "ks");
+  EXPECT_EQ(decoded.threads, 0);
+}
+
+TEST(Protocol, RequestValidation) {
+  MatchRequest decoded;
+  std::string error;
+  EXPECT_FALSE(decode_request("solver=graft\n", decoded, error))
+      << "graph is required";
+  EXPECT_FALSE(decode_request("graph=g\nthreads=abc\n", decoded, error));
+  EXPECT_FALSE(decode_request("not a key value line\n", decoded, error));
+}
+
+TEST(Protocol, ResponseRoundTripIncludingErrorWithEquals) {
+  MatchResponse response;
+  response.ok = false;
+  response.rejected = true;
+  response.error = "audit failed: served=41, oracle=42";  // '=' in value
+  response.graph = "alpha";
+  response.solver = "graft";
+  response.initializer = "ks";
+  response.cardinality = 41;
+  response.maximum = 42;
+  response.seconds = 0.125;
+  response.session = 9;
+  response.threads = 2;
+
+  MatchResponse decoded;
+  std::string error;
+  ASSERT_TRUE(decode_response(encode_response(response), decoded, error))
+      << error;
+  EXPECT_FALSE(decoded.ok);
+  EXPECT_TRUE(decoded.rejected);
+  EXPECT_EQ(decoded.error, response.error);
+  EXPECT_EQ(decoded.cardinality, 41);
+  EXPECT_EQ(decoded.maximum, 42);
+  EXPECT_DOUBLE_EQ(decoded.seconds, 0.125);
+  EXPECT_EQ(decoded.session, 9u);
+  EXPECT_EQ(decoded.threads, 2);
+}
+
+TEST(Protocol, EncoderSanitizesNewlines) {
+  MatchResponse response;
+  response.ok = false;
+  response.error = "line one\nline two";
+  MatchResponse decoded;
+  std::string error;
+  ASSERT_TRUE(decode_response(encode_response(response), decoded, error))
+      << error;
+  EXPECT_EQ(decoded.error, "line one line two");
+}
+
+TEST(Protocol, FramesRoundTripOverSocketpair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+  EXPECT_TRUE(write_frame(fds[0], "graph=alpha\n"));
+  EXPECT_TRUE(write_frame(fds[0], ""));  // empty payload is a valid frame
+  std::string payload;
+  EXPECT_TRUE(read_frame(fds[1], payload));
+  EXPECT_EQ(payload, "graph=alpha\n");
+  EXPECT_TRUE(read_frame(fds[1], payload));
+  EXPECT_TRUE(payload.empty());
+
+  ::close(fds[0]);
+  EXPECT_FALSE(read_frame(fds[1], payload)) << "clean EOF reads false";
+  ::close(fds[1]);
+}
+
+TEST(Protocol, FrameRejectsOversizedLength) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // A length prefix far beyond kMaxFrameBytes must be refused without
+  // attempting the allocation.
+  const unsigned char header[4] = {0xff, 0xff, 0xff, 0x7f};
+  ASSERT_EQ(::write(fds[0], header, sizeof(header)),
+            static_cast<ssize_t>(sizeof(header)));
+  std::string payload;
+  EXPECT_FALSE(read_frame(fds[1], payload));
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(Roster, OracleMatchesHopcroftKarpAndLookupWorks) {
+  const GraphRoster roster = small_roster();
+  ASSERT_EQ(roster.size(), 2u);
+  const RosterEntry* alpha = roster.find("alpha");
+  ASSERT_NE(alpha, nullptr);
+  EXPECT_EQ(alpha->maximum_cardinality,
+            maximum_matching_cardinality(alpha->graph));
+  EXPECT_EQ(roster.find("gamma"), nullptr);
+  EXPECT_EQ(&roster.at(0), roster.find("alpha"));
+}
+
+TEST(Roster, DuplicateNamesThrow) {
+  GraphRoster roster;
+  roster.add("alpha", planted(1, 50));
+  EXPECT_THROW(roster.add("alpha", planted(2, 50)), std::invalid_argument);
+}
+
+TEST(MatchServer, ServesCorrectCardinalities) {
+  const GraphRoster roster = small_roster();
+  MatchServer server(roster);
+
+  for (const RosterEntry& entry : roster.entries()) {
+    MatchRequest request;
+    request.graph = entry.name;
+    const MatchResponse response = server.solve(std::move(request));
+    EXPECT_TRUE(response.ok) << response.error;
+    EXPECT_EQ(response.cardinality, entry.maximum_cardinality);
+    EXPECT_EQ(response.maximum, entry.maximum_cardinality);
+    EXPECT_NE(response.session, 0u);
+  }
+  const ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.accepted, roster.size());
+  EXPECT_EQ(counters.completed, roster.size());
+  EXPECT_EQ(counters.failed, 0u);
+  EXPECT_EQ(counters.rejected, 0u);
+}
+
+TEST(MatchServer, BadRequestsGetErrorResponsesNotCrashes) {
+  const GraphRoster roster = small_roster();
+  MatchServer server(roster);
+
+  const auto expect_error = [&](MatchRequest request) {
+    const MatchResponse response = server.solve(std::move(request));
+    EXPECT_FALSE(response.ok);
+    EXPECT_FALSE(response.error.empty());
+    EXPECT_FALSE(response.rejected) << "failures are not rejections";
+  };
+
+  MatchRequest request;
+  request.graph = "no-such-graph";
+  expect_error(request);
+
+  request.graph = "alpha";
+  request.solver = "no-such-solver";
+  expect_error(request);
+
+  request.solver = "graft";
+  request.initializer = "no-such-init";
+  expect_error(request);
+
+  request.initializer = "ks";
+  request.reduce = "bogus";
+  expect_error(request);
+
+  request.reduce = "none";
+  request.shard = "bogus";
+  expect_error(request);
+
+  EXPECT_EQ(server.counters().failed, 5u);
+  EXPECT_EQ(server.counters().completed, 0u);
+}
+
+TEST(MatchServer, SolverAndModeSelectionPerRequest) {
+  const GraphRoster roster = small_roster();
+  MatchServer server(roster);
+
+  for (const std::string& solver : {"graft", "pf", "hk"}) {
+    MatchRequest request;
+    request.graph = "alpha";
+    request.solver = solver;
+    const MatchResponse response = server.solve(std::move(request));
+    EXPECT_TRUE(response.ok) << solver << ": " << response.error;
+    EXPECT_EQ(response.cardinality, roster.find("alpha")->maximum_cardinality)
+        << solver;
+  }
+
+  MatchRequest request;
+  request.graph = "beta";
+  request.reduce = "d1";
+  request.shard = "dm";
+  const MatchResponse response = server.solve(std::move(request));
+  EXPECT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.cardinality, roster.find("beta")->maximum_cardinality);
+}
+
+TEST(MatchServer, AdmissionControlRejectsBeyondCapacity) {
+  const GraphRoster roster = small_roster();
+  ServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 2;
+  options.autostart = false;  // nothing drains while we fill
+  MatchServer server(roster, options);
+
+  MatchRequest request;
+  request.graph = "alpha";
+  std::future<MatchResponse> first, second, overflow;
+  EXPECT_TRUE(server.try_submit(request, first));
+  EXPECT_TRUE(server.try_submit(request, second));
+  EXPECT_FALSE(server.try_submit(request, overflow)) << "queue is full";
+
+  // The blocking path feels the same backpressure as a fast failure.
+  const MatchResponse rejected = server.solve(request);
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_TRUE(rejected.rejected);
+
+  server.start();  // accepted requests still get real answers
+  const MatchResponse response_1 = first.get();
+  const MatchResponse response_2 = second.get();
+  EXPECT_TRUE(response_1.ok) << response_1.error;
+  EXPECT_TRUE(response_2.ok) << response_2.error;
+
+  const ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.accepted, 2u);
+  EXPECT_EQ(counters.rejected, 2u);
+  EXPECT_EQ(counters.completed, 2u);
+}
+
+TEST(MatchServer, ConcurrentClientsAllGetCorrectAnswers) {
+  const GraphRoster roster = small_roster();
+  ServerOptions options;
+  options.workers = 3;
+  MatchServer server(roster, options);
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 6;
+  std::vector<int> wrong(kClients, 0);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const RosterEntry& entry =
+            roster.at(static_cast<std::size_t>(r + c) % roster.size());
+        MatchRequest request;
+        request.graph = entry.name;
+        const MatchResponse response = server.solve(std::move(request));
+        if (!response.ok ||
+            response.cardinality != entry.maximum_cardinality) {
+          ++wrong[static_cast<std::size_t>(c)];
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(wrong[static_cast<std::size_t>(c)], 0) << "client " << c;
+  }
+  const ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.completed,
+            static_cast<std::uint64_t>(kClients * kRequestsPerClient));
+  EXPECT_EQ(counters.failed, 0u);
+}
+
+TEST(MatchServer, StopAnswersPendingRequests) {
+  const GraphRoster roster = small_roster();
+  ServerOptions options;
+  options.workers = 1;
+  options.autostart = false;
+  MatchServer server(roster, options);
+
+  MatchRequest request;
+  request.graph = "beta";
+  std::future<MatchResponse> pending;
+  ASSERT_TRUE(server.try_submit(request, pending));
+  server.start();
+  server.stop();  // close + drain + join: the future must be fulfilled
+  const MatchResponse response = pending.get();
+  EXPECT_TRUE(response.ok) << response.error;
+}
+
+TEST(Uds, EndToEndOverRealSocket) {
+  const GraphRoster roster = small_roster();
+  MatchServer server(roster);
+  // Tests run with the binary dir as cwd; a relative path keeps us
+  // under sockaddr_un's 108-byte limit regardless of build-tree depth.
+  UdsServer uds(server, "test_serve_uds.sock");
+  std::string error;
+  ASSERT_TRUE(uds.start(error)) << error;
+
+  UdsClient client;
+  ASSERT_TRUE(client.connect("test_serve_uds.sock", error)) << error;
+
+  MatchRequest request;
+  request.graph = "alpha";
+  MatchResponse response;
+  ASSERT_TRUE(client.request(request, response, error)) << error;
+  EXPECT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.cardinality, roster.find("alpha")->maximum_cardinality);
+
+  // Same connection, second exchange: the per-connection loop persists.
+  request.graph = "beta";
+  ASSERT_TRUE(client.request(request, response, error)) << error;
+  EXPECT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.cardinality, roster.find("beta")->maximum_cardinality);
+
+  client.close();
+  uds.stop();
+  EXPECT_FALSE(uds.running());
+}
+
+TEST(Uds, MalformedPayloadGetsErrorResponse) {
+  const GraphRoster roster = small_roster();
+  MatchServer server(roster);
+  UdsServer uds(server, "test_serve_uds_bad.sock");
+  std::string error;
+  ASSERT_TRUE(uds.start(error)) << error;
+
+  // A request whose graph field is empty fails decode_request on the
+  // server side; the connection must answer with an error response
+  // instead of dropping.
+  UdsClient client;
+  ASSERT_TRUE(client.connect("test_serve_uds_bad.sock", error)) << error;
+  MatchResponse response;
+  MatchRequest empty;  // graph stays empty -> decode_request fails
+  ASSERT_TRUE(client.request(empty, response, error)) << error;
+  EXPECT_FALSE(response.ok);
+  EXPECT_FALSE(response.error.empty());
+
+  uds.stop();
+}
+
+TEST(Uds, RestartAfterStopReusesPath) {
+  const GraphRoster roster = small_roster();
+  MatchServer server(roster);
+  UdsServer first(server, "test_serve_uds_restart.sock");
+  std::string error;
+  ASSERT_TRUE(first.start(error)) << error;
+  first.stop();
+
+  UdsServer second(server, "test_serve_uds_restart.sock");
+  ASSERT_TRUE(second.start(error)) << error;
+  UdsClient client;
+  ASSERT_TRUE(client.connect("test_serve_uds_restart.sock", error)) << error;
+  MatchRequest request;
+  request.graph = "alpha";
+  MatchResponse response;
+  ASSERT_TRUE(client.request(request, response, error)) << error;
+  EXPECT_TRUE(response.ok) << response.error;
+  second.stop();
+}
+
+}  // namespace
+}  // namespace graftmatch::serve

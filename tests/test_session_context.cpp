@@ -1,0 +1,319 @@
+// Tests for the session-context layer (runtime/context.hpp): ambient
+// binding semantics, the warm workspace pool, nesting-safe thread-count
+// guards, and -- the point of the whole refactor -- that two sessions
+// solving concurrently in one process keep fully isolated stats,
+// traces, and team-width probes while both still reach the serial
+// oracle's cardinality.
+//
+// Carries the `obs` label alongside tier1: CI replays these tests under
+// TSan in a GRAFTMATCH_TRACE=ON build, where any cross-session sharing
+// of trace rings or probe atomics shows up as a data race.
+#include <gtest/gtest.h>
+
+#include <omp.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graftmatch/baselines/hopcroft_karp.hpp"
+#include "graftmatch/core/ms_bfs_graft.hpp"
+#include "graftmatch/engine/registry.hpp"
+#include "graftmatch/gen/planted.hpp"
+#include "graftmatch/graph/matching.hpp"
+#include "graftmatch/obs/trace.hpp"
+#include "graftmatch/runtime/context.hpp"
+#include "graftmatch/runtime/parallel.hpp"
+#include "json_check.hpp"
+
+namespace graftmatch {
+namespace {
+
+BipartiteGraph test_graph(std::uint64_t seed, std::int64_t pairs = 600) {
+  PlantedParams params;
+  params.matched_pairs = pairs;
+  params.surplus_rows = 48;
+  params.bottleneck = 12;
+  params.noise_degree = 3.0;
+  params.seed = seed;
+  return generate_planted(params).graph;
+}
+
+TEST(SessionContext, AmbientFallsBackToDefault) {
+  EXPECT_FALSE(has_ambient_session());
+  EXPECT_EQ(&ambient_session(), &default_session());
+}
+
+TEST(SessionContext, ScopeBindsAndNestsLifo) {
+  SessionContext outer;
+  SessionContext inner;
+  {
+    const SessionScope bind_outer(outer);
+    EXPECT_TRUE(has_ambient_session());
+    EXPECT_EQ(&ambient_session(), &outer);
+    {
+      const SessionScope bind_inner(inner);
+      EXPECT_EQ(&ambient_session(), &inner);
+    }
+    EXPECT_EQ(&ambient_session(), &outer);
+  }
+  EXPECT_FALSE(has_ambient_session());
+  EXPECT_EQ(&ambient_session(), &default_session());
+}
+
+TEST(SessionContext, BindingIsPerThread) {
+  SessionContext session;
+  const SessionScope bind(session);
+  bool other_thread_bound = true;
+  SessionContext* other_thread_ambient = nullptr;
+  std::thread probe([&] {
+    other_thread_bound = has_ambient_session();
+    other_thread_ambient = &ambient_session();
+  });
+  probe.join();
+  EXPECT_FALSE(other_thread_bound);
+  EXPECT_EQ(other_thread_ambient, &default_session());
+}
+
+TEST(SessionContext, IdsAreUnique) {
+  SessionContext a;
+  SessionContext b;
+  EXPECT_NE(a.id(), b.id());
+  EXPECT_NE(a.id(), default_session().id());
+}
+
+TEST(SessionContext, ParallelRegionPropagatesBinding) {
+  SessionContext session;
+  const SessionScope bind(session);
+  const int width = omp_get_max_threads() > 1 ? 2 : 1;
+  std::vector<const SessionContext*> seen(static_cast<std::size_t>(width),
+                                          nullptr);
+  parallel_region(width, [&] {
+    seen[static_cast<std::size_t>(omp_get_thread_num())] = &ambient_session();
+  });
+  for (const SessionContext* bound : seen) {
+    EXPECT_EQ(bound, &session);
+  }
+  // The probe pair landed on THIS session, not the default one.
+  EXPECT_EQ(session.team_width().load(), width);
+  EXPECT_GE(session.region_epoch().load(), 1u);
+}
+
+TEST(WorkspacePool, ReusesWarmWorkspaces) {
+  WorkspacePool pool;
+  GraftWorkspace* first = pool.acquire();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(pool.outstanding(), 1u);
+  EXPECT_EQ(pool.created(), 1u);
+  pool.release(first);
+  EXPECT_EQ(pool.outstanding(), 0u);
+  EXPECT_EQ(pool.idle(), 1u);
+
+  // LIFO: the next acquire hands back the workspace just released.
+  GraftWorkspace* second = pool.acquire();
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(pool.created(), 1u) << "no new allocation for a warm acquire";
+  pool.release(second);
+
+  pool.trim();
+  EXPECT_EQ(pool.idle(), 0u);
+}
+
+TEST(WorkspacePool, MaxIdleBoundsRetention) {
+  WorkspacePool pool;
+  pool.set_max_idle(1);
+  GraftWorkspace* a = pool.acquire();
+  GraftWorkspace* b = pool.acquire();
+  EXPECT_EQ(pool.created(), 2u);
+  pool.release(a);
+  pool.release(b);  // beyond max_idle: destroyed, not parked
+  EXPECT_EQ(pool.idle(), 1u);
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(WorkspacePool, LeaseReleasesOnScopeExit) {
+  WorkspacePool pool;
+  {
+    WorkspaceLease lease(pool);
+    EXPECT_TRUE(static_cast<bool>(lease));
+    EXPECT_EQ(pool.outstanding(), 1u);
+  }
+  EXPECT_EQ(pool.outstanding(), 0u);
+  EXPECT_EQ(pool.idle(), 1u);
+
+  WorkspaceLease lease(pool);
+  lease.release();  // explicit early hand-back
+  EXPECT_FALSE(static_cast<bool>(lease));
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+// The 3-arg ms_bfs_graft overload used to park a GraftWorkspace in a
+// thread_local that lived until thread exit; now it must lease from the
+// session pool and hand back on return.
+TEST(WorkspacePool, SolverOverloadLeasesAndReturns) {
+  SessionContext session;
+  const BipartiteGraph g = test_graph(21);
+  const std::int64_t expected = maximum_matching_cardinality(g);
+
+  for (int run = 0; run < 3; ++run) {
+    Matching matching(g.num_x(), g.num_y());
+    RunConfig config;
+    config.threads = 1;
+    const RunStats stats = ms_bfs_graft(session, g, matching, config);
+    EXPECT_EQ(stats.final_cardinality, expected);
+    EXPECT_EQ(session.workspaces().outstanding(), 0u)
+        << "run " << run << " leaked its workspace lease";
+    EXPECT_GE(session.workspaces().idle(), 1u);
+  }
+  // Warm reuse: three same-shape runs need exactly one allocation.
+  EXPECT_EQ(session.workspaces().created(), 1u);
+}
+
+TEST(ThreadCountGuard, RestoresOnExit) {
+  const int before = omp_get_max_threads();
+  {
+    const ThreadCountGuard guard(1);
+    EXPECT_EQ(omp_get_max_threads(), 1);
+  }
+  EXPECT_EQ(omp_get_max_threads(), before);
+}
+
+TEST(ThreadCountGuard, NestsLifo) {
+  const int before = omp_get_max_threads();
+  {
+    const ThreadCountGuard outer(1);
+    {
+      const ThreadCountGuard inner(1);
+      EXPECT_EQ(omp_get_max_threads(), 1);
+    }
+    EXPECT_EQ(omp_get_max_threads(), 1) << "inner restored outer's value";
+  }
+  EXPECT_EQ(omp_get_max_threads(), before);
+}
+
+TEST(SessionContext, YieldPeriodOverrideSlot) {
+  SessionContext session;
+  EXPECT_EQ(session.yield_period_override(),
+            SessionContext::kInheritYieldPeriod);
+  session.set_yield_period(0);
+  EXPECT_EQ(session.yield_period_override(), 0u);
+  session.set_yield_period(7);
+  EXPECT_EQ(session.yield_period_override(), 7u);
+  session.clear_yield_period();
+  EXPECT_EQ(session.yield_period_override(),
+            SessionContext::kInheritYieldPeriod);
+}
+
+// The headline guarantee: two sessions solving concurrently in one
+// process behave exactly like two processes -- correct cardinalities,
+// independent traces, independent probe state, valid per-run JSON.
+TEST(SessionContext, ConcurrentSessionsStayIsolated) {
+  const BipartiteGraph graph_a = test_graph(31, 700);
+  const BipartiteGraph graph_b = test_graph(32, 500);
+  const std::int64_t expected_a = maximum_matching_cardinality(graph_a);
+  const std::int64_t expected_b = maximum_matching_cardinality(graph_b);
+  ASSERT_NE(expected_a, expected_b)
+      << "distinct oracles, or cross-talk could hide";
+
+  constexpr int kRunsPerSession = 4;
+  struct SessionResult {
+    std::vector<std::int64_t> cardinalities;
+    std::vector<std::string> json;
+    std::uint64_t epoch = 0;
+    bool trace_collected = false;
+    std::size_t trace_events = 0;
+  };
+  SessionResult result_a, result_b;
+
+  const auto drive = [](SessionContext& session, const BipartiteGraph& graph,
+                        SessionResult& result) {
+    const SessionScope bind(session);
+    session.trace().arm();
+    for (int run = 0; run < kRunsPerSession; ++run) {
+      Matching matching(graph.num_x(), graph.num_y());
+      RunConfig config;
+      config.threads = 1;
+      config.check_invariants = true;
+      const RunStats stats =
+          engine::run(session, "graft", "ks", graph, matching, config);
+      result.cardinalities.push_back(stats.final_cardinality);
+      result.json.push_back(run_stats_json(stats));
+    }
+    result.epoch = session.region_epoch().load();
+    result.trace_collected = session.trace().last_run().collected;
+    result.trace_events = session.trace().last_run().events.size();
+  };
+
+  SessionContext session_a;
+  SessionContext session_b;
+  std::thread thread_a(drive, std::ref(session_a), std::cref(graph_a),
+                       std::ref(result_a));
+  std::thread thread_b(drive, std::ref(session_b), std::cref(graph_b),
+                       std::ref(result_b));
+  thread_a.join();
+  thread_b.join();
+
+  for (const std::int64_t cardinality : result_a.cardinalities) {
+    EXPECT_EQ(cardinality, expected_a);
+  }
+  for (const std::int64_t cardinality : result_b.cardinalities) {
+    EXPECT_EQ(cardinality, expected_b);
+  }
+  for (const std::string& json : result_a.json) {
+    std::string error;
+    EXPECT_TRUE(testing::JsonChecker(json).valid(&error)) << error;
+  }
+  for (const std::string& json : result_b.json) {
+    std::string error;
+    EXPECT_TRUE(testing::JsonChecker(json).valid(&error)) << error;
+  }
+  // Each session counted only its own parallel regions.
+  EXPECT_GE(result_a.epoch, static_cast<std::uint64_t>(kRunsPerSession));
+  EXPECT_GE(result_b.epoch, static_cast<std::uint64_t>(kRunsPerSession));
+  if (obs::compiled()) {
+    EXPECT_TRUE(result_a.trace_collected);
+    EXPECT_TRUE(result_b.trace_collected);
+    EXPECT_GT(result_a.trace_events, 0u);
+    EXPECT_GT(result_b.trace_events, 0u);
+  }
+  // Nothing leaked into the process default session's sink.
+  EXPECT_FALSE(default_session().trace().last_run().collected);
+}
+
+// An armed session next to an unarmed one: only the armed sink
+// collects, and disarming is honored on the next run.
+TEST(SessionContext, TraceArmingIsPerSession) {
+  if (!obs::compiled()) GTEST_SKIP() << "GRAFTMATCH_TRACE is off";
+  const BipartiteGraph graph = test_graph(33);
+  RunConfig config;
+  config.threads = 1;
+
+  SessionContext armed;
+  SessionContext unarmed;
+  armed.trace().arm();
+
+  Matching matching(graph.num_x(), graph.num_y());
+  {
+    const SessionScope bind(armed);
+    engine::run(armed, "graft", "ks", graph, matching, config);
+  }
+  {
+    const SessionScope bind(unarmed);
+    matching = Matching(graph.num_x(), graph.num_y());
+    engine::run(unarmed, "graft", "ks", graph, matching, config);
+  }
+  EXPECT_TRUE(armed.trace().last_run().collected);
+  EXPECT_FALSE(unarmed.trace().last_run().collected);
+
+  armed.trace().disarm();
+  matching = Matching(graph.num_x(), graph.num_y());
+  {
+    const SessionScope bind(armed);
+    engine::run(armed, "graft", "ks", graph, matching, config);
+  }
+  // last_run keeps the armed run's flush; the disarmed run added none.
+  EXPECT_TRUE(armed.trace().last_run().collected);
+}
+
+}  // namespace
+}  // namespace graftmatch
