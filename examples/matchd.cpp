@@ -18,6 +18,10 @@
 //   --seed S        generator seed (default 1)
 //   --workers N     server worker sessions (default 2)
 //   --queue N       admission-control queue capacity (default 64)
+//   --batch-max N   largest coalesced same-key group one solve may
+//                   answer; 1 disables batching (default 16)
+//   --batch-window-us U  how long an undersized batch waits for more
+//                   same-key arrivals before dispatching (default 200)
 //   --demo          serve one in-process demo client, print the
 //                   exchange, and exit (used by the CI smoke test)
 //
@@ -53,7 +57,8 @@ void handle_signal(int) { g_stop.store(true); }
   std::fprintf(stderr,
                "usage: %s [--socket PATH] [--graphs a,b,c] [--size F] "
                "[--seed S]\n"
-               "       [--workers N] [--queue N] [--demo]\n",
+               "       [--workers N] [--queue N] [--batch-max N] "
+               "[--batch-window-us U] [--demo]\n",
                argv0);
   std::exit(2);
 }
@@ -146,12 +151,22 @@ int main(int argc, char** argv) {
     };
     if (arg == "--socket") socket_path = next();
     else if (arg == "--graphs") graphs_csv = next();
-    else if (arg == "--size") size = std::atof(next().c_str());
-    else if (arg == "--seed") seed = std::strtoull(next().c_str(), nullptr, 10);
-    else if (arg == "--workers") options.workers = std::atoi(next().c_str());
+    else if (arg == "--size")
+      size = cli::parse_double_arg("--size", next().c_str(), 1e-6, 1e6);
+    else if (arg == "--seed")
+      seed = cli::parse_uint_arg("--seed", next().c_str());
+    else if (arg == "--workers")
+      options.workers = static_cast<int>(
+          cli::parse_int_arg("--workers", next().c_str(), 1, 1024));
     else if (arg == "--queue")
-      options.queue_capacity =
-          static_cast<std::size_t>(std::atoi(next().c_str()));
+      options.queue_capacity = static_cast<std::size_t>(
+          cli::parse_int_arg("--queue", next().c_str(), 1, 1 << 20));
+    else if (arg == "--batch-max")
+      options.batch_max = static_cast<std::size_t>(
+          cli::parse_int_arg("--batch-max", next().c_str(), 1, 1 << 20));
+    else if (arg == "--batch-window-us")
+      options.batch_window_us = cli::parse_int_arg(
+          "--batch-window-us", next().c_str(), 0, 60'000'000);
     else if (arg == "--demo") demo = true;
     else usage(argv[0]);
   }
@@ -184,8 +199,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 2;
   }
-  std::printf("serving on %s with %d worker session(s), queue %zu\n",
-              socket_path.c_str(), options.workers, options.queue_capacity);
+  std::printf(
+      "serving on %s with %d worker session(s), queue %zu, "
+      "batch max %zu (window %lld us)\n",
+      socket_path.c_str(), options.workers, options.queue_capacity,
+      options.batch_max, static_cast<long long>(options.batch_window_us));
 
   if (demo) {
     std::printf("demo exchange:\n");
@@ -193,10 +211,13 @@ int main(int argc, char** argv) {
     uds.stop();
     server.stop();
     const serve::ServerCounters counters = server.counters();
-    std::printf("served %llu request(s), %llu completed, %llu failed\n",
-                static_cast<unsigned long long>(counters.accepted),
-                static_cast<unsigned long long>(counters.completed),
-                static_cast<unsigned long long>(counters.failed));
+    std::printf(
+        "served %llu request(s), %llu completed, %llu failed, "
+        "%llu batch(es) dispatched\n",
+        static_cast<unsigned long long>(counters.accepted),
+        static_cast<unsigned long long>(counters.completed),
+        static_cast<unsigned long long>(counters.failed),
+        static_cast<unsigned long long>(counters.batches));
     return failures == 0 ? 0 : 1;
   }
 

@@ -551,4 +551,18 @@ RunStats run(SessionContext& session, const std::string& solver_name,
                      config);
 }
 
+RunStats run_batch(SessionContext& session, const std::string& solver_name,
+                   const std::string& initializer_name,
+                   const BipartiteGraph& g, Matching& matching,
+                   const RunConfig& config, std::size_t group_size) {
+  if (group_size == 0) {
+    throw std::invalid_argument("run_batch: group_size must be >= 1");
+  }
+  // One solve answers the whole group: the result of a maximum-matching
+  // run does not depend on how many identical requests are waiting on
+  // it, so the amortization is pure -- no per-member work exists.
+  return run_sharded(session, solver_name, initializer_name, g, matching,
+                     config);
+}
+
 }  // namespace graftmatch::engine

@@ -164,4 +164,18 @@ RunStats run(SessionContext& session, const std::string& solver_name,
              const std::string& initializer_name, const BipartiteGraph& g,
              Matching& matching, const RunConfig& config);
 
+/// Batch-aware entry: one solve that answers `group_size` coalesced
+/// identical requests. MS-BFS-Graft is natively multi-source, so the
+/// matching it produces for one request IS the answer for every request
+/// agreeing on (graph, solver, initializer, reduce, shard) -- the solve,
+/// its workspace lease, and its reduce/shard pre-passes are paid once
+/// and amortized across the group. Semantically identical to run();
+/// `group_size` exists so the engine layer owns the amortization
+/// contract (and its validation) rather than every caller asserting it.
+/// Throws std::invalid_argument when group_size == 0.
+RunStats run_batch(SessionContext& session, const std::string& solver_name,
+                   const std::string& initializer_name,
+                   const BipartiteGraph& g, Matching& matching,
+                   const RunConfig& config, std::size_t group_size);
+
 }  // namespace graftmatch::engine

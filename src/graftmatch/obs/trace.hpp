@@ -131,6 +131,9 @@ inline constexpr EventName kShardStitch{"shard.stitch", "cardinality",
 /// event = matched cardinality).
 inline constexpr EventName kServeRequest{"serve.request", "roster_entry",
                                          "cardinality"};
+/// One span per dispatched batch (arg0 = coalesced group size, arg1 =
+/// matched cardinality); a singleton request is a batch of one.
+inline constexpr EventName kServeBatch{"serve.batch", "group", "cardinality"};
 }  // namespace names
 
 /// Chrome trace_event phase kinds this subsystem emits.

@@ -5,13 +5,21 @@
 #include <cerrno>
 #include <charconv>
 #include <cstring>
+#include <limits>
 #include <sstream>
+#include <stdexcept>
+
+#include "graftmatch/runtime/cli.hpp"
 
 namespace graftmatch::serve {
 namespace {
 
-// Newlines delimit fields, so values must not contain them; spaces keep
-// error messages readable instead of truncating them.
+// Response-side diagnostics only (the error message): newlines delimit
+// fields, so they must not appear in a value, and spaces keep a
+// multi-line exception message readable instead of truncating it.
+// Request lookup keys are never sanitized -- they are rejected instead
+// (see is_clean_field), because a silently rewritten key changes what
+// the server looks up.
 std::string sanitize(std::string value) {
   for (char& c : value) {
     if (c == '\n' || c == '\r') c = ' ';
@@ -27,7 +35,28 @@ void put(std::ostringstream& out, const char* key, std::int64_t value) {
   out << key << '=' << value << '\n';
 }
 
+// Shortest round-trip form (std::to_chars default): the decoded double
+// is bit-for-bit the encoded one, unlike ostream's 6-significant-digit
+// default, and the spelling is locale-independent.
 void put(std::ostringstream& out, const char* key, double value) {
+  char buffer[64];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  if (ec == std::errc{}) {
+    out << key << '='
+        << std::string_view(buffer, static_cast<std::size_t>(ptr - buffer))
+        << '\n';
+  } else {
+    out << key << '=' << 0.0 << '\n';  // unreachable for finite doubles
+  }
+}
+
+/// A request string field travels verbatim or not at all.
+void put_field(std::ostringstream& out, const char* key,
+               const std::string& value) {
+  if (!is_clean_field(value)) {
+    throw std::invalid_argument(std::string("request field \"") + key +
+                                "\" contains a control character");
+  }
   out << key << '=' << value << '\n';
 }
 
@@ -38,14 +67,16 @@ bool parse_int(const std::string& value, std::int64_t& out) {
   return ec == std::errc{} && ptr == last;
 }
 
+// Strict, locale-independent, whole-token parse (runtime/cli.hpp) --
+// std::stod honors the process locale, so a comma-decimal locale would
+// mis-read or reject the peer's "0.125".
 bool parse_double(const std::string& value, double& out) {
-  try {
-    std::size_t consumed = 0;
-    out = std::stod(value, &consumed);
-    return consumed == value.size();
-  } catch (const std::exception&) {
-    return false;
-  }
+  const auto parsed =
+      cli::try_parse_double(value, std::numeric_limits<double>::lowest(),
+                            std::numeric_limits<double>::max());
+  if (!parsed) return false;
+  out = *parsed;
+  return true;
 }
 
 bool parse_bool(const std::string& value, bool& out) {
@@ -90,14 +121,23 @@ bool for_each_field(const std::string& payload, FieldFn&& field,
 
 }  // namespace
 
+bool is_clean_field(std::string_view value) noexcept {
+  for (const char c : value) {
+    const auto u = static_cast<unsigned char>(c);
+    if (u < 0x20 || u == 0x7f) return false;
+  }
+  return true;
+}
+
 std::string encode_request(const MatchRequest& request) {
   std::ostringstream out;
-  put(out, "graph", request.graph);
-  put(out, "solver", request.solver);
-  put(out, "init", request.initializer);
+  put_field(out, "graph", request.graph);
+  put_field(out, "solver", request.solver);
+  put_field(out, "init", request.initializer);
   put(out, "threads", static_cast<std::int64_t>(request.threads));
-  put(out, "reduce", request.reduce);
-  put(out, "shard", request.shard);
+  put_field(out, "reduce", request.reduce);
+  put_field(out, "shard", request.shard);
+  if (request.deadline_ms > 0) put(out, "deadline_ms", request.deadline_ms);
   return out.str();
 }
 
@@ -108,19 +148,26 @@ bool decode_request(const std::string& payload, MatchRequest& request,
       payload,
       [&](const std::string& key, const std::string& value) {
         if (key == "graph") {
+          if (!is_clean_field(value)) return false;
           request.graph = value;
         } else if (key == "solver") {
+          if (!is_clean_field(value)) return false;
           request.solver = value;
         } else if (key == "init") {
+          if (!is_clean_field(value)) return false;
           request.initializer = value;
         } else if (key == "threads") {
           std::int64_t threads = 0;
           if (!parse_int(value, threads)) return false;
           request.threads = static_cast<int>(threads);
         } else if (key == "reduce") {
+          if (!is_clean_field(value)) return false;
           request.reduce = value;
         } else if (key == "shard") {
+          if (!is_clean_field(value)) return false;
           request.shard = value;
+        } else if (key == "deadline_ms") {
+          if (!parse_int(value, request.deadline_ms)) return false;
         }
         return true;
       },
@@ -138,6 +185,7 @@ std::string encode_response(const MatchResponse& response) {
   put(out, "ok", static_cast<std::int64_t>(response.ok ? 1 : 0));
   if (!response.error.empty()) put(out, "error", response.error);
   if (response.rejected) put(out, "rejected", std::int64_t{1});
+  if (response.expired) put(out, "expired", std::int64_t{1});
   put(out, "graph", response.graph);
   put(out, "solver", response.solver);
   put(out, "init", response.initializer);
@@ -146,6 +194,7 @@ std::string encode_response(const MatchResponse& response) {
   put(out, "seconds", response.seconds);
   put(out, "session", static_cast<std::int64_t>(response.session));
   put(out, "threads", static_cast<std::int64_t>(response.threads));
+  put(out, "batch", static_cast<std::int64_t>(response.batch));
   return out.str();
 }
 
@@ -165,6 +214,7 @@ bool decode_response(const std::string& payload, MatchResponse& response,
           return true;
         }
         if (key == "rejected") return parse_bool(value, response.rejected);
+        if (key == "expired") return parse_bool(value, response.expired);
         if (key == "graph") {
           response.graph = value;
           return true;
@@ -190,6 +240,12 @@ bool decode_response(const std::string& payload, MatchResponse& response,
           std::int64_t threads = 0;
           if (!parse_int(value, threads)) return false;
           response.threads = static_cast<int>(threads);
+          return true;
+        }
+        if (key == "batch") {
+          std::int64_t batch = 0;
+          if (!parse_int(value, batch)) return false;
+          response.batch = static_cast<int>(batch);
           return true;
         }
         return true;

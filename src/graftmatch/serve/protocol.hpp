@@ -4,11 +4,24 @@
 // One request or response is a single frame: a 4-byte little-endian
 // payload length followed by the payload, which is newline-separated
 // `key=value` lines (values may contain '='; they may not contain
-// newlines -- the encoder replaces any with spaces). The format is
-// deliberately trivial: `printf '...' | socat - UNIX:/path` can drive a
-// server, every field is inspectable in a hexdump, and adding a field
-// never breaks an old peer (unknown keys are skipped, missing keys keep
-// their defaults).
+// newlines). The format is deliberately trivial: `printf '...' | socat
+// - UNIX:/path` can drive a server, every field is inspectable in a
+// hexdump, and adding a field never breaks an old peer (unknown keys
+// are skipped, missing keys keep their defaults).
+//
+// String hygiene: request string fields (graph, solver, init, reduce,
+// shard) are lookup keys, so control characters in them are REJECTED at
+// both encode time (std::invalid_argument) and decode time (error
+// return) rather than silently rewritten -- a graph named "a\nb" must
+// fail loudly, not be looked up as "a b" and misreported as unknown
+// under the mangled name. Response-side free text (the error message)
+// is server-generated diagnostics; there newlines/CRs are replaced with
+// spaces so a multi-line exception message cannot corrupt the framing.
+//
+// Doubles (the `seconds` field) are encoded with std::to_chars shortest
+// round-trip form and decoded with the strict locale-independent parser
+// from runtime/cli.hpp, so the value a client reads is bit-for-bit the
+// value the server measured regardless of either side's locale.
 //
 // The same encode/decode pair backs the Unix-domain-socket front end
 // (serve/uds.hpp) and the protocol tests (which run it over a
@@ -17,6 +30,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace graftmatch::serve {
 
@@ -32,14 +46,23 @@ struct MatchRequest {
   int threads = 0;
   std::string reduce = "none";  ///< ReduceMode key (run_stats.hpp)
   std::string shard = "none";   ///< ShardMode key
+  /// Relative deadline in milliseconds from admission; <= 0 = none.
+  /// Enforced twice: at admission (rejected when the queue backlog
+  /// already implies a miss) and at dispatch (an expired member of a
+  /// batch gets a `deadline exceeded` response instead of a solve).
+  std::int64_t deadline_ms = 0;
 };
 
 struct MatchResponse {
   bool ok = false;
   std::string error;  ///< set when !ok (unknown graph/solver, audit fail)
   /// True when the request was turned away by admission control (queue
-  /// full); the client may retry, nothing was solved.
+  /// full, or a deadline the backlog already made unmeetable); the
+  /// client may retry, nothing was solved.
   bool rejected = false;
+  /// True when the request was accepted but its deadline passed before
+  /// a worker dispatched it; nothing was solved.
+  bool expired = false;
   std::string graph;
   std::string solver;
   std::string initializer;
@@ -48,8 +71,18 @@ struct MatchResponse {
   double seconds = 0.0;          ///< solver wall time, server-side
   std::uint64_t session = 0;     ///< id of the session that served it
   int threads = 0;               ///< solver width actually used
+  /// Size of the coalesced group this response's solve answered (1 =
+  /// the request was served alone).
+  int batch = 1;
 };
 
+/// True when `value` may travel as a request lookup key: non-empty
+/// fields must be free of ASCII control characters (0x00-0x1f, 0x7f).
+bool is_clean_field(std::string_view value) noexcept;
+
+/// Encodes a request payload. Throws std::invalid_argument when any
+/// string field contains a control character (see is_clean_field) --
+/// mangling a lookup key would change what the server looks up.
 std::string encode_request(const MatchRequest& request);
 bool decode_request(const std::string& payload, MatchRequest& request,
                     std::string& error);

@@ -1,5 +1,6 @@
 #include "graftmatch/serve/server.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <utility>
@@ -8,13 +9,19 @@
 #include "graftmatch/engine/registry.hpp"
 #include "graftmatch/graph/matching.hpp"
 #include "graftmatch/obs/trace.hpp"
+#include "graftmatch/runtime/timer.hpp"
 
 namespace graftmatch::serve {
 
 MatchServer::MatchServer(const GraphRoster& roster, ServerOptions options)
     : roster_(roster),
       options_(options),
-      queue_(options.queue_capacity) {
+      queue_(options.queue_capacity),
+      scheduler_(queue_,
+                 BatchOptions{options.batch_max, options.batch_window_us}),
+      service_ewma_ms_(options.assumed_service_ms > 0.0
+                           ? options.assumed_service_ms
+                           : 0.0) {
   if (options_.autostart) start();
 }
 
@@ -43,13 +50,58 @@ void MatchServer::stop() {
   workers_.clear();
 }
 
+double MatchServer::estimated_backlog_ms() const {
+  const double per_request = service_ewma_ms_.load(std::memory_order_relaxed);
+  if (per_request <= 0.0) return 0.0;
+  const double workers =
+      static_cast<double>(std::max(1, options_.workers));
+  // Conservative on purpose: this assumes the backlog drains one
+  // request per solve. Batching usually drains same-key runs faster, so
+  // the gate over-rejects tight deadlines rather than admitting work
+  // destined to expire in the queue.
+  return static_cast<double>(queue_.size()) * per_request / workers;
+}
+
+void MatchServer::record_service_ms(double per_request_ms) {
+  double current = service_ewma_ms_.load(std::memory_order_relaxed);
+  double next;
+  do {
+    next = current <= 0.0 ? per_request_ms
+                          : 0.75 * current + 0.25 * per_request_ms;
+  } while (!service_ewma_ms_.compare_exchange_weak(
+      current, next, std::memory_order_relaxed));
+}
+
 bool MatchServer::try_submit(MatchRequest request,
-                             std::future<MatchResponse>& response) {
-  Task task;
+                             std::future<MatchResponse>& response,
+                             std::string* reject_reason) {
+  ServerTask task;
+  if (request.deadline_ms > 0) {
+    // Admission half of deadline enforcement: when the backlog already
+    // implies this deadline cannot be met, reject now instead of
+    // queueing a request destined to expire.
+    const double backlog_ms = estimated_backlog_ms();
+    if (backlog_ms > static_cast<double>(request.deadline_ms)) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      if (reject_reason != nullptr) {
+        *reject_reason = "deadline of " + std::to_string(request.deadline_ms) +
+                         " ms unmeetable: estimated backlog is " +
+                         std::to_string(static_cast<std::int64_t>(backlog_ms)) +
+                         " ms";
+      }
+      return false;
+    }
+    task.has_deadline = true;
+    task.deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(request.deadline_ms);
+  }
   task.request = std::move(request);
   std::future<MatchResponse> pending = task.promise.get_future();
   if (!queue_.try_push(std::move(task))) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (reject_reason != nullptr) {
+      *reject_reason = "server at capacity (queue full or stopped)";
+    }
     return false;
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -60,12 +112,13 @@ bool MatchServer::try_submit(MatchRequest request,
 MatchResponse MatchServer::solve(MatchRequest request) {
   const std::string graph = request.graph;
   std::future<MatchResponse> pending;
-  if (!try_submit(std::move(request), pending)) {
+  std::string reason;
+  if (!try_submit(std::move(request), pending, &reason)) {
     MatchResponse response;
     response.ok = false;
     response.rejected = true;
     response.graph = graph;
-    response.error = "server at capacity (queue full or stopped)";
+    response.error = reason;
     return response;
   }
   return pending.get();
@@ -77,33 +130,77 @@ ServerCounters MatchServer::counters() const {
   counters.rejected = rejected_.load(std::memory_order_relaxed);
   counters.completed = completed_.load(std::memory_order_relaxed);
   counters.failed = failed_.load(std::memory_order_relaxed);
+  counters.expired = expired_.load(std::memory_order_relaxed);
+  counters.batches = batches_.load(std::memory_order_relaxed);
+  counters.coalesced = coalesced_.load(std::memory_order_relaxed);
   return counters;
 }
 
 void MatchServer::worker_loop(SessionContext& session) {
-  Task task;
-  while (queue_.pop(task)) {
+  std::vector<ServerTask> batch;
+  std::vector<ServerTask> live;
+  while (scheduler_.next_batch(batch)) {
+    // Dispatch half of deadline enforcement: members whose absolute
+    // deadline passed while queued are answered without a solve.
+    live.clear();
+    const auto now = std::chrono::steady_clock::now();
+    for (ServerTask& task : batch) {
+      if (task.has_deadline && now >= task.deadline) {
+        MatchResponse response;
+        response.ok = false;
+        response.expired = true;
+        response.graph = task.request.graph;
+        response.solver = task.request.solver;
+        response.initializer = task.request.initializer;
+        response.error = "deadline exceeded (" +
+                         std::to_string(task.request.deadline_ms) +
+                         " ms) before dispatch";
+        response.session = session.id();
+        expired_.fetch_add(1, std::memory_order_relaxed);
+        task.promise.set_value(std::move(response));
+      } else {
+        live.push_back(std::move(task));
+      }
+    }
+    batch.clear();
+    if (live.empty()) continue;
+
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    if (live.size() >= 2) {
+      coalesced_.fetch_add(live.size(), std::memory_order_relaxed);
+    }
+
     MatchResponse response;
+    const Timer service_timer;
     try {
-      response = handle(session, task.request);
+      response = handle(session, live.front().request, live.size());
     } catch (const std::exception& e) {
       response = MatchResponse{};
-      response.graph = task.request.graph;
+      response.graph = live.front().request.graph;
       response.error = e.what();
     }
+    record_service_ms(service_timer.elapsed() * 1000.0 /
+                      static_cast<double>(live.size()));
     response.session = session.id();
+    response.batch = static_cast<int>(live.size());
     if (response.ok) {
-      completed_.fetch_add(1, std::memory_order_relaxed);
+      completed_.fetch_add(live.size(), std::memory_order_relaxed);
     } else {
-      failed_.fetch_add(1, std::memory_order_relaxed);
+      failed_.fetch_add(live.size(), std::memory_order_relaxed);
     }
-    task.promise.set_value(std::move(response));
-    task = Task{};  // drop the fulfilled promise before blocking again
+    // Fan the one result out to every member of the group; the solve
+    // answered all of them.
+    for (std::size_t i = 0; i + 1 < live.size(); ++i) {
+      live[i].promise.set_value(response);
+    }
+    live.back().promise.set_value(std::move(response));
+    live.clear();  // drop the fulfilled promises before blocking again
   }
 }
 
 MatchResponse MatchServer::handle(SessionContext& session,
-                                  const MatchRequest& request) {
+                                  const MatchRequest& request,
+                                  std::size_t group_size) {
   MatchResponse response;
   response.graph = request.graph;
   response.solver = request.solver;
@@ -143,10 +240,13 @@ MatchResponse MatchServer::handle(SessionContext& session,
   const std::int64_t span_start = obs::timestamp();
 
   Matching matching;
-  const RunStats stats = engine::run(session, request.solver,
-                                     request.initializer, entry->graph,
-                                     matching, config);
+  const RunStats stats =
+      engine::run_batch(session, request.solver, request.initializer,
+                        entry->graph, matching, config, group_size);
 
+  obs::emit_complete(obs::names::kServeBatch, span_start,
+                     static_cast<std::int64_t>(group_size),
+                     stats.final_cardinality);
   obs::emit_complete(obs::names::kServeRequest, span_start,
                      static_cast<std::int64_t>(entry_index),
                      stats.final_cardinality);

@@ -1,15 +1,28 @@
 // MatchServer: the concurrent matching-as-a-service core.
 //
 // A bounded pool of worker threads, each owning one long-lived
-// SessionContext, drains a bounded request queue. Sessions are the
-// point: a worker's width probe, trace sink, and warm workspace pool
-// persist across requests (so repeat solves of same-shaped graphs skip
-// allocation) and never touch another worker's -- the isolation that
-// runtime/context.hpp exists to provide. Admission control is the
-// queue's capacity: when it is full, try_submit() fails and solve()
-// returns a `rejected` response instead of queueing unbounded latency.
+// SessionContext, drains a bounded request queue through a batching
+// dispatcher. Sessions are the point: a worker's width probe, trace
+// sink, and warm workspace pool persist across requests (so repeat
+// solves of same-shaped graphs skip allocation) and never touch another
+// worker's -- the isolation that runtime/context.hpp exists to provide.
 //
-// Every response is audited against the roster's load-time
+// Batching is the throughput lever: MS-BFS-Graft is natively
+// multi-source, so concurrent requests agreeing on (graph, solver,
+// initializer, reduce, shard) are coalesced by the BatchScheduler
+// (serve/batch.hpp) into ONE engine::run_batch per group within a
+// bounded window, and the single result is fanned back out to every
+// member's promise. batch_max = 1 restores the one-solve-per-request
+// behavior.
+//
+// Deadlines are enforced twice. At admission, a request whose
+// `deadline_ms` is already implied unmeetable by the queue backlog
+// (depth x the EWMA of recent per-request service time / workers) is
+// rejected immediately -- failing fast beats queueing work that will be
+// thrown away. At dispatch, a batch member whose absolute deadline has
+// passed gets a `deadline exceeded` response instead of a solve.
+//
+// Every solved response is audited against the roster's load-time
 // Hopcroft-Karp oracle (ServerOptions::check_cardinality): a served
 // matching that is not maximum is a bug, and the server says so rather
 // than returning it as a success.
@@ -28,6 +41,7 @@
 #include <vector>
 
 #include "graftmatch/runtime/context.hpp"
+#include "graftmatch/serve/batch.hpp"
 #include "graftmatch/serve/bounded_queue.hpp"
 #include "graftmatch/serve/protocol.hpp"
 #include "graftmatch/serve/roster.hpp"
@@ -51,17 +65,34 @@ struct ServerOptions {
   /// Audit each response's cardinality against the roster oracle and
   /// fail the response on mismatch.
   bool check_cardinality = true;
+  /// Largest coalesced group one solve may answer; 1 disables batching.
+  std::size_t batch_max = 16;
+  /// Coalescing window in microseconds: how long an undersized batch
+  /// waits for more same-key arrivals before dispatching. 0 = dispatch
+  /// with whatever was already queued.
+  std::int64_t batch_window_us = 200;
+  /// Seed for the admission deadline gate's service-time EWMA, in
+  /// milliseconds per request. 0 disables the gate until the first
+  /// completed solve provides a real measurement.
+  double assumed_service_ms = 0.0;
 };
 
 /// Monotonic totals since construction. accepted counts requests that
-/// entered the queue; completed + failed partition the accepted ones
-/// that finished (failed = error response or audit mismatch, not
+/// entered the queue; completed + failed + expired partition the
+/// accepted ones that finished (failed = error response or audit
+/// mismatch; expired = deadline passed before dispatch; neither is a
 /// rejection).
 struct ServerCounters {
   std::uint64_t accepted = 0;
   std::uint64_t rejected = 0;
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
+  std::uint64_t expired = 0;
+  /// Dispatched groups (a singleton counts as a batch of one).
+  std::uint64_t batches = 0;
+  /// Requests served as members of a group of >= 2 (the coalescing win:
+  /// solves avoided = coalesced - batches over the multi-member groups).
+  std::uint64_t coalesced = 0;
 };
 
 class MatchServer {
@@ -76,36 +107,48 @@ class MatchServer {
   /// Spin up the worker pool (idempotent; a no-op after stop()).
   void start();
   /// Close admission, drain the backlog, join the workers. Pending
-  /// accepted requests still get real responses.
+  /// accepted requests still get real responses (or `deadline
+  /// exceeded` ones when their deadline passed while queued).
   void stop();
 
   /// Non-blocking submit. On acceptance, `response` is a future the
   /// serving worker fulfills; returns false (future untouched) when the
-  /// queue is full or the server is stopped.
-  bool try_submit(MatchRequest request, std::future<MatchResponse>& response);
+  /// queue is full, the server is stopped, or the request's deadline is
+  /// already unmeetable given the backlog. When `reject_reason` is
+  /// non-null it receives the reason for a false return.
+  bool try_submit(MatchRequest request, std::future<MatchResponse>& response,
+                  std::string* reject_reason = nullptr);
 
-  /// Blocking convenience: submit and wait. A full queue yields an
-  /// immediate response with rejected=true rather than blocking, so
-  /// closed-loop clients feel backpressure as a fast failure.
+  /// Blocking convenience: submit and wait. A full queue (or an
+  /// unmeetable deadline) yields an immediate response with
+  /// rejected=true rather than blocking, so closed-loop clients feel
+  /// backpressure as a fast failure.
   MatchResponse solve(MatchRequest request);
 
   const GraphRoster& roster() const noexcept { return roster_; }
   const ServerOptions& options() const noexcept { return options_; }
   ServerCounters counters() const;
   std::size_t queue_depth() const { return queue_.size(); }
+  /// The admission gate's current per-request service estimate (ms).
+  double service_estimate_ms() const {
+    return service_ewma_ms_.load(std::memory_order_relaxed);
+  }
 
  private:
-  struct Task {
-    MatchRequest request;
-    std::promise<MatchResponse> promise;
-  };
-
   void worker_loop(SessionContext& session);
-  MatchResponse handle(SessionContext& session, const MatchRequest& request);
+  /// One solve answering `group_size` coalesced requests; the returned
+  /// response is the fan-out template (everything but per-member
+  /// bookkeeping).
+  MatchResponse handle(SessionContext& session, const MatchRequest& request,
+                       std::size_t group_size);
+  /// Queue-backlog wait estimate for the admission deadline gate.
+  double estimated_backlog_ms() const;
+  void record_service_ms(double per_request_ms);
 
   const GraphRoster& roster_;
   const ServerOptions options_;
-  BoundedQueue<Task> queue_;
+  BoundedQueue<ServerTask> queue_;
+  BatchScheduler scheduler_;
   /// One session per worker, stable addresses (workers hold references
   /// across their whole lifetime).
   std::vector<std::unique_ptr<SessionContext>> sessions_;
@@ -116,6 +159,10 @@ class MatchServer {
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<double> service_ewma_ms_;
 };
 
 }  // namespace graftmatch::serve

@@ -8,6 +8,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <stdexcept>
 #include <utility>
 
 namespace graftmatch::serve {
@@ -74,37 +75,80 @@ void UdsServer::stop() {
   stopping_ = true;
   if (acceptor_.joinable()) acceptor_.join();
   {
-    // Cut live connections so their blocking read_frame calls return.
+    // Cut connections whose serving threads still own their fd (fd >= 0
+    // under the lock means the thread has not deregistered yet, so the
+    // number cannot have been recycled) so blocked read_frame calls
+    // return.
     const std::scoped_lock lock(connections_mutex_);
-    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+    for (const Connection& connection : connections_) {
+      if (connection.fd >= 0) ::shutdown(connection.fd, SHUT_RDWR);
+    }
   }
-  std::vector<std::thread> threads;
-  {
+  // Every serving thread now winds down; join them all. Each entry is
+  // joined BEFORE its node is erased -- the serving thread holds a
+  // reference to the node until it returns, and list nodes have stable
+  // addresses, so joining first is what makes the erase safe. With the
+  // acceptor gone, stop() is the only mutator left.
+  for (;;) {
+    Connection* connection = nullptr;
+    {
+      const std::scoped_lock lock(connections_mutex_);
+      if (connections_.empty()) break;
+      connection = &connections_.front();
+    }
+    if (connection->thread.joinable()) connection->thread.join();
     const std::scoped_lock lock(connections_mutex_);
-    threads.swap(connection_threads_);
-  }
-  for (std::thread& thread : threads) {
-    if (thread.joinable()) thread.join();
+    connections_.pop_front();
   }
   ::close(listen_fd_);
   listen_fd_ = -1;
   ::unlink(socket_path_.c_str());
 }
 
+std::size_t UdsServer::tracked_connections() const {
+  const std::scoped_lock lock(connections_mutex_);
+  return connections_.size();
+}
+
+void UdsServer::reap_finished() {
+  // Finished threads are joined OUTSIDE the lock (join can run
+  // destructors / scheduler waits) after being unlinked under it.
+  std::vector<std::thread> done;
+  {
+    const std::scoped_lock lock(connections_mutex_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if (it->finished.load(std::memory_order_acquire)) {
+        done.push_back(std::move(it->thread));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (std::thread& thread : done) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
 void UdsServer::accept_loop() {
   while (!stopping_) {
+    reap_finished();
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
     if (ready <= 0) continue;  // timeout or EINTR: re-check stopping_
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
     const std::scoped_lock lock(connections_mutex_);
-    connection_fds_.push_back(fd);
-    connection_threads_.emplace_back([this, fd] { serve_connection(fd); });
+    connections_.emplace_back();
+    Connection& connection = connections_.back();
+    connection.fd = fd;
+    connection.thread =
+        std::thread([this, &connection] { serve_connection(connection); });
   }
 }
 
-void UdsServer::serve_connection(int fd) {
+void UdsServer::serve_connection(Connection& connection) {
+  const int fd = connection.fd;
   std::string payload;
   while (read_frame(fd, payload)) {
     MatchRequest request;
@@ -118,15 +162,16 @@ void UdsServer::serve_connection(int fd) {
     }
     if (!write_frame(fd, encode_response(response))) break;
   }
-  ::close(fd);
-  const std::scoped_lock lock(connections_mutex_);
-  for (int& tracked : connection_fds_) {
-    if (tracked == fd) {
-      tracked = connection_fds_.back();
-      connection_fds_.pop_back();
-      break;
-    }
+  // Deregister FIRST, close SECOND. The moment ::close returns the
+  // kernel may hand this fd number to a fresh accept (or any other
+  // thread's open); deregistering before closing guarantees stop()
+  // can never shutdown() a recycled number it thinks is ours.
+  {
+    const std::scoped_lock lock(connections_mutex_);
+    connection.fd = -1;
   }
+  ::close(fd);
+  connection.finished.store(true, std::memory_order_release);
 }
 
 UdsClient::~UdsClient() { close(); }
@@ -161,11 +206,19 @@ bool UdsClient::request(const MatchRequest& request, MatchResponse& response,
     error = "not connected";
     return false;
   }
-  if (!write_frame(fd_, encode_request(request))) {
+  std::string payload;
+  try {
+    payload = encode_request(request);
+  } catch (const std::invalid_argument& e) {
+    // Control characters in a lookup field: refuse to send rather than
+    // ship a frame the server must reject (or worse, misinterpret).
+    error = e.what();
+    return false;
+  }
+  if (!write_frame(fd_, payload)) {
     error = "failed to write request frame";
     return false;
   }
-  std::string payload;
   if (!read_frame(fd_, payload)) {
     error = "connection closed before a response arrived";
     return false;

@@ -16,6 +16,8 @@
 #include <omp.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <string>
 #include <thread>
 #include <vector>
@@ -192,6 +194,10 @@ TEST(SessionStress, MatchServerUnderConcurrentMixedLoad) {
   serve::ServerOptions options;
   options.workers = 4;
   options.queue_capacity = 32;
+  // Batching on: concurrent same-key requests may coalesce, and every
+  // member of a group must still get a correct, audited answer.
+  options.batch_max = 4;
+  options.batch_window_us = 200;
   serve::MatchServer server(roster, options);
 
   const char* const solvers[] = {"graft", "pf", "hk"};
@@ -219,12 +225,18 @@ TEST(SessionStress, MatchServerUnderConcurrentMixedLoad) {
           request.reduce = reduces[rng.below(2)];
           request.shard = shards[rng.below(2)];
           request.threads = 1 + static_cast<int>(rng.below(2));
+          // A third of the well-formed requests carry a deadline far
+          // beyond any plausible backlog: the deadline bookkeeping runs
+          // under load without injecting expiry nondeterminism.
+          if (rng.below(3) == 0) request.deadline_ms = 60'000;
         }
         const serve::MatchResponse response = server.solve(std::move(request));
         if (malformed) {
           if (response.ok || response.error.empty()) wrong.fetch_add(1);
-        } else if (!response.ok ||
-                   response.cardinality != response.maximum) {
+        } else if (!response.ok || response.expired ||
+                   response.cardinality != response.maximum ||
+                   response.batch < 1 ||
+                   response.batch > static_cast<int>(options.batch_max)) {
           wrong.fetch_add(1);
         }
       }
@@ -237,12 +249,79 @@ TEST(SessionStress, MatchServerUnderConcurrentMixedLoad) {
   const serve::ServerCounters counters = server.counters();
   EXPECT_EQ(counters.accepted + counters.rejected,
             static_cast<std::uint64_t>(kClients * kRequestsPerClient));
-  EXPECT_EQ(counters.completed + counters.failed, counters.accepted);
+  EXPECT_EQ(counters.completed + counters.failed + counters.expired,
+            counters.accepted)
+      << "every accepted request resolves exactly once";
+  EXPECT_EQ(counters.expired, 0u) << "60 s deadlines never expire here";
   EXPECT_EQ(counters.failed,
             static_cast<std::uint64_t>(expected_failures.load()));
   EXPECT_EQ(counters.rejected, 0u)
       << "closed-loop clients never outrun a queue deeper than the client "
          "count";
+}
+
+TEST(SessionStress, BatchedServerShutdownUnderOpenLoopLoad) {
+  // Open-loop submitters race stop() while batches are in flight: the
+  // drain contract says every future whose try_submit succeeded is
+  // fulfilled -- by a served, failed, or expired response -- never
+  // abandoned (a std::future_error from get() would mean a worker
+  // dropped a claimed task on the floor).
+  serve::GraphRoster roster;
+  roster.add("alpha", planted(kMasterSeed ^ 0xD4, 380));
+  roster.add("beta", planted(kMasterSeed ^ 0xE5, 320));
+
+  serve::ServerOptions options;
+  options.workers = 3;
+  options.queue_capacity = 16;
+  options.batch_max = 8;
+  options.batch_window_us = 500;
+  serve::MatchServer server(roster, options);
+
+  constexpr int kSubmitters = 5;
+  constexpr int kPerSubmitter = 40;
+  std::vector<std::vector<std::future<serve::MatchResponse>>> accepted(
+      kSubmitters);
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      Xoshiro256 rng(kMasterSeed ^ static_cast<std::uint64_t>(0xD0 + s));
+      for (int r = 0; r < kPerSubmitter; ++r) {
+        serve::MatchRequest request;
+        request.graph = rng.below(2) == 0 ? "alpha" : "beta";
+        if (rng.below(4) == 0) request.deadline_ms = 1;  // may expire
+        std::future<serve::MatchResponse> pending;
+        if (server.try_submit(std::move(request), pending)) {
+          accepted[static_cast<std::size_t>(s)].push_back(
+              std::move(pending));
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  server.stop();
+  for (std::thread& submitter : submitters) submitter.join();
+
+  std::uint64_t total_accepted = 0;
+  std::uint64_t served = 0;
+  for (auto& futures : accepted) {
+    for (auto& future : futures) {
+      ++total_accepted;
+      ASSERT_NO_THROW({
+        const serve::MatchResponse response = future.get();
+        if (response.ok) {
+          ++served;
+          EXPECT_EQ(response.cardinality, response.maximum);
+        } else {
+          EXPECT_TRUE(response.expired || !response.error.empty());
+        }
+      });
+    }
+  }
+  const serve::ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.accepted, total_accepted);
+  EXPECT_EQ(counters.completed + counters.failed + counters.expired,
+            counters.accepted);
+  EXPECT_EQ(counters.completed, served);
 }
 
 }  // namespace

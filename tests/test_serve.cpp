@@ -1,16 +1,23 @@
 // Tests for the serving layer (src/graftmatch/serve/): the bounded
-// admission queue, the key=value wire protocol and its framing, the
-// graph roster with its load-time oracle, the MatchServer lifecycle
-// (admission control, per-session workers, cardinality audit, error
-// responses), and the Unix-domain-socket front end running end to end.
+// admission queue (including the batching primitives extract_if and
+// wait_push_until), the key=value wire protocol and its framing
+// (exact double round-trips, control-character rejection in request
+// fields), the graph roster with its load-time oracle, the MatchServer
+// lifecycle (admission control, batching/coalescing, deadline
+// enforcement at admission and dispatch, per-session workers,
+// cardinality audit, error responses), and the Unix-domain-socket
+// front end running end to end (including connection churn: fds
+// deregister before close and finished threads are reaped).
 //
 // Carries the `serve` label so CI can select the serving battery on
-// its own (the TSan leg runs it alongside the stress tier).
+// its own (the TSan and asan+ubsan legs run it alongside the stress
+// tier).
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <future>
 #include <string>
 #include <thread>
@@ -18,6 +25,7 @@
 
 #include "graftmatch/baselines/hopcroft_karp.hpp"
 #include "graftmatch/gen/planted.hpp"
+#include "graftmatch/serve/batch.hpp"
 #include "graftmatch/serve/bounded_queue.hpp"
 #include "graftmatch/serve/protocol.hpp"
 #include "graftmatch/serve/roster.hpp"
@@ -80,6 +88,67 @@ TEST(BoundedQueue, CloseWakesBlockedConsumer) {
   });
   queue.close();
   consumer.join();
+}
+
+TEST(BoundedQueue, ExtractIfClaimsMatchesAndPreservesTheRest) {
+  BoundedQueue<int> queue(8);
+  for (const int value : {1, 2, 3, 4, 5, 6}) {
+    ASSERT_TRUE(queue.try_push(int{value}));
+  }
+  std::vector<int> evens;
+  EXPECT_EQ(queue.extract_if([](int v) { return v % 2 == 0; }, evens, 2), 2u)
+      << "honors the max";
+  EXPECT_EQ(evens, (std::vector<int>{2, 4}));
+  EXPECT_EQ(queue.extract_if([](int v) { return v % 2 == 0; }, evens, 8), 1u);
+  EXPECT_EQ(evens, (std::vector<int>{2, 4, 6}));
+
+  // The odd items kept their relative order.
+  int out = 0;
+  for (const int expected : {1, 3, 5}) {
+    ASSERT_TRUE(queue.pop(out));
+    EXPECT_EQ(out, expected);
+  }
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueue, WaitPushUntilSeesNewPushesAndTimesOutQuietly) {
+  using clock = std::chrono::steady_clock;
+  BoundedQueue<int> queue(4);
+  const std::uint64_t seen = queue.push_sequence();
+
+  // Nothing arrives: the wait ends at the deadline with the sequence
+  // unchanged -- the "stop extending the window" signal.
+  EXPECT_EQ(queue.wait_push_until(seen,
+                                  clock::now() + std::chrono::milliseconds(5)),
+            seen);
+
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_TRUE(queue.try_push(7));
+  });
+  const std::uint64_t after =
+      queue.wait_push_until(seen, clock::now() + std::chrono::seconds(10));
+  producer.join();
+  EXPECT_GT(after, seen) << "a new push ends the wait early";
+
+  // Close also ends the wait, again leaving the sequence unchanged.
+  queue.close();
+  const std::uint64_t current = queue.push_sequence();
+  EXPECT_EQ(queue.wait_push_until(current,
+                                  clock::now() + std::chrono::seconds(10)),
+            current);
+}
+
+TEST(BatchKey, GroupsOnSolveIdentityNotThreads) {
+  MatchRequest a;
+  a.graph = "alpha";
+  MatchRequest b = a;
+  b.threads = 8;  // width is an execution hint, not part of the answer
+  EXPECT_EQ(batch_key(a), batch_key(b));
+
+  MatchRequest c = a;
+  c.reduce = "d1";
+  EXPECT_FALSE(batch_key(a) == batch_key(c));
 }
 
 TEST(Protocol, RequestRoundTrip) {
@@ -161,6 +230,101 @@ TEST(Protocol, EncoderSanitizesNewlines) {
   ASSERT_TRUE(decode_response(encode_response(response), decoded, error))
       << error;
   EXPECT_EQ(decoded.error, "line one line two");
+}
+
+TEST(Protocol, DoubleRoundTripIsExact) {
+  // The `seconds` a client reads must be bit-for-bit the value the
+  // server measured. The old 6-significant-digit ostream encoding
+  // fails every case below.
+  for (const double seconds :
+       {0.1234567890123456, 1.0 / 3.0, 9876.543219876543, 5.4321e-9,
+        123456.78901234567}) {
+    MatchResponse response;
+    response.ok = true;
+    response.seconds = seconds;
+    MatchResponse decoded;
+    std::string error;
+    ASSERT_TRUE(decode_response(encode_response(response), decoded, error))
+        << error;
+    EXPECT_EQ(decoded.seconds, seconds) << "lossy encode of " << seconds;
+  }
+}
+
+TEST(Protocol, DoubleDecodingIsStrict) {
+  MatchResponse decoded;
+  std::string error;
+  // Trailing junk, hex floats, and inf/nan spellings must all be
+  // rejected, not locale-/parser-dependently half-accepted.
+  for (const char* bad : {"1.5x", "0x1p3", "inf", "nan", "1,5", ""}) {
+    EXPECT_FALSE(decode_response(std::string("ok=1\nseconds=") + bad + "\n",
+                                 decoded, error))
+        << "accepted seconds=" << bad;
+  }
+}
+
+TEST(Protocol, RequestFieldsRejectControlCharacters) {
+  // A graph named "a\nb" must fail loudly at encode time -- the old
+  // sanitizer rewrote it to "a b", so the server looked up (and
+  // reported errors about) a name the client never sent.
+  MatchRequest request;
+  request.graph = "a\nb";
+  EXPECT_THROW(encode_request(request), std::invalid_argument);
+  request.graph = "alpha";
+  request.solver = "gra\rft";
+  EXPECT_THROW(encode_request(request), std::invalid_argument);
+  request.solver = "graft";
+  request.initializer = "k\ts";
+  EXPECT_THROW(encode_request(request), std::invalid_argument);
+  request.initializer = "ks";
+  request.reduce = std::string("d1\x01", 3);
+  EXPECT_THROW(encode_request(request), std::invalid_argument);
+  request.reduce = "none";
+  request.shard = "dm\x7f";
+  EXPECT_THROW(encode_request(request), std::invalid_argument);
+  request.shard = "none";
+  EXPECT_NO_THROW(encode_request(request)) << "clean fields encode fine";
+
+  // Decode side: a hand-built payload smuggling a control character
+  // into a lookup field is a decode error, not a silent rewrite.
+  MatchRequest decoded;
+  std::string error;
+  EXPECT_FALSE(decode_request("graph=a\tb\n", decoded, error));
+  EXPECT_FALSE(decode_request("graph=g\nsolver=p\x01f\n", decoded, error));
+  EXPECT_TRUE(decode_request("graph=g\n", decoded, error)) << error;
+}
+
+TEST(Protocol, DeadlineAndBatchFieldsRoundTrip) {
+  MatchRequest request;
+  request.graph = "alpha";
+  request.deadline_ms = 750;
+  MatchRequest decoded_request;
+  std::string error;
+  ASSERT_TRUE(
+      decode_request(encode_request(request), decoded_request, error))
+      << error;
+  EXPECT_EQ(decoded_request.deadline_ms, 750);
+
+  // No deadline -> the field is not even emitted (old peers never see
+  // it).
+  request.deadline_ms = 0;
+  EXPECT_EQ(encode_request(request).find("deadline_ms"), std::string::npos);
+
+  MatchResponse response;
+  response.ok = false;
+  response.expired = true;
+  response.error = "deadline exceeded (750 ms) before dispatch";
+  response.batch = 5;
+  MatchResponse decoded_response;
+  ASSERT_TRUE(
+      decode_response(encode_response(response), decoded_response, error))
+      << error;
+  EXPECT_TRUE(decoded_response.expired);
+  EXPECT_EQ(decoded_response.batch, 5);
+
+  // Defaults when the fields are absent (an old server's response).
+  ASSERT_TRUE(decode_response("ok=1\n", decoded_response, error)) << error;
+  EXPECT_FALSE(decoded_response.expired);
+  EXPECT_EQ(decoded_response.batch, 1);
 }
 
 TEST(Protocol, FramesRoundTripOverSocketpair) {
@@ -373,6 +537,242 @@ TEST(MatchServer, StopAnswersPendingRequests) {
   EXPECT_TRUE(response.ok) << response.error;
 }
 
+TEST(MatchServer, CoalescesSameKeyBacklogIntoOneSolve) {
+  const GraphRoster roster = small_roster();
+  ServerOptions options;
+  options.workers = 1;
+  options.autostart = false;  // queue the whole group before any drain
+  options.batch_max = 16;
+  MatchServer server(roster, options);
+
+  MatchRequest request;
+  request.graph = "alpha";
+  constexpr std::size_t kGroup = 4;
+  std::vector<std::future<MatchResponse>> pending(kGroup);
+  for (auto& future : pending) {
+    ASSERT_TRUE(server.try_submit(request, future));
+  }
+  server.start();
+
+  for (auto& future : pending) {
+    const MatchResponse response = future.get();
+    EXPECT_TRUE(response.ok) << response.error;
+    EXPECT_EQ(response.cardinality,
+              roster.find("alpha")->maximum_cardinality);
+    EXPECT_EQ(response.batch, static_cast<int>(kGroup))
+        << "every member rode the same solve";
+  }
+  const ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.batches, 1u) << "one dispatch for the whole group";
+  EXPECT_EQ(counters.coalesced, kGroup);
+  EXPECT_EQ(counters.completed, kGroup);
+}
+
+TEST(MatchServer, MixedKeysSplitIntoPerKeyBatches) {
+  const GraphRoster roster = small_roster();
+  ServerOptions options;
+  options.workers = 1;
+  options.autostart = false;
+  options.batch_window_us = 0;  // claim only what is already queued
+  MatchServer server(roster, options);
+
+  // Interleaved keys: alpha, beta, alpha, beta. Coalescing must group
+  // by key, not by queue adjacency.
+  std::vector<std::future<MatchResponse>> pending(4);
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    MatchRequest request;
+    request.graph = i % 2 == 0 ? "alpha" : "beta";
+    ASSERT_TRUE(server.try_submit(std::move(request), pending[i]));
+  }
+  server.start();
+
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const MatchResponse response = pending[i].get();
+    const std::string expected = i % 2 == 0 ? "alpha" : "beta";
+    EXPECT_TRUE(response.ok) << response.error;
+    EXPECT_EQ(response.graph, expected) << "answer matches the request key";
+    EXPECT_EQ(response.cardinality,
+              roster.find(expected)->maximum_cardinality);
+    EXPECT_EQ(response.batch, 2);
+  }
+  EXPECT_EQ(server.counters().batches, 2u);
+}
+
+TEST(MatchServer, BatchMaxOneDisablesCoalescing) {
+  const GraphRoster roster = small_roster();
+  ServerOptions options;
+  options.workers = 1;
+  options.autostart = false;
+  options.batch_max = 1;
+  MatchServer server(roster, options);
+
+  MatchRequest request;
+  request.graph = "beta";
+  std::vector<std::future<MatchResponse>> pending(3);
+  for (auto& future : pending) {
+    ASSERT_TRUE(server.try_submit(request, future));
+  }
+  server.start();
+  for (auto& future : pending) {
+    const MatchResponse response = future.get();
+    EXPECT_TRUE(response.ok) << response.error;
+    EXPECT_EQ(response.batch, 1);
+  }
+  const ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.batches, 3u) << "one solve per request";
+  EXPECT_EQ(counters.coalesced, 0u);
+}
+
+TEST(MatchServer, DeadlinePassedInQueueYieldsExpiredResponse) {
+  const GraphRoster roster = small_roster();
+  ServerOptions options;
+  options.workers = 1;
+  options.autostart = false;  // hold the request in the queue past its
+                              // deadline
+  MatchServer server(roster, options);
+
+  MatchRequest request;
+  request.graph = "alpha";
+  request.deadline_ms = 1;
+  std::future<MatchResponse> pending;
+  ASSERT_TRUE(server.try_submit(std::move(request), pending));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.start();
+
+  const MatchResponse response = pending.get();
+  EXPECT_FALSE(response.ok);
+  EXPECT_TRUE(response.expired);
+  EXPECT_FALSE(response.rejected) << "expiry is not an admission rejection";
+  EXPECT_NE(response.error.find("deadline exceeded"), std::string::npos)
+      << response.error;
+
+  const ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.expired, 1u);
+  EXPECT_EQ(counters.completed, 0u) << "nothing was solved";
+  EXPECT_EQ(counters.accepted, counters.completed + counters.failed +
+                                   counters.expired);
+}
+
+TEST(MatchServer, ExpiredMembersDoNotPoisonTheirBatch) {
+  const GraphRoster roster = small_roster();
+  ServerOptions options;
+  options.workers = 1;
+  options.autostart = false;
+  MatchServer server(roster, options);
+
+  MatchRequest doomed;
+  doomed.graph = "alpha";
+  doomed.deadline_ms = 1;
+  MatchRequest fine;
+  fine.graph = "alpha";  // same key: both land in one batch
+  std::future<MatchResponse> doomed_pending, fine_pending;
+  ASSERT_TRUE(server.try_submit(std::move(doomed), doomed_pending));
+  ASSERT_TRUE(server.try_submit(std::move(fine), fine_pending));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.start();
+
+  const MatchResponse expired = doomed_pending.get();
+  EXPECT_TRUE(expired.expired);
+  const MatchResponse served = fine_pending.get();
+  EXPECT_TRUE(served.ok) << served.error;
+  EXPECT_EQ(served.cardinality, roster.find("alpha")->maximum_cardinality);
+  EXPECT_EQ(served.batch, 1) << "the expired member left a group of one";
+}
+
+TEST(MatchServer, AdmissionGateRejectsUnmeetableDeadlines) {
+  const GraphRoster roster = small_roster();
+  ServerOptions options;
+  options.workers = 1;
+  options.autostart = false;
+  options.queue_capacity = 16;
+  // Deterministic gate: pretend each request takes 50 ms, so 4 queued
+  // requests imply a 200 ms backlog.
+  options.assumed_service_ms = 50.0;
+  MatchServer server(roster, options);
+  EXPECT_DOUBLE_EQ(server.service_estimate_ms(), 50.0);
+
+  MatchRequest request;
+  request.graph = "alpha";
+  std::vector<std::future<MatchResponse>> backlog(4);
+  for (auto& future : backlog) {
+    ASSERT_TRUE(server.try_submit(request, future));
+  }
+
+  MatchRequest tight;
+  tight.graph = "alpha";
+  tight.deadline_ms = 10;  // backlog says ~200 ms: hopeless
+  std::future<MatchResponse> rejected_future;
+  std::string reason;
+  EXPECT_FALSE(server.try_submit(tight, rejected_future, &reason));
+  EXPECT_NE(reason.find("unmeetable"), std::string::npos) << reason;
+
+  MatchRequest roomy;
+  roomy.graph = "alpha";
+  roomy.deadline_ms = 10'000;  // plenty of headroom: admitted
+  std::future<MatchResponse> admitted;
+  EXPECT_TRUE(server.try_submit(std::move(roomy), admitted));
+
+  EXPECT_EQ(server.counters().rejected, 1u);
+  server.start();  // drain so every accepted future resolves
+  for (auto& future : backlog) {
+    EXPECT_TRUE(future.get().ok);
+  }
+  EXPECT_TRUE(admitted.get().ok);
+}
+
+TEST(MatchServer, StopUnderLoadFulfillsEveryAcceptedPromise) {
+  const GraphRoster roster = small_roster();
+  ServerOptions options;
+  options.workers = 2;
+  options.queue_capacity = 8;  // small: submitters race a shrinking door
+  MatchServer server(roster, options);
+
+  // Four submitters race stop(): every future whose try_submit said
+  // "accepted" must still resolve to a real response -- a broken
+  // promise (std::future_error on get) means stop() dropped work it
+  // had admitted.
+  constexpr int kSubmitters = 4;
+  constexpr int kPerSubmitter = 12;
+  std::vector<std::vector<std::future<MatchResponse>>> accepted(kSubmitters);
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int r = 0; r < kPerSubmitter; ++r) {
+        MatchRequest request;
+        request.graph = s % 2 == 0 ? "alpha" : "beta";
+        if (r % 3 == 0) request.deadline_ms = 1;  // some will expire
+        std::future<MatchResponse> pending;
+        if (server.try_submit(std::move(request), pending)) {
+          accepted[static_cast<std::size_t>(s)].push_back(
+              std::move(pending));
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  server.stop();  // races the submitters AND the in-flight batches
+  for (std::thread& submitter : submitters) submitter.join();
+
+  std::size_t total_accepted = 0;
+  for (auto& futures : accepted) {
+    for (auto& future : futures) {
+      ++total_accepted;
+      ASSERT_NO_THROW({
+        const MatchResponse response = future.get();
+        // ok, failed, or expired are all legitimate; silence is not.
+        if (!response.ok) {
+          EXPECT_TRUE(!response.error.empty() || response.expired);
+        }
+      });
+    }
+  }
+  const ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.accepted, total_accepted);
+  EXPECT_EQ(counters.accepted,
+            counters.completed + counters.failed + counters.expired)
+      << "every accepted request is accounted for";
+}
+
 TEST(Uds, EndToEndOverRealSocket) {
   const GraphRoster roster = small_roster();
   MatchServer server(roster);
@@ -442,6 +842,120 @@ TEST(Uds, RestartAfterStopReusesPath) {
   ASSERT_TRUE(client.request(request, response, error)) << error;
   EXPECT_TRUE(response.ok) << response.error;
   second.stop();
+}
+
+TEST(Uds, ClientRefusesRequestWithControlCharacters) {
+  const GraphRoster roster = small_roster();
+  MatchServer server(roster);
+  UdsServer uds(server, "test_serve_uds_ctrl.sock");
+  std::string error;
+  ASSERT_TRUE(uds.start(error)) << error;
+
+  UdsClient client;
+  ASSERT_TRUE(client.connect("test_serve_uds_ctrl.sock", error)) << error;
+  MatchRequest request;
+  request.graph = "al\npha";  // would have been looked up as "al pha"
+  MatchResponse response;
+  EXPECT_FALSE(client.request(request, response, error));
+  EXPECT_NE(error.find("control character"), std::string::npos) << error;
+
+  // The connection survives the refused request (nothing was sent).
+  request.graph = "alpha";
+  ASSERT_TRUE(client.request(request, response, error)) << error;
+  EXPECT_TRUE(response.ok) << response.error;
+  uds.stop();
+}
+
+TEST(Uds, ConnectionChurnDeregistersAndReaps) {
+  const GraphRoster roster = small_roster();
+  MatchServer server(roster);
+  UdsServer uds(server, "test_serve_uds_churn.sock");
+  std::string error;
+  ASSERT_TRUE(uds.start(error)) << error;
+
+  // Rapid connect/request/disconnect cycles: every serving thread must
+  // deregister its fd (before closing it) and get reaped by the accept
+  // loop -- the old server grew one dead thread per connection forever.
+  constexpr int kChurn = 24;
+  for (int i = 0; i < kChurn; ++i) {
+    UdsClient client;
+    ASSERT_TRUE(client.connect("test_serve_uds_churn.sock", error)) << error;
+    MatchRequest request;
+    request.graph = i % 2 == 0 ? "alpha" : "beta";
+    MatchResponse response;
+    ASSERT_TRUE(client.request(request, response, error)) << error;
+    EXPECT_TRUE(response.ok) << response.error;
+    client.close();
+  }
+
+  // The accept loop reaps on every poll tick (<= 100 ms apart); after
+  // all clients are gone the tracked set must drain to zero.
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (uds.tracked_connections() > 0 &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(uds.tracked_connections(), 0u)
+      << "finished connections were never reaped";
+
+  // And the server still accepts fresh connections afterwards.
+  UdsClient client;
+  ASSERT_TRUE(client.connect("test_serve_uds_churn.sock", error)) << error;
+  MatchRequest request;
+  request.graph = "alpha";
+  MatchResponse response;
+  ASSERT_TRUE(client.request(request, response, error)) << error;
+  EXPECT_TRUE(response.ok) << response.error;
+  uds.stop();
+  EXPECT_EQ(uds.tracked_connections(), 0u);
+}
+
+TEST(Uds, BatchedRequestsOverSocketCarryGroupSize) {
+  const GraphRoster roster = small_roster();
+  ServerOptions options;
+  options.workers = 1;
+  options.batch_max = 8;
+  options.batch_window_us = 50'000;  // generous: socket clients arrive
+                                     // far apart compared to in-process
+  MatchServer server(roster, options);
+  UdsServer uds(server, "test_serve_uds_batch.sock");
+  std::string error;
+  ASSERT_TRUE(uds.start(error)) << error;
+
+  // Several socket clients issue the same request concurrently; the
+  // responses must be correct regardless of how the window groups them,
+  // and each must report a plausible group size.
+  constexpr int kClients = 4;
+  std::vector<std::thread> clients;
+  std::vector<int> batch_seen(kClients, 0);
+  std::vector<int> failures(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      UdsClient client;
+      std::string client_error;
+      if (!client.connect("test_serve_uds_batch.sock", client_error)) {
+        ++failures[static_cast<std::size_t>(c)];
+        return;
+      }
+      MatchRequest request;
+      request.graph = "alpha";
+      MatchResponse response;
+      if (!client.request(request, response, client_error) || !response.ok ||
+          response.cardinality != roster.find("alpha")->maximum_cardinality) {
+        ++failures[static_cast<std::size_t>(c)];
+        return;
+      }
+      batch_seen[static_cast<std::size_t>(c)] = response.batch;
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[static_cast<std::size_t>(c)], 0) << "client " << c;
+    EXPECT_GE(batch_seen[static_cast<std::size_t>(c)], 1);
+    EXPECT_LE(batch_seen[static_cast<std::size_t>(c)], kClients);
+  }
+  uds.stop();
 }
 
 }  // namespace
