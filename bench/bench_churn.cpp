@@ -1,0 +1,199 @@
+// Dynamic matching under edge churn: when does incremental
+// re-augmentation beat re-solving from scratch?
+//
+// For every suite instance and a sweep of batch sizes, replays the SAME
+// sliding-window churn stream (remove a batch of live edges, re-add it)
+// through two arms:
+//   incremental: DynamicMatcher with the default staleness gate, so
+//                batches are absorbed by localized alternating-BFS
+//                re-augmentation and the engine re-solve only fires
+//                when the delta fraction trips
+//   resolve    : DynamicMatcher with staleness_delta_fraction = 0, so
+//                EVERY batch falls through to a full engine re-solve on
+//                the compacted graph -- the "just re-run the solver"
+//                baseline with identical overlay bookkeeping
+// Both arms see identical live edge sets after every batch, so their
+// cardinalities must agree batch by batch, and the final matching must
+// hit the instance's true maximum (the live set returns to the input
+// graph). Any mismatch exits non-zero -- the smoke run is a
+// correctness gate, not just a timing.
+//
+// Knobs: GRAFTMATCH_BATCH pins one batch size (default sweeps 1, 4,
+// 16, 64, 256), GRAFTMATCH_BATCHES sets remove+re-add rounds per cell,
+// GRAFTMATCH_WINDOW localizes churn to a fraction of the edge list.
+// The CSV artifact (bench_churn.csv) carries the full crossover curve;
+// docs/DYNAMIC.md records measured numbers.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graftmatch/runtime/prng.hpp"
+
+namespace {
+
+using namespace graftmatch;
+
+struct ArmResult {
+  double seconds = 0.0;
+  std::int64_t final_cardinality = 0;
+  std::int64_t resolves = 0;
+  std::int64_t reaugment_paths = 0;
+  bool parity = true;  ///< arm-vs-arm cardinality equal after every batch
+};
+
+/// Replay `stream` (pairs of remove-then-re-add batches) through a
+/// matcher; `other` (when non-null) is the already-computed cardinality
+/// trajectory of the other arm, checked batch by batch.
+ArmResult replay(SessionContext& session, const BipartiteGraph& g,
+                 const dynamic::DynamicConfig& config,
+                 const std::vector<std::vector<Edge>>& stream,
+                 const std::vector<std::int64_t>* other,
+                 std::vector<std::int64_t>* trajectory) {
+  ArmResult result;
+  dynamic::DynamicMatcher matcher(session, g, config);
+  const Timer timer;
+  for (std::size_t b = 0; b < stream.size(); ++b) {
+    matcher.remove_edges(stream[b]);
+    matcher.add_edges(stream[b]);
+    const std::int64_t card = matcher.cardinality();
+    if (trajectory != nullptr) trajectory->push_back(card);
+    if (other != nullptr && (*other)[b] != card) result.parity = false;
+  }
+  result.seconds = timer.elapsed();
+  result.final_cardinality = matcher.cardinality();
+  const RunStats stats = matcher.stats();
+  result.resolves = stats.dynamic.resolves;
+  result.reaugment_paths = stats.dynamic.reaugment_paths;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace graftmatch::bench;
+  bench_entry(argc, argv, "bench_churn",
+              "incremental dynamic matching vs per-batch full re-solve "
+              "under sliding-window edge churn");
+
+  const int rounds = churn_batch_count(32);
+  const double window_fraction = churn_window_fraction(0.1);
+  std::vector<int> batch_sizes = {1, 4, 16, 64, 256};
+  if (churn_batch_size() > 0) batch_sizes = {churn_batch_size()};
+  std::printf("churn     : %d remove+re-add rounds per cell, window %.3g "
+              "of the edge list, batch sizes",
+              rounds, window_fraction);
+  for (const int b : batch_sizes) std::printf(" %d", b);
+  std::printf("\n\n");
+
+  CsvWriter csv("bench_churn",
+                {"instance", "class", "nx", "ny", "edges", "batch", "rounds",
+                 "updates", "incremental_seconds", "resolve_seconds",
+                 "incremental_updates_per_s", "resolve_updates_per_s",
+                 "speedup", "incremental_resolves", "reaugment_paths",
+                 "cardinality"});
+
+  bool all_consistent = true;
+  std::printf("%-18s %7s %11s %13s %13s %8s\n", "instance", "batch",
+              "updates", "incremental", "resolve", "speedup");
+  for (const Workload& w : make_suite_workloads(false)) {
+    if (!instance_selected(w.name)) continue;
+    if (w.graph.num_edges() == 0) continue;
+    const std::int64_t maximum = maximum_matching_cardinality(w.graph);
+    double crossover = -1.0;  // first batch size where re-solve wins
+    for (const int batch : batch_sizes) {
+      // One deterministic stream per cell: a seeded shuffle localizes
+      // the churn window, then `rounds` consecutive batches cycle
+      // through it. Both arms replay exactly these edges.
+      std::vector<Edge> edges = w.graph.to_edges().edges;
+      Xoshiro256 rng(seed() ^ static_cast<std::uint64_t>(batch));
+      for (std::size_t i = edges.size(); i > 1; --i) {
+        std::swap(edges[rng.below(i)], edges[i - 1]);
+      }
+      const std::size_t window = std::max<std::size_t>(
+          static_cast<std::size_t>(batch),
+          std::min(edges.size(),
+                   static_cast<std::size_t>(
+                       window_fraction *
+                       static_cast<double>(edges.size()))));
+      std::vector<std::vector<Edge>> stream;
+      std::size_t cursor = 0;
+      for (int r = 0; r < rounds; ++r) {
+        std::vector<Edge> b;
+        for (int k = 0; k < batch; ++k) {
+          b.push_back(edges[cursor]);
+          cursor = (cursor + 1) % window;
+        }
+        stream.push_back(std::move(b));
+      }
+
+      SessionContext session;
+      dynamic::DynamicConfig incremental;
+      incremental.run.threads = thread_override();
+      incremental.run.seed = seed();
+      dynamic::DynamicConfig resolve = incremental;
+      resolve.staleness_delta_fraction = 0.0;  // re-solve every batch
+
+      std::vector<std::int64_t> trajectory;
+      const ArmResult inc = replay(session, w.graph, incremental, stream,
+                                   nullptr, &trajectory);
+      const ArmResult res =
+          replay(session, w.graph, resolve, stream, &trajectory, nullptr);
+
+      const auto updates = static_cast<std::int64_t>(2 * batch) * rounds;
+      const double inc_ups = inc.seconds > 0.0
+                                 ? static_cast<double>(updates) / inc.seconds
+                                 : 0.0;
+      const double res_ups = res.seconds > 0.0
+                                 ? static_cast<double>(updates) / res.seconds
+                                 : 0.0;
+      const double speedup =
+          inc.seconds > 0.0 ? res.seconds / inc.seconds : 0.0;
+      if (speedup < 1.0 && crossover < 0.0) crossover = batch;
+
+      // The gate: arms agree after every batch, and the final matching
+      // (live set back to the input graph) is a true maximum.
+      if (!res.parity || inc.final_cardinality != maximum ||
+          res.final_cardinality != maximum) {
+        std::fprintf(stderr,
+                     "CARDINALITY MISMATCH on %s batch %d: incremental "
+                     "%lld, resolve %lld, maximum %lld, parity %s\n",
+                     w.name.c_str(), batch,
+                     static_cast<long long>(inc.final_cardinality),
+                     static_cast<long long>(res.final_cardinality),
+                     static_cast<long long>(maximum),
+                     res.parity ? "ok" : "BROKEN");
+        all_consistent = false;
+      }
+
+      std::printf("%-18s %7d %11lld %11.0f/s %11.0f/s %7.2fx\n",
+                  w.name.c_str(), batch, static_cast<long long>(updates),
+                  inc_ups, res_ups, speedup);
+      csv.row({w.name, to_string(w.graph_class),
+               CsvWriter::cell(static_cast<std::int64_t>(w.graph.num_x())),
+               CsvWriter::cell(static_cast<std::int64_t>(w.graph.num_y())),
+               CsvWriter::cell(w.graph.num_edges()),
+               CsvWriter::cell(static_cast<std::int64_t>(batch)),
+               CsvWriter::cell(static_cast<std::int64_t>(rounds)),
+               CsvWriter::cell(updates), CsvWriter::cell(inc.seconds),
+               CsvWriter::cell(res.seconds), CsvWriter::cell(inc_ups),
+               CsvWriter::cell(res_ups), CsvWriter::cell(speedup),
+               CsvWriter::cell(inc.resolves),
+               CsvWriter::cell(inc.reaugment_paths),
+               CsvWriter::cell(inc.final_cardinality)});
+    }
+    if (batch_sizes.size() > 1) {
+      if (crossover < 0.0) {
+        std::printf("%-18s crossover: none (incremental wins at every "
+                    "batch size)\n",
+                    w.name.c_str());
+      } else {
+        std::printf("%-18s crossover: re-solve catches up at batch %g\n",
+                    w.name.c_str(), crossover);
+      }
+    }
+  }
+  std::printf("\ncsv: %s\n", csv.path().c_str());
+  return all_consistent ? 0 : 1;
+}

@@ -32,6 +32,7 @@ double env_double(const char* name, double fallback) {
   std::fprintf(stderr,
                "unknown argument '%s'\n"
                "usage: %s [--seed N] [--threads N] [--size F] [--runs N]\n"
+               "          [--batch B] [--batches N] [--window F]\n"
                "          [--init %s]\n"
                "          [--reduce none|d1|d1d2] [--shard none|dm] "
                "[--solver NAME]\n"
@@ -54,6 +55,12 @@ void validate_flag_value(const char* flag, const char* value) {
     cli::parse_int_arg(flag, value, 1, 1000000);
   } else if (name == "--size") {
     cli::parse_double_arg(flag, value, 1e-9, 1e9);
+  } else if (name == "--batch") {
+    cli::parse_int_arg(flag, value, 1, 1 << 24);
+  } else if (name == "--batches") {
+    cli::parse_int_arg(flag, value, 1, 1000000);
+  } else if (name == "--window") {
+    cli::parse_double_arg(flag, value, 1e-9, 1.0);
   } else if (name == "--reduce") {
     ReduceMode mode;
     if (!parse_reduce_mode(value, mode)) {
@@ -83,6 +90,9 @@ void apply_cli_overrides(int argc, char** argv) {
       {"--threads", "GRAFTMATCH_THREADS"},
       {"--size", "GRAFTMATCH_SIZE"},
       {"--runs", "GRAFTMATCH_RUNS"},
+      {"--batch", "GRAFTMATCH_BATCH"},
+      {"--batches", "GRAFTMATCH_BATCHES"},
+      {"--window", "GRAFTMATCH_WINDOW"},
       {"--init", "GRAFTMATCH_INIT"},
       {"--reduce", "GRAFTMATCH_REDUCE"},
       {"--shard", "GRAFTMATCH_SHARD"},
@@ -149,6 +159,19 @@ bool instance_selected(const std::string& name) {
   const char* filter = std::getenv("GRAFTMATCH_ONLY");
   if (filter == nullptr || filter[0] == '\0') return true;
   return name.find(filter) != std::string::npos;
+}
+
+int churn_batch_size() {
+  return static_cast<int>(env_double("GRAFTMATCH_BATCH", 0.0));
+}
+
+int churn_batch_count(int fallback) {
+  return static_cast<int>(
+      env_double("GRAFTMATCH_BATCHES", static_cast<double>(fallback)));
+}
+
+double churn_window_fraction(double fallback) {
+  return env_double("GRAFTMATCH_WINDOW", fallback);
 }
 
 ReduceMode reduce_mode() {

@@ -34,6 +34,14 @@
 //   GRAFTMATCH_ONLY    -- substring filter on instance names; benches
 //                         that honor it skip non-matching workloads
 //                         (empty/unset = run everything).
+//   GRAFTMATCH_BATCH   -- edges per churn batch for bench_churn
+//                         (unset = the bench's default batch-size
+//                         sweep 1,4,16,64,256).
+//   GRAFTMATCH_BATCHES -- churn batches per (instance, batch-size)
+//                         cell (default: per-bench).
+//   GRAFTMATCH_WINDOW  -- fraction of each instance's edges cycled by
+//                         the churn window, in (0, 1] (default:
+//                         per-bench).
 #pragma once
 
 #include <cstdint>
@@ -88,6 +96,18 @@ std::string solver_name(const std::string& fallback);
 /// Substring filter on instance names from GRAFTMATCH_ONLY / --only.
 /// Returns true when `name` should run (empty filter matches all).
 bool instance_selected(const std::string& name);
+
+/// Edges per churn batch from GRAFTMATCH_BATCH / --batch
+/// (0 = unset: the bench runs its default batch-size sweep).
+int churn_batch_size();
+
+/// Churn batches per cell from GRAFTMATCH_BATCHES / --batches
+/// (default `fallback`).
+int churn_batch_count(int fallback);
+
+/// Churn-window fraction from GRAFTMATCH_WINDOW / --window, clamped by
+/// the flag parser to (0, 1] (default `fallback`).
+double churn_window_fraction(double fallback);
 
 /// Kernelization mode from GRAFTMATCH_REDUCE / --reduce (default
 /// kNone). Unknown values print an error and exit(2).

@@ -197,6 +197,27 @@ std::string run_stats_json(const RunStats& stats) {
     append_number(out, sh.stitch_seconds);
     out << "}";
   }
+  if (stats.dynamic.collected) {
+    const DynamicCounters& d = stats.dynamic;
+    out << ",\"dynamic\":{\"batches\":" << d.batches
+        << ",\"edges_added\":" << d.edges_added
+        << ",\"edges_removed\":" << d.edges_removed
+        << ",\"direct_matches\":" << d.direct_matches
+        << ",\"reaugment_searches\":" << d.reaugment_searches
+        << ",\"reaugment_paths\":" << d.reaugment_paths
+        << ",\"sweep_rounds\":" << d.sweep_rounds
+        << ",\"resolves\":" << d.resolves
+        << ",\"compactions\":" << d.compactions
+        << ",\"overlay_peak\":" << d.overlay_peak << ",\"apply_seconds\":";
+    append_number(out, d.apply_seconds);
+    out << ",\"reaugment_seconds\":";
+    append_number(out, d.reaugment_seconds);
+    out << ",\"compact_seconds\":";
+    append_number(out, d.compact_seconds);
+    out << ",\"resolve_seconds\":";
+    append_number(out, d.resolve_seconds);
+    out << "}";
+  }
   if (stats.bookkeeping.collected) {
     const BookkeepingCounters& b = stats.bookkeeping;
     out << ",\"bookkeeping\":{\"workspace_warm\":"

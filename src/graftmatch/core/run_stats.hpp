@@ -217,6 +217,28 @@ struct ShardCounters {
   double stitch_seconds = 0.0;      ///< remap back + audit
 };
 
+/// Counters from the incremental matcher (src/graftmatch/dynamic/).
+/// `collected` stays false on one-shot runs; the other fields are then
+/// meaningless. Stamped by dynamic::DynamicMatcher, accumulated over
+/// the matcher's whole lifetime (every batch since construction).
+struct DynamicCounters {
+  bool collected = false;
+  std::int64_t batches = 0;        ///< add/remove batches applied
+  std::int64_t edges_added = 0;    ///< edges actually inserted (deduped)
+  std::int64_t edges_removed = 0;  ///< edges actually erased (deduped)
+  std::int64_t direct_matches = 0;    ///< both-endpoints-free fast path
+  std::int64_t reaugment_searches = 0;  ///< localized BFS launched
+  std::int64_t reaugment_paths = 0;     ///< augmenting paths applied
+  std::int64_t sweep_rounds = 0;   ///< all-free-X sweeps after inserts
+  std::int64_t resolves = 0;       ///< staleness-triggered full re-solves
+  std::int64_t compactions = 0;    ///< overlay folded back into CSR
+  std::int64_t overlay_peak = 0;   ///< max overlay cost() observed
+  double apply_seconds = 0.0;      ///< overlay mutation (both batch kinds)
+  double reaugment_seconds = 0.0;  ///< localized searches + sweeps
+  double compact_seconds = 0.0;    ///< payoff-gated compactions
+  double resolve_seconds = 0.0;    ///< full re-solves via the registry
+};
+
 /// Wall-clock seconds per algorithm step (Fig. 6's categories).
 struct StepSeconds {
   double top_down = 0.0;
@@ -268,6 +290,10 @@ struct RunStats {
   /// engine::run_sharded when a sharded run happened; phases/edges/
   /// augmentations are then summed over the per-block solves.
   ShardCounters shard;
+
+  /// Incremental-matching counters (see DynamicCounters). Stamped by
+  /// dynamic::DynamicMatcher::stats(); lifetime-cumulative.
+  DynamicCounters dynamic;
 
   /// Filled when RunConfig::collect_frontier_trace is set.
   std::vector<FrontierSample> frontier_trace;

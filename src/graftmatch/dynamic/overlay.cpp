@@ -1,0 +1,165 @@
+#include "graftmatch/dynamic/overlay.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace graftmatch::dynamic {
+namespace {
+
+/// Insert `value` into a sorted row, keeping it sorted. Returns false
+/// when already present.
+bool sorted_insert(std::vector<vid_t>& row, vid_t value) {
+  const auto it = std::lower_bound(row.begin(), row.end(), value);
+  if (it != row.end() && *it == value) return false;
+  row.insert(it, value);
+  return true;
+}
+
+/// Remove `value` from a sorted row. Returns false when absent.
+bool sorted_erase(std::vector<vid_t>& row, vid_t value) {
+  const auto it = std::lower_bound(row.begin(), row.end(), value);
+  if (it == row.end() || *it != value) return false;
+  row.erase(it);
+  return true;
+}
+
+void check_endpoint(vid_t v, vid_t bound, const char* side) {
+  if (v < 0 || v >= bound) {
+    throw std::out_of_range(std::string("GraphOverlay: ") + side +
+                            " endpoint out of range");
+  }
+}
+
+}  // namespace
+
+GraphOverlay::GraphOverlay(BipartiteGraph base) : base_(std::move(base)) {
+  const auto words = [](std::int64_t bits) {
+    return static_cast<std::size_t>((bits + 63) / 64);
+  };
+  x_tomb_.assign(words(base_.num_edges()), 0u);
+  y_tomb_.assign(words(base_.num_edges()), 0u);
+  dead_x_.assign(static_cast<std::size_t>(base_.num_x()), 0);
+  dead_y_.assign(static_cast<std::size_t>(base_.num_y()), 0);
+  delta_x_.resize(static_cast<std::size_t>(base_.num_x()));
+  delta_y_.resize(static_cast<std::size_t>(base_.num_y()));
+}
+
+eid_t GraphOverlay::x_slot(vid_t x, vid_t y) const noexcept {
+  const auto offsets = base_.x_offsets();
+  const auto neighbors = base_.x_neighbors();
+  const auto xi = static_cast<std::size_t>(x);
+  const vid_t* first = neighbors.data() + offsets[xi];
+  const vid_t* last = neighbors.data() + offsets[xi + 1];
+  const vid_t* it = std::lower_bound(first, last, y);
+  if (it == last || *it != y) return -1;
+  return offsets[xi] + (it - first);
+}
+
+eid_t GraphOverlay::y_slot(vid_t y, vid_t x) const noexcept {
+  const auto offsets = base_.y_offsets();
+  const auto neighbors = base_.y_neighbors();
+  const auto yi = static_cast<std::size_t>(y);
+  const vid_t* first = neighbors.data() + offsets[yi];
+  const vid_t* last = neighbors.data() + offsets[yi + 1];
+  const vid_t* it = std::lower_bound(first, last, x);
+  if (it == last || *it != x) return -1;
+  return offsets[yi] + (it - first);
+}
+
+bool GraphOverlay::has_edge(vid_t x, vid_t y) const noexcept {
+  if (x < 0 || y < 0 || x >= num_x() || y >= num_y()) return false;
+  const eid_t slot = x_slot(x, y);
+  if (slot >= 0) return !x_dead(slot);
+  const auto& row = delta_x_[static_cast<std::size_t>(x)];
+  return std::binary_search(row.begin(), row.end(), y);
+}
+
+bool GraphOverlay::insert(vid_t x, vid_t y) {
+  check_endpoint(x, num_x(), "X");
+  check_endpoint(y, num_y(), "Y");
+  const eid_t xs = x_slot(x, y);
+  if (xs >= 0) {
+    if (!x_dead(xs)) return false;  // already live in the base
+    // Resurrect the tombstoned slot on both sides; the y-side slot
+    // exists whenever the x-side one does (the CSR is symmetric).
+    const eid_t ys = y_slot(y, x);
+    x_tomb_[static_cast<std::size_t>(xs >> 6)] &= ~(1ull << (xs & 63));
+    y_tomb_[static_cast<std::size_t>(ys >> 6)] &= ~(1ull << (ys & 63));
+    --dead_x_[static_cast<std::size_t>(x)];
+    --dead_y_[static_cast<std::size_t>(y)];
+    tombstoned_ -= 1;
+    return true;
+  }
+  if (!sorted_insert(delta_x_[static_cast<std::size_t>(x)], y)) return false;
+  sorted_insert(delta_y_[static_cast<std::size_t>(y)], x);
+  delta_ += 1;
+  return true;
+}
+
+bool GraphOverlay::erase(vid_t x, vid_t y) {
+  check_endpoint(x, num_x(), "X");
+  check_endpoint(y, num_y(), "Y");
+  const eid_t xs = x_slot(x, y);
+  if (xs >= 0) {
+    if (x_dead(xs)) return false;  // already tombstoned
+    const eid_t ys = y_slot(y, x);
+    x_tomb_[static_cast<std::size_t>(xs >> 6)] |= 1ull << (xs & 63);
+    y_tomb_[static_cast<std::size_t>(ys >> 6)] |= 1ull << (ys & 63);
+    ++dead_x_[static_cast<std::size_t>(x)];
+    ++dead_y_[static_cast<std::size_t>(y)];
+    tombstoned_ += 1;
+    return true;
+  }
+  if (!sorted_erase(delta_x_[static_cast<std::size_t>(x)], y)) return false;
+  sorted_erase(delta_y_[static_cast<std::size_t>(y)], x);
+  delta_ -= 1;
+  return true;
+}
+
+BipartiteGraph GraphOverlay::materialize() const {
+  // Canonical row merge: live base slots (already sorted) merged with
+  // the sorted delta row, per X vertex. from_canonical_csr adopts the
+  // arrays without re-sorting.
+  const auto nx = static_cast<std::size_t>(num_x());
+  std::vector<eid_t> offsets(nx + 1, 0);
+  for (std::size_t x = 0; x < nx; ++x) {
+    offsets[x + 1] =
+        offsets[x] + degree_x(static_cast<vid_t>(x));
+  }
+  std::vector<vid_t> neighbors(static_cast<std::size_t>(offsets[nx]));
+  const auto base_offsets = base_.x_offsets();
+  const auto base_neighbors = base_.x_neighbors();
+  for (std::size_t x = 0; x < nx; ++x) {
+    std::size_t out = static_cast<std::size_t>(offsets[x]);
+    const auto& delta = delta_x_[x];
+    std::size_t d = 0;
+    for (eid_t e = base_offsets[x]; e < base_offsets[x + 1]; ++e) {
+      if (x_dead(e)) continue;
+      const vid_t y = base_neighbors[static_cast<std::size_t>(e)];
+      while (d < delta.size() && delta[d] < y) neighbors[out++] = delta[d++];
+      neighbors[out++] = y;
+    }
+    while (d < delta.size()) neighbors[out++] = delta[d++];
+  }
+  return BipartiteGraph::from_canonical_csr(std::move(offsets),
+                                            std::move(neighbors), num_y());
+}
+
+void GraphOverlay::compact() {
+  base_ = materialize();
+  const auto words = [](std::int64_t bits) {
+    return static_cast<std::size_t>((bits + 63) / 64);
+  };
+  x_tomb_.assign(words(base_.num_edges()), 0u);
+  y_tomb_.assign(words(base_.num_edges()), 0u);
+  std::fill(dead_x_.begin(), dead_x_.end(), 0);
+  std::fill(dead_y_.begin(), dead_y_.end(), 0);
+  for (auto& row : delta_x_) row.clear();
+  for (auto& row : delta_y_) row.clear();
+  tombstoned_ = 0;
+  delta_ = 0;
+}
+
+}  // namespace graftmatch::dynamic

@@ -1,0 +1,143 @@
+// Mutable bipartite-graph overlay for the dynamic matcher.
+//
+// The solvers and the verification oracles want an immutable CSR; edge
+// churn wants O(degree) point updates. GraphOverlay keeps both honest:
+// an immutable CSR base plus (a) per-vertex sorted delta adjacency for
+// inserted edges and (b) tombstone bitmaps over the base's x-side and
+// y-side adjacency slots for deleted edges. Live-neighbor iteration
+// walks the base row skipping tombstones, then the delta row -- every
+// structure is mirrored on both sides so X-rooted and Y-rooted
+// traversals pay the same cost, exactly like the base CSR.
+//
+// The overlay gets slower as it diverges from the base (every deleted
+// slot is still scanned, every delta row is a second cache miss), so
+// cost() exposes the divergence and compact() folds everything back
+// into a canonical CSR via from_canonical_csr -- the payoff-gated
+// "periodic compaction" of the dynamic matcher. Compaction changes no
+// live edge, so a matching valid on the overlay stays valid across it.
+//
+// Thread-safety: mutation is single-owner (the DynamicMatcher serializes
+// it); concurrent reads without a mutation in flight are safe.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graftmatch/graph/bipartite_graph.hpp"
+#include "graftmatch/graph/edge_list.hpp"
+#include "graftmatch/types.hpp"
+
+namespace graftmatch::dynamic {
+
+class GraphOverlay {
+ public:
+  explicit GraphOverlay(BipartiteGraph base);
+
+  vid_t num_x() const noexcept { return base_.num_x(); }
+  vid_t num_y() const noexcept { return base_.num_y(); }
+
+  /// Edges in the base CSR (compaction resets this).
+  std::int64_t base_edges() const noexcept { return base_.num_edges(); }
+  /// The base CSR itself. Equal to the live graph only when cost() is 0
+  /// (i.e. right after construction or compact()).
+  const BipartiteGraph& base() const noexcept { return base_; }
+  /// Live edges: base - tombstoned + delta.
+  std::int64_t live_edges() const noexcept {
+    return base_.num_edges() - tombstoned_ + delta_;
+  }
+  /// Divergence from the base: tombstoned slots plus delta edges. The
+  /// compaction gate compares this against base_edges().
+  std::int64_t cost() const noexcept { return tombstoned_ + delta_; }
+
+  /// True when (x, y) is a live edge. O(log degree).
+  bool has_edge(vid_t x, vid_t y) const noexcept;
+
+  /// Insert edge (x, y): resurrect a tombstoned base slot or append to
+  /// the delta rows. Returns false (and changes nothing) when the edge
+  /// is already live. Endpoints must be in range.
+  bool insert(vid_t x, vid_t y);
+
+  /// Erase edge (x, y): tombstone a base slot or drop a delta entry.
+  /// Returns false (and changes nothing) when the edge is not live.
+  bool erase(vid_t x, vid_t y);
+
+  /// Live degree of a vertex (base minus tombstones plus delta).
+  eid_t degree_x(vid_t x) const noexcept {
+    return base_.degree_x(x) - dead_x_[static_cast<std::size_t>(x)] +
+           static_cast<eid_t>(delta_x_[static_cast<std::size_t>(x)].size());
+  }
+  eid_t degree_y(vid_t y) const noexcept {
+    return base_.degree_y(y) - dead_y_[static_cast<std::size_t>(y)] +
+           static_cast<eid_t>(delta_y_[static_cast<std::size_t>(y)].size());
+  }
+
+  /// Visit every live Y neighbor of `x`. `fn(y)` returning false stops
+  /// the walk early (and for_each returns false); return true from the
+  /// callback to continue.
+  template <class Fn>
+  bool for_each_neighbor_x(vid_t x, Fn&& fn) const {
+    const auto xi = static_cast<std::size_t>(x);
+    const auto offsets = base_.x_offsets();
+    const auto neighbors = base_.x_neighbors();
+    for (eid_t e = offsets[xi]; e < offsets[xi + 1]; ++e) {
+      if (x_dead(e)) continue;
+      if (!fn(neighbors[static_cast<std::size_t>(e)])) return false;
+    }
+    for (const vid_t y : delta_x_[xi]) {
+      if (!fn(y)) return false;
+    }
+    return true;
+  }
+
+  /// Visit every live X neighbor of `y` (mirror of the above).
+  template <class Fn>
+  bool for_each_neighbor_y(vid_t y, Fn&& fn) const {
+    const auto yi = static_cast<std::size_t>(y);
+    const auto offsets = base_.y_offsets();
+    const auto neighbors = base_.y_neighbors();
+    for (eid_t e = offsets[yi]; e < offsets[yi + 1]; ++e) {
+      if (y_dead(e)) continue;
+      if (!fn(neighbors[static_cast<std::size_t>(e)])) return false;
+    }
+    for (const vid_t x : delta_y_[yi]) {
+      if (!fn(x)) return false;
+    }
+    return true;
+  }
+
+  /// Snapshot the live edge set as a canonical CSR graph (the oracle
+  /// input and the compaction product). Does not modify the overlay.
+  BipartiteGraph materialize() const;
+
+  /// Replace the base with materialize() and clear every delta and
+  /// tombstone. cost() is 0 afterwards; the live edge set is unchanged.
+  void compact();
+
+ private:
+  bool x_dead(eid_t slot) const noexcept {
+    return (x_tomb_[static_cast<std::size_t>(slot >> 6)] >>
+            (slot & 63)) & 1u;
+  }
+  bool y_dead(eid_t slot) const noexcept {
+    return (y_tomb_[static_cast<std::size_t>(slot >> 6)] >>
+            (slot & 63)) & 1u;
+  }
+  /// Base adjacency slot of (x, y) on the X side, or -1. O(log degree).
+  eid_t x_slot(vid_t x, vid_t y) const noexcept;
+  eid_t y_slot(vid_t y, vid_t x) const noexcept;
+
+  BipartiteGraph base_;
+  /// Tombstone bitmaps, one bit per base adjacency slot per side.
+  std::vector<std::uint64_t> x_tomb_;
+  std::vector<std::uint64_t> y_tomb_;
+  /// Tombstoned slots per vertex, so live degrees stay O(1).
+  std::vector<eid_t> dead_x_;
+  std::vector<eid_t> dead_y_;
+  /// Inserted edges not in the base, sorted per vertex, both sides.
+  std::vector<std::vector<vid_t>> delta_x_;
+  std::vector<std::vector<vid_t>> delta_y_;
+  std::int64_t tombstoned_ = 0;
+  std::int64_t delta_ = 0;
+};
+
+}  // namespace graftmatch::dynamic

@@ -17,6 +17,7 @@
 #include "graftmatch/init/greedy.hpp"
 #include "graftmatch/init/karp_sipser.hpp"
 #include "graftmatch/init/parallel_karp_sipser.hpp"
+#include "graftmatch/init/streaming_ks.hpp"
 #include "graftmatch/obs/summary.hpp"
 #include "graftmatch/obs/trace.hpp"
 #include "graftmatch/reduce/reduce.hpp"
@@ -108,6 +109,14 @@ std::vector<InitializerInfo> build_initializers() {
                       const RunConfig& c) {
                      const SessionScope scope(s);
                      return parallel_karp_sipser(g, c.seed, c.threads);
+                   }});
+  inits.push_back({"streaming_ks",
+                   "single-pass streaming maximal (degree-1 rows first)",
+                   false,
+                   [](SessionContext& s, const BipartiteGraph& g,
+                      const RunConfig& c) {
+                     const SessionScope scope(s);
+                     return streaming_karp_sipser(g, c.seed);
                    }});
   return inits;
 }

@@ -36,6 +36,7 @@
 #include "graftmatch/init/greedy.hpp"
 #include "graftmatch/init/karp_sipser.hpp"
 #include "graftmatch/init/parallel_karp_sipser.hpp"
+#include "graftmatch/init/streaming_ks.hpp"
 
 // Maximum matching: core algorithm and baselines
 #include "graftmatch/baselines/hopcroft_karp.hpp"
@@ -51,6 +52,10 @@
 
 // Dulmage-Mendelsohn block sharding (classification + extraction)
 #include "graftmatch/shard/shard.hpp"
+
+// Incremental matching under edge churn
+#include "graftmatch/dynamic/dynamic_matcher.hpp"
+#include "graftmatch/dynamic/overlay.hpp"
 
 // Traversal engine: shared frontier kernels, solver/initializer
 // registries, and the phase-scoped stats sink

@@ -1,0 +1,49 @@
+#include "graftmatch/init/streaming_ks.hpp"
+
+#include <numeric>
+#include <vector>
+
+#include "graftmatch/runtime/prng.hpp"
+
+namespace graftmatch {
+
+Matching streaming_maximal(const EdgeList& edges) {
+  StreamingMatcher matcher(edges.nx, edges.ny);
+  for (const Edge& e : edges.edges) matcher.accept(e.x, e.y);
+  return matcher.take();
+}
+
+Matching streaming_karp_sipser(const BipartiteGraph& g, std::uint64_t seed) {
+  const vid_t nx = g.num_x();
+  StreamingMatcher matcher(nx, g.num_y());
+  if (nx == 0 || g.num_edges() == 0) return matcher.take();
+
+  // Arrival order: every X row once, degree-1 rows first (the safe
+  // Karp-Sipser choice -- their unique neighbor cannot be claimed by a
+  // better edge later), then the rest in a seeded Fisher-Yates order.
+  std::vector<vid_t> order(static_cast<std::size_t>(nx));
+  std::iota(order.begin(), order.end(), vid_t{0});
+  Xoshiro256 rng(mix64(seed ^ 0x5354524bu));  // "STRK"
+  std::size_t pendant = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (g.degree_x(order[i]) == 1) std::swap(order[pendant++], order[i]);
+  }
+  for (std::size_t i = order.size(); i > pendant + 1; --i) {
+    std::swap(order[pendant + rng.below(i - pendant)], order[i - 1]);
+  }
+
+  for (const vid_t x : order) {
+    const auto row = g.neighbors_of_x(x);
+    if (row.empty()) continue;
+    // Seeded rotation: the stream interleaves rows in practice, so the
+    // first-seen neighbor should not always be the lowest id.
+    const std::size_t start =
+        static_cast<std::size_t>(rng.below(row.size()));
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      if (matcher.accept(x, row[(start + k) % row.size()])) break;
+    }
+  }
+  return matcher.take();
+}
+
+}  // namespace graftmatch

@@ -1,0 +1,75 @@
+// Single-pass streaming maximal-matching initializer (Skipper-style).
+//
+// The dynamic-matching ingestion path (src/graftmatch/dynamic/) sees
+// edges as a stream, before any CSR exists. Skipper ("Maximal Matching
+// with a Single Pass over Edges", see PAPERS.md) shows that one pass is
+// enough for a maximal matching: match an arriving edge immediately
+// when both endpoints are still free, otherwise drop it. Because a
+// matched vertex never unmatches, any edge whose endpoints are both
+// free at the end of the stream must have had both endpoints free when
+// it arrived -- and would have been matched then -- so the result is
+// maximal over everything streamed. StreamingMatcher is that
+// ingestion-order engine.
+//
+// streaming_karp_sipser() is the registry-facing variant for graphs
+// that are already in CSR form: it replays the adjacency as a
+// deterministic pseudo-random arrival stream (seeded X-row permutation,
+// seeded rotation within each row) with one Karp-Sipser-inspired twist:
+// degree-1 X rows stream first, so the provably safe pendant matches
+// land before the bulk contends for their unique neighbors. Both entry
+// points are serial by construction -- determinism at a fixed seed is
+// part of the contract (and what the tests pin).
+#pragma once
+
+#include <cstdint>
+
+#include "graftmatch/graph/bipartite_graph.hpp"
+#include "graftmatch/graph/edge_list.hpp"
+#include "graftmatch/graph/matching.hpp"
+
+namespace graftmatch {
+
+/// One-pass ingestion-order matcher: O(1) per edge, O(nx + ny) state.
+/// Feed edges in arrival order, then take() the matching. The result is
+/// maximal with respect to every accepted edge.
+class StreamingMatcher {
+ public:
+  StreamingMatcher(vid_t nx, vid_t ny) : matching_(nx, ny) {}
+
+  /// Process one arriving edge; returns true when it was matched.
+  /// Out-of-range endpoints are ignored (streams are untrusted input).
+  bool accept(vid_t x, vid_t y) noexcept {
+    if (x < 0 || y < 0 || x >= matching_.num_x() || y >= matching_.num_y()) {
+      return false;
+    }
+    if (matching_.is_matched_x(x) || matching_.is_matched_y(y)) return false;
+    matching_.match(x, y);
+    return true;
+  }
+
+  std::int64_t cardinality() const noexcept { return matching_.cardinality(); }
+
+  /// The matching built so far (the matcher keeps accepting afterwards).
+  const Matching& matching() const noexcept { return matching_; }
+
+  /// Surrender the matching; the matcher is empty afterwards.
+  Matching take() noexcept { return std::move(matching_); }
+
+ private:
+  Matching matching_;
+};
+
+/// Stream an edge list through a StreamingMatcher in storage order.
+/// The single-pass matching an ingestion pipeline would have produced
+/// had it matched while loading.
+Matching streaming_maximal(const EdgeList& edges);
+
+/// Registry initializer ("streaming_ks"): replay `g`'s adjacency as a
+/// seeded arrival stream (degree-1 X rows first, then a seeded
+/// permutation of the rest; each row scanned from a seeded rotation)
+/// through the single-pass rule. Serial and deterministic given `seed`;
+/// returns a maximal matching.
+Matching streaming_karp_sipser(const BipartiteGraph& g,
+                               std::uint64_t seed = 1);
+
+}  // namespace graftmatch

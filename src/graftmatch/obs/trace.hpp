@@ -134,6 +134,17 @@ inline constexpr EventName kServeRequest{"serve.request", "roster_entry",
 /// One span per dispatched batch (arg0 = coalesced group size, arg1 =
 /// matched cardinality); a singleton request is a batch of one.
 inline constexpr EventName kServeBatch{"serve.batch", "group", "cardinality"};
+/// Incremental-matcher spans (src/graftmatch/dynamic/): one span per
+/// applied churn batch (arg0 = batch size, arg1 on the End event =
+/// cardinality after), one per localized re-augmentation pass (arg0 =
+/// searches launched, arg1 = augmenting paths applied), and one per
+/// payoff-gated compaction (arg0 = live edges folded into the CSR).
+inline constexpr EventName kDynamicApply{"dynamic.apply", "edges",
+                                         "cardinality"};
+inline constexpr EventName kDynamicReaugment{"dynamic.reaugment", "searches",
+                                             "paths"};
+inline constexpr EventName kDynamicCompact{"dynamic.compact", "live_edges",
+                                           nullptr};
 }  // namespace names
 
 /// Chrome trace_event phase kinds this subsystem emits.

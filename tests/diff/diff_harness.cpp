@@ -267,6 +267,33 @@ std::vector<SolverSpec> solver_roster(std::vector<int> thread_counts) {
     }
   }
 
+  // Every registered solver from the streaming single-pass start. The
+  // streaming initializer feeds the dynamic-matching ingestion path, so
+  // its composition with the full solver registry is oracle-gated here
+  // (the registry cross-product above covers it with graft only).
+  for (const auto& solver : engine::solver_registry()) {
+    const engine::SolverInfo* info = &solver;
+    const auto run = [info](const BipartiteGraph& g, Matching& m,
+                            const RunConfig& config) {
+      return info->run(g, m, config);
+    };
+    const int threads = solver.parallel ? max_threads : 0;
+    const std::string name =
+        solver.parallel
+            ? solver.name + "[t=" + std::to_string(threads) +
+                  ",init=streaming_ks]"
+            : solver.name + "[init=streaming_ks]";
+    roster.push_back({name, [=](const BipartiteGraph& g) {
+                        RunConfig config;
+                        config.threads = threads;
+                        config.seed = 11;
+                        Matching m = engine::make_initial_matching(
+                            "streaming_ks", g, config);
+                        run(g, m, config);
+                        return m;
+                      }});
+  }
+
   // Every registered solver again, but through the DM-sharded driver:
   // classify, solve blocks independently, stitch. The oracle catches
   // any cardinality lost to misclassified components or a bad stitch --

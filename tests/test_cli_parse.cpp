@@ -77,6 +77,36 @@ TEST(TryParseDouble, RejectsNonFiniteAndJunk) {
   EXPECT_EQ(try_parse_double("0.5", 1.0, 2.0), std::nullopt);  // range
 }
 
+// Regression pins for the churn knobs (matching_tool --churn/--batch,
+// bench --batch/--batches/--window): the exact ranges those call sites
+// pass must keep accepting their boundaries and rejecting off-by-one
+// and garbage values, at the parser level where all of them converge.
+TEST(ChurnFlagRanges, BatchAndBatchCounts) {
+  // matching_tool --churn N and bench --batches N: [1, bound]
+  EXPECT_EQ(try_parse_int("1", 1, 1 << 20), 1);
+  EXPECT_EQ(try_parse_int("1048576", 1, 1 << 20), 1 << 20);
+  EXPECT_EQ(try_parse_int("0", 1, 1 << 20), std::nullopt);
+  EXPECT_EQ(try_parse_int("-3", 1, 1 << 20), std::nullopt);
+  EXPECT_EQ(try_parse_int("1048577", 1, 1 << 20), std::nullopt);
+  // --batch B: [1, 1 << 24]
+  EXPECT_EQ(try_parse_int("16777216", 1, 1 << 24), 1 << 24);
+  EXPECT_EQ(try_parse_int("16777217", 1, 1 << 24), std::nullopt);
+  EXPECT_EQ(try_parse_int("64x", 1, 1 << 24), std::nullopt);
+  EXPECT_EQ(try_parse_int("6 4", 1, 1 << 24), std::nullopt);
+}
+
+TEST(ChurnFlagRanges, WindowFraction) {
+  // bench --window F: a fraction of the edge list, (0, 1].
+  EXPECT_EQ(try_parse_double("1", 1e-9, 1.0), 1.0);
+  EXPECT_EQ(try_parse_double("0.1", 1e-9, 1.0), 0.1);
+  EXPECT_EQ(try_parse_double("1e-9", 1e-9, 1.0), 1e-9);
+  EXPECT_EQ(try_parse_double("0", 1e-9, 1.0), std::nullopt);
+  EXPECT_EQ(try_parse_double("1.0001", 1e-9, 1.0), std::nullopt);
+  EXPECT_EQ(try_parse_double("-0.1", 1e-9, 1.0), std::nullopt);
+  EXPECT_EQ(try_parse_double("10%", 1e-9, 1.0), std::nullopt);
+  EXPECT_EQ(try_parse_double("nan", 1e-9, 1.0), std::nullopt);
+}
+
 /// Strict reference parser built on strtoll: full consumption, no
 /// leading whitespace or '+', errno-based range detection.
 std::optional<std::int64_t> reference_parse(const std::string& text) {

@@ -1,14 +1,19 @@
 // Tests for the maximal-matching initializers: Karp-Sipser (serial and
-// parallel) and the greedy variants.
+// parallel), the greedy variants, and the single-pass streaming
+// matcher.
 #include <gtest/gtest.h>
 
 #include "graftmatch/baselines/hopcroft_karp.hpp"
+#include "graftmatch/gen/chung_lu.hpp"
 #include "graftmatch/gen/erdos_renyi.hpp"
 #include "graftmatch/gen/grid.hpp"
+#include "graftmatch/gen/rmat.hpp"
+#include "graftmatch/gen/sbm.hpp"
 #include "graftmatch/gen/webcrawl.hpp"
 #include "graftmatch/init/greedy.hpp"
 #include "graftmatch/init/karp_sipser.hpp"
 #include "graftmatch/init/parallel_karp_sipser.hpp"
+#include "graftmatch/init/streaming_ks.hpp"
 #include "graftmatch/verify/validate.hpp"
 
 namespace graftmatch {
@@ -196,6 +201,119 @@ TEST(ParallelKarpSipser, HandlesIsolatedVertices) {
   const BipartiteGraph g = BipartiteGraph::from_edges(list);
   const Matching m = parallel_karp_sipser(g, 1, 2);
   EXPECT_EQ(m.cardinality(), 2);
+}
+
+TEST(StreamingMatcher, SinglePassRuleAndUntrustedInput) {
+  StreamingMatcher matcher(2, 2);
+  EXPECT_TRUE(matcher.accept(0, 0));   // both free -> matched
+  EXPECT_FALSE(matcher.accept(0, 1));  // x0 taken -> dropped
+  EXPECT_FALSE(matcher.accept(1, 0));  // y0 taken -> dropped
+  EXPECT_TRUE(matcher.accept(1, 1));
+  EXPECT_EQ(matcher.cardinality(), 2);
+  // Out-of-range endpoints are ignored, not UB: streams are untrusted.
+  EXPECT_FALSE(matcher.accept(-1, 0));
+  EXPECT_FALSE(matcher.accept(0, 99));
+  const Matching m = matcher.take();
+  EXPECT_EQ(m.cardinality(), 2);
+}
+
+TEST(StreamingMaximal, MaximalOverTheStreamedEdgeList) {
+  ErdosRenyiParams params;
+  params.nx = 500;
+  params.ny = 450;
+  params.edges = 2200;
+  const BipartiteGraph g = generate_erdos_renyi(params);
+  const Matching m = streaming_maximal(g.to_edges());
+  EXPECT_TRUE(is_valid_matching(g, m));
+  EXPECT_TRUE(is_maximal_matching(g, m));
+}
+
+TEST(StreamingKarpSipser, MaximalOnEveryGenerator) {
+  std::vector<BipartiteGraph> corpus;
+  {
+    ErdosRenyiParams p;
+    p.nx = 600;
+    p.ny = 500;
+    p.edges = 2500;
+    corpus.push_back(generate_erdos_renyi(p));
+  }
+  {
+    GridParams p;
+    p.width = 24;
+    p.height = 24;
+    p.diagonal_drop = 0.2;
+    corpus.push_back(generate_grid(p));
+  }
+  {
+    WebCrawlParams p;
+    p.nx = p.ny = 800;
+    p.avg_degree = 4.0;
+    corpus.push_back(generate_webcrawl(p));
+  }
+  {
+    ChungLuParams p;
+    p.nx = p.ny = 600;
+    p.avg_degree = 5.0;
+    p.max_degree = 64;
+    corpus.push_back(generate_chung_lu(p));
+  }
+  {
+    SbmParams p;
+    p.rows_per_block = 80;
+    p.cols_per_block = 70;
+    p.blocks = 5;
+    corpus.push_back(generate_sbm(p));
+  }
+  {
+    RmatParams p;
+    p.scale = 9;
+    p.edge_factor = 5.0;
+    corpus.push_back(generate_rmat(p));
+  }
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const Matching m = streaming_karp_sipser(corpus[i], 3);
+    EXPECT_TRUE(is_valid_matching(corpus[i], m)) << "graph " << i;
+    EXPECT_TRUE(is_maximal_matching(corpus[i], m)) << "graph " << i;
+  }
+}
+
+TEST(StreamingKarpSipser, DeterministicGivenSeedAndSeedSensitive) {
+  ErdosRenyiParams params;
+  params.nx = params.ny = 400;
+  params.edges = 1800;
+  const BipartiteGraph g = generate_erdos_renyi(params);
+  EXPECT_EQ(streaming_karp_sipser(g, 9), streaming_karp_sipser(g, 9));
+  EXPECT_NE(streaming_karp_sipser(g, 9), streaming_karp_sipser(g, 10));
+}
+
+TEST(StreamingKarpSipser, PendantRowsStreamFirst) {
+  // Star + pendant: x0 sees every y; x1..x10 each see exactly one y.
+  // Pendant-first arrival must give all ten pendants their unique
+  // neighbor, leaving a free column for the hub: cardinality 11.
+  // Hub-first arrival orders could strand a pendant whose single
+  // neighbor the hub grabbed.
+  EdgeList list;
+  list.nx = 11;
+  list.ny = 11;
+  for (vid_t y = 0; y < 11; ++y) list.edges.push_back({0, y});
+  for (vid_t x = 1; x < 11; ++x) list.edges.push_back({x, x - 1});
+  const BipartiteGraph g = BipartiteGraph::from_edges(list);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    EXPECT_EQ(streaming_karp_sipser(g, seed).cardinality(), 11) << seed;
+  }
+}
+
+TEST(StreamingKarpSipser, EmptyAndDegenerateGraphs) {
+  EdgeList list;
+  list.nx = 4;
+  list.ny = 0;
+  EXPECT_EQ(streaming_karp_sipser(BipartiteGraph::from_edges(list))
+                .cardinality(),
+            0);
+  list.ny = 4;  // still zero edges
+  EXPECT_EQ(streaming_karp_sipser(BipartiteGraph::from_edges(list))
+                .cardinality(),
+            0);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include "graftmatch/baselines/ss_bfs.hpp"
 #include "graftmatch/baselines/ss_dfs.hpp"
 #include "graftmatch/core/ms_bfs_graft.hpp"
+#include "graftmatch/dynamic/dynamic_matcher.hpp"
 #include "graftmatch/engine/registry.hpp"
 #include "graftmatch/gen/chung_lu.hpp"
 #include "graftmatch/graph/matching_io.hpp"
@@ -117,6 +118,55 @@ TEST(RunStatsJson, ReduceBlockIsStrictlyValid) {
   const std::string without = run_stats_json(plain);
   EXPECT_TRUE(testing::json_valid(without, &error)) << error;
   EXPECT_EQ(without.find("\"reduce\""), std::string::npos);
+}
+
+// A churn run through the DynamicMatcher must emit the `dynamic` block
+// strictly valid, with the non-finite-timing guard that every other
+// block honors; plain stats must omit the key entirely.
+TEST(RunStatsJson, DynamicBlockIsStrictlyValid) {
+  ChungLuParams params;
+  params.nx = params.ny = 300;
+  params.avg_degree = 4.0;
+  params.seed = 21;
+  const BipartiteGraph g = generate_chung_lu(params);
+
+  SessionContext session;
+  dynamic::DynamicMatcher matcher(session, g);
+  const std::vector<Edge> batch = {g.to_edges().edges[0],
+                                   g.to_edges().edges[1]};
+  matcher.remove_edges(batch);
+  matcher.add_edges(batch);
+  const RunStats stats = matcher.stats();
+  ASSERT_TRUE(stats.dynamic.collected);
+  EXPECT_EQ(stats.dynamic.batches, 2);
+  EXPECT_EQ(stats.dynamic.edges_removed, 2);
+
+  const std::string json = run_stats_json(stats);
+  std::string error;
+  EXPECT_TRUE(testing::json_valid(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"dynamic\":{\"batches\":2"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"reaugment_searches\":"), std::string::npos);
+  EXPECT_NE(json.find("\"overlay_peak\":"), std::string::npos);
+
+  // Non-finite timings inside the dynamic block must stay valid JSON.
+  RunStats degenerate = stats;
+  degenerate.dynamic.apply_seconds = std::numeric_limits<double>::quiet_NaN();
+  degenerate.dynamic.reaugment_seconds =
+      std::numeric_limits<double>::infinity();
+  degenerate.dynamic.compact_seconds =
+      -std::numeric_limits<double>::infinity();
+  degenerate.dynamic.resolve_seconds =
+      std::numeric_limits<double>::quiet_NaN();
+  const std::string bad = run_stats_json(degenerate);
+  EXPECT_TRUE(testing::json_valid(bad, &error)) << error << "\n" << bad;
+  EXPECT_EQ(bad.find("nan"), std::string::npos);
+  EXPECT_EQ(bad.find("inf"), std::string::npos);
+
+  RunStats plain;
+  const std::string without = run_stats_json(plain);
+  EXPECT_TRUE(testing::json_valid(without, &error)) << error;
+  EXPECT_EQ(without.find("\"dynamic\""), std::string::npos);
 }
 
 // A real MS-BFS-Graft run emits the `bookkeeping` block (workspace
