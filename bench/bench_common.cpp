@@ -36,6 +36,7 @@ double env_double(const char* name, double fallback) {
                "          [--init %s]\n"
                "          [--reduce none|d1|d1d2] [--shard none|dm] "
                "[--solver NAME]\n"
+               "          [--dirsel fixed|adaptive|td|bu] [--kernel bit|word]\n"
                "          [--only SUBSTR] [--results-dir DIR]\n"
                "Each flag overrides the matching GRAFTMATCH_* environment "
                "variable.\n",
@@ -74,6 +75,22 @@ void validate_flag_value(const char* flag, const char* value) {
       std::fprintf(stderr, "bad value '%s' for --shard (none | dm)\n", value);
       std::exit(2);
     }
+  } else if (name == "--dirsel") {
+    DirectionPolicy policy;
+    if (!parse_direction_policy(value, policy)) {
+      std::fprintf(stderr,
+                   "bad value '%s' for --dirsel "
+                   "(fixed | adaptive | td | bu)\n",
+                   value);
+      std::exit(2);
+    }
+  } else if (name == "--kernel") {
+    BottomUpKernel kernel;
+    if (!parse_bottom_up_kernel(value, kernel)) {
+      std::fprintf(stderr, "bad value '%s' for --kernel (bit | word)\n",
+                   value);
+      std::exit(2);
+    }
   }
   // --init, --solver, --only, and --results-dir take free-form
   // strings; the registry lookups validate the names where they are
@@ -96,6 +113,8 @@ void apply_cli_overrides(int argc, char** argv) {
       {"--init", "GRAFTMATCH_INIT"},
       {"--reduce", "GRAFTMATCH_REDUCE"},
       {"--shard", "GRAFTMATCH_SHARD"},
+      {"--dirsel", "GRAFTMATCH_DIRSEL"},
+      {"--kernel", "GRAFTMATCH_KERNEL"},
       {"--solver", "GRAFTMATCH_SOLVER"},
       {"--only", "GRAFTMATCH_ONLY"},
       {"--results-dir", "GRAFTMATCH_RESULTS_DIR"},
@@ -199,6 +218,32 @@ ShardMode shard_mode() {
   return mode;
 }
 
+DirectionPolicy direction_policy() {
+  const char* value = std::getenv("GRAFTMATCH_DIRSEL");
+  if (value == nullptr) return DirectionPolicy::kFixed;
+  DirectionPolicy policy;
+  if (!parse_direction_policy(value, policy)) {
+    std::fprintf(stderr,
+                 "bad value '%s' for GRAFTMATCH_DIRSEL "
+                 "(fixed | adaptive | td | bu)\n",
+                 value);
+    std::exit(2);
+  }
+  return policy;
+}
+
+BottomUpKernel bottom_up_kernel() {
+  const char* value = std::getenv("GRAFTMATCH_KERNEL");
+  if (value == nullptr) return BottomUpKernel::kBit;
+  BottomUpKernel kernel;
+  if (!parse_bottom_up_kernel(value, kernel)) {
+    std::fprintf(stderr, "bad value '%s' for GRAFTMATCH_KERNEL (bit | word)\n",
+                 value);
+    std::exit(2);
+  }
+  return kernel;
+}
+
 Matching make_initial_matching(const BipartiteGraph& g) {
   RunConfig config;
   config.seed = seed();
@@ -228,10 +273,11 @@ void print_header(const std::string& bench_name, const std::string& what) {
       thread_override() > 0 ? std::to_string(thread_override()) : "default";
   std::printf(
       "workload  : size factor %.3g, seed %llu, initializer %s, threads %s, "
-      "reduce %s, shard %s\n\n",
+      "reduce %s, shard %s, dirsel %s, kernel %s\n\n",
       size_factor(), static_cast<unsigned long long>(seed()),
       init_name().c_str(), threads.c_str(), to_string(reduce_mode()).c_str(),
-      to_string(shard_mode()).c_str());
+      to_string(shard_mode()).c_str(), to_string(direction_policy()).c_str(),
+      to_string(bottom_up_kernel()).c_str());
 }
 
 std::vector<Workload> make_suite_workloads(bool with_matching_number) {
@@ -352,6 +398,8 @@ TimedResult time_sharded_runs(const BipartiteGraph& g, int runs,
   config.threads = thread_override();
   config.reduce = reduce;
   config.shard = shard;
+  config.direction_policy = direction_policy();
+  config.bottom_up_kernel = bottom_up_kernel();
   const std::string init = init_name();
   for (int r = 0; r < runs; ++r) {
     Matching matching(g.num_x(), g.num_y());

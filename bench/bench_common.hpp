@@ -27,6 +27,17 @@
 //                         pick it up (the runs route through
 //                         engine::run_sharded); bench_shard_gain
 //                         measures both arms explicitly regardless.
+//   GRAFTMATCH_DIRSEL  -- traversal-direction policy: fixed (default,
+//                         the paper's alpha rule) | adaptive (scout/
+//                         awake edge counts with hysteresis) | td | bu
+//                         (forced single-direction A/B floors). Benches
+//                         that time through time_sharded_runs honor it;
+//                         bench_ablation_alpha and bench_fig4 also run
+//                         explicit arms regardless.
+//   GRAFTMATCH_KERNEL  -- bottom-up kernel: bit (default, per-bit
+//                         candidate-pool scan) | word (64-candidate
+//                         ctz sweep with word-granular claims). Same
+//                         benches as GRAFTMATCH_DIRSEL.
 //   GRAFTMATCH_SOLVER  -- registry solver for benches with a
 //                         configurable solver (bench_shard_gain);
 //                         figure benches that reproduce a specific
@@ -116,6 +127,14 @@ ReduceMode reduce_mode();
 /// Sharding mode from GRAFTMATCH_SHARD / --shard (default kNone).
 /// Unknown values print an error and exit(2).
 ShardMode shard_mode();
+
+/// Traversal-direction policy from GRAFTMATCH_DIRSEL / --dirsel
+/// (default kFixed). Unknown values print an error and exit(2).
+DirectionPolicy direction_policy();
+
+/// Bottom-up kernel arm from GRAFTMATCH_KERNEL / --kernel (default
+/// kBit). Unknown values print an error and exit(2).
+BottomUpKernel bottom_up_kernel();
 
 /// Build the selected initial matching for a graph via the engine's
 /// initializer registry (honoring the bench seed and thread override).

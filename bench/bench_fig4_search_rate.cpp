@@ -18,8 +18,14 @@ int main(int argc, char** argv) {
 
   const int runs = run_count(3);
   const std::vector<Workload> workloads = make_suite_workloads(false);
-  CsvWriter csv("fig4_search_rate", {"instance", "class", "graft_mteps",
-                                     "pf_mteps", "cardinality"});
+  // The graft arm honors --dirsel/--kernel so an A/B is two invocations
+  // of this bench with the same roster (the policy/arm land in the CSV
+  // for the join); Pothen-Fan has no direction switch and ignores both.
+  const DirectionPolicy dirsel = direction_policy();
+  const BottomUpKernel kernel = bottom_up_kernel();
+  CsvWriter csv("fig4_search_rate",
+                {"instance", "class", "dirsel", "kernel", "graft_mteps",
+                 "pf_mteps", "cardinality"});
 
   std::printf("%-18s %-11s %14s %14s %8s\n", "instance", "class",
               "Graft MTEPS", "PF MTEPS", "ratio");
@@ -32,6 +38,8 @@ int main(int argc, char** argv) {
   int mismatches = 0;
   for (const Workload& w : workloads) {
     RunConfig config;  // all threads
+    config.direction_policy = dirsel;
+    config.bottom_up_kernel = kernel;
     double graft_rate = 0.0;
     double pf_rate = 0.0;
     std::int64_t graft_cardinality = 0;
@@ -64,7 +72,8 @@ int main(int argc, char** argv) {
     std::printf("%-18s %-11s %14.2f %14.2f %7.2fx\n", w.name.c_str(),
                 to_string(w.graph_class).c_str(), graft_rate, pf_rate,
                 pf_rate > 0 ? graft_rate / pf_rate : 0.0);
-    csv.row({w.name, to_string(w.graph_class), CsvWriter::cell(graft_rate),
+    csv.row({w.name, to_string(w.graph_class), to_string(dirsel),
+             to_string(kernel), CsvWriter::cell(graft_rate),
              CsvWriter::cell(pf_rate), CsvWriter::cell(graft_cardinality)});
   }
   std::printf("csv: %s\n", csv.path().c_str());

@@ -7,6 +7,7 @@
 // the bottom-up inner loop is a recorded measurement, not an assertion.
 #include <benchmark/benchmark.h>
 
+#include <bit>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -155,6 +156,49 @@ void BM_MsBfsGraft(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MsBfsGraft)->Unit(benchmark::kMillisecond);
+
+// Word-vs-bit / fixed-vs-adaptive A/B on the same graph and initial
+// matching as BM_MsBfsGraft: the four rows land side by side in the
+// CSV, so the kernel and policy choices stay recorded measurements.
+void BM_MsBfsGraftWord(benchmark::State& state) {
+  const BipartiteGraph& g = micro_graph();
+  const Matching initial = randomized_greedy(g, 1);
+  RunConfig config;
+  config.bottom_up_kernel = BottomUpKernel::kWord;
+  for (auto _ : state) {
+    Matching m = initial;
+    const RunStats stats = ms_bfs_graft(g, m, config);
+    benchmark::DoNotOptimize(stats.final_cardinality);
+  }
+}
+BENCHMARK(BM_MsBfsGraftWord)->Unit(benchmark::kMillisecond);
+
+void BM_MsBfsGraftAdaptive(benchmark::State& state) {
+  const BipartiteGraph& g = micro_graph();
+  const Matching initial = randomized_greedy(g, 1);
+  RunConfig config;
+  config.direction_policy = DirectionPolicy::kAdaptive;
+  for (auto _ : state) {
+    Matching m = initial;
+    const RunStats stats = ms_bfs_graft(g, m, config);
+    benchmark::DoNotOptimize(stats.final_cardinality);
+  }
+}
+BENCHMARK(BM_MsBfsGraftAdaptive)->Unit(benchmark::kMillisecond);
+
+void BM_MsBfsGraftAdaptiveWord(benchmark::State& state) {
+  const BipartiteGraph& g = micro_graph();
+  const Matching initial = randomized_greedy(g, 1);
+  RunConfig config;
+  config.direction_policy = DirectionPolicy::kAdaptive;
+  config.bottom_up_kernel = BottomUpKernel::kWord;
+  for (auto _ : state) {
+    Matching m = initial;
+    const RunStats stats = ms_bfs_graft(g, m, config);
+    benchmark::DoNotOptimize(stats.final_cardinality);
+  }
+}
+BENCHMARK(BM_MsBfsGraftAdaptiveWord)->Unit(benchmark::kMillisecond);
 
 void BM_PothenFan(benchmark::State& state) {
   const BipartiteGraph& g = micro_graph();
@@ -343,6 +387,92 @@ void BM_CompactUnvisitedBitmap(benchmark::State& state) {
 }
 BENCHMARK(BM_CompactUnvisitedBitmap);
 
+// Claim granularity: 64 per-bit fetch_or claims vs one claim_word CAS
+// per word -- the primitive trade the word-level bottom-up kernel
+// makes (runtime/epoch_array.hpp).
+void BM_ClaimBitsPerBit(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  AtomicBitmap bits;
+  bits.reset(count);
+  for (auto _ : state) {
+    state.PauseTiming();
+    bits.clear_all();
+    state.ResumeTiming();
+    std::int64_t won = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      won += bits.claim(i) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(won);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_ClaimBitsPerBit)->Arg(1 << 16);
+
+void BM_ClaimWholeWords(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  AtomicBitmap bits;
+  bits.reset(count);
+  const std::size_t words = bits.word_count();
+  for (auto _ : state) {
+    state.PauseTiming();
+    bits.clear_all();
+    state.ResumeTiming();
+    std::int64_t won = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      won += std::popcount(bits.claim_word(w, ~std::uint64_t{0}));
+    }
+    benchmark::DoNotOptimize(won);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_ClaimWholeWords)->Arg(1 << 16);
+
+// Cardinality gate over the full policy x kernel matrix: every
+// combination must reproduce the oracle cardinality on each roster
+// instance (scaled by --size). A perf A/B from an arm that gets the
+// answer wrong is worse than no A/B, so main() turns any mismatch into
+// a nonzero exit for CI.
+int run_cardinality_gate() {
+  const std::vector<std::string> roster = {"hugetrace-like", "copapers-like",
+                                           "wikipedia-like"};
+  const DirectionPolicy policies[] = {
+      DirectionPolicy::kFixed, DirectionPolicy::kAdaptive,
+      DirectionPolicy::kTopDown, DirectionPolicy::kBottomUp};
+  const BottomUpKernel kernels[] = {BottomUpKernel::kBit,
+                                    BottomUpKernel::kWord};
+  int failures = 0;
+  std::printf("\ncardinality gate: 4 policies x 2 kernels on %zu instances\n",
+              roster.size());
+  for (const std::string& name : roster) {
+    const bench::Workload w = bench::make_workload(name);
+    const std::int64_t oracle = maximum_matching_cardinality(w.graph);
+    for (const DirectionPolicy policy : policies) {
+      for (const BottomUpKernel kernel : kernels) {
+        RunConfig config;
+        config.direction_policy = policy;
+        config.bottom_up_kernel = kernel;
+        Matching m = bench::make_initial_matching(w.graph);
+        const RunStats stats = ms_bfs_graft(w.graph, m, config);
+        if (stats.final_cardinality != oracle) {
+          ++failures;
+          std::fprintf(stderr,
+                       "CARDINALITY MISMATCH on %s (dirsel=%s kernel=%s): "
+                       "got %lld, oracle %lld\n",
+                       w.name.c_str(), to_string(policy).c_str(),
+                       to_string(kernel).c_str(),
+                       static_cast<long long>(stats.final_cardinality),
+                       static_cast<long long>(oracle));
+        }
+      }
+    }
+  }
+  std::printf("cardinality gate: %s\n",
+              failures == 0 ? "all combinations match the oracle" : "FAILED");
+  return failures;
+}
+
 // Console output plus a CSV artifact: every per-iteration run lands as
 // one row in $GRAFTMATCH_RESULTS_DIR/micro_kernels.csv so CI can diff
 // the byte-vs-bitmap numbers across commits.
@@ -383,5 +513,5 @@ int main(int argc, char** argv) {
       {"benchmark", "real_time", "time_unit", "items_per_sec", "iterations"});
   for (const auto& row : reporter.rows()) csv.row(row);
   std::printf("CSV artifact: %s\n", csv.path().c_str());
-  return 0;
+  return run_cardinality_gate() == 0 ? 0 : 1;
 }

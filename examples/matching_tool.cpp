@@ -18,6 +18,15 @@
 //                   independent Dulmage-Mendelsohn blocks, solves the
 //                   deficient blocks concurrently, and stitches.
 //                   Composes with --reduce (the kernel is sharded).
+//   --dirsel POLICY traversal-direction policy: fixed | adaptive | td |
+//                   bu (default fixed; also accepts --dirsel=POLICY).
+//                   fixed is the paper's |F| >= unvisited/alpha rule;
+//                   adaptive switches on scout/awake edge counts with
+//                   hysteresis; td/bu force one direction (A/B floors).
+//   --kernel ARM    bottom-up kernel: bit | word (default bit; also
+//                   accepts --kernel=ARM). word consumes the visited
+//                   bitmap 64 candidates at a time with word-granular
+//                   claims instead of the per-bit candidate pool.
 //   --threads N     OpenMP threads (default: runtime default)
 //   --alpha A       direction/grafting threshold (default 5)
 //   --seed S        generator / initializer seed (default 1)
@@ -60,15 +69,18 @@ std::string joined_keys(const std::vector<std::string>& names) {
   std::fprintf(stderr,
                "usage: %s (--mtx FILE | --gen INSTANCE | --list) "
                "[--algo NAME] [--init NAME]\n"
-               "       [--reduce MODE] [--shard MODE] [--threads N] "
-               "[--alpha A] [--seed S]\n"
+               "       [--reduce MODE] [--shard MODE] [--dirsel POLICY] "
+               "[--kernel ARM]\n"
+               "       [--threads N] [--alpha A] [--seed S]\n"
                "       [--size F] [--churn N] [--batch B] [--dm] [--phases] "
                "[--json] [--trace FILE]\n"
                "       [--no-verify]\n"
                "  --algo: %s\n"
                "  --init: %s\n"
                "  --reduce: none | d1 | d1d2\n"
-               "  --shard: none | dm\n",
+               "  --shard: none | dm\n"
+               "  --dirsel: fixed | adaptive | td | bu\n"
+               "  --kernel: bit | word\n",
                argv0, joined_keys(engine::solver_names()).c_str(),
                joined_keys(engine::initializer_names()).c_str());
   std::exit(2);
@@ -158,6 +170,25 @@ int main(int argc, char** argv) {
       if (!parse_shard_mode(value, config.shard)) {
         std::fprintf(stderr,
                      "error: unknown --shard mode \"%s\" (none | dm)\n",
+                     value.c_str());
+        return 2;
+      }
+    }
+    else if (arg == "--dirsel" || arg.rfind("--dirsel=", 0) == 0) {
+      const std::string value = arg == "--dirsel" ? next() : arg.substr(9);
+      if (!parse_direction_policy(value, config.direction_policy)) {
+        std::fprintf(stderr,
+                     "error: unknown --dirsel policy \"%s\" "
+                     "(fixed | adaptive | td | bu)\n",
+                     value.c_str());
+        return 2;
+      }
+    }
+    else if (arg == "--kernel" || arg.rfind("--kernel=", 0) == 0) {
+      const std::string value = arg == "--kernel" ? next() : arg.substr(9);
+      if (!parse_bottom_up_kernel(value, config.bottom_up_kernel)) {
+        std::fprintf(stderr,
+                     "error: unknown --kernel arm \"%s\" (bit | word)\n",
                      value.c_str());
         return 2;
       }

@@ -1,13 +1,16 @@
 #include "graftmatch/core/ms_bfs_graft.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "graftmatch/engine/direction.hpp"
 #include "graftmatch/engine/edge_partition.hpp"
 #include "graftmatch/engine/frontier_kernels.hpp"
 #include "graftmatch/engine/stats_sink.hpp"
+#include "graftmatch/engine/word_kernels.hpp"
 #include "graftmatch/obs/trace.hpp"
 #include "graftmatch/runtime/atomics.hpp"
 #include "graftmatch/runtime/context.hpp"
@@ -218,6 +221,34 @@ void bottom_up(GraftState& state, std::span<const vid_t> candidates,
   newly_visited += counters.visits;
 }
 
+/// Word-level bottom-up step (RunConfig::bottom_up_kernel == kWord):
+/// one sweep of the visited bitmap's complement per level, 64
+/// candidates per word, winners committed with a single word-granular
+/// claim (engine/word_kernels.hpp). No candidate pool exists in this
+/// arm -- the complement IS the candidate list -- so the low-yield ban
+/// compares against the zero bits actually examined and the pool
+/// bookkeeping (build, refill, stamp audit) is skipped entirely
+/// (state.pool_built stays false). The eligibility test and the attach
+/// body are the bit path's, verbatim: active_x bit first, then the
+/// root/leaf confirmation on bit-positive x only, with the same
+/// documented benign race against mid-pass tree deaths.
+engine::WordScanCounters bottom_up_words(GraftState& state, std::int64_t& edges,
+                                         std::int64_t& newly_visited) {
+  GraftWorkspace& ws = state.ws;
+  const engine::WordScanCounters counters = engine::for_each_unvisited_word(
+      engine::y_adjacency(state.g), ws.visited,
+      static_cast<std::int64_t>(state.g.num_y()), ws.next, ws.touched_y,
+      [&](vid_t /*y*/, vid_t x) {
+        if (!ws.active_x.test(static_cast<std::size_t>(x))) return false;
+        const vid_t root = relaxed_load(ws.root_x[static_cast<std::size_t>(x)]);
+        return !ws.leaf_stamp.valid(static_cast<std::size_t>(root));
+      },
+      [&](vid_t y, vid_t x, auto& out) { update_pointers(state, x, y, out); });
+  edges += counters.traversal.edges;
+  newly_visited += counters.traversal.visits;
+  return counters;
+}
+
 /// Install the freshly built frontier for the next pass: when bottom-up
 /// can run, set every member's eligible-parent bit. Bits are published
 /// only here -- at pass boundaries -- which is what keeps the search
@@ -385,8 +416,11 @@ void assert_forest_invariants(const GraftState& state) {
 RunStats ms_bfs_graft(SessionContext& session, const BipartiteGraph& g,
                       Matching& matching, const RunConfig& config,
                       GraftWorkspace& workspace) {
-  if (!(config.alpha > 0.0)) {
-    throw std::invalid_argument("ms_bfs_graft: alpha must be positive");
+  if (!(config.alpha > 0.0) || !std::isfinite(config.alpha)) {
+    // A NaN alpha fails the comparison; +inf passes it but collapses
+    // every direction/graft threshold to zero, silently forcing
+    // bottom-up -- reject both the same way.
+    throw std::invalid_argument("ms_bfs_graft: alpha must be positive finite");
   }
   const SessionScope scope(session);
   const ThreadCountGuard thread_guard(config.threads);
@@ -410,6 +444,12 @@ RunStats ms_bfs_graft(SessionContext& session, const BipartiteGraph& g,
   stats.bookkeeping.workspace_warm = warm;
 
   GraftState state(g, matching, ws);
+  engine::DirectionSelector direction(config.direction_policy, config.alpha,
+                                      g.num_edges(),
+                                      static_cast<std::int64_t>(ny));
+  obs::emit_instant(obs::names::kDirectionPolicy,
+                    static_cast<std::int64_t>(config.direction_policy),
+                    static_cast<std::int64_t>(config.bottom_up_kernel));
   // The eligible-parent bits feed the bottom-up kernel, which runs for
   // direction-optimized BFS levels AND for the graft scan; only the
   // plain MS-BFS baseline can skip maintaining them.
@@ -450,12 +490,21 @@ RunStats ms_bfs_graft(SessionContext& session, const BipartiteGraph& g,
     std::int64_t level = 0;
     bool bottom_up_banned = false;
     bool last_bottom_up = false;
+    direction.reset_phase();
     while (!ws.frontier.empty()) {
       const auto frontier_size = static_cast<std::int64_t>(ws.frontier.size());
+      // The adaptive policy wants the frontier's exact edge mass (one
+      // O(|F|) degree sweep); fixed/forced policies never ask, so they
+      // pay nothing here.
+      const std::int64_t scout_edges =
+          config.direction_optimizing && direction.wants_scout()
+              ? engine::scout_edge_sum(engine::x_adjacency(g),
+                                       ws.frontier.items())
+              : 0;
       const bool use_bottom_up =
-          config.direction_optimizing && !bottom_up_banned &&
-          engine::prefer_bottom_up(frontier_size, state.unvisited_y,
-                                   config.alpha);
+          config.direction_optimizing &&
+          direction.choose_bottom_up(frontier_size, scout_edges,
+                                     state.unvisited_y, bottom_up_banned);
       obs::emit_counter(obs::names::kFrontier, frontier_size,
                         use_bottom_up ? 1 : 0);
       if (level > 0 && use_bottom_up != last_bottom_up) {
@@ -472,7 +521,17 @@ RunStats ms_bfs_graft(SessionContext& session, const BipartiteGraph& g,
       std::int64_t newly_visited = 0;
       ws.next.clear();
       phase_row.bottom_up_levels += use_bottom_up;
-      if (use_bottom_up) {
+      if (use_bottom_up && config.bottom_up_kernel == BottomUpKernel::kWord) {
+        // Word arm: one ctz sweep of the visited complement, no pool.
+        const auto lap = sink.scoped(Step::kBottomUp);
+        const engine::WordScanCounters word =
+            bottom_up_words(state, stats.edges_traversed, newly_visited);
+        direction.counters().word_commits += word.commits;
+        direction.counters().word_fallbacks += word.fallbacks;
+        // Same low-yield ban as the pool path, against the candidates
+        // this sweep actually examined.
+        if (8 * newly_visited < word.candidates) bottom_up_banned = true;
+      } else if (use_bottom_up) {
         const auto lap = sink.scoped(Step::kBottomUp);
         if (!state.pool_built) {
           // O(ny) candidate-pool build from the visited bitmap's
@@ -771,6 +830,8 @@ RunStats ms_bfs_graft(SessionContext& session, const BipartiteGraph& g,
     obs::emit_end(obs::names::kPhase, stats.phases, phase_row.augmentations);
   }
 
+  stats.direction = direction.counters();
+  stats.direction.kernel = config.bottom_up_kernel;
   sink.finish(matching);
   return stats;
 }

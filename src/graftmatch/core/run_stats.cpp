@@ -83,6 +83,52 @@ bool parse_shard_mode(const std::string& name, ShardMode& mode) {
   return true;
 }
 
+std::string to_string(DirectionPolicy policy) {
+  switch (policy) {
+    case DirectionPolicy::kFixed: return "fixed";
+    case DirectionPolicy::kAdaptive: return "adaptive";
+    case DirectionPolicy::kTopDown: return "td";
+    case DirectionPolicy::kBottomUp: return "bu";
+  }
+  return "fixed";
+}
+
+bool parse_direction_policy(const std::string& name,
+                            DirectionPolicy& policy) {
+  if (name == "fixed") {
+    policy = DirectionPolicy::kFixed;
+  } else if (name == "adaptive") {
+    policy = DirectionPolicy::kAdaptive;
+  } else if (name == "td") {
+    policy = DirectionPolicy::kTopDown;
+  } else if (name == "bu") {
+    policy = DirectionPolicy::kBottomUp;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string to_string(BottomUpKernel kernel) {
+  switch (kernel) {
+    case BottomUpKernel::kBit: return "bit";
+    case BottomUpKernel::kWord: return "word";
+  }
+  return "bit";
+}
+
+bool parse_bottom_up_kernel(const std::string& name,
+                            BottomUpKernel& kernel) {
+  if (name == "bit") {
+    kernel = BottomUpKernel::kBit;
+  } else if (name == "word") {
+    kernel = BottomUpKernel::kWord;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 std::string format_run_stats(const RunStats& stats) {
   std::ostringstream out;
   out << stats.algorithm << ": |M|=" << stats.final_cardinality << " (+"
@@ -107,6 +153,12 @@ std::string format_run_stats(const RunStats& stats) {
           << stats.shard.blocks_total << " blocks solved, "
           << stats.shard.blocks_frozen << " frozen)";
     }
+  }
+  if (stats.direction.collected &&
+      (stats.direction.policy != DirectionPolicy::kFixed ||
+       stats.direction.kernel != BottomUpKernel::kBit)) {
+    out << " dirsel=" << to_string(stats.direction.policy)
+        << " kernel=" << to_string(stats.direction.kernel);
   }
   return out.str();
 }
@@ -227,6 +279,20 @@ std::string run_stats_json(const RunStats& stats) {
         << ",\"classified_y\":" << b.classified_y
         << ",\"counted_x\":" << b.counted_x
         << ",\"epoch_bumps\":" << b.epoch_bumps << "}";
+  }
+  if (stats.direction.collected) {
+    const DirectionCounters& dir = stats.direction;
+    out << ",\"direction\":{\"policy\":";
+    append_escaped(out, to_string(dir.policy));
+    out << ",\"kernel\":";
+    append_escaped(out, to_string(dir.kernel));
+    out << ",\"decisions\":" << dir.decisions
+        << ",\"bottom_up_levels\":" << dir.bottom_up_levels
+        << ",\"switches\":" << dir.switches
+        << ",\"scout_edges\":" << dir.scout_edges
+        << ",\"awake_edges\":" << dir.awake_edges
+        << ",\"word_commits\":" << dir.word_commits
+        << ",\"word_fallbacks\":" << dir.word_fallbacks << "}";
   }
   if (!stats.path_length_histogram.empty()) {
     out << ",\"path_length_histogram\":[";

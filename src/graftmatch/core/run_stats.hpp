@@ -46,6 +46,38 @@ std::string to_string(ShardMode mode);
 /// unknown names.
 bool parse_shard_mode(const std::string& name, ShardMode& mode);
 
+/// Traversal-direction policy for the level-synchronous searches
+/// (engine/direction.hpp). The names match the `--dirsel=` CLI values.
+enum class DirectionPolicy {
+  kFixed,     ///< the paper's |F| >= unvisited/alpha rule ("fixed")
+  kAdaptive,  ///< Beamer-style scout/awake edge counts with hysteresis
+              ///< ("adaptive")
+  kTopDown,   ///< never switch to bottom-up ("td"; test/ablation arm)
+  kBottomUp,  ///< always prefer bottom-up ("bu"; test/ablation arm)
+};
+
+/// Canonical CLI name of a policy ("fixed" / "adaptive" / "td" / "bu").
+std::string to_string(DirectionPolicy policy);
+
+/// Inverse of to_string; returns false (leaving `policy` untouched) for
+/// unknown names.
+bool parse_direction_policy(const std::string& name, DirectionPolicy& policy);
+
+/// Bottom-up kernel arm (engine/word_kernels.hpp). The names match the
+/// `--kernel=` CLI values.
+enum class BottomUpKernel {
+  kBit,   ///< per-candidate pool scan, per-bit visited updates ("bit")
+  kWord,  ///< whole-word ctz scan of the visited complement with
+          ///< word-granular claims ("word")
+};
+
+/// Canonical CLI name of a kernel arm ("bit" / "word").
+std::string to_string(BottomUpKernel kernel);
+
+/// Inverse of to_string; returns false (leaving `kernel` untouched) for
+/// unknown names.
+bool parse_bottom_up_kernel(const std::string& name, BottomUpKernel& kernel);
+
 /// Knobs common to all algorithms (each algorithm reads the subset that
 /// applies to it; defaults reproduce the paper's settings).
 struct RunConfig {
@@ -101,6 +133,19 @@ struct RunConfig {
   /// is read by the engine driver. Composes with `reduce` (the kernel
   /// is what gets sharded).
   ShardMode shard = ShardMode::kNone;
+
+  /// Traversal-direction policy for the level-synchronous searches
+  /// (MS-BFS-Graft's top-down/bottom-up switch). kFixed is the paper's
+  /// alpha rule; kAdaptive switches on scout/awake edge counts with
+  /// hysteresis (engine/direction.hpp). Only consulted when
+  /// `direction_optimizing` is set.
+  DirectionPolicy direction_policy = DirectionPolicy::kFixed;
+
+  /// Bottom-up kernel arm: per-candidate pool scan (kBit, the default)
+  /// or word-level scan of the visited complement with word-granular
+  /// claims (kWord; engine/word_kernels.hpp). Cardinalities are
+  /// identical either way; bench_micro_kernels A/Bs the arms.
+  BottomUpKernel bottom_up_kernel = BottomUpKernel::kBit;
 };
 
 /// Per-phase summary of an MS-BFS-Graft run (RunConfig::
@@ -161,6 +206,31 @@ struct BookkeepingCounters {
   std::int64_t classified_y = 0;    ///< forest Ys classified (all phases)
   std::int64_t counted_x = 0;       ///< forest Xs counted (all phases)
   std::int64_t epoch_bumps = 0;     ///< O(1) forest invalidations
+};
+
+/// Counters from the pluggable direction-selection seam
+/// (engine/direction.hpp) and the bottom-up kernel arm
+/// (engine/word_kernels.hpp). `collected` stays false for algorithms
+/// without a direction switch; the other fields are then meaningless.
+/// Stamped by ms_bfs_graft so the chosen policy and every per-level
+/// decision stay visible in the stats JSON ("direction" block).
+struct DirectionCounters {
+  bool collected = false;
+  DirectionPolicy policy = DirectionPolicy::kFixed;
+  BottomUpKernel kernel = BottomUpKernel::kBit;
+  std::int64_t decisions = 0;        ///< levels the policy decided
+  std::int64_t bottom_up_levels = 0; ///< decisions that chose bottom-up
+  std::int64_t switches = 0;         ///< direction changes between levels
+  /// Frontier edge mass summed over the decisions that computed it
+  /// (adaptive policy only; 0 under fixed/forced policies).
+  std::int64_t scout_edges = 0;
+  /// Estimated unvisited-Y edge mass summed over the same decisions.
+  std::int64_t awake_edges = 0;
+  /// Word-kernel activity (kWord arm only): words committed with a
+  /// word-granular claim, and commits that fell back to the per-bit
+  /// CAS path under contention.
+  std::int64_t word_commits = 0;
+  std::int64_t word_fallbacks = 0;
 };
 
 /// Counters from the kernelization pre-pass (src/graftmatch/reduce/).
@@ -285,6 +355,10 @@ struct RunStats {
   /// Epoch-bookkeeping counters (see BookkeepingCounters). Stamped by
   /// ms_bfs_graft.
   BookkeepingCounters bookkeeping;
+
+  /// Direction-policy and kernel-arm counters (see DirectionCounters).
+  /// Stamped by ms_bfs_graft.
+  DirectionCounters direction;
 
   /// Sharded-execution counters (see ShardCounters). Stamped by
   /// engine::run_sharded when a sharded run happened; phases/edges/

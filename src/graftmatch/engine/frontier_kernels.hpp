@@ -25,6 +25,7 @@
 #include <omp.h>
 
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <mutex>
 #include <span>
@@ -70,10 +71,17 @@ struct TraversalCounters {
 };
 
 /// The paper's direction heuristic (Sec. III-B): run bottom-up when the
-/// frontier is at least 1/alpha of the unvisited mass.
+/// frontier is at least 1/alpha of the unvisited mass. Degenerate
+/// inputs are clamped to top-down: with nothing left to visit (or an
+/// empty frontier) a bottom-up sweep has no candidates to attach, yet
+/// the raw comparison `frontier >= 0/alpha` would always prefer it --
+/// and a non-finite alpha (inf collapses every threshold to 0, NaN
+/// poisons the compare) must not silently force a direction either.
 inline bool prefer_bottom_up(std::int64_t frontier_size,
                              std::int64_t unvisited,
                              double alpha) noexcept {
+  if (frontier_size <= 0 || unvisited <= 0) return false;
+  if (!std::isfinite(alpha) || alpha <= 0.0) return false;
   return static_cast<double>(frontier_size) >=
          static_cast<double>(unvisited) / alpha;
 }

@@ -190,6 +190,54 @@ class AtomicBitmap {
     words_[i / kBitsPerWord] &= ~(std::uint64_t{1} << (i % kBitsPerWord));
   }
 
+  /// Word-granular exactly-once claim: set every bit of `mask` in word
+  /// `w` that is still zero and return the subset this call won (each
+  /// returned bit made its own 0 -> 1 transition here). One CAS covers
+  /// up to 64 claims, which is what the word-level bottom-up kernel
+  /// trades 64 fetch_or's for. Under sustained contention the CAS loop
+  /// gives up after kClaimWordRetries failures and degrades to per-bit
+  /// claim() -- same result, existing-path cost -- so a hot word can
+  /// never livelock; `fell_back` (optional) reports that degradation
+  /// for the `direction` stats block. The winning CAS is acq_rel like
+  /// claim(): it publishes the claimer's subsequent tree-pointer writes.
+  static constexpr int kClaimWordRetries = 4;
+  std::uint64_t claim_word(std::size_t w, std::uint64_t mask,
+                           bool* fell_back = nullptr) noexcept {
+    if (fell_back) *fell_back = false;
+    if (mask == 0) return 0;
+    std::uint64_t& word = words_[w];
+    std::atomic_ref<std::uint64_t> ref(word);
+    std::uint64_t old = ref.load(std::memory_order_relaxed);
+    for (int attempt = 0; attempt < kClaimWordRetries; ++attempt) {
+      const std::uint64_t want = mask & ~old;
+      if (want == 0) return 0;
+      stress::maybe_yield();  // widen the read-to-CAS window under stress
+      if (ref.compare_exchange_weak(old, old | want,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+        return want;
+      }
+      // old was reloaded by the failed CAS; retry against the new view.
+    }
+    if (fell_back) *fell_back = true;
+    std::uint64_t won = 0;
+    std::uint64_t pending = mask & ~old;
+    while (pending != 0) {
+      const std::uint64_t bit = pending & (~pending + 1);
+      pending &= pending - 1;
+      if (claim_bit(word, bit)) won |= bit;
+    }
+    return won;
+  }
+
+  /// Serial counterpart of claim_word for single-thread teams.
+  std::uint64_t claim_word_serial(std::size_t w, std::uint64_t mask) noexcept {
+    std::uint64_t& word = words_[w];
+    const std::uint64_t won = mask & ~word;
+    word |= won;
+    return won;
+  }
+
   /// claim()'s exactly-once result without the locked RMW, for
   /// single-thread teams (the kernels' serial_team() fast paths) where
   /// test-then-set is trivially exactly-once.
@@ -204,6 +252,13 @@ class AtomicBitmap {
   std::size_t size() const noexcept { return bits_; }
   std::span<const std::uint64_t> words() const noexcept {
     return {words_.data(), words_.size()};
+  }
+  std::size_t word_count() const noexcept { return words_.size(); }
+  /// Relaxed atomic load of one packed word -- the word-level kernel's
+  /// scan read, racing benignly with concurrent claims (a stale zero
+  /// bit only sends the scanner into claim_word, which re-checks).
+  std::uint64_t load_word(std::size_t w) const noexcept {
+    return relaxed_load(words_[w]);
   }
 
  private:

@@ -137,6 +137,8 @@ std::string encode_request(const MatchRequest& request) {
   put(out, "threads", static_cast<std::int64_t>(request.threads));
   put_field(out, "reduce", request.reduce);
   put_field(out, "shard", request.shard);
+  put_field(out, "dirsel", request.dirsel);
+  put_field(out, "kernel", request.kernel);
   if (request.deadline_ms > 0) put(out, "deadline_ms", request.deadline_ms);
   return out.str();
 }
@@ -166,6 +168,12 @@ bool decode_request(const std::string& payload, MatchRequest& request,
         } else if (key == "shard") {
           if (!is_clean_field(value)) return false;
           request.shard = value;
+        } else if (key == "dirsel") {
+          if (!is_clean_field(value)) return false;
+          request.dirsel = value;
+        } else if (key == "kernel") {
+          if (!is_clean_field(value)) return false;
+          request.kernel = value;
         } else if (key == "deadline_ms") {
           if (!parse_int(value, request.deadline_ms)) return false;
         }

@@ -230,6 +230,14 @@ MatchResponse MatchServer::handle(SessionContext& session,
     response.error = "unknown shard mode \"" + request.shard + "\"";
     return response;
   }
+  if (!parse_direction_policy(request.dirsel, config.direction_policy)) {
+    response.error = "unknown dirsel policy \"" + request.dirsel + "\"";
+    return response;
+  }
+  if (!parse_bottom_up_kernel(request.kernel, config.bottom_up_kernel)) {
+    response.error = "unknown kernel arm \"" + request.kernel + "\"";
+    return response;
+  }
   config.threads =
       request.threads > 0 ? request.threads : options_.solver_threads;
   response.threads = config.threads;

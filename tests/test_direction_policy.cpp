@@ -1,0 +1,545 @@
+// Direction-policy and word-kernel battery.
+//
+// Covers the pluggable traversal backend end to end: the fixed rule's
+// degenerate-input clamps (prefer_bottom_up), the adaptive selector's
+// scout/awake threshold and hysteresis band, the forced td/bu floors,
+// word-granular claims on AtomicBitmap (fuzzed against a serial bit
+// model, word-boundary and tail-word cases included), and the headline
+// invariance property: every DirectionPolicy x BottomUpKernel
+// combination must land on the SAME maximum cardinality -- on
+// exhaustive tiny graphs (against an independent Kuhn reference), on
+// word-boundary widths, and on the benchmark suite across seeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "graftmatch/engine/direction.hpp"
+#include "graftmatch/engine/frontier_kernels.hpp"
+#include "graftmatch/graftmatch.hpp"
+#include "graftmatch/runtime/epoch_array.hpp"
+#include "graftmatch/runtime/prng.hpp"
+#include "json_check.hpp"
+
+namespace graftmatch {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// ---------------------------------------------------------------------
+// prefer_bottom_up: the fixed rule and its degenerate-input clamps.
+
+TEST(PreferBottomUp, NormalRegimeMatchesPaperRule) {
+  // |F| >= unvisited / alpha with alpha = 5: threshold at 40.
+  EXPECT_TRUE(engine::prefer_bottom_up(40, 200, 5.0));
+  EXPECT_TRUE(engine::prefer_bottom_up(100, 200, 5.0));
+  EXPECT_FALSE(engine::prefer_bottom_up(39, 200, 5.0));
+  EXPECT_FALSE(engine::prefer_bottom_up(1, 200, 5.0));
+}
+
+TEST(PreferBottomUp, ExhaustedSideNeverPrefersBottomUp) {
+  // unvisited == 0 used to satisfy `frontier >= 0/alpha` vacuously and
+  // steer into a bottom-up scan over an empty target side.
+  EXPECT_FALSE(engine::prefer_bottom_up(100, 0, 5.0));
+  EXPECT_FALSE(engine::prefer_bottom_up(100, -1, 5.0));
+  EXPECT_FALSE(engine::prefer_bottom_up(0, 200, 5.0));
+  EXPECT_FALSE(engine::prefer_bottom_up(-3, 200, 5.0));
+  EXPECT_FALSE(engine::prefer_bottom_up(0, 0, 5.0));
+}
+
+TEST(PreferBottomUp, NonFiniteOrNonPositiveAlphaIsTopDown) {
+  // alpha = +inf used to make unvisited/alpha == 0 and force bottom-up
+  // on every level; NaN made the comparison false-but-unordered.
+  EXPECT_FALSE(engine::prefer_bottom_up(100, 200, kInf));
+  EXPECT_FALSE(engine::prefer_bottom_up(100, 200, -kInf));
+  EXPECT_FALSE(engine::prefer_bottom_up(100, 200, kNaN));
+  EXPECT_FALSE(engine::prefer_bottom_up(100, 200, 0.0));
+  EXPECT_FALSE(engine::prefer_bottom_up(100, 200, -5.0));
+}
+
+TEST(MsBfsGraft, RejectsNonFiniteAlpha) {
+  EdgeList list;
+  list.nx = list.ny = 2;
+  list.edges = {{0, 0}, {1, 1}};
+  const BipartiteGraph g = BipartiteGraph::from_edges(list);
+  for (const double alpha : {kInf, kNaN, 0.0, -1.0}) {
+    RunConfig config;
+    config.alpha = alpha;
+    Matching m(2, 2);
+    EXPECT_THROW(ms_bfs_graft(g, m, config), std::invalid_argument)
+        << "alpha=" << alpha;
+  }
+}
+
+// ---------------------------------------------------------------------
+// scout_edge_sum: exact frontier edge mass, serial and parallel paths.
+
+TEST(ScoutEdgeSum, MatchesSerialDegreeSum) {
+  ChungLuParams params;
+  params.nx = params.ny = 6000;
+  params.avg_degree = 5.0;
+  params.seed = 17;
+  const BipartiteGraph g = generate_chung_lu(params);
+  const engine::Adjacency adj = engine::x_adjacency(g);
+
+  // A frontier large enough to take the parallel path (>= 4096 items).
+  std::vector<vid_t> frontier;
+  for (vid_t x = 0; x < static_cast<vid_t>(g.num_x()); x += 1) {
+    if (x % 4 != 0) frontier.push_back(x);
+  }
+  ASSERT_GE(frontier.size(), 4096u);
+
+  std::int64_t expected = 0;
+  for (const vid_t x : frontier) expected += adj.degree(x);
+  EXPECT_EQ(engine::scout_edge_sum(adj, frontier), expected);
+
+  // Small frontier: serial path, same contract.
+  const std::vector<vid_t> small(frontier.begin(), frontier.begin() + 5);
+  std::int64_t small_expected = 0;
+  for (const vid_t x : small) small_expected += adj.degree(x);
+  EXPECT_EQ(engine::scout_edge_sum(adj, small), small_expected);
+  EXPECT_EQ(engine::scout_edge_sum(adj, std::span<const vid_t>{}), 0);
+}
+
+// ---------------------------------------------------------------------
+// DirectionSelector: forced floors, fixed passthrough, hysteresis.
+
+TEST(DirectionSelector, OnlyAdaptiveWantsScout) {
+  for (const DirectionPolicy policy :
+       {DirectionPolicy::kFixed, DirectionPolicy::kTopDown,
+        DirectionPolicy::kBottomUp}) {
+    engine::DirectionSelector selector(policy, 5.0, 1000, 100);
+    EXPECT_FALSE(selector.wants_scout()) << to_string(policy);
+  }
+  engine::DirectionSelector adaptive(DirectionPolicy::kAdaptive, 5.0, 1000,
+                                     100);
+  EXPECT_TRUE(adaptive.wants_scout());
+}
+
+TEST(DirectionSelector, ForcedTopDownNeverSwitches) {
+  engine::DirectionSelector selector(DirectionPolicy::kTopDown, 5.0, 1000,
+                                     100);
+  EXPECT_FALSE(selector.choose_bottom_up(1000, 0, 1, false));
+  EXPECT_FALSE(selector.choose_bottom_up(1000, 0, 1000, false));
+  EXPECT_EQ(selector.counters().bottom_up_levels, 0);
+  EXPECT_EQ(selector.counters().switches, 0);
+  EXPECT_EQ(selector.counters().decisions, 2);
+}
+
+TEST(DirectionSelector, ForcedBottomUpIgnoresBanButNotEmptiness) {
+  engine::DirectionSelector selector(DirectionPolicy::kBottomUp, 5.0, 1000,
+                                     100);
+  // The ban exists so low-yield scans stop repeating; a forced run must
+  // override it or the A/B floor silently degenerates to fixed.
+  EXPECT_TRUE(selector.choose_bottom_up(1, 0, 1000, /*banned=*/true));
+  // But an empty frontier or exhausted Y side has nothing to scan for.
+  EXPECT_FALSE(selector.choose_bottom_up(0, 0, 1000, false));
+  EXPECT_FALSE(selector.choose_bottom_up(10, 0, 0, false));
+}
+
+TEST(DirectionSelector, FixedHonorsBanAndMatchesPreferBottomUp) {
+  engine::DirectionSelector selector(DirectionPolicy::kFixed, 5.0, 1000, 100);
+  EXPECT_EQ(selector.choose_bottom_up(100, 0, 200, false),
+            engine::prefer_bottom_up(100, 200, 5.0));
+  EXPECT_FALSE(selector.choose_bottom_up(100, 0, 200, /*banned=*/true));
+  EXPECT_EQ(selector.choose_bottom_up(10, 0, 200, false),
+            engine::prefer_bottom_up(10, 200, 5.0));
+}
+
+TEST(DirectionSelector, AdaptiveHysteresisBand) {
+  // total_edges = 1000 over ny = 100 -> avg degree 10; with
+  // unvisited_y = 100 the awake mass is 1000. alpha = 2:
+  //   switch in  (TD->BU): scout * 2 > 1000        -> scout > 500
+  //   switch out (BU->TD): scout * 2 * 4 < 1000    -> scout < 125
+  engine::DirectionSelector selector(DirectionPolicy::kAdaptive, 2.0, 1000,
+                                     100);
+  // Below the entry threshold: stays top-down.
+  EXPECT_FALSE(selector.choose_bottom_up(10, 500, 100, false));
+  // Crosses it: bottom-up.
+  EXPECT_TRUE(selector.choose_bottom_up(10, 501, 100, false));
+  // Inside the band (125 <= scout <= 500): a bare threshold would snap
+  // back to top-down here; hysteresis holds bottom-up.
+  EXPECT_TRUE(selector.choose_bottom_up(10, 200, 100, false));
+  EXPECT_TRUE(selector.choose_bottom_up(10, 125, 100, false));
+  // Below the exit threshold: back to top-down.
+  EXPECT_FALSE(selector.choose_bottom_up(10, 124, 100, false));
+  // And from top-down, mid-band mass is NOT enough to re-enter.
+  EXPECT_FALSE(selector.choose_bottom_up(10, 200, 100, false));
+
+  const DirectionCounters& counters = selector.counters();
+  EXPECT_EQ(counters.decisions, 6);
+  EXPECT_EQ(counters.bottom_up_levels, 3);
+  EXPECT_EQ(counters.switches, 2);  // TD->BU at 501, BU->TD at 124
+  EXPECT_EQ(counters.policy, DirectionPolicy::kAdaptive);
+  EXPECT_TRUE(counters.collected);
+}
+
+TEST(DirectionSelector, ResetPhaseForgetsHysteresis) {
+  engine::DirectionSelector selector(DirectionPolicy::kAdaptive, 2.0, 1000,
+                                     100);
+  EXPECT_TRUE(selector.choose_bottom_up(10, 501, 100, false));
+  selector.reset_phase();
+  // Mid-band scout mass after a reset reads as a fresh top-down start.
+  EXPECT_FALSE(selector.choose_bottom_up(10, 200, 100, false));
+}
+
+TEST(DirectionSelector, AdaptiveHonorsBanAndDegenerateInputs) {
+  engine::DirectionSelector selector(DirectionPolicy::kAdaptive, 2.0, 1000,
+                                     100);
+  EXPECT_FALSE(selector.choose_bottom_up(10, 5000, 100, /*banned=*/true));
+  EXPECT_FALSE(selector.choose_bottom_up(0, 5000, 100, false));
+  EXPECT_FALSE(selector.choose_bottom_up(10, 5000, 0, false));
+  engine::DirectionSelector bad_alpha(DirectionPolicy::kAdaptive, kNaN, 1000,
+                                      100);
+  EXPECT_FALSE(bad_alpha.choose_bottom_up(10, 5000, 100, false));
+}
+
+// ---------------------------------------------------------------------
+// AtomicBitmap::claim_word: fuzz against a serial bit model.
+
+TEST(ClaimWord, EmptyMaskAndFullWordAreNoOps) {
+  AtomicBitmap bits;
+  bits.reset(64);
+  bool fell_back = true;
+  EXPECT_EQ(bits.claim_word(0, 0, &fell_back), 0u);
+  EXPECT_FALSE(fell_back);
+  EXPECT_EQ(bits.claim_word(0, ~std::uint64_t{0}, &fell_back),
+            ~std::uint64_t{0});
+  EXPECT_FALSE(fell_back);
+  // Every bit now set: a second claim of anything wins nothing.
+  EXPECT_EQ(bits.claim_word(0, ~std::uint64_t{0}), 0u);
+  EXPECT_EQ(bits.claim_word(0, 0x5a5a5a5a5a5a5a5aULL), 0u);
+}
+
+TEST(ClaimWord, FuzzedMasksMatchSerialModel) {
+  // Widths straddling word boundaries so tail words and multi-word
+  // indexing both get exercised; masks fuzzed against a plain-uint64
+  // model of the claim contract: won == mask & ~before, word becomes
+  // before | mask, repeated claims win nothing.
+  Xoshiro256 rng(0xD19E575ULL);
+  for (const std::size_t width : {1u, 63u, 64u, 65u, 127u, 128u, 200u}) {
+    AtomicBitmap bits;
+    bits.reset(width);
+    const std::size_t words = bits.word_count();
+    std::vector<std::uint64_t> model(words, 0);
+    for (int trial = 0; trial < 400; ++trial) {
+      const auto w = static_cast<std::size_t>(rng.below(words));
+      const std::uint64_t mask = rng() & rng();  // ~25% density
+      const std::uint64_t expect_won = mask & ~model[w];
+      bool fell_back = false;
+      const std::uint64_t won = bits.claim_word(w, mask, &fell_back);
+      EXPECT_EQ(won, expect_won);
+      EXPECT_FALSE(fell_back);  // no contention in a serial fuzz loop
+      model[w] |= mask;
+      EXPECT_EQ(bits.load_word(w), model[w]);
+      // Immediately re-claiming the same mask must win nothing.
+      EXPECT_EQ(bits.claim_word(w, mask), 0u);
+    }
+    // Per-bit view agrees with the word-granular model.
+    for (std::size_t i = 0; i < width; ++i) {
+      EXPECT_EQ(bits.test(i),
+                ((model[i / 64] >> (i % 64)) & 1u) != 0u);
+    }
+  }
+}
+
+TEST(ClaimWord, SerialVariantMatchesAtomicVariant) {
+  Xoshiro256 rng(0xABCDEFULL);
+  AtomicBitmap atomic_bits;
+  AtomicBitmap serial_bits;
+  atomic_bits.reset(192);
+  serial_bits.reset(192);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto w = static_cast<std::size_t>(rng.below(3));
+    const std::uint64_t mask = rng() & rng();
+    EXPECT_EQ(atomic_bits.claim_word(w, mask),
+              serial_bits.claim_word_serial(w, mask));
+    EXPECT_EQ(atomic_bits.load_word(w), serial_bits.load_word(w));
+  }
+}
+
+TEST(ClaimWord, PerBitClaimsInterleaveExactlyOnce) {
+  // Mixing claim() (per-bit) and claim_word() on the same word must
+  // preserve exactly-once: total wins across both granularities equals
+  // the number of distinct bits set.
+  AtomicBitmap bits;
+  bits.reset(64);
+  for (const std::size_t i : {0u, 5u, 9u, 63u}) {
+    EXPECT_TRUE(bits.claim(i));
+  }
+  const std::uint64_t preset = (std::uint64_t{1} << 0) |
+                               (std::uint64_t{1} << 5) |
+                               (std::uint64_t{1} << 9) |
+                               (std::uint64_t{1} << 63);
+  const std::uint64_t won = bits.claim_word(0, ~std::uint64_t{0});
+  EXPECT_EQ(won, ~preset);
+  EXPECT_FALSE(bits.claim(17));  // already claimed via the word
+}
+
+// ---------------------------------------------------------------------
+// Invariance: every policy x kernel combination reaches the same
+// maximum cardinality.
+
+struct Combo {
+  DirectionPolicy policy;
+  BottomUpKernel kernel;
+};
+
+std::vector<Combo> all_combos() {
+  std::vector<Combo> combos;
+  for (const DirectionPolicy policy :
+       {DirectionPolicy::kFixed, DirectionPolicy::kAdaptive,
+        DirectionPolicy::kTopDown, DirectionPolicy::kBottomUp}) {
+    for (const BottomUpKernel kernel :
+         {BottomUpKernel::kBit, BottomUpKernel::kWord}) {
+      combos.push_back({policy, kernel});
+    }
+  }
+  return combos;
+}
+
+void expect_all_combos_reach(const BipartiteGraph& g, std::int64_t expected,
+                             std::uint64_t seed, const std::string& label) {
+  for (const Combo& combo : all_combos()) {
+    for (const int threads : {1, 4}) {
+      RunConfig config;
+      config.direction_policy = combo.policy;
+      config.bottom_up_kernel = combo.kernel;
+      config.threads = threads;
+      Matching m = randomized_greedy(g, seed);
+      const RunStats stats = ms_bfs_graft(g, m, config);
+      EXPECT_EQ(stats.final_cardinality, expected)
+          << label << " dirsel=" << to_string(combo.policy)
+          << " kernel=" << to_string(combo.kernel) << " threads=" << threads;
+      EXPECT_TRUE(is_valid_matching(g, m)) << label;
+      EXPECT_TRUE(is_maximum_matching(g, m)) << label;
+    }
+  }
+}
+
+// Independent reference for the tiny-graph sweep: Kuhn's augmenting
+// path algorithm over an adjacency matrix, sharing no library code.
+int kuhn_cardinality(int nx, int ny,
+                     const std::vector<std::vector<bool>>& adj) {
+  std::vector<int> mate_y(static_cast<std::size_t>(ny), -1);
+  std::vector<bool> seen;
+  std::function<bool(int)> try_augment = [&](int x) {
+    for (int y = 0; y < ny; ++y) {
+      if (!adj[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)] ||
+          seen[static_cast<std::size_t>(y)]) {
+        continue;
+      }
+      seen[static_cast<std::size_t>(y)] = true;
+      if (mate_y[static_cast<std::size_t>(y)] < 0 ||
+          try_augment(mate_y[static_cast<std::size_t>(y)])) {
+        mate_y[static_cast<std::size_t>(y)] = x;
+        return true;
+      }
+    }
+    return false;
+  };
+  int result = 0;
+  for (int x = 0; x < nx; ++x) {
+    seen.assign(static_cast<std::size_t>(ny), false);
+    if (try_augment(x)) ++result;
+  }
+  return result;
+}
+
+TEST(PolicyInvariance, ExhaustiveTinyGraphsMatchKuhnReference) {
+  Xoshiro256 rng(0xBEEFCAFEULL);
+  int graphs = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const int nx = 1 + static_cast<int>(rng.below(std::uint64_t{7}));
+    const int ny = 1 + static_cast<int>(rng.below(std::uint64_t{7}));
+    // Sweep edge density from near-empty to complete.
+    const int percent = static_cast<int>(rng.below(std::uint64_t{101}));
+    std::vector<std::vector<bool>> adj(
+        static_cast<std::size_t>(nx),
+        std::vector<bool>(static_cast<std::size_t>(ny), false));
+    EdgeList list;
+    list.nx = nx;
+    list.ny = ny;
+    for (int x = 0; x < nx; ++x) {
+      for (int y = 0; y < ny; ++y) {
+        if (static_cast<int>(rng.below(std::uint64_t{100})) < percent) {
+          adj[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)] = true;
+          list.edges.push_back({x, y});
+        }
+      }
+    }
+    const BipartiteGraph g = BipartiteGraph::from_edges(list);
+    const std::int64_t expected = kuhn_cardinality(nx, ny, adj);
+    expect_all_combos_reach(g, expected, 1 + trial,
+                            "tiny#" + std::to_string(trial));
+    ++graphs;
+  }
+  EXPECT_EQ(graphs, 60);
+}
+
+TEST(PolicyInvariance, WordBoundaryWidths) {
+  // Y-side widths straddling 64-bit word boundaries: the word kernel's
+  // tail-mask handling is exactly what these widths stress.
+  Xoshiro256 rng(0x60D60DULL);
+  for (const int ny : {63, 64, 65, 127, 129}) {
+    ErdosRenyiParams params;
+    params.nx = 96;
+    params.ny = ny;
+    params.edges = 3 * (96 + ny);
+    params.seed = static_cast<std::uint64_t>(1000 + ny);
+    const BipartiteGraph g = generate_erdos_renyi(params);
+    const std::int64_t expected = maximum_matching_cardinality(g);
+    expect_all_combos_reach(g, expected, rng(),
+                            "ny=" + std::to_string(ny));
+  }
+}
+
+using SuiteSeed = std::tuple<std::string, std::uint64_t>;
+
+class PolicyInvarianceOnSuite : public ::testing::TestWithParam<SuiteSeed> {};
+
+TEST_P(PolicyInvarianceOnSuite, AllCombosReachOracleCardinality) {
+  const auto& [instance_name, seed] = GetParam();
+  const BipartiteGraph g = suite_instance(instance_name).factory(0.006, seed);
+  const std::int64_t expected = maximum_matching_cardinality(g);
+  expect_all_combos_reach(g, expected, seed, instance_name);
+}
+
+std::vector<SuiteSeed> suite_seed_grid() {
+  // Two instances per paper class (six generators), two seeds each.
+  const std::vector<std::string> instances = {
+      "hugetrace-like", "road_usa-like",    // scientific
+      "copapers-like",  "rmat-like",        // scale-free
+      "wikipedia-like", "web-google-like",  // web
+  };
+  std::vector<SuiteSeed> grid;
+  for (const std::string& name : instances) {
+    for (const std::uint64_t seed : {7ULL, 23ULL}) {
+      grid.emplace_back(name, seed);
+    }
+  }
+  return grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PolicyInvarianceOnSuite, ::testing::ValuesIn(suite_seed_grid()),
+    [](const ::testing::TestParamInfo<SuiteSeed>& info) {
+      std::string name = std::get<0>(info.param) + "_s" +
+                         std::to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(PolicyInvariance, EverySolverIgnoresOrHonorsTheKnobs) {
+  // Non-graft solvers receive the same RunConfig; setting the new knobs
+  // must never change their answer (they have no direction switch).
+  const BipartiteGraph g = suite_instance("copapers-like").factory(0.006, 5);
+  const std::int64_t expected = maximum_matching_cardinality(g);
+  for (const engine::SolverInfo& solver : engine::solver_registry()) {
+    for (const Combo& combo : all_combos()) {
+      RunConfig config;
+      config.direction_policy = combo.policy;
+      config.bottom_up_kernel = combo.kernel;
+      config.threads = 2;
+      Matching m = randomized_greedy(g, 3);
+      const RunStats stats = solver.run(g, m, config);
+      EXPECT_EQ(stats.final_cardinality, expected)
+          << solver.name << " dirsel=" << to_string(combo.policy)
+          << " kernel=" << to_string(combo.kernel);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Stats plumbing: the strict `direction` JSON block and the human
+// formatter's non-default gating.
+
+TEST(DirectionStats, JsonBlockIsStrictAndNamed) {
+  const BipartiteGraph g = suite_instance("wikipedia-like").factory(0.006, 9);
+  RunConfig config;
+  config.direction_policy = DirectionPolicy::kAdaptive;
+  config.bottom_up_kernel = BottomUpKernel::kWord;
+  Matching m = randomized_greedy(g, 2);
+  const RunStats stats = ms_bfs_graft(g, m, config);
+
+  ASSERT_TRUE(stats.direction.collected);
+  EXPECT_EQ(stats.direction.policy, DirectionPolicy::kAdaptive);
+  EXPECT_EQ(stats.direction.kernel, BottomUpKernel::kWord);
+  EXPECT_GT(stats.direction.decisions, 0);
+  EXPECT_GE(stats.direction.decisions, stats.direction.bottom_up_levels);
+
+  const std::string json = run_stats_json(stats);
+  std::string error;
+  testing::JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid(&error)) << error;
+  EXPECT_NE(json.find("\"direction\":{\"policy\":\"adaptive\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"kernel\":\"word\""), std::string::npos);
+  EXPECT_NE(json.find("\"word_commits\":"), std::string::npos);
+
+  // Human formatter surfaces the knobs only when they differ from the
+  // defaults, so default-config output stays byte-stable.
+  EXPECT_NE(format_run_stats(stats).find("dirsel=adaptive"),
+            std::string::npos);
+  RunConfig default_config;
+  Matching m2 = randomized_greedy(g, 2);
+  const RunStats default_stats = ms_bfs_graft(g, m2, default_config);
+  EXPECT_EQ(format_run_stats(default_stats).find("dirsel="),
+            std::string::npos);
+}
+
+TEST(DirectionStats, WordCountersOnlyMoveOnWordArm) {
+  const BipartiteGraph g = suite_instance("wikipedia-like").factory(0.006, 4);
+  RunConfig bit_config;
+  bit_config.direction_policy = DirectionPolicy::kBottomUp;
+  bit_config.bottom_up_kernel = BottomUpKernel::kBit;
+  Matching m_bit = randomized_greedy(g, 2);
+  const RunStats bit_stats = ms_bfs_graft(g, m_bit, bit_config);
+  EXPECT_EQ(bit_stats.direction.word_commits, 0);
+  EXPECT_EQ(bit_stats.direction.word_fallbacks, 0);
+  EXPECT_GT(bit_stats.direction.bottom_up_levels, 0);
+
+  RunConfig word_config = bit_config;
+  word_config.bottom_up_kernel = BottomUpKernel::kWord;
+  Matching m_word = randomized_greedy(g, 2);
+  const RunStats word_stats = ms_bfs_graft(g, m_word, word_config);
+  EXPECT_GT(word_stats.direction.word_commits, 0);
+  EXPECT_EQ(word_stats.final_cardinality, bit_stats.final_cardinality);
+}
+
+// ---------------------------------------------------------------------
+// Enum round-trips for the two new RunConfig knobs.
+
+TEST(DirectionEnums, ParseAndToStringRoundTrip) {
+  for (const DirectionPolicy policy :
+       {DirectionPolicy::kFixed, DirectionPolicy::kAdaptive,
+        DirectionPolicy::kTopDown, DirectionPolicy::kBottomUp}) {
+    DirectionPolicy parsed{};
+    EXPECT_TRUE(parse_direction_policy(to_string(policy), parsed));
+    EXPECT_EQ(parsed, policy);
+  }
+  for (const BottomUpKernel kernel :
+       {BottomUpKernel::kBit, BottomUpKernel::kWord}) {
+    BottomUpKernel parsed{};
+    EXPECT_TRUE(parse_bottom_up_kernel(to_string(kernel), parsed));
+    EXPECT_EQ(parsed, kernel);
+  }
+  DirectionPolicy policy{};
+  BottomUpKernel kernel{};
+  EXPECT_FALSE(parse_direction_policy("bogus", policy));
+  EXPECT_FALSE(parse_direction_policy("", policy));
+  EXPECT_FALSE(parse_bottom_up_kernel("simd", kernel));
+  EXPECT_FALSE(parse_bottom_up_kernel("", kernel));
+}
+
+}  // namespace
+}  // namespace graftmatch

@@ -159,6 +159,8 @@ TEST(Protocol, RequestRoundTrip) {
   request.threads = 3;
   request.reduce = "d1";
   request.shard = "dm";
+  request.dirsel = "adaptive";
+  request.kernel = "word";
 
   MatchRequest decoded;
   std::string error;
@@ -170,6 +172,8 @@ TEST(Protocol, RequestRoundTrip) {
   EXPECT_EQ(decoded.threads, 3);
   EXPECT_EQ(decoded.reduce, "d1");
   EXPECT_EQ(decoded.shard, "dm");
+  EXPECT_EQ(decoded.dirsel, "adaptive");
+  EXPECT_EQ(decoded.kernel, "word");
 }
 
 TEST(Protocol, RequestDefaultsAndUnknownKeys) {
@@ -182,6 +186,22 @@ TEST(Protocol, RequestDefaultsAndUnknownKeys) {
   EXPECT_EQ(decoded.solver, "graft");
   EXPECT_EQ(decoded.initializer, "ks");
   EXPECT_EQ(decoded.threads, 0);
+  EXPECT_EQ(decoded.dirsel, "fixed");
+  EXPECT_EQ(decoded.kernel, "bit");
+}
+
+TEST(Protocol, DirselAndKernelRejectControlCharacters) {
+  MatchRequest decoded;
+  std::string error;
+  EXPECT_FALSE(decode_request("graph=g\ndirsel=ad\x01aptive\n", decoded,
+                              error));
+  EXPECT_FALSE(decode_request("graph=g\nkernel=wo\trd\n", decoded, error));
+  // Unknown-but-clean values pass the wire layer; the server rejects
+  // them at config-parse time with a named error (see MatchServer
+  // tests), keeping the protocol forward compatible.
+  EXPECT_TRUE(decode_request("graph=g\ndirsel=someday\n", decoded, error))
+      << error;
+  EXPECT_EQ(decoded.dirsel, "someday");
 }
 
 TEST(Protocol, RequestValidation) {
@@ -426,7 +446,15 @@ TEST(MatchServer, BadRequestsGetErrorResponsesNotCrashes) {
   request.shard = "bogus";
   expect_error(request);
 
-  EXPECT_EQ(server.counters().failed, 5u);
+  request.shard = "none";
+  request.dirsel = "bogus";
+  expect_error(request);
+
+  request.dirsel = "fixed";
+  request.kernel = "bogus";
+  expect_error(request);
+
+  EXPECT_EQ(server.counters().failed, 7u);
   EXPECT_EQ(server.counters().completed, 0u);
 }
 
@@ -451,6 +479,25 @@ TEST(MatchServer, SolverAndModeSelectionPerRequest) {
   const MatchResponse response = server.solve(std::move(request));
   EXPECT_TRUE(response.ok) << response.error;
   EXPECT_EQ(response.cardinality, roster.find("beta")->maximum_cardinality);
+
+  // The traversal-backend knobs ride the same path: every policy x
+  // kernel combination must serve the oracle cardinality (the server's
+  // audit would flag a miss even if this EXPECT did not).
+  for (const std::string& dirsel : {"fixed", "adaptive", "td", "bu"}) {
+    for (const std::string& kernel : {"bit", "word"}) {
+      MatchRequest knob_request;
+      knob_request.graph = "alpha";
+      knob_request.dirsel = dirsel;
+      knob_request.kernel = kernel;
+      const MatchResponse knob_response =
+          server.solve(std::move(knob_request));
+      EXPECT_TRUE(knob_response.ok)
+          << dirsel << "/" << kernel << ": " << knob_response.error;
+      EXPECT_EQ(knob_response.cardinality,
+                roster.find("alpha")->maximum_cardinality)
+          << dirsel << "/" << kernel;
+    }
+  }
 }
 
 TEST(MatchServer, AdmissionControlRejectsBeyondCapacity) {
